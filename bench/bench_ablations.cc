@@ -1,0 +1,170 @@
+// Ablations of the model's design choices (DESIGN.md §3): each knob is
+// varied in isolation to show which measured phenomenon it controls —
+// and that the phenomena are mechanisms, not hard-coded numbers.
+//
+//  1. Write-back buffer size  -> read tail latency under write load
+//  2. FCP append cost         -> the append saturation plateau (Obs. 6/7)
+//  3. GC watermark hysteresis -> conventional write-throughput CV (Fig. 6a)
+//  4. Reset slice length      -> the Obs. 12 / Obs. 13 tradeoff
+#include <cstdio>
+
+#include "ftl/conv_device.h"
+#include "harness/experiments.h"
+#include "harness/gc_experiment.h"
+#include "harness/table.h"
+#include "hostif/spdk_stack.h"
+#include "workload/runner.h"
+#include "zns/zns_device.h"
+
+using namespace zstor;
+using nvme::Opcode;
+
+namespace {
+
+// Read p95 while appends run at full rate, for a given ZNS buffer size.
+double ReadP95UnderLoadMs(std::uint64_t buffer_bytes) {
+  sim::Simulator s;
+  zns::ZnsProfile p = zns::Zn540Profile();
+  p.write_buffer_bytes = buffer_bytes;
+  zns::ZnsDevice dev(s, p);
+  hostif::SpdkStack stack(s, dev);
+  workload::JobSpec writer;
+  writer.op = Opcode::kAppend;
+  writer.request_bytes = 128 * 1024;
+  writer.queue_depth = 8;
+  writer.workers = 4;
+  writer.partition_zones = true;
+  writer.zones = {0, 1, 2, 3, 4, 5, 6, 7};
+  writer.on_full = workload::JobSpec::OnFull::kReset;
+  writer.duration = sim::Seconds(3);
+  workload::JobSpec reader;
+  reader.op = Opcode::kRead;
+  reader.random = true;
+  reader.queue_depth = 32;
+  reader.duration = sim::Seconds(3);
+  reader.warmup = sim::Seconds(1);
+  std::uint32_t base = p.num_zones / 2;
+  for (std::uint32_t z = base; z < base + 8; ++z) {
+    dev.DebugFillZone(z, p.zone_cap_bytes);
+    reader.zones.push_back(z);
+  }
+  auto res = workload::RunJobs(s, {{&stack, writer}, {&stack, reader}});
+  return res[1].latency.p95_ns() / 1e6;
+}
+
+double AppendSaturationKiops(sim::Time fcp_append) {
+  zns::ZnsProfile p = zns::Zn540Profile();
+  p.fcp.append = fcp_append;
+  return harness::IntraZone(p, Opcode::kAppend, 4096, 8).Kiops();
+}
+
+struct OpResult {
+  double wa;
+  double write_mibps;
+};
+
+OpResult ConvOpSweep(double op_fraction) {
+  sim::Simulator s;
+  ftl::ConvProfile p = ftl::Sn640Profile();
+  p.op_fraction = op_fraction;
+  // Scale the GC watermarks with the spare area so every OP point leaves
+  // room for them.
+  auto spare = static_cast<std::uint32_t>(
+      static_cast<double>(p.nand_geometry.total_blocks()) * op_fraction);
+  p.gc_low_blocks = std::max(16u, spare / 4);
+  p.gc_high_blocks = std::max(32u, spare / 2);
+  ftl::ConvDevice dev(s, p);
+  dev.DebugPrefill();
+  hostif::SpdkStack stack(s, dev);
+  workload::JobSpec writer;
+  writer.op = Opcode::kWrite;
+  writer.random = true;
+  writer.request_bytes = 128 * 1024;
+  writer.queue_depth = 8;
+  writer.workers = 4;
+  writer.duration = sim::Seconds(8);
+  writer.warmup = sim::Seconds(4);
+  auto r = workload::RunJob(s, stack, writer);
+  return {dev.counters().WriteAmplification(), r.MibPerSec()};
+}
+
+struct SliceResult {
+  double io_mean_us;
+  double reset_p95_ms;
+};
+
+SliceResult ResetSliceTradeoff(sim::Time slice) {
+  zns::ZnsProfile p = zns::Zn540Profile();
+  p.reset.slice = slice;
+  auto r = harness::ResetInterference(p, Opcode::kWrite, 16);
+  return {r.io_mean_us, r.reset_p95_ms};
+}
+
+}  // namespace
+
+int main() {
+  harness::Banner(
+      "Ablation 1 — ZNS write-back buffer size vs read tail under load");
+  {
+    harness::Table t({"buffer", "read p95 under full-rate appends"});
+    for (std::uint64_t mib : {16ull, 48ull, 96ull, 192ull}) {
+      t.AddRow({std::to_string(mib) + "MiB",
+                harness::FmtMs(ReadP95UnderLoadMs(mib << 20))});
+    }
+    t.Print();
+    std::printf(
+        "  the buffer depth sets the die-queue depth reads wait behind;\n"
+        "  96 MiB reproduces the paper's ~98 ms p95 (§III-F)\n");
+  }
+
+  harness::Banner(
+      "Ablation 2 — FCP append cost vs the append saturation plateau");
+  {
+    harness::Table t({"fcp.append", "intra-zone append saturation"});
+    for (double us : {3.79, 7.58, 15.16}) {
+      t.AddRow({harness::FmtUs(us),
+                harness::FmtKiops(AppendSaturationKiops(
+                    sim::Microseconds(us)))});
+    }
+    t.Print();
+    std::printf(
+        "  saturation == 1/fcp.append: the 132 KIOPS plateau (Obs. 6/7)\n"
+        "  is the firmware's serialized per-append cost, nothing else\n");
+  }
+
+  harness::Banner(
+      "Ablation 3 — overprovisioning vs write amplification (conv SSD)");
+  {
+    harness::Table t(
+        {"OP fraction", "write amplification", "sustained writes"});
+    for (double op : {0.07, 0.125, 0.25}) {
+      OpResult r = ConvOpSweep(op);
+      t.AddRow({harness::Fmt(100 * op, 1) + "%", harness::Fmt(r.wa, 2),
+                harness::FmtMibps(r.write_mibps)});
+    }
+    t.Print();
+    std::printf(
+        "  less spare area -> fuller GC victims -> more migration per\n"
+        "  reclaimed block: the WA curve every FTL study reports, and\n"
+        "  the reason the paper's conventional drive buckles in Fig. 6\n"
+        "  while ZNS (WA == 1 by construction) does not\n");
+  }
+
+  harness::Banner(
+      "Ablation 4 — reset slice length: Obs. 12 vs Obs. 13 coupling");
+  {
+    harness::Table t(
+        {"slice", "concurrent 4KiB write mean", "reset p95"});
+    for (double us : {1.0, 16.0, 256.0}) {
+      SliceResult r = ResetSliceTradeoff(sim::Microseconds(us));
+      t.AddRow({harness::FmtUs(us), harness::FmtUs(r.io_mean_us),
+                harness::FmtMs(r.reset_p95_ms)});
+    }
+    t.Print();
+    std::printf(
+        "  fine slices keep I/O latency reset-agnostic (Obs. 12) while\n"
+        "  still letting I/O stretch resets (Obs. 13); coarse slices\n"
+        "  would make resets visibly delay writes\n");
+  }
+  return 0;
+}

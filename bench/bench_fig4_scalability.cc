@@ -1,0 +1,88 @@
+// Figure 4 — intra-zone vs inter-zone scalability.
+//
+//  (a) intra-zone: 4 KiB random read / sequential write / append IOPS in
+//      ONE zone as the queue depth grows. Reads and appends via SPDK;
+//      writes via the kernel stack with mq-deadline (the only way to keep
+//      multiple writes in flight on one zone).
+//  (b) inter-zone: one worker per zone at QD 1 via SPDK, up to the
+//      max-open-zone limit of 14.
+//  (c) bandwidth: intra-zone append (QD = concurrency) vs inter-zone
+//      write (zones = concurrency) at 4/8/16 KiB.
+//
+// Paper reference: append saturates ~132 KIOPS at concurrency 4, in both
+// modes (Obs. 6); merged intra-zone writes reach 293 KIOPS at QD 32 and
+// 92.35% of writes merge at QD 16 (Obs. 7); inter-zone writes saturate at
+// ~186 KIOPS = ~727 MiB/s at 4 KiB (Obs. 7/8); reads reach 424 KIOPS at
+// QD 128 (Obs. 7); >= 8 KiB requests reach the ~1155 MiB/s device limit
+// with 2-4 zones (Obs. 8).
+#include <cstdio>
+
+#include "harness/experiments.h"
+#include "harness/table.h"
+#include "zns/profile.h"
+
+using namespace zstor;
+using nvme::Opcode;
+
+int main() {
+  zns::ZnsProfile profile = zns::Zn540Profile();
+
+  harness::Banner("Figure 4a — intra-zone scalability, 4 KiB (KIOPS)");
+  {
+    harness::Table t({"QD", "read(spdk)", "write(kernel-mq)",
+                      "append(spdk)", "merged%"});
+    for (std::uint32_t qd : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+      auto r = harness::IntraZone(profile, Opcode::kRead, 4096, qd);
+      double merged = 0;
+      auto w = harness::IntraZone(profile, Opcode::kWrite, 4096, qd, &merged);
+      auto a = harness::IntraZone(profile, Opcode::kAppend, 4096, qd);
+      t.AddRow({std::to_string(qd), harness::FmtKiops(r.Kiops()),
+                harness::FmtKiops(w.Kiops()), harness::FmtKiops(a.Kiops()),
+                harness::Fmt(100 * merged, 1)});
+    }
+    t.Print();
+    std::printf(
+        "  paper: read 424K @QD128; write 293K @QD32 (92.35%% merged\n"
+        "         @QD16); append ~132K @QD4, flat beyond\n");
+  }
+
+  harness::Banner("Figure 4b — inter-zone scalability, 4 KiB QD1 (KIOPS)");
+  {
+    harness::Table t({"zones", "read", "write", "append"});
+    for (std::uint32_t z : {1u, 2u, 4u, 8u, 14u}) {
+      auto r = harness::InterZone(profile, Opcode::kRead, 4096, z);
+      auto w = harness::InterZone(profile, Opcode::kWrite, 4096, z);
+      auto a = harness::InterZone(profile, Opcode::kAppend, 4096, z);
+      t.AddRow({std::to_string(z), harness::FmtKiops(r.Kiops()),
+                harness::FmtKiops(w.Kiops()), harness::FmtKiops(a.Kiops())});
+    }
+    t.Print();
+    std::printf(
+        "  paper: write saturates ~186K; append ~132K (same as intra —\n"
+        "         Obs.6); capped at 14 zones by the open-zone limit\n");
+  }
+
+  harness::Banner(
+      "Figure 4c — bandwidth: intra-zone append vs inter-zone write");
+  {
+    harness::Table t({"concurrency", "op", "4KiB", "8KiB", "16KiB"});
+    for (std::uint32_t c : {1u, 2u, 4u, 8u}) {
+      std::vector<std::string> arow = {std::to_string(c), "append(intra)"};
+      std::vector<std::string> wrow = {std::to_string(c), "write(inter)"};
+      for (std::uint64_t req : {4096ull, 8192ull, 16384ull}) {
+        auto a = harness::IntraZone(profile, Opcode::kAppend, req, c);
+        auto w = harness::InterZone(profile, Opcode::kWrite, req, c);
+        arow.push_back(harness::FmtMibps(a.MibPerSec()));
+        wrow.push_back(harness::FmtMibps(w.MibPerSec()));
+      }
+      t.AddRow(arow);
+      t.AddRow(wrow);
+    }
+    t.Print();
+    std::printf(
+        "  paper: 4 KiB writes cap at 726.74 MiB/s; >= 8 KiB requests\n"
+        "         reach the ~1155 MiB/s device limit at 2-4 zones;\n"
+        "         appends need more concurrency to approach the limit\n");
+  }
+  return 0;
+}

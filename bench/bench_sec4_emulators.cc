@@ -1,0 +1,113 @@
+// §IV — open challenges with ZNS emulation: which of the paper's
+// observations each emulator's latency model can reproduce.
+//
+// We run the same probes against three device profiles: the calibrated
+// ZN540 model, a FEMU-like profile (no latency model at all) and an
+// NVMeVirt-like profile (NAND timing model, but append priced as write,
+// static reset cost, no open/close/finish costs), and report which
+// observations hold under each.
+//
+// Paper reference (§IV): FEMU reproduces none of #3-#10/#12-#13;
+// NVMeVirt reproduces read/write behavior but fails #4-#6, #9, #10,
+// #12, #13.
+#include <cmath>
+#include <cstdio>
+
+#include "harness/experiments.h"
+#include "harness/table.h"
+#include "zns/profile.h"
+
+using namespace zstor;
+using harness::StackKind;
+using nvme::Opcode;
+
+namespace {
+
+struct Probe {
+  bool obs3_reqsize;   // write IOPS depend on request size
+  bool obs4_append_slower;
+  bool obs7_read_scales;
+  bool obs9_open_cost;
+  bool obs10_reset_occupancy;
+  bool obs10_finish_expensive;
+  bool obs13_reset_interference;
+};
+
+Probe RunProbes(const zns::ZnsProfile& p) {
+  Probe out{};
+  double w4 = harness::Qd1Kiops(p, Opcode::kWrite, 4096);
+  double w64 = harness::Qd1Kiops(p, Opcode::kWrite, 65536);
+  out.obs3_reqsize = w4 > 1.25 * w64;
+
+  double wl = harness::Qd1LatencyUs(p, StackKind::kSpdk, Opcode::kWrite,
+                                    4096, 4096);
+  double al = harness::Qd1LatencyUs(p, StackKind::kSpdk, Opcode::kAppend,
+                                    4096, 4096);
+  out.obs4_append_slower = al > 1.10 * wl;
+
+  // Obs. 5-7 need per-op saturation points that actually differ (read >
+  // write > append); a model with uniform costs shows none.
+  auto rsat = harness::IntraZone(p, Opcode::kRead, 4096, 64);
+  auto asat = harness::IntraZone(p, Opcode::kAppend, 4096, 8);
+  auto wsat = harness::InterZone(p, Opcode::kWrite, 4096, 14);
+  out.obs7_read_scales =
+      rsat.Kiops() > 1.5 * wsat.Kiops() && wsat.Kiops() > 1.2 * asat.Kiops();
+
+  auto oc = harness::MeasureOpenClose(p);
+  out.obs9_open_cost = oc.explicit_open_us > 2.0 &&
+                       oc.implicit_write_extra_us > 0.5;
+
+  double reset_half = harness::ResetLatencyMs(p, 0.5, false, 4);
+  double reset_full = harness::ResetLatencyMs(p, 1.0, false, 4);
+  out.obs10_reset_occupancy = reset_full > 1.2 * reset_half;
+
+  double fin = harness::FinishLatencyMs(p, 0.0, 2);
+  out.obs10_finish_expensive = fin > 100.0;
+
+  auto alone = harness::ResetInterference(p, Opcode::kFlush, 12);
+  auto busy = harness::ResetInterference(p, Opcode::kWrite, 12);
+  out.obs13_reset_interference =
+      busy.reset_p95_ms > 1.3 * alone.reset_p95_ms;
+  return out;
+}
+
+const char* Mark(bool ok) { return ok ? "yes" : "NO"; }
+
+}  // namespace
+
+int main() {
+  harness::Banner(
+      "Section IV — which observations each emulator model reproduces");
+  Probe zn = RunProbes(zns::Zn540Profile());
+  Probe femu = RunProbes(zns::FemuLikeProfile());
+  Probe nvv = RunProbes(zns::NvmeVirtLikeProfile());
+
+  harness::Table t({"observation", "calibrated", "femu-like",
+                    "nvmevirt-like", "paper verdict"});
+  t.AddRow({"#3 req-size dependence", Mark(zn.obs3_reqsize),
+            Mark(femu.obs3_reqsize), Mark(nvv.obs3_reqsize),
+            "femu: no"});
+  t.AddRow({"#4 append slower than write", Mark(zn.obs4_append_slower),
+            Mark(femu.obs4_append_slower), Mark(nvv.obs4_append_slower),
+            "femu: no; nvmevirt: no"});
+  t.AddRow({"#5-7 per-op saturation order", Mark(zn.obs7_read_scales),
+            Mark(femu.obs7_read_scales), Mark(nvv.obs7_read_scales),
+            "femu: no; nvmevirt: partial"});
+  t.AddRow({"#9 open/close costs", Mark(zn.obs9_open_cost),
+            Mark(femu.obs9_open_cost), Mark(nvv.obs9_open_cost),
+            "both: no"});
+  t.AddRow({"#10 reset ~ occupancy", Mark(zn.obs10_reset_occupancy),
+            Mark(femu.obs10_reset_occupancy),
+            Mark(nvv.obs10_reset_occupancy), "both: no (static/zero)"});
+  t.AddRow({"#10 finish is expensive", Mark(zn.obs10_finish_expensive),
+            Mark(femu.obs10_finish_expensive),
+            Mark(nvv.obs10_finish_expensive), "both: no"});
+  t.AddRow({"#13 I/O inflates reset", Mark(zn.obs13_reset_interference),
+            Mark(femu.obs13_reset_interference),
+            Mark(nvv.obs13_reset_interference), "both: no"});
+  t.Print();
+  std::printf(
+      "  paper: no current emulator has an accurate model for append or\n"
+      "  zone transitions; both should adopt occupancy-based models\n");
+  return 0;
+}

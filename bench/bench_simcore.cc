@@ -1,0 +1,105 @@
+// Simulator-engine micro-benchmarks (google-benchmark): the cost of the
+// event loop, coroutine machinery, resources and statistics. These bound
+// how much virtual time per wall second the experiment harness can cover.
+#include <benchmark/benchmark.h>
+
+#include "nand/flash_array.h"
+#include "sim/resource.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/task.h"
+#include "zns/zns_device.h"
+
+namespace {
+
+using namespace zstor;
+
+void BM_EventScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1000; ++i) {
+      s.ScheduleIn(static_cast<sim::Time>(i), [] {});
+    }
+    benchmark::DoNotOptimize(s.Run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventScheduling);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    auto body = [&]() -> sim::Task<> {
+      for (int i = 0; i < 1000; ++i) co_await s.Delay(1);
+    };
+    auto t = body();
+    s.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_FifoResourceContention(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::FifoResource r(s, 2);
+    auto user = [&]() -> sim::Task<> {
+      for (int i = 0; i < 50; ++i) {
+        auto g = co_await r.Acquire();
+        co_await s.Delay(10);
+      }
+    };
+    for (int u = 0; u < 8; ++u) sim::Spawn(user());
+    s.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 400);
+}
+BENCHMARK(BM_FifoResourceContention);
+
+void BM_LatencyHistogramRecord(benchmark::State& state) {
+  sim::LatencyHistogram h;
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    h.Record(1000 + rng.UniformU64(1'000'000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LatencyHistogramRecord);
+
+void BM_RngNext(benchmark::State& state) {
+  sim::Rng rng(7);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += rng.NextU64();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZnsWritePath(benchmark::State& state) {
+  // End-to-end device model throughput: simulated 4 KiB writes/sec of
+  // wall time (the figure that sizes every experiment above).
+  for (auto _ : state) {
+    sim::Simulator s;
+    zns::ZnsProfile p = zns::TinyProfile();
+    p.io_sigma = 0;
+    zns::ZnsDevice dev(s, p);
+    auto body = [&]() -> sim::Task<> {
+      nvme::Lba wp = 0;
+      for (int i = 0; i < 256; ++i) {
+        auto c = co_await dev.Execute(
+            {.opcode = nvme::Opcode::kWrite, .slba = wp, .nlb = 1});
+        ZSTOR_CHECK(c.ok());
+        ++wp;
+      }
+    };
+    auto t = body();
+    s.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ZnsWritePath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// GC showdown: the paper's headline claim (Obs. 11) as a two-minute demo.
+// The same write+read workload runs against a conventional SSD (device
+// decides when to garbage-collect) and a ZNS SSD (this program IS the
+// garbage collector, resetting zones it has consumed). Watch the
+// conventional drive's throughput sawtooth while ZNS holds a flat line.
+//
+//   $ ./gc_showdown
+#include <cstdio>
+
+#include "harness/gc_experiment.h"
+#include "sim/time.h"
+
+using namespace zstor;
+
+namespace {
+
+void PrintSeries(const char* name, const sim::TimeSeries& ts) {
+  // A terminal "plot": one bar per second of simulated time.
+  std::printf("%s\n", name);
+  double peak = 1;
+  for (std::size_t i = 0; i + 1 < ts.num_bins(); ++i) {
+    peak = std::max(peak, ts.BinRate(i));
+  }
+  for (std::size_t i = 0; i + 1 < ts.num_bins(); ++i) {
+    double mibps = ts.BinRate(i) / (1 << 20);
+    int bar = static_cast<int>(50.0 * ts.BinRate(i) / peak);
+    std::printf("  t=%2zus %7.1f MiB/s |%.*s\n", i, mibps, bar,
+                "##################################################");
+  }
+}
+
+}  // namespace
+
+int main() {
+  const sim::Time kDuration = sim::Seconds(10);
+  std::printf("running the Fig. 6 workload (4 writers x 128 KiB x QD8 + "
+              "random 4 KiB reads) on both devices...\n\n");
+
+  harness::GcExperimentResult conv =
+      harness::RunConvGcExperiment(/*rate=*/0, kDuration);
+  harness::GcExperimentResult zns =
+      harness::RunZnsGcExperiment(/*rate=*/0, kDuration);
+
+  PrintSeries("conventional SSD — write throughput (device-side GC):",
+              conv.write_series);
+  std::printf("\n");
+  PrintSeries("ZNS SSD — write throughput (host-side resets):",
+              zns.write_series);
+
+  std::printf("\nsummary\n");
+  std::printf("  write MiB/s   conv %7.1f (CV %.2f)   zns %7.1f (CV %.2f)\n",
+              conv.write_mibps_mean, conv.write_cv, zns.write_mibps_mean,
+              zns.write_cv);
+  std::printf("  read  MiB/s   conv %7.2f              zns %7.2f\n",
+              conv.read_mibps_mean, zns.read_mibps_mean);
+  std::printf("  read  p95     conv %7.1f ms           zns %7.1f ms\n",
+              conv.read_p95_us / 1000.0, zns.read_p95_us / 1000.0);
+  std::printf("  conv write amplification: %.2fx (ZNS: none — the host "
+              "resets whole zones)\n",
+              conv.write_amplification);
+  std::printf("\npaper: conventional throughput fluctuates between a few\n"
+              "MiB/s and ~1200 MiB/s under GC; ZNS stays stable "
+              "(Obs. 11).\n");
+  return 0;
+}

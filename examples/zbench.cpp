@@ -1,0 +1,98 @@
+// zbench: a tiny fio — run any job specification string against the
+// simulated ZN540 (or the conventional SN640 model) and print the
+// results. The closest thing in this repository to the paper's actual
+// NVMeBenchmarks artifact.
+//
+//   $ ./zbench 'op=append bs=8k qd=4 zones=0 duration=500ms'
+//   $ ./zbench --conv 'op=write random=1 bs=128k qd=8 workers=4 duration=2s'
+//   $ ./zbench 'op=reset zones=0-49'        # mgmt jobs work too
+//
+// With no arguments it runs a demonstration job.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "ftl/conv_device.h"
+#include "hostif/spdk_stack.h"
+#include "workload/runner.h"
+#include "workload/spec_parser.h"
+#include "zns/zns_device.h"
+
+using namespace zstor;
+
+int main(int argc, char** argv) {
+  bool conventional = false;
+  std::string spec_text = "op=append bs=8k qd=4 zones=0 duration=500ms";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--conv") == 0) {
+      conventional = true;
+    } else {
+      spec_text = argv[i];
+    }
+  }
+
+  workload::ParseResult parsed = workload::ParseJobSpec(spec_text);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "zbench: %s\n", parsed.error.c_str());
+    std::fprintf(stderr,
+                 "usage: zbench [--conv] 'op=... bs=... qd=... ...'\n");
+    return 1;
+  }
+
+  sim::Simulator simulator;
+  std::unique_ptr<nvme::Controller> device;
+  if (conventional) {
+    auto conv =
+        std::make_unique<ftl::ConvDevice>(simulator, ftl::Sn640Profile());
+    conv->DebugPrefill();  // aged drive, like the paper's
+    device = std::move(conv);
+  } else {
+    auto z = std::make_unique<zns::ZnsDevice>(simulator,
+                                              zns::Zn540Profile());
+    if (parsed.spec.op == nvme::Opcode::kRead) {
+      // Random reads need data underneath them.
+      auto zones = parsed.spec.zones;
+      if (zones.empty()) {
+        for (std::uint32_t i = 0; i < 4; ++i) zones.push_back(i);
+        parsed.spec.zones = zones;
+      }
+      for (std::uint32_t zone : zones) {
+        z->DebugFillZone(zone, z->profile().zone_cap_bytes);
+      }
+    }
+    if (parsed.spec.op == nvme::Opcode::kZoneMgmtSend &&
+        parsed.spec.zone_action == nvme::ZoneAction::kReset) {
+      for (std::uint32_t zone : parsed.spec.zones) {
+        z->DebugFillZone(zone, z->profile().zone_cap_bytes);
+      }
+    }
+    device = std::move(z);
+  }
+  hostif::SpdkStack stack(simulator, *device);
+
+  std::printf("zbench: %s device, job: %s\n",
+              conventional ? "conventional (SN640 model)"
+                           : "ZNS (ZN540 model)",
+              spec_text.c_str());
+  workload::JobResult r =
+      workload::RunJob(simulator, stack, parsed.spec);
+
+  std::printf("\nresults over %.3f s measured (of %.3f s simulated):\n",
+              sim::ToSeconds(r.measured_span),
+              sim::ToSeconds(simulator.now()));
+  std::printf("  ops      %llu (%.1f KIOPS), errors %llu\n",
+              static_cast<unsigned long long>(r.ops), r.Kiops(),
+              static_cast<unsigned long long>(r.errors));
+  std::printf("  bytes    %.1f MiB (%.1f MiB/s)\n",
+              static_cast<double>(r.bytes) / (1 << 20), r.MibPerSec());
+  std::printf("  latency  %s\n", r.latency.Summary().c_str());
+  if (r.read_latency.count() > 0 && r.write_latency.count() > 0) {
+    std::printf("    reads  %s\n", r.read_latency.Summary().c_str());
+    std::printf("    writes %s\n", r.write_latency.Summary().c_str());
+  }
+  if (r.reset_latency.count() > 0) {
+    std::printf("  resets   %s\n", r.reset_latency.Summary().c_str());
+  }
+  return 0;
+}

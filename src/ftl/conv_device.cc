@@ -1,0 +1,531 @@
+#include "ftl/conv_device.h"
+
+#include <algorithm>
+
+namespace zstor::ftl {
+
+using nvme::Command;
+using nvme::Completion;
+using nvme::Opcode;
+using nvme::Status;
+using sim::Time;
+
+ConvDevice::ConvDevice(sim::Simulator& s, ConvProfile profile)
+    : sim_(s),
+      profile_(std::move(profile)),
+      fcp_(s, /*slots=*/1, /*priority_levels=*/2),
+      buffer_slots_(s, std::max<std::uint64_t>(
+                           1, profile_.write_buffer_bytes /
+                                  profile_.map_unit_bytes)),
+      rng_(profile_.seed),
+      inflight_programs_(s) {
+  profile_.nand_geometry.Validate();
+  ZSTOR_CHECK_MSG(profile_.lba_bytes == profile_.map_unit_bytes,
+                  "conventional model supports lba == map unit only");
+  ZSTOR_CHECK(profile_.nand_geometry.page_bytes %
+                  profile_.map_unit_bytes ==
+              0);
+  flash_ = std::make_unique<nand::FlashArray>(s, profile_.nand_geometry,
+                                              profile_.nand_timing);
+  const std::uint64_t logical_units =
+      profile_.logical_bytes() / profile_.map_unit_bytes;
+  const std::uint64_t phys_units =
+      profile_.physical_bytes() / profile_.map_unit_bytes;
+  l2p_.assign(logical_units, kUnmapped);
+  p2l_.assign(phys_units, kUnmapped);
+  blocks_.resize(profile_.nand_geometry.total_blocks());
+  for (auto& b : blocks_) {
+    b.valid_bitmap.assign((units_per_block() + 63) / 64, 0);
+  }
+  free_blocks_.resize(profile_.nand_geometry.total_dies());
+  host_open_block_.assign(profile_.nand_geometry.total_dies(), kUnmapped);
+  die_alloc_.reserve(profile_.nand_geometry.total_dies());
+  for (std::uint32_t d = 0; d < profile_.nand_geometry.total_dies(); ++d) {
+    die_alloc_.push_back(std::make_unique<sim::FifoResource>(s, 1));
+  }
+
+  info_.format.lba_bytes = profile_.lba_bytes;
+  info_.capacity_lbas = profile_.logical_bytes() / profile_.lba_bytes;
+  info_.zoned = false;
+}
+
+void ConvDevice::FinalizeLayout() {
+  if (layout_done_) return;
+  layout_done_ = true;
+  // Blocks not claimed by a prefill go to the free pool; a small reserve
+  // guarantees GC never deadlocks against host writes for blocks.
+  std::uint32_t reserve_target = 2 * profile_.gc_workers + 2;
+  std::uint64_t free_count = 0;
+  for (std::uint32_t die = 0; die < profile_.nand_geometry.total_dies();
+       ++die) {
+    for (std::uint32_t blk = 0; blk < profile_.nand_geometry.blocks_per_die;
+         ++blk) {
+      std::uint32_t id = BlockIdOf(die, blk);
+      if (blocks_[id].write_ptr_units != 0) continue;  // prefilled
+      if (gc_reserve_.size() < reserve_target) {
+        gc_reserve_.push_back(id);
+      } else {
+        free_blocks_[die].push_back(id);
+        ++free_count;
+      }
+    }
+  }
+  free_total_ = static_cast<std::uint32_t>(free_count);
+  free_sem_ = std::make_unique<sim::Semaphore>(sim_, free_count);
+  ZSTOR_CHECK_MSG(free_total_ > profile_.gc_high_blocks,
+                  "over-full prefill: no room for GC watermarks");
+}
+
+// ----------------------------------------------------------- FTL state
+
+bool ConvDevice::TestValid(const Block& b, std::uint32_t unit) const {
+  return (b.valid_bitmap[unit / 64] >> (unit % 64)) & 1;
+}
+
+void ConvDevice::SetValid(Block& b, std::uint32_t unit, bool v) {
+  std::uint64_t mask = 1ull << (unit % 64);
+  if (v) {
+    b.valid_bitmap[unit / 64] |= mask;
+  } else {
+    b.valid_bitmap[unit / 64] &= ~mask;
+  }
+}
+
+void ConvDevice::InvalidateUnit(std::uint32_t logical_unit) {
+  std::uint32_t phys = l2p_[logical_unit];
+  if (phys == kUnmapped || phys == kInBuffer) return;
+  std::uint32_t block_id = phys / units_per_block();
+  std::uint32_t unit = phys % units_per_block();
+  Block& b = blocks_[block_id];
+  ZSTOR_CHECK(TestValid(b, unit));
+  SetValid(b, unit, false);
+  ZSTOR_CHECK(b.valid > 0);
+  b.valid--;
+  p2l_[phys] = kUnmapped;
+}
+
+void ConvDevice::MapUnit(std::uint32_t logical_unit,
+                         std::uint32_t phys_unit) {
+  InvalidateUnit(logical_unit);
+  l2p_[logical_unit] = phys_unit;
+  p2l_[phys_unit] = logical_unit;
+  Block& b = blocks_[phys_unit / units_per_block()];
+  SetValid(b, phys_unit % units_per_block(), true);
+  b.valid++;
+}
+
+sim::Task<std::uint32_t> ConvDevice::AcquireFreeBlock(
+    std::uint32_t preferred_die) {
+  if (free_total_ == 0) MaybeWakeGc();  // we are about to block on it
+  co_await free_sem_->Acquire();
+  std::uint32_t dies = profile_.nand_geometry.total_dies();
+  for (std::uint32_t i = 0; i < dies; ++i) {
+    std::uint32_t die = (preferred_die + i) % dies;
+    if (!free_blocks_[die].empty()) {
+      std::uint32_t id = free_blocks_[die].front();
+      free_blocks_[die].pop_front();
+      --free_total_;
+      MaybeWakeGc();
+      co_return id;
+    }
+  }
+  ZSTOR_CHECK_MSG(false, "free semaphore and pool out of sync");
+}
+
+void ConvDevice::ReleaseErasedBlock(std::uint32_t block_id) {
+  std::uint32_t reserve_target = 2 * profile_.gc_workers + 2;
+  if (gc_reserve_.size() < reserve_target) {
+    gc_reserve_.push_back(block_id);
+    return;
+  }
+  free_blocks_[DieOfBlockId(block_id)].push_back(block_id);
+  ++free_total_;
+  free_sem_->Release();
+}
+
+// ------------------------------------------------------------------ GC
+
+void ConvDevice::MaybeWakeGc() {
+  if (!layout_done_) return;
+  if (!gc_target_active_ && free_total_ < profile_.gc_low_blocks) {
+    gc_target_active_ = true;
+  }
+  if (gc_target_active_ && free_total_ >= profile_.gc_high_blocks) {
+    gc_target_active_ = false;
+  }
+  if (!gc_target_active_) return;
+  while (gc_running_ < profile_.gc_workers) {
+    std::uint32_t victim = PickVictim();
+    if (victim == kUnmapped) break;
+    blocks_[victim].gc_busy = true;
+    ++gc_running_;
+    sim::Spawn(MigrateAndErase(victim));
+  }
+}
+
+std::uint32_t ConvDevice::PickVictim() {
+  // Greedy: the full block with the fewest valid units (most garbage).
+  // Victims with negligible garbage are not worth the migration cost —
+  // unless the host is actually blocked waiting for a free block, in
+  // which case any reclaimable unit keeps the device live.
+  bool host_starving = free_total_ == 0 ||
+                       (free_sem_ != nullptr && free_sem_->waiting() > 0);
+  std::uint32_t min_garbage =
+      host_starving ? 1 : units_per_block() / 10;
+  std::uint32_t best = kUnmapped;
+  std::uint32_t best_valid = units_per_block();
+  for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
+    const Block& b = blocks_[id];
+    if (b.open || b.gc_busy || b.inflight > 0) continue;
+    if (b.write_ptr_units != units_per_block()) continue;  // not full
+    if (units_per_block() - b.valid < min_garbage) continue;
+    if (b.valid < best_valid) {
+      best_valid = b.valid;
+      best = id;
+    }
+  }
+  return best;
+}
+
+sim::Task<> ConvDevice::GcProgramPage(
+    std::uint32_t block_id, std::uint32_t page,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> batch,
+    sim::WaitGroup* wg) {
+  co_await flash_->ProgramPage(
+      {DieOfBlockId(block_id), BlockOfBlockId(block_id), page});
+  std::uint32_t base = page * profile_.units_per_page();
+  std::uint32_t slot = 0;
+  for (auto [logical, old_phys] : batch) {
+    // Skip units the host overwrote while we migrated them.
+    if (l2p_[logical] == old_phys) {
+      MapUnit(logical, PhysUnit(block_id, base + slot));
+      counters_.gc_units_migrated++;
+    }
+    ++slot;
+  }
+  blocks_[block_id].inflight--;
+  wg->Done();
+}
+
+std::uint32_t ConvDevice::TakeGcOpenBlock() {
+  if (!gc_open_pool_.empty()) {
+    std::uint32_t id = gc_open_pool_.front();
+    gc_open_pool_.pop_front();
+    return id;
+  }
+  ZSTOR_CHECK_MSG(!gc_reserve_.empty(), "GC block reserve exhausted");
+  std::uint32_t id = gc_reserve_.front();
+  gc_reserve_.pop_front();
+  blocks_[id].open = true;
+  return id;
+}
+
+void ConvDevice::ReturnGcOpenBlock(std::uint32_t block_id) {
+  if (blocks_[block_id].write_ptr_units == units_per_block()) {
+    blocks_[block_id].open = false;  // retired; GC-eligible later
+  } else {
+    gc_open_pool_.push_back(block_id);  // reused by the next migration
+  }
+}
+
+sim::Task<> ConvDevice::ReadVictimPage(nand::PageAddr addr,
+                                       sim::WaitGroup* wg) {
+  co_await flash_->ReadPage(addr, profile_.nand_geometry.page_bytes);
+  wg->Done();
+}
+
+sim::Task<> ConvDevice::MigrateAndErase(std::uint32_t victim) {
+  Block& vb = blocks_[victim];
+  const std::uint32_t die = DieOfBlockId(victim);
+  const std::uint32_t blk = BlockOfBlockId(victim);
+  const std::uint32_t upp = profile_.units_per_page();
+
+  // Phase 1 — pipelined page reads: all valid pages of the victim are
+  // queued on its die at once (firmware pipelines GC reads). Units are
+  // snapshotted at scan time; stale ones are dropped at remap.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> survivors;
+  {
+    sim::WaitGroup rwg(sim_);
+    for (std::uint32_t page = 0;
+         page < profile_.nand_geometry.pages_per_block; ++page) {
+      bool any = false;
+      for (std::uint32_t s = 0; s < upp; ++s) {
+        std::uint32_t unit = page * upp + s;
+        if (!TestValid(vb, unit)) continue;
+        std::uint32_t phys = PhysUnit(victim, unit);
+        survivors.emplace_back(p2l_[phys], phys);
+        any = true;
+      }
+      if (!any) continue;
+      rwg.Add();
+      sim::Spawn(ReadVictimPage({die, blk, page}, &rwg));
+    }
+    co_await rwg.Wait();
+  }
+
+  // Phase 2 — parallel program-out: page batches fan out across dies.
+  {
+    sim::WaitGroup pwg(sim_);
+    std::uint32_t open = kUnmapped;
+    for (std::size_t i = 0; i < survivors.size(); i += upp) {
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> batch(
+          survivors.begin() + static_cast<std::ptrdiff_t>(i),
+          survivors.begin() + static_cast<std::ptrdiff_t>(
+                                  std::min(i + upp, survivors.size())));
+      if (open == kUnmapped ||
+          blocks_[open].write_ptr_units == units_per_block()) {
+        if (open != kUnmapped) ReturnGcOpenBlock(open);
+        open = TakeGcOpenBlock();
+      }
+      Block& ob = blocks_[open];
+      std::uint32_t page = ob.write_ptr_units / upp;
+      ob.write_ptr_units += upp;
+      ob.inflight++;
+      pwg.Add();
+      sim::Spawn(GcProgramPage(open, page, std::move(batch), &pwg));
+    }
+    if (open != kUnmapped) ReturnGcOpenBlock(open);
+    co_await pwg.Wait();
+  }
+
+  // All surviving units moved; any remaining valid bits belong to host
+  // overwrites that raced ahead (they already re-invalidated). Erase.
+  co_await flash_->EraseBlock(die, blk);
+  ZSTOR_CHECK(vb.valid == 0);
+  std::fill(vb.valid_bitmap.begin(), vb.valid_bitmap.end(), 0);
+  vb.write_ptr_units = 0;
+  vb.gc_busy = false;
+  counters_.gc_blocks_erased++;
+  ReleaseErasedBlock(victim);
+  --gc_running_;
+  MaybeWakeGc();
+}
+
+// ------------------------------------------------------------ I/O paths
+
+Time ConvDevice::Noise(Time t) {
+  if (profile_.io_sigma == 0.0 || t == 0) return t;
+  return static_cast<Time>(static_cast<double>(t) *
+                           rng_.LogNormalNoise(profile_.io_sigma));
+}
+
+sim::Task<Completion> ConvDevice::Execute(const Command& cmd) {
+  if (!layout_done_) FinalizeLayout();
+  Completion c;
+  switch (cmd.opcode) {
+    case Opcode::kRead:
+      c = co_await DoRead(cmd);
+      break;
+    case Opcode::kWrite:
+      c = co_await DoWrite(cmd);
+      break;
+    case Opcode::kDeallocate:
+      c = co_await DoDeallocate(cmd);
+      break;
+    default:
+      c.status = Status::kInvalidOpcode;
+      break;
+  }
+  if (!c.ok()) counters_.io_errors++;
+  co_return c;
+}
+
+sim::Task<Completion> ConvDevice::DoRead(Command cmd) {
+  if (cmd.nlb == 0) co_return Completion{.status = Status::kInvalidField};
+  if (cmd.slba + cmd.nlb > info_.capacity_lbas) {
+    co_return Completion{.status = Status::kLbaOutOfRange};
+  }
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(cmd.nlb) * profile_.lba_bytes;
+  {
+    auto g = co_await fcp_.Acquire(0);
+    Time c = profile_.fcp.read;
+    if (cmd.nlb > 1) c += profile_.fcp.per_extra_unit * (cmd.nlb - 1);
+    co_await sim_.Delay(Noise(c));
+  }
+  // Fetch each mapped unit's physical page; distinct pages in parallel.
+  std::vector<std::uint64_t> pages;  // phys page ids
+  for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
+    std::uint32_t phys = l2p_[cmd.slba + i];
+    if (phys == kUnmapped || phys == kInBuffer) continue;
+    std::uint64_t page_id = phys / profile_.units_per_page();
+    if (std::find(pages.begin(), pages.end(), page_id) == pages.end()) {
+      pages.push_back(page_id);
+    }
+  }
+  if (pages.size() == 1) {
+    co_await ReadPhysPage(pages[0], nullptr);
+  } else if (!pages.empty()) {
+    sim::WaitGroup wg(sim_);
+    for (std::uint64_t p : pages) {
+      wg.Add();
+      sim::Spawn(ReadPhysPage(p, &wg));
+    }
+    co_await wg.Wait();
+  }
+  co_await sim_.Delay(
+      Noise(profile_.post.read_fixed +
+            static_cast<Time>(profile_.post.dma_ns_per_byte *
+                              static_cast<double>(bytes))));
+  counters_.reads++;
+  counters_.bytes_read += bytes;
+  co_return Completion{.status = Status::kSuccess};
+}
+
+sim::Task<> ConvDevice::ReadPhysPage(std::uint64_t page_id,
+                                     sim::WaitGroup* wg) {
+  std::uint32_t block_id = static_cast<std::uint32_t>(
+      page_id / profile_.nand_geometry.pages_per_block);
+  std::uint32_t page = static_cast<std::uint32_t>(
+      page_id % profile_.nand_geometry.pages_per_block);
+  co_await flash_->ReadPage(
+      {DieOfBlockId(block_id), BlockOfBlockId(block_id), page},
+      profile_.map_unit_bytes);
+  if (wg != nullptr) wg->Done();
+}
+
+sim::Task<Completion> ConvDevice::DoWrite(Command cmd) {
+  if (cmd.nlb == 0) co_return Completion{.status = Status::kInvalidField};
+  if (cmd.slba + cmd.nlb > info_.capacity_lbas) {
+    co_return Completion{.status = Status::kLbaOutOfRange};
+  }
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(cmd.nlb) * profile_.lba_bytes;
+  {
+    auto g = co_await fcp_.Acquire(0);
+    Time c = profile_.fcp.write;
+    if (cmd.nlb > 1) c += profile_.fcp.per_extra_unit * (cmd.nlb - 1);
+    co_await sim_.Delay(Noise(c));
+    // Overwrites invalidate the previous physical locations now.
+    for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
+      InvalidateUnit(cmd.slba + i);
+      l2p_[cmd.slba + i] = kInBuffer;
+    }
+  }
+  co_await sim_.Delay(
+      Noise(profile_.post.write_fixed +
+            static_cast<Time>(profile_.post.dma_ns_per_byte *
+                              static_cast<double>(bytes))));
+  for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
+    co_await AdmitUnit(static_cast<std::uint32_t>(cmd.slba + i));
+  }
+  counters_.writes++;
+  counters_.bytes_written += bytes;
+  co_return Completion{.status = Status::kSuccess};
+}
+
+sim::Task<Completion> ConvDevice::DoDeallocate(Command cmd) {
+  if (cmd.nlb == 0) co_return Completion{.status = Status::kInvalidField};
+  if (cmd.slba + cmd.nlb > info_.capacity_lbas) {
+    co_return Completion{.status = Status::kLbaOutOfRange};
+  }
+  {
+    auto g = co_await fcp_.Acquire(0);
+    co_await sim_.Delay(
+        Noise(profile_.trim_fixed + profile_.trim_per_unit * cmd.nlb));
+    for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
+      std::uint32_t u = static_cast<std::uint32_t>(cmd.slba + i);
+      if (l2p_[u] == kUnmapped) continue;
+      InvalidateUnit(u);
+      l2p_[u] = kUnmapped;  // also forgets in-buffer data
+      counters_.units_trimmed++;
+    }
+  }
+  counters_.deallocates++;
+  co_return Completion{.status = Status::kSuccess};
+}
+
+sim::Task<> ConvDevice::AdmitUnit(std::uint32_t logical_unit) {
+  co_await buffer_slots_.Acquire();
+  pending_units_.push_back(logical_unit);
+  if (pending_units_.size() >= profile_.units_per_page()) {
+    std::vector<std::uint32_t> batch(
+        pending_units_.begin(),
+        pending_units_.begin() + profile_.units_per_page());
+    pending_units_.erase(pending_units_.begin(),
+                         pending_units_.begin() + profile_.units_per_page());
+    inflight_programs_.Add();
+    sim::Spawn(ProgramHostPage(std::move(batch)));
+  }
+}
+
+sim::Task<> ConvDevice::ProgramHostPage(std::vector<std::uint32_t> units) {
+  const std::uint32_t dies = profile_.nand_geometry.total_dies();
+  const std::uint32_t stream = next_die_rr_++ % dies;
+  std::uint32_t block_id;
+  std::uint32_t page;
+  {
+    // Per-stream allocation lock: block lookup + page reservation is
+    // atomic with respect to other programs on the same stream. (The
+    // stream's block usually lives on the same-numbered die but may come
+    // from another die under pressure.)
+    auto g = co_await die_alloc_[stream]->Acquire();
+    block_id = host_open_block_[stream];
+    if (block_id == kUnmapped ||
+        blocks_[block_id].write_ptr_units == units_per_block()) {
+      if (block_id != kUnmapped) blocks_[block_id].open = false;
+      block_id = co_await AcquireFreeBlock(stream);
+      host_open_block_[stream] = block_id;
+      blocks_[block_id].open = true;
+    }
+    Block& b = blocks_[block_id];
+    page = b.write_ptr_units / profile_.units_per_page();
+    b.write_ptr_units += profile_.units_per_page();
+    b.inflight++;
+    if (b.write_ptr_units == units_per_block()) {
+      b.open = false;
+      host_open_block_[stream] = kUnmapped;
+    }
+  }
+  co_await flash_->ProgramPage(
+      {DieOfBlockId(block_id), BlockOfBlockId(block_id), page});
+  std::uint32_t base = page * profile_.units_per_page();
+  for (std::uint32_t i = 0; i < units.size(); ++i) {
+    std::uint32_t u = units[i];
+    // Map only if this unit is still waiting on this buffered write (the
+    // host may have overwritten it again while it sat in the buffer).
+    if (l2p_[u] == kInBuffer) {
+      MapUnit(u, PhysUnit(block_id, base + i));
+    }
+    buffer_slots_.Release();
+    counters_.host_units_programmed++;
+  }
+  blocks_[block_id].inflight--;
+  inflight_programs_.Done();
+}
+
+// ----------------------------------------------------------------- debug
+
+void ConvDevice::DebugPrefill() {
+  ZSTOR_CHECK_MSG(!layout_done_, "DebugPrefill must precede all I/O");
+  const std::uint32_t dies = profile_.nand_geometry.total_dies();
+  const std::uint32_t upp = profile_.units_per_page();
+  const std::uint64_t logical_units = l2p_.size();
+  for (std::uint64_t u = 0; u < logical_units; ++u) {
+    std::uint64_t page_seq = u / upp;
+    std::uint32_t die = static_cast<std::uint32_t>(page_seq % dies);
+    std::uint64_t on_die_page = page_seq / dies;
+    std::uint32_t blk = static_cast<std::uint32_t>(
+        on_die_page / profile_.nand_geometry.pages_per_block);
+    std::uint32_t page = static_cast<std::uint32_t>(
+        on_die_page % profile_.nand_geometry.pages_per_block);
+    ZSTOR_CHECK(blk < profile_.nand_geometry.blocks_per_die);
+    std::uint32_t block_id = BlockIdOf(die, blk);
+    Block& b = blocks_[block_id];
+    std::uint32_t unit = page * upp + static_cast<std::uint32_t>(u % upp);
+    std::uint32_t phys = PhysUnit(block_id, unit);
+    l2p_[u] = phys;
+    p2l_[phys] = static_cast<std::uint32_t>(u);
+    SetValid(b, unit, true);
+    b.valid++;
+    if (b.write_ptr_units < unit + 1) b.write_ptr_units = unit + 1;
+    flash_->DebugProgramRange(die, blk, page + 1);
+  }
+  // Round partially-written blocks up to "full" so they are GC-eligible.
+  for (auto& b : blocks_) {
+    if (b.write_ptr_units > 0) b.write_ptr_units = units_per_block();
+  }
+  FinalizeLayout();
+}
+
+}  // namespace zstor::ftl

@@ -1,0 +1,176 @@
+// ConvDevice: the conventional (page-mapped FTL) NVMe SSD model.
+//
+// Write path: FCP -> post stage -> write-back buffer; a drain process
+// packs 4 KiB mapping units into 16 KiB NAND pages and programs them
+// round-robin across dies. Overwrites invalidate the unit's old physical
+// location. When the free-block pool runs low, background GC workers pick
+// the fullest-garbage (min-valid) blocks, migrate the surviving units and
+// erase — consuming the same dies and channels as host I/O, which is what
+// collapses read/write throughput in the paper's Fig. 6.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "ftl/conv_profile.h"
+#include "nand/flash_array.h"
+#include "nvme/controller.h"
+#include "nvme/types.h"
+#include "sim/resource.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace zstor::ftl {
+
+struct ConvCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t deallocates = 0;
+  std::uint64_t units_trimmed = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t host_units_programmed = 0;
+  std::uint64_t gc_units_migrated = 0;
+  std::uint64_t gc_blocks_erased = 0;
+  std::uint64_t io_errors = 0;
+
+  /// Write amplification: NAND unit programs per host unit write.
+  double WriteAmplification() const {
+    return host_units_programmed == 0
+               ? 1.0
+               : 1.0 + static_cast<double>(gc_units_migrated) /
+                           static_cast<double>(host_units_programmed);
+  }
+};
+
+class ConvDevice : public nvme::Controller {
+ public:
+  ConvDevice(sim::Simulator& s, ConvProfile profile);
+
+  const nvme::NamespaceInfo& info() const override { return info_; }
+  sim::Task<nvme::Completion> Execute(const nvme::Command& cmd) override;
+
+  const ConvProfile& profile() const { return profile_; }
+  const ConvCounters& counters() const { return counters_; }
+  nand::FlashArray& flash() { return *flash_; }
+  std::uint32_t free_blocks() const { return free_total_; }
+  bool gc_active() const { return gc_running_ > 0; }
+
+  /// Maps the whole logical space sequentially without simulated I/O —
+  /// the "precondition the drive" step every SSD GC experiment needs
+  /// (the paper's drives are aged; see DESIGN.md §6).
+  void DebugPrefill();
+
+ private:
+  static constexpr std::uint32_t kUnmapped = ~0u;
+  static constexpr std::uint32_t kInBuffer = ~0u - 1;
+
+  struct Block {
+    std::uint32_t valid = 0;          // live units in this block
+    std::uint32_t write_ptr_units = 0;
+    std::uint32_t inflight = 0;       // programs issued, mapping pending
+    std::vector<std::uint64_t> valid_bitmap;  // one bit per unit slot
+    bool open = false;                // currently receiving programs
+    bool gc_busy = false;             // being migrated/erased
+  };
+
+  // ---- unit/address arithmetic ---------------------------------------
+  std::uint32_t units_per_block() const {
+    return profile_.nand_geometry.pages_per_block * profile_.units_per_page();
+  }
+  std::uint32_t BlockIdOf(std::uint32_t die, std::uint32_t block) const {
+    return die * profile_.nand_geometry.blocks_per_die + block;
+  }
+  std::uint32_t DieOfBlockId(std::uint32_t block_id) const {
+    return block_id / profile_.nand_geometry.blocks_per_die;
+  }
+  std::uint32_t BlockOfBlockId(std::uint32_t block_id) const {
+    return block_id % profile_.nand_geometry.blocks_per_die;
+  }
+  std::uint32_t PhysUnit(std::uint32_t block_id, std::uint32_t unit) const {
+    return block_id * units_per_block() + unit;
+  }
+
+  // ---- FTL state mutation ---------------------------------------------
+  void InvalidateUnit(std::uint32_t logical_unit);
+  void MapUnit(std::uint32_t logical_unit, std::uint32_t phys_unit);
+  bool TestValid(const Block& b, std::uint32_t unit) const;
+  void SetValid(Block& b, std::uint32_t unit, bool v);
+
+  /// Takes the next free block on a die (or any die); kUnmapped if none.
+  std::uint32_t TakeFreeBlock(std::uint32_t preferred_die);
+
+  /// Builds the free-block pool and GC reserve once the (optional)
+  /// prefill has claimed its blocks. Runs lazily before the first I/O.
+  void FinalizeLayout();
+
+  // ---- data paths ------------------------------------------------------
+  sim::Task<nvme::Completion> DoRead(nvme::Command cmd);
+  sim::Task<nvme::Completion> DoWrite(nvme::Command cmd);
+  sim::Task<nvme::Completion> DoDeallocate(nvme::Command cmd);
+  sim::Task<> ReadPhysPage(std::uint64_t page_id, sim::WaitGroup* wg);
+  /// Admits one logical unit into the buffer and schedules programs.
+  sim::Task<> AdmitUnit(std::uint32_t logical_unit);
+  /// Programs one NAND page holding `units` pending logical units.
+  sim::Task<> ProgramHostPage(std::vector<std::uint32_t> units);
+  /// Pops a free block (suspends while the pool is empty — this is the
+  /// host-write stall that produces the Fig. 6a throughput collapses).
+  sim::Task<std::uint32_t> AcquireFreeBlock(std::uint32_t preferred_die);
+  void ReleaseErasedBlock(std::uint32_t block_id);
+
+  // ---- GC ---------------------------------------------------------------
+  void MaybeWakeGc();
+  std::uint32_t PickVictim();
+  /// Takes a (possibly partially filled) GC output block; full blocks are
+  /// retired to the regular population and new ones come from the
+  /// reserve. Output blocks are shared across migrations so no space
+  /// leaks in partial blocks.
+  std::uint32_t TakeGcOpenBlock();
+  void ReturnGcOpenBlock(std::uint32_t block_id);
+  sim::Task<> MigrateAndErase(std::uint32_t victim);
+  sim::Task<> ReadVictimPage(nand::PageAddr addr, sim::WaitGroup* wg);
+  sim::Task<> GcProgramPage(
+      std::uint32_t block_id, std::uint32_t page,
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> batch,
+      sim::WaitGroup* wg);
+
+  sim::Time Noise(sim::Time t);
+
+  sim::Simulator& sim_;
+  ConvProfile profile_;
+  nvme::NamespaceInfo info_;
+  std::unique_ptr<nand::FlashArray> flash_;
+  sim::PriorityResource fcp_;
+  sim::Semaphore buffer_slots_;      // units of buffered host data
+  sim::Rng rng_;
+
+  std::vector<std::uint32_t> l2p_;   // logical unit -> phys unit/sentinel
+  std::vector<std::uint32_t> p2l_;   // phys unit -> logical unit/kUnmapped
+  std::vector<Block> blocks_;        // by block id
+  std::vector<std::deque<std::uint32_t>> free_blocks_;  // per die
+  std::unique_ptr<sim::Semaphore> free_sem_;  // counts the host pool
+  std::deque<std::uint32_t> gc_reserve_;      // GC-private blocks
+  std::deque<std::uint32_t> gc_open_pool_;    // partial GC output blocks
+  std::uint32_t free_total_ = 0;
+  bool layout_done_ = false;
+
+  /// Host write packing: units waiting to fill the next NAND page.
+  std::vector<std::uint32_t> pending_units_;
+  std::uint32_t next_die_rr_ = 0;  // round-robin allocation stream
+  /// One allocation stream per die index; the stream's current block may
+  /// physically live on another die when the preferred die has no free
+  /// blocks.
+  std::vector<std::uint32_t> host_open_block_;
+  std::vector<std::unique_ptr<sim::FifoResource>> die_alloc_;
+
+  std::uint32_t gc_running_ = 0;
+  bool gc_target_active_ = false;
+  ConvCounters counters_;
+  sim::WaitGroup inflight_programs_;
+};
+
+}  // namespace zstor::ftl

@@ -1,0 +1,27 @@
+#include "ftl/conv_profile.h"
+
+namespace zstor::ftl {
+
+ConvProfile Sn640Profile() {
+  ConvProfile p;  // header defaults are the calibrated values
+  p.nand_timing.read_sigma = 0.08;
+  p.nand_timing.program_sigma = 0.05;
+  return p;
+}
+
+ConvProfile TinyConvProfile() {
+  ConvProfile p;
+  p.nand_geometry.channels = 2;
+  p.nand_geometry.dies_per_channel = 2;
+  p.nand_geometry.blocks_per_die = 24;  // 96 blocks, 24 MiB physical
+  p.nand_geometry.pages_per_block = 16; // 256 KiB blocks
+  p.op_fraction = 0.25;
+  p.write_buffer_bytes = 1ull << 20;
+  p.gc_low_blocks = 6;
+  p.gc_high_blocks = 10;
+  p.gc_workers = 2;
+  p.io_sigma = 0;
+  return p;
+}
+
+}  // namespace zstor::ftl

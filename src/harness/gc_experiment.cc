@@ -1,0 +1,142 @@
+#include "harness/gc_experiment.h"
+
+#include <memory>
+#include <vector>
+
+#include "ftl/conv_device.h"
+#include "hostif/spdk_stack.h"
+#include "sim/simulator.h"
+#include "workload/runner.h"
+#include "zns/zns_device.h"
+
+namespace zstor::harness {
+
+using nvme::Opcode;
+using workload::JobResult;
+using workload::JobSpec;
+
+namespace {
+
+GcExperimentResult Summarize(const JobResult& writer, const JobResult& reader,
+                             std::size_t skip_bins) {
+  GcExperimentResult out;
+  out.write_series = writer.series;
+  out.read_series = reader.series;
+  const double kMiB = 1024.0 * 1024.0;
+  // Interior bins only: the first bins are warmup, the final bin is a
+  // partial drain tail.
+  auto interior = [&](const sim::TimeSeries& ts) {
+    sim::Welford m;
+    for (std::size_t i = skip_bins; i + 1 < ts.num_bins(); ++i) {
+      m.Record(ts.BinRate(i));
+    }
+    return m;
+  };
+  sim::Welford w = interior(writer.series);
+  sim::Welford r = interior(reader.series);
+  out.write_mibps_mean = w.mean() / kMiB;
+  out.write_cv = w.cv();
+  out.read_mibps_mean = r.mean() / kMiB;
+  out.read_cv = r.cv();
+  out.read_p95_us = reader.latency.p95_ns() / 1000.0;
+  return out;
+}
+
+JobSpec WriterSpec(double rate_mibps, sim::Time duration) {
+  JobSpec writer;
+  writer.op = Opcode::kWrite;  // overridden for ZNS
+  writer.random = true;
+  writer.request_bytes = 128 * 1024;
+  writer.queue_depth = 8;
+  writer.workers = 4;
+  writer.duration = duration;
+  writer.warmup = duration / 4;
+  writer.series_bin = sim::Seconds(1);
+  if (rate_mibps > 0) {
+    writer.rate_bytes_per_sec = rate_mibps * 1024 * 1024;
+  }
+  return writer;
+}
+
+JobSpec ReaderSpec(sim::Time duration) {
+  JobSpec reader;
+  reader.op = Opcode::kRead;
+  reader.random = true;
+  reader.request_bytes = 4096;
+  reader.queue_depth = 32;
+  reader.duration = duration;
+  reader.warmup = duration / 4;
+  reader.series_bin = sim::Seconds(1);
+  return reader;
+}
+
+}  // namespace
+
+GcExperimentResult RunConvGcExperiment(double rate_mibps,
+                                       sim::Time duration,
+                                       std::size_t skip_bins) {
+  sim::Simulator s;
+  ftl::ConvDevice dev(s, ftl::Sn640Profile());
+  dev.DebugPrefill();  // aged drive: GC pressure from the first overwrite
+  hostif::SpdkStack stack(s, dev);
+  auto results = workload::RunJobs(
+      s, {{&stack, WriterSpec(rate_mibps, duration)},
+          {&stack, ReaderSpec(duration)}});
+  GcExperimentResult out = Summarize(results[0], results[1], skip_bins);
+  out.write_amplification = dev.counters().WriteAmplification();
+  return out;
+}
+
+GcExperimentResult RunZnsGcExperiment(double rate_mibps,
+                                      sim::Time duration,
+                                      std::size_t skip_bins) {
+  sim::Simulator s;
+  zns::ZnsDevice dev(s, zns::Zn540Profile());
+  hostif::SpdkStack stack(s, dev);
+
+  // Writers: appends over private zone pools, resetting full zones
+  // themselves (host-side GC). 4 workers x 3 zones = 12 active zones,
+  // within the device's max-active limit of 14.
+  JobSpec writer = WriterSpec(rate_mibps, duration);
+  writer.op = Opcode::kAppend;
+  writer.partition_zones = true;
+  writer.on_full = JobSpec::OnFull::kReset;
+  writer.zones = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+
+  // Reader: separate, pre-filled full zones (no active slots needed).
+  JobSpec reader = ReaderSpec(duration);
+  std::uint32_t read_base = dev.profile().num_zones / 2;
+  for (std::uint32_t z = read_base; z < read_base + 8; ++z) {
+    dev.DebugFillZone(z, dev.profile().zone_cap_bytes);
+    reader.zones.push_back(z);
+  }
+
+  auto results =
+      workload::RunJobs(s, {{&stack, writer}, {&stack, reader}});
+  return Summarize(results[0], results[1], skip_bins);
+}
+
+double ReadOnlyP95Us(bool use_zns) {
+  sim::Simulator s;
+  std::unique_ptr<nvme::Controller> dev;
+  JobSpec reader = ReaderSpec(sim::Milliseconds(500));
+  reader.queue_depth = 1;
+  if (use_zns) {
+    auto z = std::make_unique<zns::ZnsDevice>(s, zns::Zn540Profile());
+    std::uint32_t base = z->profile().num_zones / 2;
+    for (std::uint32_t zi = base; zi < base + 8; ++zi) {
+      z->DebugFillZone(zi, z->profile().zone_cap_bytes);
+      reader.zones.push_back(zi);
+    }
+    dev = std::move(z);
+  } else {
+    auto c = std::make_unique<ftl::ConvDevice>(s, ftl::Sn640Profile());
+    c->DebugPrefill();
+    dev = std::move(c);
+  }
+  hostif::SpdkStack stack(s, *dev);
+  JobResult r = workload::RunJob(s, stack, reader);
+  return r.latency.p95_ns() / 1000.0;
+}
+
+}  // namespace zstor::harness

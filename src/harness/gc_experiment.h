@@ -1,0 +1,40 @@
+// The §III-F garbage-collection interference experiment (Fig. 6 and the
+// read-tail numbers): a rate-limited random write workload (4 workers,
+// 128 KiB requests, QD 8) concurrent with random 4 KiB reads, run against
+// either the conventional (device-side GC) or the ZNS (host-side reset)
+// model. On ZNS the writers append to their own zone pools and reset full
+// zones themselves — the benchmark IS the garbage collector, exactly as
+// the paper prescribes.
+#pragma once
+
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace zstor::harness {
+
+struct GcExperimentResult {
+  sim::TimeSeries write_series{sim::Seconds(1)};  // bytes per second bin
+  sim::TimeSeries read_series{sim::Seconds(1)};
+  double write_mibps_mean = 0;
+  double write_cv = 0;  // coefficient of variation across time bins
+  double read_mibps_mean = 0;
+  double read_cv = 0;
+  double read_p95_us = 0;
+  double write_amplification = 1.0;  // conventional device only
+};
+
+/// `rate_mibps` caps the write workload's bandwidth (0 = unlimited, i.e.
+/// the paper's 100% = ~1155 MiB/s case). `skip_bins` bins of warmup are
+/// excluded from the mean/CV statistics (GC needs time to reach steady
+/// state on the conventional drive).
+GcExperimentResult RunConvGcExperiment(double rate_mibps,
+                                       sim::Time duration,
+                                       std::size_t skip_bins = 2);
+GcExperimentResult RunZnsGcExperiment(double rate_mibps,
+                                      sim::Time duration,
+                                      std::size_t skip_bins = 2);
+
+/// Read-only baseline p95 (the paper's 81.41 us reference).
+double ReadOnlyP95Us(bool zns);
+
+}  // namespace zstor::harness

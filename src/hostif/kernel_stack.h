@@ -1,0 +1,166 @@
+// Kernel-like stack (io_uring with SQ polling) with an optional
+// mq-deadline scheduler.
+//
+// mq-deadline semantics for zoned writes (as in the Linux block layer):
+// writes to a zone are staged per zone, contiguous staged writes are
+// merged into one larger request, and a zone has at most one write in
+// flight — which both preserves the sequential-write rule and produces
+// the dramatic intra-zone write throughput of Obs. 7 (merged 4 KiB
+// writes reach the device's bandwidth limit instead of its per-command
+// rate).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hostif/stack.h"
+#include "nvme/controller.h"
+#include "nvme/queue_pair.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace zstor::hostif {
+
+enum class Scheduler { kNone, kMqDeadline };
+
+struct SchedulerStats {
+  std::uint64_t staged_writes = 0;     // writes that entered the scheduler
+  std::uint64_t dispatched_writes = 0; // requests sent to the device
+  std::uint64_t merged_writes = 0;     // writes coalesced into another
+  double MergedFraction() const {
+    return staged_writes == 0
+               ? 0.0
+               : static_cast<double>(merged_writes) /
+                     static_cast<double>(staged_writes);
+  }
+};
+
+class KernelStack : public Stack {
+ public:
+  KernelStack(sim::Simulator& s, nvme::Controller& ctrl, Scheduler sched,
+              std::uint32_t qp_depth = 4096,
+              HostCosts costs = {.submit = sim::Microseconds(1.2),
+                                 .complete = sim::Microseconds(1.07)},
+              sim::Time scheduler_cost = sim::Microseconds(1.85),
+              std::uint64_t max_merge_bytes = 128 * 1024)
+      : sim_(s),
+        ctrl_(ctrl),
+        qp_(s, ctrl, qp_depth),
+        sched_(sched),
+        costs_(costs),
+        scheduler_cost_(scheduler_cost),
+        max_merge_bytes_(max_merge_bytes) {}
+
+  sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
+    sim::Time start = sim_.now();
+    sim::Time overhead =
+        costs_.submit +
+        (sched_ == Scheduler::kMqDeadline ? scheduler_cost_ : 0);
+    co_await sim_.Delay(overhead);
+    nvme::TimedCompletion tc;
+    if (sched_ == Scheduler::kMqDeadline &&
+        cmd.opcode == nvme::Opcode::kWrite && info().zoned) {
+      tc.completion = co_await StageZonedWrite(cmd);
+    } else {
+      tc = co_await qp_.Issue(cmd);
+    }
+    co_await sim_.Delay(costs_.complete);
+    tc.submitted = start;
+    tc.completed = sim_.now();
+    co_return tc;
+  }
+
+  const nvme::NamespaceInfo& info() const override { return ctrl_.info(); }
+  const SchedulerStats& scheduler_stats() const { return sched_stats_; }
+
+ private:
+  /// One staged write. Owned by the coroutine frame of the waiter in
+  /// StageZonedWrite — it outlives every queue/batch reference because the
+  /// waiter only returns after `done` fires.
+  struct Request {
+    nvme::Command cmd;
+    nvme::Completion completion;
+    sim::OneShotEvent done;
+    explicit Request(sim::Simulator& s, nvme::Command c)
+        : cmd(c), done(s) {}
+  };
+
+  struct ZoneQueue {
+    std::deque<Request*> staged;
+    bool in_flight = false;
+  };
+
+  std::uint32_t ZoneOf(nvme::Lba lba) const {
+    return static_cast<std::uint32_t>(lba / info().zone_size_lbas);
+  }
+
+  sim::Task<nvme::Completion> StageZonedWrite(nvme::Command cmd) {
+    std::uint32_t zid = ZoneOf(cmd.slba);
+    Request req(sim_, cmd);  // lives in this coroutine frame
+    zones_[zid].staged.push_back(&req);
+    sched_stats_.staged_writes++;
+    MaybeDispatch(zid);
+    co_await req.done.Wait();
+    co_return req.completion;
+  }
+
+  void MaybeDispatch(std::uint32_t zid) {
+    ZoneQueue& zq = zones_[zid];
+    if (zq.in_flight || zq.staged.empty()) return;
+    // Merge the longest contiguous run from the head, bounded by the
+    // block layer's maximum request size.
+    std::vector<Request*> batch;
+    batch.push_back(zq.staged.front());
+    zq.staged.pop_front();
+    const std::uint32_t lba_bytes = info().format.lba_bytes;
+    nvme::Lba end = batch[0]->cmd.slba + batch[0]->cmd.nlb;
+    std::uint64_t bytes =
+        static_cast<std::uint64_t>(batch[0]->cmd.nlb) * lba_bytes;
+    while (!zq.staged.empty()) {
+      Request& next = *zq.staged.front();
+      std::uint64_t next_bytes =
+          static_cast<std::uint64_t>(next.cmd.nlb) * lba_bytes;
+      if (next.cmd.slba != end || bytes + next_bytes > max_merge_bytes_) {
+        break;
+      }
+      end += next.cmd.nlb;
+      bytes += next_bytes;
+      sched_stats_.merged_writes++;
+      batch.push_back(zq.staged.front());
+      zq.staged.pop_front();
+    }
+    zq.in_flight = true;
+    sched_stats_.dispatched_writes++;
+    sim::Spawn(DispatchBatch(zid, std::move(batch)));
+  }
+
+  sim::Task<> DispatchBatch(std::uint32_t zid,
+                            std::vector<Request*> batch) {
+    nvme::Command merged = batch.front()->cmd;
+    std::uint32_t nlb = 0;
+    for (const Request* r : batch) nlb += r->cmd.nlb;
+    merged.nlb = nlb;
+    nvme::TimedCompletion tc = co_await qp_.Issue(merged);
+    for (Request* r : batch) {
+      r->completion = tc.completion;
+      r->done.Set();
+    }
+    zones_[zid].in_flight = false;
+    MaybeDispatch(zid);
+  }
+
+  sim::Simulator& sim_;
+  nvme::Controller& ctrl_;
+  nvme::QueuePair qp_;
+  Scheduler sched_;
+  HostCosts costs_;
+  sim::Time scheduler_cost_;
+  std::uint64_t max_merge_bytes_;
+  std::unordered_map<std::uint32_t, ZoneQueue> zones_;
+  SchedulerStats sched_stats_;
+};
+
+}  // namespace zstor::hostif

@@ -1,0 +1,47 @@
+// Blocking POSIX-like stack (psync): the classic pread/pwrite path the
+// paper's storage-API references measure as the slowest option ([14],
+// [82] — POSIX I/O vs libaio vs io_uring vs SPDK). Each operation pays a
+// full syscall round trip and the kernel block layer; there is no
+// asynchronous submission, so concurrency requires more workers ("one
+// thread per outstanding I/O").
+#pragma once
+
+#include <cstdint>
+
+#include "hostif/stack.h"
+#include "nvme/controller.h"
+#include "nvme/queue_pair.h"
+#include "sim/simulator.h"
+
+namespace zstor::hostif {
+
+class PsyncStack : public Stack {
+ public:
+  PsyncStack(sim::Simulator& s, nvme::Controller& ctrl,
+             std::uint32_t qp_depth = 4096,
+             HostCosts costs = {.submit = sim::Microseconds(2.6),
+                                .complete = sim::Microseconds(2.3)})
+      : sim_(s), qp_(s, ctrl, qp_depth), costs_(costs), ctrl_(ctrl) {}
+
+  sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
+    sim::Time start = sim_.now();
+    // Syscall entry + kernel block layer on the way down...
+    co_await sim_.Delay(costs_.submit);
+    nvme::TimedCompletion tc = co_await qp_.Issue(cmd);
+    // ...interrupt + completion path + syscall return on the way up.
+    co_await sim_.Delay(costs_.complete);
+    tc.submitted = start;
+    tc.completed = sim_.now();
+    co_return tc;
+  }
+
+  const nvme::NamespaceInfo& info() const override { return ctrl_.info(); }
+
+ private:
+  sim::Simulator& sim_;
+  nvme::QueuePair qp_;
+  HostCosts costs_;
+  nvme::Controller& ctrl_;
+};
+
+}  // namespace zstor::hostif

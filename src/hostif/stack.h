@@ -1,0 +1,38 @@
+// Host storage stacks: the software between the benchmark and the device.
+//
+// The paper uses two stacks (§III-A) and shows their costs matter:
+//   * SPDK — polled userspace queue pairs, no scheduler, lowest overhead
+//     (Obs. 2). One in-flight write per zone is the caller's problem.
+//   * Linux kernel (io_uring, submission-queue polling) with either no
+//     scheduler or mq-deadline. mq-deadline buffers writes per zone,
+//     merges contiguous ones and dispatches them serially — the mechanism
+//     behind Obs. 7's 293 KIOPS intra-zone write throughput.
+#pragma once
+
+#include <cstdint>
+
+#include "nvme/queue_pair.h"
+#include "nvme/types.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace zstor::hostif {
+
+/// Per-command host-side costs. Submission cost delays the command before
+/// it reaches the device; completion cost delays the caller after it.
+struct HostCosts {
+  sim::Time submit = 0;
+  sim::Time complete = 0;
+};
+
+/// A host I/O stack. Latency reported by TimedCompletion spans host
+/// submission through host completion (the application-observed latency).
+class Stack {
+ public:
+  virtual ~Stack() = default;
+  /// Issues one command through the stack and suspends to its completion.
+  virtual sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) = 0;
+  virtual const nvme::NamespaceInfo& info() const = 0;
+};
+
+}  // namespace zstor::hostif

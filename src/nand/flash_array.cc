@@ -1,0 +1,134 @@
+#include "nand/flash_array.h"
+
+namespace zstor::nand {
+
+FlashArray::FlashArray(sim::Simulator& s, const Geometry& geo,
+                       const Timing& timing)
+    : sim_(s), geo_(geo), timing_(timing), rng_(timing.noise_seed) {
+  geo_.Validate();
+  dies_.reserve(geo_.total_dies());
+  for (std::uint32_t d = 0; d < geo_.total_dies(); ++d) {
+    dies_.push_back(std::make_unique<sim::FifoResource>(s, 1));
+  }
+  channels_.reserve(geo_.channels);
+  for (std::uint32_t c = 0; c < geo_.channels; ++c) {
+    channels_.push_back(std::make_unique<sim::FifoResource>(s, 1));
+  }
+  blocks_.resize(geo_.total_dies() * static_cast<std::size_t>(geo_.blocks_per_die));
+}
+
+FlashArray::BlockState& FlashArray::Block(std::uint32_t die,
+                                          std::uint32_t block) {
+  CheckAddr(die, block);
+  return blocks_[static_cast<std::size_t>(die) * geo_.blocks_per_die + block];
+}
+
+const FlashArray::BlockState& FlashArray::Block(std::uint32_t die,
+                                                std::uint32_t block) const {
+  CheckAddr(die, block);
+  return blocks_[static_cast<std::size_t>(die) * geo_.blocks_per_die + block];
+}
+
+void FlashArray::CheckAddr(std::uint32_t die, std::uint32_t block) const {
+  ZSTOR_CHECK(die < geo_.total_dies());
+  ZSTOR_CHECK(block < geo_.blocks_per_die);
+}
+
+sim::Task<> FlashArray::ReadPage(PageAddr addr, std::uint32_t bytes) {
+  ZSTOR_CHECK(bytes > 0 && bytes <= geo_.page_bytes);
+  ZSTOR_CHECK_MSG(addr.page < Block(addr.die, addr.block).write_ptr,
+                  "read of an unprogrammed page");
+  {
+    auto die = co_await dies_[addr.die]->Acquire();
+    co_await sim_.Delay(NoisyRead());
+  }
+  {
+    auto chan = co_await channels_[geo_.channel_of({addr.die})]->Acquire();
+    // Bus time scales with the fraction of the page transferred.
+    sim::Time xfer = timing_.bus_xfer_page * bytes / geo_.page_bytes;
+    co_await sim_.Delay(xfer);
+  }
+  counters_.page_reads++;
+  counters_.bytes_read += bytes;
+}
+
+sim::Task<> FlashArray::ProgramPage(PageAddr addr) {
+  BlockState& blk = Block(addr.die, addr.block);
+  ZSTOR_CHECK_MSG(addr.page == blk.write_ptr,
+                  "non-sequential program within a block");
+  ZSTOR_CHECK(addr.page < geo_.pages_per_block);
+  blk.write_ptr++;
+  {
+    auto chan = co_await channels_[geo_.channel_of({addr.die})]->Acquire();
+    co_await sim_.Delay(timing_.bus_xfer_page);
+  }
+  {
+    auto die = co_await dies_[addr.die]->Acquire();
+    co_await sim_.Delay(NoisyProgram());
+  }
+  counters_.page_programs++;
+  counters_.bytes_programmed += geo_.page_bytes;
+}
+
+sim::Task<> FlashArray::EraseBlock(std::uint32_t die, std::uint32_t block) {
+  BlockState& blk = Block(die, block);
+  {
+    auto g = co_await dies_[die]->Acquire();
+    co_await sim_.Delay(timing_.erase_block);
+  }
+  blk.write_ptr = 0;
+  blk.pe_cycles++;
+  counters_.block_erases++;
+}
+
+sim::Time FlashArray::NoisyRead() {
+  if (timing_.read_sigma == 0) return timing_.read_page;
+  return static_cast<sim::Time>(
+      static_cast<double>(timing_.read_page) *
+      rng_.LogNormalNoise(timing_.read_sigma));
+}
+
+sim::Time FlashArray::NoisyProgram() {
+  if (timing_.program_sigma == 0) return timing_.program_page;
+  return static_cast<sim::Time>(
+      static_cast<double>(timing_.program_page) *
+      rng_.LogNormalNoise(timing_.program_sigma));
+}
+
+void FlashArray::DebugProgramRange(std::uint32_t die, std::uint32_t block,
+                                   std::uint32_t upto_page) {
+  ZSTOR_CHECK(upto_page <= geo_.pages_per_block);
+  BlockState& blk = Block(die, block);
+  if (blk.write_ptr < upto_page) blk.write_ptr = upto_page;
+}
+
+void FlashArray::DeferredEraseBlock(std::uint32_t die, std::uint32_t block) {
+  BlockState& blk = Block(die, block);
+  if (blk.write_ptr == 0) return;  // nothing was programmed
+  blk.write_ptr = 0;
+  blk.pe_cycles++;
+  counters_.block_erases++;
+}
+
+std::uint32_t FlashArray::BlockWritePointer(std::uint32_t die,
+                                            std::uint32_t block) const {
+  return Block(die, block).write_ptr;
+}
+
+std::uint32_t FlashArray::BlockPeCycles(std::uint32_t die,
+                                        std::uint32_t block) const {
+  return Block(die, block).pe_cycles;
+}
+
+std::size_t FlashArray::DieQueueDepth(std::uint32_t die) const {
+  ZSTOR_CHECK(die < geo_.total_dies());
+  const auto& r = *dies_[die];
+  return (r.free_slots() == 0 ? 1 : 0) + r.queue_length();
+}
+
+double FlashArray::PeakProgramBandwidth() const {
+  return static_cast<double>(geo_.total_dies()) * geo_.page_bytes /
+         sim::ToSeconds(timing_.program_page);
+}
+
+}  // namespace zstor::nand

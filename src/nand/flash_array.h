@@ -1,0 +1,103 @@
+// The flash array: per-die and per-channel service with real queueing.
+//
+// Dies execute one cell operation (read/program/erase) at a time; channels
+// carry one bus transfer at a time. All contention effects in the paper —
+// read tails behind program queues, GC erase storms, parallel scaling across
+// dies — arise from these two resources plus the timings in geometry.h.
+//
+// The array also enforces the physical flash contract (a deliberately
+// checkable substrate for the FTL layers above):
+//   * pages within a block must be programmed strictly sequentially,
+//   * a page must be programmed before it is read,
+//   * a block must be erased before its pages can be re-programmed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nand/geometry.h"
+#include "sim/resource.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+
+namespace zstor::nand {
+
+struct FlashCounters {
+  std::uint64_t page_reads = 0;
+  std::uint64_t page_programs = 0;
+  std::uint64_t block_erases = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_programmed = 0;
+};
+
+class FlashArray {
+ public:
+  FlashArray(sim::Simulator& s, const Geometry& geo, const Timing& timing);
+
+  const Geometry& geometry() const { return geo_; }
+  const Timing& timing() const { return timing_; }
+  const FlashCounters& counters() const { return counters_; }
+
+  /// Reads `bytes` (<= page size) from a programmed page: occupies the die
+  /// for tR, then the channel for the data-out transfer.
+  sim::Task<> ReadPage(PageAddr addr, std::uint32_t bytes);
+
+  /// Programs the next page of a block (addr.page must equal the block's
+  /// write pointer): channel data-in transfer, then die busy for tPROG.
+  sim::Task<> ProgramPage(PageAddr addr);
+
+  /// Erases a block: die busy for tBERS; resets the block write pointer.
+  sim::Task<> EraseBlock(std::uint32_t die, std::uint32_t block);
+
+  /// Marks pages [0, upto_page) of a block as programmed without simulating
+  /// the programs (no virtual time, no counters). Test/bench acceleration
+  /// for pre-filling state whose write *history* does not matter — see
+  /// DESIGN.md §6. Never lowers an existing write pointer.
+  void DebugProgramRange(std::uint32_t die, std::uint32_t block,
+                         std::uint32_t upto_page);
+
+  /// Erases a block instantly (no die time) while still counting the P/E
+  /// cycle. Models erases that firmware hides off the critical path (the
+  /// paper: "the reset operation does not immediately force a block
+  /// erasure" [74]).
+  void DeferredEraseBlock(std::uint32_t die, std::uint32_t block);
+
+  /// Block write pointer: the next page index to program (0 = empty block).
+  std::uint32_t BlockWritePointer(std::uint32_t die,
+                                  std::uint32_t block) const;
+  /// Program/erase cycles endured by the block so far.
+  std::uint32_t BlockPeCycles(std::uint32_t die, std::uint32_t block) const;
+
+  /// Queue length (in-service + waiting) at a die; used by tests and by
+  /// utilization-aware policies.
+  std::size_t DieQueueDepth(std::uint32_t die) const;
+
+  /// Aggregate program bandwidth achievable when all dies stream (bytes/s).
+  double PeakProgramBandwidth() const;
+
+ private:
+  struct BlockState {
+    std::uint32_t write_ptr = 0;
+    std::uint32_t pe_cycles = 0;
+  };
+
+  BlockState& Block(std::uint32_t die, std::uint32_t block);
+  const BlockState& Block(std::uint32_t die, std::uint32_t block) const;
+  void CheckAddr(std::uint32_t die, std::uint32_t block) const;
+
+  sim::Time NoisyRead();
+  sim::Time NoisyProgram();
+
+  sim::Simulator& sim_;
+  Geometry geo_;
+  Timing timing_;
+  sim::Rng rng_;
+  std::vector<std::unique_ptr<sim::FifoResource>> dies_;
+  std::vector<std::unique_ptr<sim::FifoResource>> channels_;
+  std::vector<BlockState> blocks_;  // [die * blocks_per_die + block]
+  FlashCounters counters_;
+};
+
+}  // namespace zstor::nand

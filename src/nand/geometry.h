@@ -1,0 +1,79 @@
+// Physical flash geometry: channels × dies × blocks × pages.
+//
+// The page is the program/read unit; the block is the erase unit; the die
+// (LUN) is the concurrency unit — one operation in flight per die, which is
+// what makes die-level queueing the source of read tail latencies under
+// write load (§III-F of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/check.h"
+#include "sim/time.h"
+
+namespace zstor::nand {
+
+/// Flat die index across all channels.
+struct DieId {
+  std::uint32_t value = 0;
+  friend bool operator==(DieId, DieId) = default;
+};
+
+/// Physical page address.
+struct PageAddr {
+  std::uint32_t die = 0;
+  std::uint32_t block = 0;  // block within the die
+  std::uint32_t page = 0;   // page within the block
+  friend bool operator==(PageAddr, PageAddr) = default;
+};
+
+struct Geometry {
+  std::uint32_t channels = 8;
+  std::uint32_t dies_per_channel = 4;
+  std::uint32_t blocks_per_die = 256;
+  std::uint32_t pages_per_block = 256;
+  std::uint32_t page_bytes = 16 * 1024;
+
+  std::uint32_t total_dies() const { return channels * dies_per_channel; }
+  std::uint64_t total_blocks() const {
+    return static_cast<std::uint64_t>(total_dies()) * blocks_per_die;
+  }
+  std::uint64_t pages_per_die() const {
+    return static_cast<std::uint64_t>(blocks_per_die) * pages_per_block;
+  }
+  std::uint64_t block_bytes() const {
+    return static_cast<std::uint64_t>(pages_per_block) * page_bytes;
+  }
+  std::uint64_t die_bytes() const { return pages_per_die() * page_bytes; }
+  std::uint64_t total_bytes() const {
+    return die_bytes() * total_dies();
+  }
+
+  std::uint32_t channel_of(DieId die) const {
+    return die.value % channels;  // dies interleave round-robin on channels
+  }
+
+  void Validate() const {
+    ZSTOR_CHECK(channels > 0 && dies_per_channel > 0);
+    ZSTOR_CHECK(blocks_per_die > 0 && pages_per_block > 0);
+    ZSTOR_CHECK(page_bytes > 0 && (page_bytes & (page_bytes - 1)) == 0);
+  }
+};
+
+/// Flash operation timings. Calibrated so that the aggregate program
+/// bandwidth of the ZN540-like geometry matches the paper's measured
+/// ~1155 MiB/s device write bandwidth (32 dies × 16 KiB / tPROG).
+struct Timing {
+  sim::Time read_page = sim::Microseconds(68);     // tR
+  sim::Time program_page = sim::Microseconds(433); // tPROG (effective)
+  sim::Time erase_block = sim::Milliseconds(3.5);  // tBERS
+  /// Channel bus transfer of one page (ONFI-style shared bus per channel).
+  sim::Time bus_xfer_page = sim::Microseconds(3.2);
+  /// Lognormal service noise on tR / tPROG (page-position and cell-state
+  /// dependence in real NAND). Zero = deterministic (unit tests).
+  double read_sigma = 0;
+  double program_sigma = 0;
+  std::uint64_t noise_seed = 0x4E414E44'534545Dull;  // "NAND SEED"
+};
+
+}  // namespace zstor::nand

@@ -1,0 +1,64 @@
+// A submission/completion queue pair: the transport between a host stack
+// and a device controller.
+//
+// The queue pair bounds the number of in-flight commands (the experiment
+// variable "queue depth", QD) and measures per-command latency from
+// submission to completion — exactly the paper's latency definition
+// (§III-B: "from the moment a request is submitted on the NVMe submission
+// queue until a request is completed and visible on the completion queue").
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "nvme/controller.h"
+#include "nvme/types.h"
+#include "sim/check.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace zstor::nvme {
+
+struct TimedCompletion {
+  Completion completion;
+  sim::Time submitted = 0;
+  sim::Time completed = 0;
+  sim::Time latency() const { return completed - submitted; }
+};
+
+class QueuePair {
+ public:
+  QueuePair(sim::Simulator& s, Controller& ctrl, std::uint32_t depth)
+      : sim_(s), ctrl_(ctrl), depth_(depth), slots_(s, depth) {
+    ZSTOR_CHECK(depth > 0);
+  }
+  QueuePair(const QueuePair&) = delete;
+  QueuePair& operator=(const QueuePair&) = delete;
+
+  /// Submits a command and suspends until its completion is posted.
+  /// Suspends first if the queue is full (in-flight == depth).
+  sim::Task<TimedCompletion> Issue(Command cmd) {
+    co_await slots_.Acquire();
+    TimedCompletion out;
+    out.submitted = sim_.now();
+    out.completion = co_await ctrl_.Execute(cmd);
+    out.completed = sim_.now();
+    slots_.Release();
+    ++completed_;
+    co_return out;
+  }
+
+  std::uint64_t completed() const { return completed_; }
+  std::uint32_t depth() const { return depth_; }
+  std::uint64_t in_flight() const { return depth_ - slots_.available(); }
+
+ private:
+  sim::Simulator& sim_;
+  Controller& ctrl_;
+  std::uint32_t depth_;
+  sim::Semaphore slots_;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace zstor::nvme

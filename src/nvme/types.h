@@ -1,0 +1,130 @@
+// NVMe command-set types shared by the ZNS and conventional device models.
+//
+// Mirrors the structure (not the binary layout) of the NVMe 2.0 base and
+// Zoned Namespace command sets: I/O commands, zone management send/receive,
+// status codes, and LBA formats.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace zstor::nvme {
+
+/// Logical block address.
+using Lba = std::uint64_t;
+
+enum class Opcode : std::uint8_t {
+  kRead,
+  kWrite,
+  kAppend,          // ZNS Zone Append
+  kZoneMgmtSend,    // open/close/finish/reset, selected by ZoneAction
+  kZoneMgmtRecv,    // zone report
+  kFlush,
+  kDeallocate,      // dataset management / TRIM (conventional namespaces)
+};
+
+enum class ZoneAction : std::uint8_t {
+  kNone,
+  kOpen,    // Explicit Open
+  kClose,
+  kFinish,
+  kReset,
+};
+
+enum class Status : std::uint8_t {
+  kSuccess,
+  kInvalidOpcode,
+  kInvalidField,
+  kLbaOutOfRange,
+  kZoneBoundaryError,      // I/O crosses a zone boundary
+  kZoneIsFull,
+  kZoneIsEmpty,
+  kZoneIsReadOnly,
+  kZoneIsOffline,
+  kZoneInvalidWrite,       // write not at the write pointer
+  kZoneInvalidStateTransition,
+  kTooManyActiveZones,
+  kTooManyOpenZones,
+  kWriteProhibited,
+};
+
+constexpr std::string_view ToString(Status s) {
+  switch (s) {
+    case Status::kSuccess: return "Success";
+    case Status::kInvalidOpcode: return "InvalidOpcode";
+    case Status::kInvalidField: return "InvalidField";
+    case Status::kLbaOutOfRange: return "LbaOutOfRange";
+    case Status::kZoneBoundaryError: return "ZoneBoundaryError";
+    case Status::kZoneIsFull: return "ZoneIsFull";
+    case Status::kZoneIsEmpty: return "ZoneIsEmpty";
+    case Status::kZoneIsReadOnly: return "ZoneIsReadOnly";
+    case Status::kZoneIsOffline: return "ZoneIsOffline";
+    case Status::kZoneInvalidWrite: return "ZoneInvalidWrite";
+    case Status::kZoneInvalidStateTransition:
+      return "ZoneInvalidStateTransition";
+    case Status::kTooManyActiveZones: return "TooManyActiveZones";
+    case Status::kTooManyOpenZones: return "TooManyOpenZones";
+    case Status::kWriteProhibited: return "WriteProhibited";
+  }
+  return "Unknown";
+}
+
+constexpr std::string_view ToString(Opcode op) {
+  switch (op) {
+    case Opcode::kRead: return "read";
+    case Opcode::kWrite: return "write";
+    case Opcode::kAppend: return "append";
+    case Opcode::kZoneMgmtSend: return "zone-mgmt-send";
+    case Opcode::kZoneMgmtRecv: return "zone-mgmt-recv";
+    case Opcode::kFlush: return "flush";
+    case Opcode::kDeallocate: return "deallocate";
+  }
+  return "unknown";
+}
+
+/// The namespace's LBA format. The paper evaluates 512 B and 4 KiB
+/// (Observation #1: the format strongly affects write/append latency).
+struct LbaFormat {
+  std::uint32_t lba_bytes = 4096;
+
+  std::uint64_t BytesToLbas(std::uint64_t bytes) const {
+    return (bytes + lba_bytes - 1) / lba_bytes;
+  }
+};
+
+/// An NVMe command as submitted on a submission queue.
+struct Command {
+  Opcode opcode = Opcode::kRead;
+  Lba slba = 0;            // starting LBA; for append: the zone's ZSLBA
+  std::uint32_t nlb = 1;   // number of logical blocks
+  ZoneAction zone_action = ZoneAction::kNone;
+  bool select_all = false;  // zone mgmt: apply to all zones
+  /// Zone Management Receive (report zones): maximum descriptors to
+  /// return, 0 = all from `slba`'s zone onward.
+  std::uint32_t report_max = 0;
+};
+
+/// One entry of a zone report (Zone Management Receive).
+struct ZoneDescriptor {
+  Lba zslba = 0;
+  Lba write_pointer = 0;
+  std::uint64_t zone_cap_lbas = 0;
+  std::uint8_t state_raw = 0;  // zns::ZoneState numeric value
+};
+
+/// The completion queue entry.
+struct Completion {
+  Status status = Status::kSuccess;
+  /// For append: the LBA the data landed on (returned by the device).
+  Lba result_lba = 0;
+  /// For zone management receive: the returned zone descriptors (stands
+  /// in for the report buffer DMA'd to the host).
+  std::vector<ZoneDescriptor> report;
+
+  bool ok() const { return status == Status::kSuccess; }
+};
+
+}  // namespace zstor::nvme

@@ -1,0 +1,32 @@
+// Lightweight invariant checking for simulator code.
+//
+// Simulation code must never continue past a broken invariant (results
+// would be silently wrong), so checks are always on, also in release
+// builds. They print the failing expression and location, then abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace zstor {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace zstor
+
+#define ZSTOR_CHECK(expr)                                     \
+  do {                                                        \
+    if (!(expr)) [[unlikely]]                                 \
+      ::zstor::CheckFailed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define ZSTOR_CHECK_MSG(expr, msg)                            \
+  do {                                                        \
+    if (!(expr)) [[unlikely]]                                 \
+      ::zstor::CheckFailed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

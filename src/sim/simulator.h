@@ -1,0 +1,112 @@
+// Discrete-event simulation core: a virtual clock and an event heap.
+//
+// Everything in the repository — NAND dies, NVMe queues, the ZNS firmware,
+// host stacks and workload generators — runs as coroutines (see task.h)
+// driven by one Simulator instance. Events scheduled for the same instant
+// fire in FIFO order, which keeps runs fully deterministic.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/check.h"
+#include "sim/time.h"
+
+namespace zstor::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `when` (>= now()).
+  void ScheduleAt(Time when, std::function<void()> fn) {
+    ZSTOR_CHECK_MSG(when >= now_, "scheduling into the past");
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` to run `delay` nanoseconds from now.
+  void ScheduleIn(Time delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Resumes `h` at now() + delay. The common way coroutines sleep.
+  void ResumeIn(Time delay, std::coroutine_handle<> h) {
+    ScheduleIn(delay, [h] { h.resume(); });
+  }
+
+  /// Resumes `h` as a fresh event at the current time (trampolines resume
+  /// through the event loop, keeping native stacks shallow).
+  void ResumeSoon(std::coroutine_handle<> h) {
+    ScheduleIn(0, [h] { h.resume(); });
+  }
+
+  /// Awaitable that suspends the calling coroutine for `delay` ns.
+  /// Always suspends (even for delay 0) so same-time events keep FIFO order.
+  auto Delay(Time delay) {
+    struct Awaiter {
+      Simulator& s;
+      Time d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) { s.ResumeIn(d, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{*this, delay};
+  }
+
+  /// Runs events until the heap is empty. Returns the number processed.
+  std::uint64_t Run() {
+    std::uint64_t n = 0;
+    while (!heap_.empty()) {
+      Step();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Runs events with timestamp <= `until`, then sets now() = until.
+  /// Returns the number of events processed.
+  std::uint64_t RunUntil(Time until) {
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+      Step();
+      ++n;
+    }
+    if (now_ < until) now_ = until;
+    return n;
+  }
+
+  bool idle() const { return heap_.empty(); }
+  std::size_t pending_events() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  void Step() {
+    // Move the event out before running: the callback may schedule more.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ev.fn();
+  }
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+};
+
+}  // namespace zstor::sim

@@ -1,0 +1,171 @@
+// Task<T>: the coroutine type all simulated processes are written in.
+//
+// Semantics:
+//  * Eager start — the body runs until its first suspension as soon as the
+//    coroutine function is called.
+//  * Awaitable — `co_await some_task` suspends the caller until the task
+//    completes, then yields its value. The awaited Task object owns the
+//    frame and frees it when it goes out of scope (typically at the end of
+//    the full expression for `co_await Foo()`).
+//  * Detachable — `std::move(t).Detach()` turns the task into a free-running
+//    process whose frame self-destructs on completion.
+//
+// Exceptions must not escape a task: the simulator has no meaningful way to
+// unwind virtual time, so an escaping exception terminates the process.
+//
+// LIFETIME RULE for lambda coroutines: a coroutine lambda's captures live in
+// the closure OBJECT, not the coroutine frame. Any capturing lambda used as
+// a coroutine must outlive the coroutine (declare it in a scope enclosing
+// Simulator::Run()). Never call a capturing lambda coroutine as a temporary
+// and never declare one inside the loop that spawns it. Coroutine function
+// PARAMETERS are copied into the frame and are always safe.
+#pragma once
+
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+#include "sim/check.h"
+
+namespace zstor::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation{};
+  bool detached = false;
+  bool done = false;
+
+  std::suspend_never initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      PromiseBase& p = h.promise();
+      p.done = true;
+      if (p.continuation) return p.continuation;
+      if (p.detached) h.destroy();
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept {
+    ZSTOR_CHECK_MSG(false, "exception escaped a sim::Task");
+  }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& o) noexcept {
+    ZSTOR_CHECK(h_ == nullptr);
+    h_ = std::exchange(o.h_, nullptr);
+    return *this;
+  }
+  ~Task() {
+    if (!h_) return;
+    ZSTOR_CHECK_MSG(h_.promise().done,
+                    "Task destroyed while still running (detach it?)");
+    h_.destroy();
+  }
+
+  bool Done() const { return !h_ || h_.promise().done; }
+
+  /// Releases ownership; the coroutine keeps running and frees itself.
+  void Detach() && {
+    ZSTOR_CHECK(h_ != nullptr);
+    if (h_.promise().done) {
+      h_.destroy();
+    } else {
+      h_.promise().detached = true;
+    }
+    h_ = nullptr;
+  }
+
+  // Awaiting a Task resumes the caller when the task finishes.
+  bool await_ready() const noexcept { return h_.promise().done; }
+  void await_suspend(std::coroutine_handle<> caller) noexcept {
+    h_.promise().continuation = caller;
+  }
+  T await_resume() {
+    ZSTOR_CHECK(h_.promise().value.has_value());
+    return std::move(*h_.promise().value);
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    Task get_return_object() {
+      return Task{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    void return_void() {}
+  };
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&& o) noexcept {
+    ZSTOR_CHECK(h_ == nullptr);
+    h_ = std::exchange(o.h_, nullptr);
+    return *this;
+  }
+  ~Task() {
+    if (!h_) return;
+    ZSTOR_CHECK_MSG(h_.promise().done,
+                    "Task destroyed while still running (detach it?)");
+    h_.destroy();
+  }
+
+  bool Done() const { return !h_ || h_.promise().done; }
+
+  void Detach() && {
+    ZSTOR_CHECK(h_ != nullptr);
+    if (h_.promise().done) {
+      h_.destroy();
+    } else {
+      h_.promise().detached = true;
+    }
+    h_ = nullptr;
+  }
+
+  bool await_ready() const noexcept { return h_.promise().done; }
+  void await_suspend(std::coroutine_handle<> caller) noexcept {
+    h_.promise().continuation = caller;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : h_(h) {}
+  std::coroutine_handle<promise_type> h_;
+};
+
+/// Starts a free-running process (the idiomatic way to launch workers).
+inline void Spawn(Task<> t) { std::move(t).Detach(); }
+
+}  // namespace zstor::sim

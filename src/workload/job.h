@@ -1,0 +1,88 @@
+// fio-like job specification and results.
+//
+// A job is what one fio invocation expresses in the paper's experiments:
+// an operation type, request size, queue depth, a worker ("thread") count,
+// a set of target zones, an optional bandwidth rate limit (§III-F), a
+// duration, and a warmup to exclude from statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nvme/types.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace zstor::workload {
+
+struct JobSpec {
+  nvme::Opcode op = nvme::Opcode::kRead;
+  /// For op == kZoneMgmtSend: the management action to apply, one zone at
+  /// a time over `zones` (e.g. the Fig. 7 reset thread).
+  nvme::ZoneAction zone_action = nvme::ZoneAction::kNone;
+
+  /// Random offsets (reads) / random zone selection (appends). Sequential
+  /// otherwise.
+  bool random = false;
+  /// Skew for random offsets: 0 = uniform; in (0,1) = Zipfian with this
+  /// theta (0.99 is the classic hot-spot workload).
+  double zipf_theta = 0;
+  /// Mixed workload (fio randrw): probability that an operation is a
+  /// read; the remainder use `op` (kWrite on conventional namespaces,
+  /// kWrite or kAppend on zoned). Negative = not mixed.
+  double read_fraction = -1;
+  std::uint64_t request_bytes = 4096;
+  std::uint32_t queue_depth = 1;
+  std::uint32_t workers = 1;
+
+  /// Target zones. Empty = all zones of the namespace.
+  std::vector<std::uint32_t> zones;
+  /// Split `zones` across workers (the paper's one-thread-per-zone setup
+  /// for inter-zone scalability). Otherwise all workers share all zones.
+  bool partition_zones = false;
+
+  /// What a writer does when its zone runs out of capacity.
+  enum class OnFull {
+    kStop,     // end this worker
+    kAdvance,  // move to the next zone in its set; stop when none left
+    kReset,    // reset the zone and keep writing (host-side GC, §III-F)
+  };
+  OnFull on_full = OnFull::kAdvance;
+
+  /// Bandwidth rate limit across the whole job; 0 = unlimited.
+  double rate_bytes_per_sec = 0;
+
+  sim::Time duration = sim::Seconds(1);
+  sim::Time warmup = 0;
+  sim::Time series_bin = sim::Milliseconds(100);
+  std::uint64_t seed = 1;
+};
+
+struct JobResult {
+  /// Latency of operations completing inside the measurement window.
+  sim::LatencyHistogram latency;
+  /// Per-direction split (useful for mixed jobs; writes include appends).
+  sim::LatencyHistogram read_latency;
+  sim::LatencyHistogram write_latency;
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t errors = 0;
+  /// Zone resets performed by writers (OnFull::kReset), with latencies.
+  sim::LatencyHistogram reset_latency;
+  /// Bytes completed per series bin, including warmup (Fig. 6 plots).
+  sim::TimeSeries series{sim::Milliseconds(100)};
+  sim::Time measured_span = 0;
+
+  double Iops() const {
+    double s = sim::ToSeconds(measured_span);
+    return s > 0 ? static_cast<double>(ops) / s : 0.0;
+  }
+  double BytesPerSec() const {
+    double s = sim::ToSeconds(measured_span);
+    return s > 0 ? static_cast<double>(bytes) / s : 0.0;
+  }
+  double MibPerSec() const { return BytesPerSec() / (1024.0 * 1024.0); }
+  double Kiops() const { return Iops() / 1000.0; }
+};
+
+}  // namespace zstor::workload

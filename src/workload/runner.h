@@ -1,0 +1,76 @@
+// The workload runner: spawns worker coroutines that drive a host stack
+// according to a JobSpec and collects latency/throughput statistics.
+//
+// Concurrency model mirrors fio: each worker keeps `queue_depth` requests
+// in flight; multiple jobs can run against the same or different stacks in
+// one simulation (the Fig. 6/7 interference experiments run a write job
+// and a read/reset job concurrently).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hostif/stack.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sim/token_bucket.h"
+#include "workload/job.h"
+
+namespace zstor::workload {
+
+class Job {
+ public:
+  Job(sim::Simulator& s, hostif::Stack& stack, JobSpec spec);
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  /// Spawns the job's workers. Call once; then run the simulator.
+  void Start();
+
+  /// Ends the job early: workers stop issuing at their next loop check
+  /// and drain their outstanding I/O. The measurement window closes now.
+  void Stop();
+
+  /// True when all workers have finished and drained.
+  bool Done() const { return started_ && join_.count() == 0; }
+
+  const JobResult& result() const { return result_; }
+  JobResult& result() { return result_; }
+
+ private:
+  struct WorkerPlan {
+    std::vector<std::uint32_t> zones;
+  };
+
+  sim::Task<> IoWorker(std::uint32_t wid);
+  sim::Task<> MgmtWorker(std::uint32_t wid);
+  sim::Task<> IssueOne(nvme::Command cmd, std::uint64_t bytes,
+                       sim::Semaphore* slots, sim::WaitGroup* outstanding);
+  void RecordCompletion(const nvme::TimedCompletion& tc,
+                        std::uint64_t bytes, bool is_read);
+  std::vector<std::uint32_t> ZonesForWorker(std::uint32_t wid) const;
+
+  sim::Simulator& sim_;
+  hostif::Stack& stack_;
+  JobSpec spec_;
+  JobResult result_;
+  sim::Time start_time_ = 0;
+  sim::Time end_time_ = 0;
+  std::unique_ptr<sim::TokenBucket> bucket_;  // null when unlimited
+  sim::WaitGroup join_;
+  sim::Rng rng_;
+  bool started_ = false;
+};
+
+/// Runs one job to completion on a fresh region of virtual time.
+JobResult RunJob(sim::Simulator& s, hostif::Stack& stack, JobSpec spec);
+
+/// Runs several jobs concurrently; returns their results in order.
+std::vector<JobResult> RunJobs(
+    sim::Simulator& s,
+    std::vector<std::pair<hostif::Stack*, JobSpec>> jobs);
+
+}  // namespace zstor::workload

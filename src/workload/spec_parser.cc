@@ -1,0 +1,194 @@
+#include "workload/spec_parser.h"
+
+#include <charconv>
+#include <cstdint>
+#include <vector>
+
+namespace zstor::workload {
+
+namespace {
+
+bool ParseU64(std::string_view v, std::uint64_t* out) {
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), *out);
+  return ec == std::errc{} && p == v.data() + v.size();
+}
+
+bool ParseDouble(std::string_view v, double* out) {
+  // from_chars for double is flaky across stdlibs; strtod via a buffer.
+  std::string buf(v);
+  char* end = nullptr;
+  *out = std::strtod(buf.c_str(), &end);
+  return end == buf.c_str() + buf.size() && !buf.empty();
+}
+
+/// Bytes with optional k/m/g suffix (binary units, fio-style).
+bool ParseBytes(std::string_view v, std::uint64_t* out) {
+  std::uint64_t mult = 1;
+  if (!v.empty()) {
+    char c = static_cast<char>(std::tolower(v.back()));
+    if (c == 'k') mult = 1024ull;
+    if (c == 'm') mult = 1024ull * 1024;
+    if (c == 'g') mult = 1024ull * 1024 * 1024;
+    if (mult != 1) v.remove_suffix(1);
+  }
+  std::uint64_t n = 0;
+  if (!ParseU64(v, &n)) return false;
+  *out = n * mult;
+  return true;
+}
+
+/// Durations: "500ms", "2s", "100us", bare = nanoseconds.
+bool ParseTime(std::string_view v, sim::Time* out) {
+  double mult = 1;
+  if (v.size() >= 2 && v.substr(v.size() - 2) == "ms") {
+    mult = 1e6;
+    v.remove_suffix(2);
+  } else if (v.size() >= 2 && v.substr(v.size() - 2) == "us") {
+    mult = 1e3;
+    v.remove_suffix(2);
+  } else if (!v.empty() && v.back() == 's') {
+    mult = 1e9;
+    v.remove_suffix(1);
+  }
+  double n = 0;
+  if (!ParseDouble(v, &n) || n < 0) return false;
+  *out = static_cast<sim::Time>(n * mult);
+  return true;
+}
+
+/// Zone lists: "0-3,7,9-11".
+bool ParseZones(std::string_view v, std::vector<std::uint32_t>* out) {
+  while (!v.empty()) {
+    std::size_t comma = v.find(',');
+    std::string_view item = v.substr(0, comma);
+    v = comma == std::string_view::npos ? std::string_view{}
+                                        : v.substr(comma + 1);
+    std::size_t dash = item.find('-');
+    std::uint64_t lo = 0, hi = 0;
+    if (dash == std::string_view::npos) {
+      if (!ParseU64(item, &lo)) return false;
+      hi = lo;
+    } else {
+      if (!ParseU64(item.substr(0, dash), &lo) ||
+          !ParseU64(item.substr(dash + 1), &hi) || hi < lo) {
+        return false;
+      }
+    }
+    for (std::uint64_t z = lo; z <= hi; ++z) {
+      out->push_back(static_cast<std::uint32_t>(z));
+    }
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+ParseResult ParseJobSpec(std::string_view text) {
+  ParseResult r;
+  JobSpec& s = r.spec;
+  auto fail = [&](std::string_view token, std::string_view why) {
+    r.ok = false;
+    r.error = std::string(why) + ": '" + std::string(token) + "'";
+    return r;
+  };
+
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    // Split the next whitespace-delimited token.
+    std::size_t start = rest.find_first_not_of(" \t\n");
+    if (start == std::string_view::npos) break;
+    rest = rest.substr(start);
+    std::size_t end = rest.find_first_of(" \t\n");
+    std::string_view tok = rest.substr(0, end);
+    rest = end == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(end);
+
+    std::size_t eq = tok.find('=');
+    if (eq == std::string_view::npos) return fail(tok, "missing '='");
+    std::string_view key = tok.substr(0, eq);
+    std::string_view val = tok.substr(eq + 1);
+    if (val.empty()) return fail(tok, "empty value");
+
+    if (key == "op") {
+      if (val == "read") {
+        s.op = nvme::Opcode::kRead;
+      } else if (val == "write") {
+        s.op = nvme::Opcode::kWrite;
+      } else if (val == "append") {
+        s.op = nvme::Opcode::kAppend;
+      } else if (val == "reset" || val == "finish" || val == "open" ||
+                 val == "close") {
+        s.op = nvme::Opcode::kZoneMgmtSend;
+        s.zone_action = val == "reset"    ? nvme::ZoneAction::kReset
+                        : val == "finish" ? nvme::ZoneAction::kFinish
+                        : val == "open"   ? nvme::ZoneAction::kOpen
+                                          : nvme::ZoneAction::kClose;
+      } else {
+        return fail(tok, "unknown op");
+      }
+    } else if (key == "bs") {
+      if (!ParseBytes(val, &s.request_bytes) || s.request_bytes == 0) {
+        return fail(tok, "bad block size");
+      }
+    } else if (key == "qd") {
+      std::uint64_t n;
+      if (!ParseU64(val, &n) || n == 0) return fail(tok, "bad qd");
+      s.queue_depth = static_cast<std::uint32_t>(n);
+    } else if (key == "workers") {
+      std::uint64_t n;
+      if (!ParseU64(val, &n) || n == 0) return fail(tok, "bad workers");
+      s.workers = static_cast<std::uint32_t>(n);
+    } else if (key == "zones") {
+      s.zones.clear();
+      if (!ParseZones(val, &s.zones)) return fail(tok, "bad zone list");
+    } else if (key == "partition") {
+      s.partition_zones = val == "1";
+      if (val != "0" && val != "1") return fail(tok, "expected 0|1");
+    } else if (key == "random") {
+      s.random = val == "1";
+      if (val != "0" && val != "1") return fail(tok, "expected 0|1");
+    } else if (key == "zipf") {
+      if (!ParseDouble(val, &s.zipf_theta) || s.zipf_theta <= 0 ||
+          s.zipf_theta >= 1) {
+        return fail(tok, "zipf theta must be in (0,1)");
+      }
+    } else if (key == "rwmix") {
+      double pct;
+      if (!ParseDouble(val, &pct) || pct < 0 || pct > 100) {
+        return fail(tok, "rwmix must be 0..100");
+      }
+      s.read_fraction = pct / 100.0;
+    } else if (key == "rate") {
+      std::uint64_t bytes;
+      if (!ParseBytes(val, &bytes) || bytes == 0) {
+        return fail(tok, "bad rate");
+      }
+      s.rate_bytes_per_sec = static_cast<double>(bytes);
+    } else if (key == "duration") {
+      if (!ParseTime(val, &s.duration)) return fail(tok, "bad duration");
+    } else if (key == "warmup") {
+      if (!ParseTime(val, &s.warmup)) return fail(tok, "bad warmup");
+    } else if (key == "on_full") {
+      if (val == "stop") {
+        s.on_full = JobSpec::OnFull::kStop;
+      } else if (val == "advance") {
+        s.on_full = JobSpec::OnFull::kAdvance;
+      } else if (val == "reset") {
+        s.on_full = JobSpec::OnFull::kReset;
+      } else {
+        return fail(tok, "unknown on_full");
+      }
+    } else if (key == "seed") {
+      if (!ParseU64(val, &s.seed)) return fail(tok, "bad seed");
+    } else {
+      return fail(tok, "unknown key");
+    }
+  }
+  if (s.warmup > s.duration) {
+    return fail("warmup", "warmup exceeds duration");
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace zstor::workload

@@ -1,0 +1,40 @@
+// fio-style job specification parser: builds a JobSpec from a compact
+// "key=value ..." string, so experiments can be described the way the
+// paper's fio jobs were.
+//
+//   op=append random=1 bs=16k qd=8 workers=4 zones=0-11 rate=250m
+//   duration=2s warmup=500ms on_full=reset rwmix=70 zipf=0.99
+//
+// Keys:
+//   op        read | write | append | reset | finish | open | close
+//             (the last four make a zone-management job)
+//   bs        request size: plain bytes or k/m suffix (KiB/MiB)
+//   qd        queue depth            workers   worker count
+//   zones     comma list and/or a-b ranges ("0-3,7,9-11")
+//   partition 0|1 (split zones across workers)
+//   random    0|1                    zipf      theta in (0,1)
+//   rwmix     percent of reads in a mixed job (fio rwmixread)
+//   rate      bytes/s with optional k/m suffix (MiB/s etc.)
+//   duration  time with ms/s/us suffix          warmup    likewise
+//   on_full   stop | advance | reset
+//   seed      integer
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "workload/job.h"
+
+namespace zstor::workload {
+
+struct ParseResult {
+  bool ok = false;
+  std::string error;  // filled when !ok
+  JobSpec spec;
+};
+
+/// Parses `text`; unknown keys and malformed values produce ok=false with
+/// a message naming the offending token.
+ParseResult ParseJobSpec(std::string_view text);
+
+}  // namespace zstor::workload

@@ -1,0 +1,58 @@
+// Zipfian item generator (Gray et al., "Quickly Generating Billion-Record
+// Synthetic Databases", SIGMOD '94) — the standard skewed-access model for
+// storage benchmarks (YCSB uses the same construction). theta in (0,1);
+// theta -> 0 approaches uniform, theta ~0.99 is the classic hot-spot
+// distribution.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "sim/check.h"
+#include "sim/rng.h"
+
+namespace zstor::workload {
+
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    ZSTOR_CHECK(n > 0);
+    ZSTOR_CHECK(theta > 0.0 && theta < 1.0);
+    zetan_ = Zeta(n, theta);
+    double zeta2 = Zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  /// Returns a rank in [0, n); rank 0 is the hottest item.
+  std::uint64_t Next(sim::Rng& rng) const {
+    double u = rng.UniformDouble();
+    double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  static double Zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace zstor::workload

@@ -1,0 +1,78 @@
+#include "zns/profile.h"
+
+namespace zstor::zns {
+
+ZnsProfile Zn540Profile() {
+  ZnsProfile p;  // defaults in profile.h are the ZN540 calibration
+  p.nand_geometry.channels = 8;
+  p.nand_geometry.dies_per_channel = 4;
+  p.nand_geometry.page_bytes = 16 * 1024;
+  p.nand_geometry.pages_per_block = 256;  // 4 MiB blocks
+  // 904 zones x 9 blocks/zone/die; rounded up to a power-of-two count.
+  p.nand_geometry.blocks_per_die = 8192;
+  p.nand_timing.read_sigma = 0.08;     // tR varies by page position
+  p.nand_timing.program_sigma = 0.05;  // tPROG cell-state dependence
+  return p;
+}
+
+ZnsProfile FemuLikeProfile() {
+  ZnsProfile p = Zn540Profile();
+  // FEMU emulates no request latency: commands complete as fast as the
+  // host (CPU + DRAM) permits. A token sub-microsecond cost stands in for
+  // the emulator's own software path.
+  p.use_nand_backend = false;
+  p.fcp.read = p.fcp.write = p.fcp.append = sim::Microseconds(0.3);
+  p.fcp.per_extra_unit = 0;
+  p.fcp.sub_unit_rmw = 0;
+  p.fcp.small_lba_per_lba = 0;
+  p.post.write_fixed = p.post.read_fixed = sim::Microseconds(0.2);
+  p.post.append_substripe_extra = 0;
+  p.post.dma_ns_per_byte = 0.002;  // in-memory copy, effectively free
+  p.open_close = {.explicit_open = 0,
+                  .close = 0,
+                  .implicit_first_write_extra = 0,
+                  .implicit_first_append_extra = 0};
+  p.reset.static_cost = true;
+  p.reset.static_value = sim::Microseconds(1);  // metadata in DRAM
+  p.reset.empty_cost = sim::Microseconds(1);
+  p.reset.sigma = 0;
+  p.finish.zero_cost = true;
+  p.io_sigma = 0;
+  return p;
+}
+
+ZnsProfile NvmeVirtLikeProfile() {
+  ZnsProfile p = Zn540Profile();
+  // NVMeVirt has an explicit channel/NAND timing model that distinguishes
+  // read from write, but prices append identically to write, uses a static
+  // NAND-erase cost for reset, and does not model open/close/finish.
+  p.fcp.append = p.fcp.write;
+  p.post.append_substripe_extra = 0;
+  p.open_close = {.explicit_open = 0,
+                  .close = 0,
+                  .implicit_first_write_extra = 0,
+                  .implicit_first_append_extra = 0};
+  p.reset.static_cost = true;
+  p.reset.static_value = sim::Milliseconds(3.5);  // one NAND erase
+  p.reset.sigma = 0;
+  p.finish.zero_cost = true;
+  return p;
+}
+
+ZnsProfile TinyProfile() {
+  ZnsProfile p;
+  p.zone_size_bytes = 4ull << 20;  // 4 MiB span
+  p.zone_cap_bytes = 3ull << 20;   // 3 MiB writable
+  p.num_zones = 16;
+  p.max_open_zones = 3;
+  p.max_active_zones = 5;
+  p.nand_geometry.channels = 2;
+  p.nand_geometry.dies_per_channel = 2;
+  p.nand_geometry.page_bytes = 16 * 1024;
+  p.nand_geometry.pages_per_block = 16;  // 256 KiB blocks
+  p.nand_geometry.blocks_per_die = 48;   // 16 zones x 3 blocks/zone/die
+  p.write_buffer_bytes = 1ull << 20;
+  return p;
+}
+
+}  // namespace zstor::zns

@@ -1,0 +1,799 @@
+#include "zns/zns_device.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zstor::zns {
+
+using nvme::Command;
+using nvme::Completion;
+using nvme::Lba;
+using nvme::Opcode;
+using nvme::Status;
+using nvme::ZoneAction;
+using sim::Time;
+
+ZnsDevice::ZnsDevice(sim::Simulator& s, ZnsProfile profile,
+                     std::uint32_t lba_bytes)
+    : sim_(s),
+      profile_(std::move(profile)),
+      lba_bytes_(lba_bytes),
+      fcp_(s, /*slots=*/1, /*priority_levels=*/2),
+      buffer_slots_(s, std::max<std::uint64_t>(
+                           1, profile_.write_buffer_bytes /
+                                  profile_.nand_geometry.page_bytes)),
+      rng_(profile_.seed),
+      all_programs_(s) {
+  ZSTOR_CHECK(lba_bytes_ > 0 && (lba_bytes_ & (lba_bytes_ - 1)) == 0);
+  ZSTOR_CHECK(lba_bytes_ <= profile_.nand_geometry.page_bytes);
+  ZSTOR_CHECK(profile_.zone_size_bytes % lba_bytes_ == 0);
+  ZSTOR_CHECK(profile_.zone_cap_bytes % lba_bytes_ == 0);
+  ZSTOR_CHECK(profile_.zone_cap_bytes <= profile_.zone_size_bytes);
+  ZSTOR_CHECK(profile_.max_open_zones > 0);
+  ZSTOR_CHECK(profile_.max_active_zones >= profile_.max_open_zones);
+  zone_size_lbas_ = profile_.zone_size_bytes / lba_bytes_;
+  zone_cap_lbas_ = profile_.zone_cap_bytes / lba_bytes_;
+
+  if (profile_.use_nand_backend) {
+    ZSTOR_CHECK(profile_.zone_cap_bytes %
+                    profile_.nand_geometry.page_bytes ==
+                0);
+    // Every zone owns a fixed run of blocks on every die.
+    ZSTOR_CHECK_MSG(
+        static_cast<std::uint64_t>(profile_.blocks_per_zone_per_die()) *
+                profile_.num_zones <=
+            profile_.nand_geometry.blocks_per_die,
+        "NAND geometry too small for the zone layout");
+    flash_ = std::make_unique<nand::FlashArray>(s, profile_.nand_geometry,
+                                                profile_.nand_timing);
+  }
+
+  zones_.resize(profile_.num_zones);
+  next_program_page_.resize(profile_.num_zones, 0);
+  program_wg_.reserve(profile_.num_zones);
+  for (std::uint32_t i = 0; i < profile_.num_zones; ++i) {
+    program_wg_.push_back(std::make_unique<sim::WaitGroup>(s));
+  }
+
+  info_.format.lba_bytes = lba_bytes_;
+  info_.capacity_lbas = zone_size_lbas_ * profile_.num_zones;
+  info_.zoned = true;
+  info_.zone_size_lbas = zone_size_lbas_;
+  info_.zone_cap_lbas = zone_cap_lbas_;
+  info_.num_zones = profile_.num_zones;
+  info_.max_open_zones = profile_.max_open_zones;
+  info_.max_active_zones = profile_.max_active_zones;
+}
+
+// ---------------------------------------------------------------- helpers
+
+std::uint32_t ZnsDevice::ZoneOfLba(Lba lba) const {
+  return static_cast<std::uint32_t>(lba / zone_size_lbas_);
+}
+
+Lba ZnsDevice::ZoneStartLba(std::uint32_t zone) const {
+  return static_cast<Lba>(zone) * zone_size_lbas_;
+}
+
+std::uint64_t ZnsDevice::ZoneDataOffsetBytes(Lba lba) const {
+  return (lba - ZoneStartLba(ZoneOfLba(lba))) * lba_bytes_;
+}
+
+ZoneState ZnsDevice::GetZoneState(std::uint32_t zone) const {
+  ZSTOR_CHECK(zone < zones_.size());
+  return zones_[zone].state;
+}
+
+Lba ZnsDevice::ZoneWritePointerLba(std::uint32_t zone) const {
+  ZSTOR_CHECK(zone < zones_.size());
+  return ZoneStartLba(zone) + zones_[zone].wp_bytes / lba_bytes_;
+}
+
+std::uint64_t ZnsDevice::ZoneWrittenBytes(std::uint32_t zone) const {
+  ZSTOR_CHECK(zone < zones_.size());
+  return zones_[zone].wp_bytes;
+}
+
+Time ZnsDevice::Noise(Time t) {
+  if (profile_.io_sigma == 0.0 || t == 0) return t;
+  return static_cast<Time>(static_cast<double>(t) *
+                           rng_.LogNormalNoise(profile_.io_sigma));
+}
+
+Time ZnsDevice::FcpIoCost(Opcode op, std::uint64_t bytes, std::uint32_t nlb,
+                          Lba slba) const {
+  const FcpCosts& f = profile_.fcp;
+  Time c = 0;
+  switch (op) {
+    case Opcode::kRead: c = f.read; break;
+    case Opcode::kWrite: c = f.write; break;
+    case Opcode::kAppend: c = f.append; break;
+    default: ZSTOR_CHECK_MSG(false, "not an I/O opcode");
+  }
+  std::uint64_t units = (bytes + f.map_unit_bytes - 1) / f.map_unit_bytes;
+  if (units > 1) c += f.per_extra_unit * (units - 1);
+  if (op != Opcode::kRead) {
+    std::uint64_t off = ZoneDataOffsetBytes(slba);
+    if (bytes % f.map_unit_bytes != 0 || off % f.map_unit_bytes != 0) {
+      c += f.sub_unit_rmw;  // read-modify-write of a mapping unit
+    }
+    if (lba_bytes_ < f.map_unit_bytes) c += f.small_lba_per_lba * nlb;
+  }
+  return c;
+}
+
+Time ZnsDevice::ResetCost(const Zone& z, sim::Rng& rng) const {
+  const ResetModel& m = profile_.reset;
+  double noise =
+      m.sigma == 0.0 ? 1.0 : rng.LogNormalNoise(m.sigma);
+  if (z.wp_bytes == 0 && !z.finished) {
+    return static_cast<Time>(static_cast<double>(m.empty_cost) * noise);
+  }
+  if (m.static_cost) {
+    return static_cast<Time>(static_cast<double>(m.static_value) * noise);
+  }
+  // Occupancy is the *data* fraction; a finished zone pays an additional
+  // term for unmapping the finish-padded remainder.
+  double occ = static_cast<double>(z.finished ? z.data_bytes_at_finish
+                                              : z.wp_bytes) /
+               static_cast<double>(profile_.zone_cap_bytes);
+  double cost = static_cast<double>(m.base) +
+                static_cast<double>(m.coef) * std::pow(occ, m.exponent);
+  if (z.finished) {
+    cost += static_cast<double>(m.finished_extra_coef) * (1.0 - occ);
+  }
+  return static_cast<Time>(cost * noise);
+}
+
+nand::PageAddr ZnsDevice::AddrOfZonePage(std::uint32_t zone,
+                                         std::uint64_t page_idx) const {
+  const nand::Geometry& g = profile_.nand_geometry;
+  std::uint32_t dies = g.total_dies();
+  std::uint32_t die = static_cast<std::uint32_t>(page_idx % dies);
+  std::uint64_t on_die = page_idx / dies;
+  std::uint32_t block_in_zone =
+      static_cast<std::uint32_t>(on_die / g.pages_per_block);
+  ZSTOR_CHECK(block_in_zone < profile_.blocks_per_zone_per_die());
+  return nand::PageAddr{
+      .die = die,
+      .block = zone * profile_.blocks_per_zone_per_die() + block_in_zone,
+      .page = static_cast<std::uint32_t>(on_die % g.pages_per_block)};
+}
+
+bool ZnsDevice::DeviceIsIoQuiet() const {
+  if (io_inflight_ != 0 || fcp_.total_queued() != 0 ||
+      fcp_.free_slots() == 0) {
+    return false;
+  }
+  if (!io_seen_) return true;
+  // Quiet only if no I/O has touched the device for a full millisecond —
+  // QD=1 submission gaps are microseconds, so ongoing workloads always
+  // keep resets on the sliced background path.
+  return sim_.now() >= last_io_time_ + sim::Milliseconds(1);
+}
+
+// --------------------------------------------------------- state machine
+
+void ZnsDevice::SetZoneState(std::uint32_t zone, ZoneState next) {
+  Zone& z = zones_[zone];
+  ZoneState prev = z.state;
+  if (prev == next) return;
+  if (IsOpen(prev) && !IsOpen(next)) {
+    ZSTOR_CHECK(open_count_ > 0);
+    --open_count_;
+  } else if (!IsOpen(prev) && IsOpen(next)) {
+    ++open_count_;
+  }
+  if (IsActive(prev) && !IsActive(next)) {
+    ZSTOR_CHECK(active_count_ > 0);
+    --active_count_;
+  } else if (!IsActive(prev) && IsActive(next)) {
+    ++active_count_;
+  }
+  z.state = next;
+  ZSTOR_CHECK(open_count_ <= profile_.max_open_zones);
+  ZSTOR_CHECK(active_count_ <= profile_.max_active_zones);
+  ZSTOR_CHECK(open_count_ <= active_count_);
+}
+
+bool ZnsDevice::TakeOpenSlotWithEviction() {
+  if (open_count_ < profile_.max_open_zones) return true;
+  // At the open limit: the controller may close an implicitly-opened zone
+  // to make room (NVMe ZNS 2.1.3); explicitly-opened zones are pinned.
+  std::uint32_t victim = profile_.num_zones;
+  std::uint64_t oldest = ~0ull;
+  for (std::uint32_t i = 0; i < profile_.num_zones; ++i) {
+    const Zone& z = zones_[i];
+    if (z.state == ZoneState::kImplicitlyOpened &&
+        z.opened_at_seq < oldest) {
+      oldest = z.opened_at_seq;
+      victim = i;
+    }
+  }
+  if (victim == profile_.num_zones) return false;
+  ZSTOR_CHECK(zones_[victim].wp_bytes > 0);  // implicit open implies I/O
+  SetZoneState(victim, ZoneState::kClosed);
+  counters_.implicit_open_evictions++;
+  return true;
+}
+
+Status ZnsDevice::EnsureOpenForIo(std::uint32_t zone, bool& first_io) {
+  Zone& z = zones_[zone];
+  first_io = false;
+  switch (z.state) {
+    case ZoneState::kImplicitlyOpened:
+    case ZoneState::kExplicitlyOpened:
+      return Status::kSuccess;
+    case ZoneState::kEmpty:
+      if (active_count_ >= profile_.max_active_zones) {
+        return Status::kTooManyActiveZones;
+      }
+      if (!TakeOpenSlotWithEviction()) return Status::kTooManyOpenZones;
+      SetZoneState(zone, ZoneState::kImplicitlyOpened);
+      z.opened_at_seq = ++open_seq_;
+      counters_.implicit_opens++;
+      first_io = true;
+      return Status::kSuccess;
+    case ZoneState::kClosed:
+      if (!TakeOpenSlotWithEviction()) return Status::kTooManyOpenZones;
+      SetZoneState(zone, ZoneState::kImplicitlyOpened);
+      z.opened_at_seq = ++open_seq_;
+      counters_.implicit_opens++;
+      first_io = true;
+      return Status::kSuccess;
+    case ZoneState::kFull:
+      return Status::kZoneIsFull;
+    case ZoneState::kReadOnly:
+      return Status::kZoneIsReadOnly;
+    case ZoneState::kOffline:
+      return Status::kZoneIsOffline;
+  }
+  return Status::kInvalidField;
+}
+
+void ZnsDevice::TransitionToFullLocked(std::uint32_t zone, bool via_finish) {
+  Zone& z = zones_[zone];
+  SetZoneState(zone, ZoneState::kFull);
+  z.finished = via_finish;
+  if (via_finish) {
+    z.data_bytes_at_finish = z.wp_bytes;
+    z.wp_bytes = profile_.zone_cap_bytes;
+  }
+}
+
+// ------------------------------------------------------------- NAND path
+
+sim::Task<> ZnsDevice::ProgramZonePage(std::uint32_t zone,
+                                       std::uint64_t page_idx) {
+  co_await flash_->ProgramPage(AddrOfZonePage(zone, page_idx));
+  buffer_slots_.Release();
+  Zone& z = zones_[zone];
+  z.programmed_bytes += profile_.nand_geometry.page_bytes;
+  ZSTOR_CHECK(z.inflight_programs > 0);
+  z.inflight_programs--;
+  program_wg_[zone]->Done();
+  all_programs_.Done();
+}
+
+sim::Task<> ZnsDevice::AdmitPrograms(std::uint32_t zone,
+                                     std::uint64_t end_off_bytes) {
+  const std::uint64_t target =
+      end_off_bytes / profile_.nand_geometry.page_bytes;
+  while (next_program_page_[zone] < target) {
+    co_await buffer_slots_.Acquire();  // backpressure when the buffer fills
+    std::uint64_t p = next_program_page_[zone]++;
+    zones_[zone].inflight_programs++;
+    program_wg_[zone]->Add();
+    all_programs_.Add();
+    sim::Spawn(ProgramZonePage(zone, p));
+  }
+}
+
+sim::Task<> ZnsDevice::ReadOneZonePage(std::uint32_t zone,
+                                       std::uint64_t page_idx,
+                                       std::uint32_t bytes,
+                                       sim::WaitGroup* wg) {
+  co_await flash_->ReadPage(AddrOfZonePage(zone, page_idx), bytes);
+  wg->Done();
+}
+
+// --------------------------------------------------------------- command
+
+nvme::Status ZnsDevice::ValidateIoRange(const Command& cmd,
+                                        bool is_write) const {
+  if (cmd.nlb == 0) return Status::kInvalidField;
+  if (cmd.slba >= info_.capacity_lbas ||
+      cmd.slba + cmd.nlb > info_.capacity_lbas) {
+    return Status::kLbaOutOfRange;
+  }
+  if (ZoneOfLba(cmd.slba) != ZoneOfLba(cmd.slba + cmd.nlb - 1)) {
+    return Status::kZoneBoundaryError;
+  }
+  if (is_write) {
+    std::uint64_t off = ZoneDataOffsetBytes(cmd.slba);
+    std::uint64_t bytes = static_cast<std::uint64_t>(cmd.nlb) * lba_bytes_;
+    if (off + bytes > profile_.zone_cap_bytes) {
+      return Status::kZoneBoundaryError;
+    }
+  }
+  return Status::kSuccess;
+}
+
+sim::Task<Completion> ZnsDevice::Execute(const Command& cmd) {
+  Completion c;
+  switch (cmd.opcode) {
+    case Opcode::kRead:
+      c = co_await DoRead(cmd);
+      break;
+    case Opcode::kWrite:
+      c = co_await DoWrite(cmd);
+      break;
+    case Opcode::kAppend:
+      c = co_await DoAppend(cmd);
+      break;
+    case Opcode::kZoneMgmtSend:
+      c = co_await DoZoneMgmt(cmd);
+      break;
+    case Opcode::kZoneMgmtRecv:
+      c = co_await DoReportZones(cmd);
+      break;
+    case Opcode::kFlush:
+      c = co_await DoFlush();
+      break;
+    default:
+      c.status = Status::kInvalidOpcode;
+      break;
+  }
+  if (!c.ok()) counters_.io_errors++;
+  co_return c;
+}
+
+sim::Task<Completion> ZnsDevice::DoRead(Command cmd) {
+  if (Status st = ValidateIoRange(cmd, /*is_write=*/false);
+      st != Status::kSuccess) {
+    co_return Completion{.status = st};
+  }
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(cmd.nlb) * lba_bytes_;
+  const std::uint32_t zone = ZoneOfLba(cmd.slba);
+  InflightGuard io_guard(*this);
+  {
+    auto g = co_await fcp_.Acquire(kPrioIo);
+    co_await sim_.Delay(
+        Noise(FcpIoCost(Opcode::kRead, bytes, cmd.nlb, cmd.slba)));
+  }
+  // NAND phase: fetch the pages that have actually been programmed; the
+  // rest is served from the write-back buffer or as deallocated zeroes.
+  if (flash_) {
+    const Zone& z = zones_[zone];
+    const std::uint64_t pb = profile_.nand_geometry.page_bytes;
+    std::uint64_t off = ZoneDataOffsetBytes(cmd.slba);
+    std::uint64_t end = std::min(off + bytes, z.programmed_bytes);
+    if (off < end) {
+      std::uint64_t first_page = off / pb;
+      std::uint64_t last_page = (end - 1) / pb;
+      if (first_page == last_page) {
+        co_await flash_->ReadPage(AddrOfZonePage(zone, first_page),
+                                  static_cast<std::uint32_t>(end - off));
+      } else {
+        sim::WaitGroup wg(sim_);
+        for (std::uint64_t p = first_page; p <= last_page; ++p) {
+          std::uint64_t p_lo = std::max(off, p * pb);
+          std::uint64_t p_hi = std::min(end, (p + 1) * pb);
+          wg.Add();
+          sim::Spawn(ReadOneZonePage(
+              zone, p, static_cast<std::uint32_t>(p_hi - p_lo), &wg));
+        }
+        co_await wg.Wait();
+      }
+    }
+  }
+  co_await sim_.Delay(
+      Noise(profile_.post.read_fixed +
+            static_cast<Time>(profile_.post.dma_ns_per_byte *
+                              static_cast<double>(bytes))));
+  counters_.reads++;
+  counters_.bytes_read += bytes;
+  co_return Completion{.status = Status::kSuccess};
+}
+
+sim::Task<Completion> ZnsDevice::DoWrite(Command cmd) {
+  if (Status st = ValidateIoRange(cmd, /*is_write=*/true);
+      st != Status::kSuccess) {
+    co_return Completion{.status = st};
+  }
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(cmd.nlb) * lba_bytes_;
+  const std::uint32_t zone = ZoneOfLba(cmd.slba);
+  InflightGuard io_guard(*this);
+  bool first_io = false;
+  std::uint64_t end_off;
+  {
+    auto g = co_await fcp_.Acquire(kPrioIo);
+    co_await sim_.Delay(
+        Noise(FcpIoCost(Opcode::kWrite, bytes, cmd.nlb, cmd.slba)));
+    Zone& z = zones_[zone];
+    if (ZoneDataOffsetBytes(cmd.slba) != z.wp_bytes &&
+        z.state != ZoneState::kFull) {
+      co_return Completion{.status = Status::kZoneInvalidWrite};
+    }
+    if (Status st = EnsureOpenForIo(zone, first_io);
+        st != Status::kSuccess) {
+      co_return Completion{.status = st};
+    }
+    z.wp_bytes += bytes;
+    end_off = z.wp_bytes;
+    if (z.wp_bytes == profile_.zone_cap_bytes) {
+      TransitionToFullLocked(zone, /*via_finish=*/false);
+    }
+  }
+  Time post = profile_.post.write_fixed +
+              static_cast<Time>(profile_.post.dma_ns_per_byte *
+                                static_cast<double>(bytes));
+  if (first_io) post += profile_.open_close.implicit_first_write_extra;
+  co_await sim_.Delay(Noise(post));
+  if (flash_) {
+    co_await AdmitPrograms(zone, end_off);
+  } else {
+    zones_[zone].programmed_bytes = end_off;
+  }
+  counters_.writes++;
+  counters_.bytes_written += bytes;
+  co_return Completion{.status = Status::kSuccess};
+}
+
+sim::Task<Completion> ZnsDevice::DoAppend(Command cmd) {
+  if (Status st = ValidateIoRange(cmd, /*is_write=*/false);
+      st != Status::kSuccess) {
+    co_return Completion{.status = st};
+  }
+  if (cmd.slba != ZoneStartLba(ZoneOfLba(cmd.slba))) {
+    co_return Completion{.status = Status::kInvalidField};  // needs ZSLBA
+  }
+  const std::uint64_t bytes =
+      static_cast<std::uint64_t>(cmd.nlb) * lba_bytes_;
+  const std::uint32_t zone = ZoneOfLba(cmd.slba);
+  InflightGuard io_guard(*this);
+  bool first_io = false;
+  std::uint64_t assigned_off;
+  std::uint64_t end_off;
+  {
+    auto g = co_await fcp_.Acquire(kPrioIo);
+    co_await sim_.Delay(
+        Noise(FcpIoCost(Opcode::kAppend, bytes, cmd.nlb, cmd.slba)));
+    Zone& z = zones_[zone];
+    if (z.wp_bytes + bytes > profile_.zone_cap_bytes &&
+        z.state != ZoneState::kFull) {
+      co_return Completion{.status = Status::kZoneBoundaryError};
+    }
+    if (Status st = EnsureOpenForIo(zone, first_io);
+        st != Status::kSuccess) {
+      co_return Completion{.status = st};
+    }
+    assigned_off = z.wp_bytes;
+    z.wp_bytes += bytes;
+    end_off = z.wp_bytes;
+    if (z.wp_bytes == profile_.zone_cap_bytes) {
+      TransitionToFullLocked(zone, /*via_finish=*/false);
+    }
+  }
+  Time post = profile_.post.write_fixed +
+              static_cast<Time>(profile_.post.dma_ns_per_byte *
+                                static_cast<double>(bytes));
+  if (bytes < profile_.post.substripe_threshold_bytes) {
+    post += profile_.post.append_substripe_extra;
+  }
+  if (first_io) post += profile_.open_close.implicit_first_append_extra;
+  co_await sim_.Delay(Noise(post));
+  if (flash_) {
+    co_await AdmitPrograms(zone, end_off);
+  } else {
+    zones_[zone].programmed_bytes =
+        std::max(zones_[zone].programmed_bytes, end_off);
+  }
+  counters_.appends++;
+  counters_.bytes_written += bytes;
+  co_return Completion{
+      .status = Status::kSuccess,
+      .result_lba = ZoneStartLba(zone) + assigned_off / lba_bytes_};
+}
+
+sim::Task<Completion> ZnsDevice::DoZoneMgmt(Command cmd) {
+  if (cmd.select_all) {
+    if (cmd.zone_action != ZoneAction::kReset) {
+      co_return Completion{.status = Status::kInvalidField};
+    }
+    co_return co_await DoResetAll();
+  }
+  if (cmd.slba >= info_.capacity_lbas) {
+    co_return Completion{.status = Status::kLbaOutOfRange};
+  }
+  const std::uint32_t zone = ZoneOfLba(cmd.slba);
+  switch (cmd.zone_action) {
+    case ZoneAction::kOpen: co_return co_await DoOpen(zone);
+    case ZoneAction::kClose: co_return co_await DoClose(zone);
+    case ZoneAction::kFinish: co_return co_await DoFinish(zone);
+    case ZoneAction::kReset: co_return co_await DoReset(zone);
+    case ZoneAction::kNone: break;
+  }
+  co_return Completion{.status = Status::kInvalidField};
+}
+
+sim::Task<Completion> ZnsDevice::DoOpen(std::uint32_t zone) {
+  auto g = co_await fcp_.Acquire(kPrioIo);
+  co_await sim_.Delay(Noise(profile_.open_close.explicit_open));
+  Zone& z = zones_[zone];
+  switch (z.state) {
+    case ZoneState::kExplicitlyOpened:
+      co_return Completion{.status = Status::kSuccess};  // no-op
+    case ZoneState::kImplicitlyOpened:
+      SetZoneState(zone, ZoneState::kExplicitlyOpened);
+      counters_.explicit_opens++;
+      co_return Completion{.status = Status::kSuccess};
+    case ZoneState::kEmpty:
+      if (active_count_ >= profile_.max_active_zones) {
+        co_return Completion{.status = Status::kTooManyActiveZones};
+      }
+      [[fallthrough]];
+    case ZoneState::kClosed:
+      if (!TakeOpenSlotWithEviction()) {
+        co_return Completion{.status = Status::kTooManyOpenZones};
+      }
+      SetZoneState(zone, ZoneState::kExplicitlyOpened);
+      z.opened_at_seq = ++open_seq_;
+      counters_.explicit_opens++;
+      co_return Completion{.status = Status::kSuccess};
+    case ZoneState::kFull:
+      co_return Completion{.status = Status::kZoneIsFull};
+    case ZoneState::kReadOnly:
+    case ZoneState::kOffline:
+      co_return Completion{.status = Status::kZoneInvalidStateTransition};
+  }
+  co_return Completion{.status = Status::kInvalidField};
+}
+
+sim::Task<Completion> ZnsDevice::DoClose(std::uint32_t zone) {
+  auto g = co_await fcp_.Acquire(kPrioIo);
+  co_await sim_.Delay(Noise(profile_.open_close.close));
+  Zone& z = zones_[zone];
+  switch (z.state) {
+    case ZoneState::kClosed:
+      co_return Completion{.status = Status::kSuccess};  // no-op
+    case ZoneState::kImplicitlyOpened:
+    case ZoneState::kExplicitlyOpened:
+      // Closing a zone with nothing written returns it to Empty (it holds
+      // no data to keep active resources for).
+      SetZoneState(zone, z.wp_bytes == 0 ? ZoneState::kEmpty
+                                         : ZoneState::kClosed);
+      counters_.closes++;
+      co_return Completion{.status = Status::kSuccess};
+    default:
+      co_return Completion{.status = Status::kZoneInvalidStateTransition};
+  }
+}
+
+sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone) {
+  Zone& z = zones_[zone];
+  {
+    auto g = co_await fcp_.Acquire(kPrioIo);
+    co_await sim_.Delay(Noise(profile_.fcp.write));  // command admission
+    switch (z.state) {
+      case ZoneState::kEmpty:
+        co_return Completion{.status = Status::kZoneIsEmpty};
+      case ZoneState::kFull:
+        co_return Completion{.status = Status::kZoneIsFull};
+      case ZoneState::kReadOnly:
+      case ZoneState::kOffline:
+        co_return Completion{.status = Status::kZoneInvalidStateTransition};
+      case ZoneState::kImplicitlyOpened:
+      case ZoneState::kExplicitlyOpened:
+      case ZoneState::kClosed:
+        break;
+    }
+  }
+  // Quiesce in-flight NAND programs, then pad the remaining capacity.
+  co_await program_wg_[zone]->Wait();
+  std::uint64_t remaining = profile_.zone_cap_bytes - z.wp_bytes;
+  if (!profile_.finish.zero_cost) {
+    Time pad =
+        profile_.finish.base +
+        static_cast<Time>(profile_.finish.per_byte_ns *
+                          static_cast<double>(remaining));
+    double noise = profile_.finish.sigma == 0.0
+                       ? 1.0
+                       : rng_.LogNormalNoise(profile_.finish.sigma);
+    co_await sim_.Delay(
+        static_cast<Time>(static_cast<double>(pad) * noise));
+  }
+  if (flash_) {
+    // Mark the padded region programmed (the pad time above charged the
+    // aggregate NAND cost; see DESIGN.md §6).
+    const nand::Geometry& geo = profile_.nand_geometry;
+    std::uint64_t total_pages = profile_.zone_cap_pages();
+    std::uint32_t dies = geo.total_dies();
+    for (std::uint32_t die = 0; die < dies; ++die) {
+      std::uint64_t on_die_pages = total_pages / dies +
+                                   (die < total_pages % dies ? 1 : 0);
+      std::uint32_t bpz = profile_.blocks_per_zone_per_die();
+      for (std::uint32_t b = 0; b < bpz && on_die_pages > 0; ++b) {
+        std::uint32_t in_block = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            on_die_pages, geo.pages_per_block));
+        flash_->DebugProgramRange(die, zone * bpz + b, in_block);
+        on_die_pages -= in_block;
+      }
+    }
+    next_program_page_[zone] = total_pages;
+  }
+  z.programmed_bytes = profile_.zone_cap_bytes;
+  TransitionToFullLocked(zone, /*via_finish=*/true);
+  counters_.finishes++;
+  co_return Completion{.status = Status::kSuccess};
+}
+
+sim::Task<Completion> ZnsDevice::DoReset(std::uint32_t zone) {
+  Zone& z = zones_[zone];
+  if (z.state == ZoneState::kReadOnly || z.state == ZoneState::kOffline) {
+    co_return Completion{.status = Status::kZoneInvalidStateTransition};
+  }
+  // Quiesce in-flight NAND programs for this zone first.
+  co_await program_wg_[zone]->Wait();
+  // The unmap work runs on the FCP at background priority, in slices so
+  // small that host I/O never noticeably waits behind one (Obs. 12),
+  // while concurrent I/O — which the FCP serves first — stretches the
+  // reset's elapsed time by ~1/(1-rho) (Obs. 13). With no I/O in flight
+  // at all, the remaining work is charged in one step (isolated resets,
+  // e.g. the Fig. 5 sweep, stay cheap to simulate).
+  Time work = ResetCost(z, rng_);
+  if (profile_.reset.static_cost) {
+    // Emulator-style static model (NVMeVirt): a flat charge with no
+    // contention — precisely what makes such models miss Obs. 13.
+    co_await sim_.Delay(work);
+  } else {
+    const Time slice = std::max<Time>(profile_.reset.slice, 1);
+    while (work > 0) {
+      if (DeviceIsIoQuiet()) {
+        co_await sim_.Delay(work);
+        break;
+      }
+      Time this_slice = std::min(work, slice);
+      {
+        auto g = co_await fcp_.Acquire(kPrioBackground);
+        co_await sim_.Delay(this_slice);
+      }
+      work -= this_slice;
+    }
+  }
+  // Metadata wiped; physical erases happen off the critical path.
+  if (flash_) {
+    std::uint32_t bpz = profile_.blocks_per_zone_per_die();
+    for (std::uint32_t die = 0; die < profile_.nand_geometry.total_dies();
+         ++die) {
+      for (std::uint32_t b = 0; b < bpz; ++b) {
+        flash_->DeferredEraseBlock(die, zone * bpz + b);
+      }
+    }
+  }
+  z.wp_bytes = 0;
+  z.programmed_bytes = 0;
+  z.finished = false;
+  z.data_bytes_at_finish = 0;
+  next_program_page_[zone] = 0;
+  if (ZoneWornOut(zone)) {
+    // Endurance exhausted: the zone leaves service instead of returning
+    // to Empty (flash P/E limits, §II-A).
+    SetZoneState(zone, ZoneState::kOffline);
+    counters_.zones_worn_offline++;
+  } else {
+    SetZoneState(zone, ZoneState::kEmpty);
+  }
+  counters_.resets++;
+  co_return Completion{.status = Status::kSuccess};
+}
+
+bool ZnsDevice::ZoneWornOut(std::uint32_t zone) const {
+  if (profile_.pe_cycle_limit == 0 || !flash_) return false;
+  std::uint32_t bpz = profile_.blocks_per_zone_per_die();
+  for (std::uint32_t die = 0; die < profile_.nand_geometry.total_dies();
+       ++die) {
+    for (std::uint32_t b = 0; b < bpz; ++b) {
+      if (flash_->BlockPeCycles(die, zone * bpz + b) >=
+          profile_.pe_cycle_limit) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+sim::Task<Completion> ZnsDevice::DoResetAll() {
+  // Reset All Zones (select-all): every resettable zone, sequentially —
+  // the device walks its zone table; per-zone costs apply as usual.
+  for (std::uint32_t z = 0; z < profile_.num_zones; ++z) {
+    ZoneState st = zones_[z].state;
+    if (st == ZoneState::kReadOnly || st == ZoneState::kOffline) continue;
+    if (st == ZoneState::kEmpty) continue;  // nothing to do
+    Completion c = co_await DoReset(z);
+    if (!c.ok()) co_return c;
+  }
+  co_return Completion{.status = Status::kSuccess};
+}
+
+sim::Task<Completion> ZnsDevice::DoReportZones(Command cmd) {
+  if (cmd.slba >= info_.capacity_lbas) {
+    co_return Completion{.status = Status::kLbaOutOfRange};
+  }
+  std::uint32_t first = ZoneOfLba(cmd.slba);
+  std::uint32_t count = profile_.num_zones - first;
+  if (cmd.report_max != 0) {
+    count = std::min(count, cmd.report_max);
+  }
+  {
+    auto g = co_await fcp_.Acquire(kPrioIo);
+    co_await sim_.Delay(
+        Noise(profile_.report_fixed + profile_.report_per_zone * count));
+  }
+  Completion c;
+  c.report.reserve(count);
+  for (std::uint32_t z = first; z < first + count; ++z) {
+    c.report.push_back(nvme::ZoneDescriptor{
+        .zslba = ZoneStartLba(z),
+        .write_pointer = ZoneWritePointerLba(z),
+        .zone_cap_lbas = zone_cap_lbas_,
+        .state_raw = static_cast<std::uint8_t>(zones_[z].state)});
+  }
+  counters_.zone_reports++;
+  co_return c;
+}
+
+sim::Task<Completion> ZnsDevice::DoFlush() {
+  {
+    auto g = co_await fcp_.Acquire(kPrioIo);
+    co_await sim_.Delay(Noise(profile_.fcp.write));
+  }
+  // Quiesce the NAND drain. Partial (sub-page) buffer contents stay in
+  // the capacitor-backed buffer — they are already durable.
+  co_await all_programs_.Wait();
+  counters_.flushes++;
+  co_return Completion{.status = Status::kSuccess};
+}
+
+// --------------------------------------------------------------- debug
+
+void ZnsDevice::DebugFillZone(std::uint32_t zone, std::uint64_t bytes) {
+  ZSTOR_CHECK(zone < zones_.size());
+  Zone& z = zones_[zone];
+  ZSTOR_CHECK_MSG(z.state == ZoneState::kEmpty,
+                  "DebugFillZone requires an Empty zone");
+  ZSTOR_CHECK(bytes <= profile_.zone_cap_bytes);
+  ZSTOR_CHECK(bytes % lba_bytes_ == 0);
+  if (bytes == 0) return;
+  z.wp_bytes = bytes;
+  z.programmed_bytes = bytes;
+  const std::uint64_t pb = profile_.nand_geometry.page_bytes;
+  std::uint64_t pages = (bytes + pb - 1) / pb;
+  next_program_page_[zone] = bytes / pb;
+  if (flash_) {
+    const nand::Geometry& geo = profile_.nand_geometry;
+    std::uint32_t dies = geo.total_dies();
+    std::uint32_t bpz = profile_.blocks_per_zone_per_die();
+    for (std::uint32_t die = 0; die < dies; ++die) {
+      std::uint64_t on_die_pages =
+          pages / dies + (die < pages % dies ? 1 : 0);
+      for (std::uint32_t b = 0; b < bpz && on_die_pages > 0; ++b) {
+        std::uint32_t in_block = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            on_die_pages, geo.pages_per_block));
+        flash_->DebugProgramRange(die, zone * bpz + b, in_block);
+        on_die_pages -= in_block;
+      }
+    }
+  }
+  if (bytes == profile_.zone_cap_bytes) {
+    SetZoneState(zone, ZoneState::kFull);
+  } else {
+    ZSTOR_CHECK_MSG(active_count_ < profile_.max_active_zones,
+                    "DebugFillZone: no active slot for a partial zone");
+    SetZoneState(zone, ZoneState::kClosed);
+  }
+}
+
+}  // namespace zstor::zns

@@ -1,0 +1,189 @@
+// ZnsDevice: the simulated ZNS SSD — the core model of this repository.
+//
+// Implements the NVMe ZNS command set (read, write, zone append, zone
+// management send: open/close/finish/reset) over the internal structure
+// described in profile.h:
+//
+//   * a serialized firmware command processor (FCP) with strict priority —
+//     I/O commands above background reset work — whose per-op costs set
+//     the device's saturation IOPS per op class;
+//   * a pipelined post stage (DMA + firmware completion path) that sets
+//     the QD=1 latency floor;
+//   * a write-back buffer draining to the NAND array, whose program
+//     bandwidth caps sustained write/append throughput and whose die
+//     queues produce read tail latency under write load;
+//   * the full Fig.-1 zone state machine with max-open / max-active
+//     limits, implicit opens (with the measured first-I/O penalty), and
+//     LRU eviction of implicitly-opened zones at the open limit;
+//   * occupancy-dependent reset and finish cost models executed in
+//     background-priority slices on the FCP.
+//
+// Thread model: everything runs on one Simulator; concurrency is
+// coroutine-level (many Execute() calls in flight).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nand/flash_array.h"
+#include "nvme/controller.h"
+#include "nvme/types.h"
+#include "sim/resource.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "zns/profile.h"
+#include "zns/zone.h"
+
+namespace zstor::zns {
+
+struct ZnsCounters {
+  std::uint64_t reads = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t zone_reports = 0;
+  std::uint64_t zones_worn_offline = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t appends = 0;
+  std::uint64_t explicit_opens = 0;
+  std::uint64_t implicit_opens = 0;
+  std::uint64_t implicit_open_evictions = 0;
+  std::uint64_t closes = 0;
+  std::uint64_t finishes = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t bytes_written = 0;   // via write + append
+  std::uint64_t bytes_read = 0;
+  std::uint64_t io_errors = 0;       // commands completed with bad status
+};
+
+class ZnsDevice : public nvme::Controller {
+ public:
+  /// `lba_bytes` selects the namespace LBA format (512 or 4096 in the
+  /// paper's experiments; any power of two <= the NAND page works).
+  ZnsDevice(sim::Simulator& s, ZnsProfile profile,
+            std::uint32_t lba_bytes = 4096);
+
+  const nvme::NamespaceInfo& info() const override { return info_; }
+  sim::Task<nvme::Completion> Execute(const nvme::Command& cmd) override;
+
+  // ---- introspection --------------------------------------------------
+  const ZnsProfile& profile() const { return profile_; }
+  const ZnsCounters& counters() const { return counters_; }
+  ZoneState GetZoneState(std::uint32_t zone) const;
+  /// Write pointer as an absolute LBA (== ZSLBA when the zone is empty).
+  nvme::Lba ZoneWritePointerLba(std::uint32_t zone) const;
+  /// Bytes written to the zone's data area so far.
+  std::uint64_t ZoneWrittenBytes(std::uint32_t zone) const;
+  std::uint32_t open_zone_count() const { return open_count_; }
+  std::uint32_t active_zone_count() const { return active_count_; }
+  nvme::Lba ZoneStartLba(std::uint32_t zone) const;
+  std::uint32_t ZoneOfLba(nvme::Lba lba) const;
+  /// Null when the profile bypasses the NAND backend (FEMU-like).
+  nand::FlashArray* flash() { return flash_.get(); }
+  /// Free write-back buffer capacity in NAND pages (0 = writes are being
+  /// throttled at the NAND drain rate).
+  std::uint64_t buffer_free_pages() const { return buffer_slots_.available(); }
+
+  // ---- test/bench acceleration ---------------------------------------
+  /// Sets a zone's occupancy directly, with NAND state marked consistently
+  /// but no simulated I/O (see DESIGN.md §6 "Fill acceleration"). The zone
+  /// must be Empty. A partially-filled zone becomes Closed (and consumes
+  /// an active slot — callers must respect max_active); a full fill makes
+  /// it Full.
+  void DebugFillZone(std::uint32_t zone, std::uint64_t bytes);
+
+ private:
+  static constexpr std::uint32_t kPrioIo = 0;
+  static constexpr std::uint32_t kPrioBackground = 1;
+
+  // Command handlers.
+  sim::Task<nvme::Completion> DoRead(nvme::Command cmd);
+  sim::Task<nvme::Completion> DoWrite(nvme::Command cmd);
+  sim::Task<nvme::Completion> DoAppend(nvme::Command cmd);
+  sim::Task<nvme::Completion> DoZoneMgmt(nvme::Command cmd);
+  sim::Task<nvme::Completion> DoOpen(std::uint32_t zone);
+  sim::Task<nvme::Completion> DoClose(std::uint32_t zone);
+  sim::Task<nvme::Completion> DoFinish(std::uint32_t zone);
+  sim::Task<nvme::Completion> DoReset(std::uint32_t zone);
+  sim::Task<nvme::Completion> DoResetAll();
+  sim::Task<nvme::Completion> DoReportZones(nvme::Command cmd);
+  sim::Task<nvme::Completion> DoFlush();
+  /// True when any of the zone's NAND blocks has exhausted its endurance.
+  bool ZoneWornOut(std::uint32_t zone) const;
+
+  // State-machine helpers (called while holding the FCP).
+  nvme::Status EnsureOpenForIo(std::uint32_t zone, bool& first_io);
+  bool TakeOpenSlotWithEviction();
+  void SetZoneState(std::uint32_t zone, ZoneState next);
+  void TransitionToFullLocked(std::uint32_t zone, bool via_finish);
+
+  // Cost model helpers.
+  sim::Time FcpIoCost(nvme::Opcode op, std::uint64_t bytes,
+                      std::uint32_t nlb, nvme::Lba slba) const;
+  sim::Time ResetCost(const Zone& z, sim::Rng& rng) const;
+  sim::Time Noise(sim::Time t);
+
+  // NAND path.
+  nand::PageAddr AddrOfZonePage(std::uint32_t zone,
+                                std::uint64_t page_idx) const;
+  sim::Task<> ProgramZonePage(std::uint32_t zone, std::uint64_t page_idx);
+  sim::Task<> ReadOneZonePage(std::uint32_t zone, std::uint64_t page_idx,
+                              std::uint32_t bytes, sim::WaitGroup* wg);
+  /// Dispatches NAND programs for all fully-covered pages up to
+  /// `end_off_bytes`, waiting on buffer-slot admission (backpressure).
+  sim::Task<> AdmitPrograms(std::uint32_t zone, std::uint64_t end_off_bytes);
+
+  // Validation.
+  nvme::Status ValidateIoRange(const nvme::Command& cmd, bool is_write) const;
+  std::uint64_t ZoneDataOffsetBytes(nvme::Lba lba) const;
+
+  sim::Simulator& sim_;
+  ZnsProfile profile_;
+  nvme::NamespaceInfo info_;
+  std::uint32_t lba_bytes_;
+  std::uint64_t zone_size_lbas_;
+  std::uint64_t zone_cap_lbas_;
+
+  std::unique_ptr<nand::FlashArray> flash_;
+  sim::PriorityResource fcp_;
+  sim::Semaphore buffer_slots_;  // in NAND pages
+  sim::Rng rng_;
+
+  std::vector<Zone> zones_;
+  /// Next zone data page (stripe unit) to hand to the NAND drain.
+  std::vector<std::uint64_t> next_program_page_;
+  /// Joins in-flight NAND programs per zone (reset/finish quiesce on it).
+  std::vector<std::unique_ptr<sim::WaitGroup>> program_wg_;
+  /// Joins ALL in-flight NAND programs (flush quiesces on it).
+  sim::WaitGroup all_programs_;
+
+  /// RAII tracking of I/O commands currently executing. Reset work only
+  /// takes its bulk fast-path when the device has been I/O-quiet for a
+  /// while — brief QD=1 submission gaps must not let a reset skip the
+  /// background-priority slicing that produces Obs. 13.
+  struct InflightGuard {
+    ZnsDevice& dev;
+    explicit InflightGuard(ZnsDevice& d) : dev(d) {
+      ++dev.io_inflight_;
+      dev.io_seen_ = true;
+      dev.last_io_time_ = dev.sim_.now();
+    }
+    ~InflightGuard() { dev.last_io_time_ = dev.sim_.now(); --dev.io_inflight_; }
+    InflightGuard(const InflightGuard&) = delete;
+    InflightGuard& operator=(const InflightGuard&) = delete;
+  };
+
+  bool DeviceIsIoQuiet() const;
+
+  std::uint32_t io_inflight_ = 0;
+  bool io_seen_ = false;
+  sim::Time last_io_time_ = 0;
+  std::uint32_t open_count_ = 0;
+  std::uint32_t active_count_ = 0;
+  std::uint64_t open_seq_ = 0;
+  ZnsCounters counters_;
+};
+
+}  // namespace zstor::zns

@@ -1,0 +1,70 @@
+// Zone descriptor and the zone state machine (Fig. 1 of the paper).
+//
+// States follow the NVMe ZNS specification: a zone is *open* when it holds
+// device write resources (implicitly after a write/append, or explicitly
+// via the Open command), *active* when it is open or closed with a write
+// pointer inside the zone. The max-open and max-active limits bound these
+// two populations (14 each on the ZN540).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "nvme/types.h"
+
+namespace zstor::zns {
+
+enum class ZoneState : std::uint8_t {
+  kEmpty,
+  kImplicitlyOpened,
+  kExplicitlyOpened,
+  kClosed,
+  kFull,
+  kReadOnly,
+  kOffline,
+};
+
+constexpr std::string_view ToString(ZoneState s) {
+  switch (s) {
+    case ZoneState::kEmpty: return "Empty";
+    case ZoneState::kImplicitlyOpened: return "ImplicitlyOpened";
+    case ZoneState::kExplicitlyOpened: return "ExplicitlyOpened";
+    case ZoneState::kClosed: return "Closed";
+    case ZoneState::kFull: return "Full";
+    case ZoneState::kReadOnly: return "ReadOnly";
+    case ZoneState::kOffline: return "Offline";
+  }
+  return "Unknown";
+}
+
+constexpr bool IsOpen(ZoneState s) {
+  return s == ZoneState::kImplicitlyOpened ||
+         s == ZoneState::kExplicitlyOpened;
+}
+
+/// Open or closed-with-resources: counts against the max-active limit.
+constexpr bool IsActive(ZoneState s) {
+  return IsOpen(s) || s == ZoneState::kClosed;
+}
+
+struct Zone {
+  ZoneState state = ZoneState::kEmpty;
+  /// Write pointer as an offset (in bytes) from the start of the zone's
+  /// data area. Equals zone capacity when the zone is full.
+  std::uint64_t wp_bytes = 0;
+  /// Bytes whose NAND programming completed (<= wp_bytes); the rest still
+  /// sits in the device write-back buffer.
+  std::uint64_t programmed_bytes = 0;
+  /// Pages handed to the NAND drain but not yet programmed.
+  std::uint32_t inflight_programs = 0;
+  /// Set when the zone reached Full via the Finish command; resets of
+  /// finished zones must also unmap the finish-marked region (Obs. 10).
+  bool finished = false;
+  /// Bytes of real data at the moment the zone was finished (the reset
+  /// cost model distinguishes data from finish-padding).
+  std::uint64_t data_bytes_at_finish = 0;
+  /// Monotonic counter for LRU eviction of implicitly-opened zones.
+  std::uint64_t opened_at_seq = 0;
+};
+
+}  // namespace zstor::zns

@@ -1,0 +1,266 @@
+#include "zobj/zone_object_store.h"
+
+#include <algorithm>
+
+#include "sim/check.h"
+
+namespace zstor::zobj {
+
+using nvme::Command;
+using nvme::Opcode;
+using nvme::Status;
+using nvme::ZoneAction;
+
+ZoneObjectStore::ZoneObjectStore(sim::Simulator& s, hostif::Stack& stack,
+                                 Options opt)
+    : sim_(s),
+      stack_(stack),
+      opt_(opt),
+      lba_bytes_(stack.info().format.lba_bytes),
+      alloc_lock_(s, 1) {
+  ZSTOR_CHECK(stack.info().zoned);
+  ZSTOR_CHECK(opt_.zone_count >= 4);  // active + relocation + victim + spare
+  ZSTOR_CHECK(opt_.first_zone + opt_.zone_count <= stack.info().num_zones);
+  ZSTOR_CHECK(opt_.compact_free_low >= 1);
+  ZSTOR_CHECK(opt_.max_append_lbas > 0);
+  zones_.resize(opt_.zone_count);
+  active_zone_ = opt_.first_zone;
+  relocation_zone_ = opt_.first_zone + 1;
+  for (std::uint32_t z = opt_.first_zone + 2;
+       z < opt_.first_zone + opt_.zone_count; ++z) {
+    free_zones_.push_back(z);
+  }
+}
+
+nvme::Lba ZoneObjectStore::ZoneStartLba(std::uint32_t zone) const {
+  return static_cast<nvme::Lba>(zone) * stack_.info().zone_size_lbas;
+}
+
+std::uint64_t ZoneObjectStore::zone_cap_bytes() const {
+  return stack_.info().zone_cap_lbas * lba_bytes_;
+}
+
+std::uint64_t ZoneObjectStore::capacity_bytes() const {
+  return zone_cap_bytes() * opt_.zone_count;
+}
+
+double ZoneObjectStore::GarbageFraction(std::uint32_t zone) const {
+  const ZoneInfo& zi = zones_[ZoneIndex(zone)];
+  if (zi.writen_bytes == 0) return 0.0;
+  return static_cast<double>(zi.garbage_bytes) /
+         static_cast<double>(zi.writen_bytes);
+}
+
+std::uint64_t ZoneObjectStore::ObjectBytes(std::uint64_t key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return 0;
+  std::uint64_t bytes = 0;
+  for (const Extent& e : it->second) {
+    bytes += static_cast<std::uint64_t>(e.lbas) * lba_bytes_;
+  }
+  return bytes;
+}
+
+void ZoneObjectStore::AddGarbage(const Extent& e) {
+  ZoneInfo& zi = zones_[ZoneIndex(e.zone)];
+  std::uint64_t bytes = static_cast<std::uint64_t>(e.lbas) * lba_bytes_;
+  zi.garbage_bytes += bytes;
+  ZSTOR_CHECK(zi.garbage_bytes <= zi.writen_bytes);
+}
+
+sim::Task<> ZoneObjectStore::RotateActiveZone() {
+  zones_[ZoneIndex(active_zone_)].sealed = true;
+  // Reclaim until a free zone is available (and keep headroom).
+  while (free_zones_.size() < opt_.compact_free_low) {
+    if (free_zones_.empty()) {
+      co_await CompactOne();
+      continue;
+    }
+    // Headroom is nice-to-have: compact opportunistically, but only if a
+    // worthwhile victim exists; otherwise run with what we have.
+    bool worthwhile = false;
+    for (std::uint32_t z = opt_.first_zone;
+         z < opt_.first_zone + opt_.zone_count; ++z) {
+      const ZoneInfo& zi = zones_[ZoneIndex(z)];
+      if (zi.sealed && !zi.compacting &&
+          GarbageFraction(z) >= opt_.compact_garbage_min) {
+        worthwhile = true;
+      }
+    }
+    if (!worthwhile) break;
+    co_await CompactOne();
+  }
+  ZSTOR_CHECK_MSG(!free_zones_.empty(), "object store is out of space");
+  active_zone_ = free_zones_.front();
+  free_zones_.pop_front();
+  zones_[ZoneIndex(active_zone_)] = ZoneInfo{};
+}
+
+sim::Task<> ZoneObjectStore::CompactOne() {
+  // Victim: the sealed zone with the most garbage.
+  std::uint32_t victim = opt_.first_zone + opt_.zone_count;  // invalid
+  std::uint64_t best_garbage = 0;
+  for (std::uint32_t z = opt_.first_zone;
+       z < opt_.first_zone + opt_.zone_count; ++z) {
+    const ZoneInfo& zi = zones_[ZoneIndex(z)];
+    if (!zi.sealed || zi.compacting) continue;
+    if (zi.garbage_bytes >= best_garbage) {
+      best_garbage = zi.garbage_bytes;
+      victim = z;
+    }
+  }
+  ZSTOR_CHECK_MSG(victim < opt_.first_zone + opt_.zone_count,
+                  "no compactable zone (store too full?)");
+  ZoneInfo& vz = zones_[ZoneIndex(victim)];
+  vz.compacting = true;
+
+  // Snapshot the victim's live extents, then relocate with re-validation:
+  // foreground Puts/Deletes may mutate the index while we await I/O.
+  std::vector<std::pair<std::uint64_t, std::size_t>> work;
+  for (auto& [key, extents] : index_) {
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      if (extents[i].zone == victim) work.emplace_back(key, i);
+    }
+  }
+  for (auto [key, idx] : work) {
+    auto it = index_.find(key);
+    if (it == index_.end() || idx >= it->second.size() ||
+        it->second[idx].zone != victim) {
+      continue;  // replaced or deleted while we were relocating others
+    }
+    Extent e = it->second[idx];
+    auto rd = co_await stack_.Submit(
+        {.opcode = Opcode::kRead, .slba = e.lba, .nlb = e.lbas});
+    ZSTOR_CHECK(rd.completion.ok());
+    Extent moved = co_await AppendRelocated(e.lbas);
+    stats_.bytes_relocated +=
+        static_cast<std::uint64_t>(e.lbas) * lba_bytes_;
+    // Re-validate before installing: the object may have changed during
+    // the read+append.
+    it = index_.find(key);
+    if (it != index_.end() && idx < it->second.size() &&
+        it->second[idx].zone == victim && it->second[idx].lba == e.lba) {
+      it->second[idx] = moved;
+    } else {
+      // The relocated copy is orphaned garbage in the relocation zone.
+      AddGarbage(moved);
+    }
+  }
+
+  auto rst = co_await stack_.Submit({.opcode = Opcode::kZoneMgmtSend,
+                                     .slba = ZoneStartLba(victim),
+                                     .zone_action = ZoneAction::kReset});
+  ZSTOR_CHECK(rst.completion.ok());
+  zones_[ZoneIndex(victim)] = ZoneInfo{};
+  free_zones_.push_back(victim);
+  stats_.zone_resets++;
+  stats_.compactions++;
+}
+
+sim::Task<Extent> ZoneObjectStore::AppendBlocks(std::uint32_t lbas) {
+  ZSTOR_CHECK(static_cast<std::uint64_t>(lbas) * lba_bytes_ <=
+              zone_cap_bytes());
+  std::uint32_t zone;
+  {
+    auto g = co_await alloc_lock_.Acquire();
+    std::uint64_t bytes = static_cast<std::uint64_t>(lbas) * lba_bytes_;
+    if (zones_[ZoneIndex(active_zone_)].writen_bytes + bytes >
+        zone_cap_bytes()) {
+      co_await RotateActiveZone();
+    }
+    zone = active_zone_;
+    // Reserve host-side fill under the lock so concurrent appenders never
+    // oversubscribe the zone.
+    zones_[ZoneIndex(zone)].writen_bytes += bytes;
+  }
+  auto tc = co_await stack_.Submit({.opcode = Opcode::kAppend,
+                                    .slba = ZoneStartLba(zone),
+                                    .nlb = lbas});
+  ZSTOR_CHECK_MSG(tc.completion.ok(), "append failed despite reservation");
+  co_return Extent{.zone = zone,
+                   .lba = tc.completion.result_lba,
+                   .lbas = lbas};
+}
+
+sim::Task<Extent> ZoneObjectStore::AppendRelocated(std::uint32_t lbas) {
+  // Compaction output bypasses the foreground allocator so a rotation
+  // that is itself waiting on this compaction cannot deadlock it. The
+  // relocation zone always has room because compaction keeps a spill
+  // zone in reserve (ctor sizing + compact_free_low >= 1).
+  std::uint64_t bytes = static_cast<std::uint64_t>(lbas) * lba_bytes_;
+  if (zones_[ZoneIndex(relocation_zone_)].writen_bytes + bytes >
+      zone_cap_bytes()) {
+    // Seal the full relocation zone into the regular population and take
+    // a fresh one from the free list.
+    zones_[ZoneIndex(relocation_zone_)].sealed = true;
+    ZSTOR_CHECK_MSG(!free_zones_.empty(),
+                    "relocation spill with no free zone (store overfull)");
+    relocation_zone_ = free_zones_.front();
+    free_zones_.pop_front();
+    zones_[ZoneIndex(relocation_zone_)] = ZoneInfo{};
+  }
+  std::uint32_t zone = relocation_zone_;
+  zones_[ZoneIndex(zone)].writen_bytes += bytes;
+  auto tc = co_await stack_.Submit({.opcode = Opcode::kAppend,
+                                    .slba = ZoneStartLba(zone),
+                                    .nlb = lbas});
+  ZSTOR_CHECK(tc.completion.ok());
+  co_return Extent{.zone = zone,
+                   .lba = tc.completion.result_lba,
+                   .lbas = lbas};
+}
+
+sim::Task<Status> ZoneObjectStore::Put(std::uint64_t key,
+                                       std::uint64_t bytes) {
+  if (bytes == 0) co_return Status::kInvalidField;
+  std::uint64_t lbas_total = (bytes + lba_bytes_ - 1) / lba_bytes_;
+  std::vector<Extent> extents;
+  while (lbas_total > 0) {
+    auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(lbas_total, opt_.max_append_lbas));
+    extents.push_back(co_await AppendBlocks(chunk));
+    lbas_total -= chunk;
+  }
+  // Replace atomically from the index's point of view: old extents (if
+  // any) become garbage.
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    for (const Extent& e : it->second) {
+      AddGarbage(e);
+      live_bytes_ -= static_cast<std::uint64_t>(e.lbas) * lba_bytes_;
+    }
+  }
+  for (const Extent& e : extents) {
+    live_bytes_ += static_cast<std::uint64_t>(e.lbas) * lba_bytes_;
+    stats_.bytes_written += static_cast<std::uint64_t>(e.lbas) * lba_bytes_;
+  }
+  index_[key] = std::move(extents);
+  stats_.puts++;
+  co_return Status::kSuccess;
+}
+
+sim::Task<Status> ZoneObjectStore::Get(std::uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) co_return Status::kLbaOutOfRange;  // not found
+  for (const Extent& e : it->second) {
+    auto tc = co_await stack_.Submit(
+        {.opcode = Opcode::kRead, .slba = e.lba, .nlb = e.lbas});
+    if (!tc.completion.ok()) co_return tc.completion.status;
+  }
+  stats_.gets++;
+  co_return Status::kSuccess;
+}
+
+sim::Task<Status> ZoneObjectStore::Delete(std::uint64_t key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) co_return Status::kLbaOutOfRange;
+  for (const Extent& e : it->second) {
+    AddGarbage(e);
+    live_bytes_ -= static_cast<std::uint64_t>(e.lbas) * lba_bytes_;
+  }
+  index_.erase(it);
+  stats_.deletes++;
+  co_return Status::kSuccess;
+}
+
+}  // namespace zstor::zobj

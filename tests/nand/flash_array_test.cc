@@ -1,0 +1,206 @@
+#include "nand/flash_array.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/task.h"
+
+namespace zstor::nand {
+namespace {
+
+Geometry SmallGeo() {
+  Geometry g;
+  g.channels = 2;
+  g.dies_per_channel = 2;
+  g.blocks_per_die = 4;
+  g.pages_per_block = 8;
+  g.page_bytes = 16 * 1024;
+  return g;
+}
+
+TEST(Geometry, DerivedQuantities) {
+  Geometry g = SmallGeo();
+  EXPECT_EQ(g.total_dies(), 4u);
+  EXPECT_EQ(g.total_blocks(), 16u);
+  EXPECT_EQ(g.pages_per_die(), 32u);
+  EXPECT_EQ(g.block_bytes(), 128u * 1024);
+  EXPECT_EQ(g.total_bytes(), 4u * 32 * 16 * 1024);
+  EXPECT_EQ(g.channel_of({0}), 0u);
+  EXPECT_EQ(g.channel_of({1}), 1u);
+  EXPECT_EQ(g.channel_of({2}), 0u);  // round-robin interleave
+}
+
+TEST(Geometry, Zn540ScaleBandwidthMatchesPaper) {
+  // The default geometry+timing must reproduce the measured ~1155 MiB/s
+  // device write bandwidth the paper reports (§III-F).
+  sim::Simulator s;
+  FlashArray arr(s, Geometry{}, Timing{});
+  double mib_s = arr.PeakProgramBandwidth() / (1024.0 * 1024.0);
+  EXPECT_NEAR(mib_s, 1155.0, 60.0);
+}
+
+TEST(FlashArray, ProgramThenReadTakesExpectedTime) {
+  sim::Simulator s;
+  Timing t;
+  FlashArray arr(s, SmallGeo(), t);
+  sim::Time done = 0;
+  auto body = [&]() -> sim::Task<> {
+    co_await arr.ProgramPage({0, 0, 0});
+    co_await arr.ReadPage({0, 0, 0}, 16 * 1024);
+    done = s.now();
+  };
+  auto task = body();
+  s.Run();
+  EXPECT_EQ(done,
+            t.bus_xfer_page + t.program_page + t.read_page + t.bus_xfer_page);
+  EXPECT_EQ(arr.counters().page_programs, 1u);
+  EXPECT_EQ(arr.counters().page_reads, 1u);
+}
+
+TEST(FlashArray, SubPageReadTransfersProportionally) {
+  sim::Simulator s;
+  Timing t;
+  FlashArray arr(s, SmallGeo(), t);
+  sim::Time done = 0;
+  auto body = [&]() -> sim::Task<> {
+    co_await arr.ProgramPage({0, 0, 0});
+    sim::Time start = s.now();
+    co_await arr.ReadPage({0, 0, 0}, 4 * 1024);  // 1/4 page
+    done = s.now() - start;
+  };
+  auto task = body();
+  s.Run();
+  EXPECT_EQ(done, t.read_page + t.bus_xfer_page / 4);
+}
+
+TEST(FlashArray, ProgramsOnSameDieSerialize) {
+  sim::Simulator s;
+  Timing t;
+  FlashArray arr(s, SmallGeo(), t);
+  auto body = [&](std::uint32_t page) -> sim::Task<> {
+    co_await arr.ProgramPage({0, 0, page});
+  };
+  sim::Spawn(body(0));
+  sim::Spawn(body(1));
+  s.Run();
+  // Two programs on one die: 2× (bus + tPROG) but bus of #2 overlaps die
+  // busy of #1, so the span is bus + 2 * tPROG.
+  EXPECT_EQ(s.now(), t.bus_xfer_page + 2 * t.program_page);
+}
+
+TEST(FlashArray, ProgramsOnDifferentDiesRunInParallel) {
+  sim::Simulator s;
+  Timing t;
+  FlashArray arr(s, SmallGeo(), t);
+  auto body = [&](std::uint32_t die) -> sim::Task<> {
+    co_await arr.ProgramPage({die, 0, 0});
+  };
+  sim::Spawn(body(0));  // channel 0
+  sim::Spawn(body(1));  // channel 1 — fully parallel
+  s.Run();
+  EXPECT_EQ(s.now(), t.bus_xfer_page + t.program_page);
+}
+
+TEST(FlashArray, DiesOnSameChannelShareTheBus) {
+  sim::Simulator s;
+  Timing t;
+  FlashArray arr(s, SmallGeo(), t);
+  auto body = [&](std::uint32_t die) -> sim::Task<> {
+    co_await arr.ProgramPage({die, 0, 0});
+  };
+  sim::Spawn(body(0));  // channel 0
+  sim::Spawn(body(2));  // channel 0 too: bus transfers serialize
+  s.Run();
+  EXPECT_EQ(s.now(), 2 * t.bus_xfer_page + t.program_page);
+}
+
+TEST(FlashArray, ReadQueuesBehindProgramOnBusyDie) {
+  sim::Simulator s;
+  Timing t;
+  FlashArray arr(s, SmallGeo(), t);
+  sim::Time read_latency = 0;
+  auto prep = [&]() -> sim::Task<> { co_await arr.ProgramPage({0, 0, 0}); };
+  auto w = [&]() -> sim::Task<> { co_await arr.ProgramPage({0, 0, 1}); };
+  auto r = [&]() -> sim::Task<> {
+    // Arrive while the second program holds the die.
+    co_await s.Delay(t.bus_xfer_page + t.program_page / 2);
+    sim::Time start = s.now();
+    co_await arr.ReadPage({0, 0, 0}, 4096);
+    read_latency = s.now() - start;
+  };
+  auto t1 = prep();
+  s.Run();
+  sim::Spawn(w());
+  sim::Spawn(r());
+  s.Run();
+  // The read arrived 1 ns into the second program's die time and had to
+  // wait for it to finish: latency ≈ tPROG + tR.
+  EXPECT_GT(read_latency, t.read_page + t.program_page / 2);
+}
+
+TEST(FlashArray, EraseResetsWritePointerAndCountsPe) {
+  sim::Simulator s;
+  FlashArray arr(s, SmallGeo(), Timing{});
+  auto body = [&]() -> sim::Task<> {
+    co_await arr.ProgramPage({1, 2, 0});
+    co_await arr.ProgramPage({1, 2, 1});
+    EXPECT_EQ(arr.BlockWritePointer(1, 2), 2u);
+    co_await arr.EraseBlock(1, 2);
+    EXPECT_EQ(arr.BlockWritePointer(1, 2), 0u);
+    EXPECT_EQ(arr.BlockPeCycles(1, 2), 1u);
+    co_await arr.ProgramPage({1, 2, 0});  // reusable after erase
+  };
+  auto task = body();
+  s.Run();
+  EXPECT_EQ(arr.counters().block_erases, 1u);
+}
+
+TEST(FlashArrayDeathTest, NonSequentialProgramAborts) {
+  EXPECT_DEATH(
+      {
+        sim::Simulator s;
+        FlashArray arr(s, SmallGeo(), Timing{});
+        auto body = [&]() -> sim::Task<> {
+          co_await arr.ProgramPage({0, 0, 3});  // block is empty; wp = 0
+        };
+        auto task = body();
+        s.Run();
+      },
+      "non-sequential program");
+}
+
+TEST(FlashArrayDeathTest, ReadingUnprogrammedPageAborts) {
+  EXPECT_DEATH(
+      {
+        sim::Simulator s;
+        FlashArray arr(s, SmallGeo(), Timing{});
+        auto body = [&]() -> sim::Task<> {
+          co_await arr.ReadPage({0, 0, 0}, 4096);
+        };
+        auto task = body();
+        s.Run();
+      },
+      "unprogrammed");
+}
+
+TEST(FlashArray, AggregateStreamApproachesPeakBandwidth) {
+  sim::Simulator s;
+  Geometry g = SmallGeo();
+  Timing t;
+  FlashArray arr(s, g, t);
+  // Stream every page of every block on every die.
+  auto stream = [&](std::uint32_t die) -> sim::Task<> {
+    for (std::uint32_t b = 0; b < g.blocks_per_die; ++b) {
+      for (std::uint32_t p = 0; p < g.pages_per_block; ++p) {
+        co_await arr.ProgramPage({die, b, p});
+      }
+    }
+  };
+  for (std::uint32_t d = 0; d < g.total_dies(); ++d) sim::Spawn(stream(d));
+  s.Run();
+  double bytes = static_cast<double>(arr.counters().bytes_programmed);
+  double bw = bytes / sim::ToSeconds(s.now());
+  EXPECT_GT(bw, 0.95 * arr.PeakProgramBandwidth());
+}
+
+}  // namespace
+}  // namespace zstor::nand

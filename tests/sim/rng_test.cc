@@ -1,0 +1,104 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace zstor::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformU64StaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.UniformU64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformU64CoversAllValues) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.UniformU64(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformU64IsApproximatelyUniform) {
+  Rng r(123);
+  const int kBuckets = 8, kN = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kN; ++i) {
+    counts[r.UniformU64(kBuckets)]++;
+  }
+  // Chi-squared with 7 dof; 99.9% critical value ≈ 24.3.
+  double expected = static_cast<double>(kN) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 24.3);
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng r(11);
+  const int kN = 100000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < kN; ++i) {
+    double x = r.Normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  double mean = sum / kN;
+  double var = sumsq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, LogNormalNoiseHasMedianOne) {
+  Rng r(13);
+  const int kN = 20001;
+  std::vector<double> xs(kN);
+  for (auto& x : xs) x = r.LogNormalNoise(0.1);
+  std::nth_element(xs.begin(), xs.begin() + kN / 2, xs.end());
+  EXPECT_NEAR(xs[kN / 2], 1.0, 0.02);
+}
+
+TEST(Rng, LogNormalNoiseIsAlwaysPositive) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(r.LogNormalNoise(0.5), 0.0);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(19);
+  const int kN = 100000;
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) sum += r.Exponential(5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.1);
+}
+
+}  // namespace
+}  // namespace zstor::sim

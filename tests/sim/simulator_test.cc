@@ -1,0 +1,100 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace zstor::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleIn(30, [&] { order.push_back(3); });
+  s.ScheduleIn(10, [&] { order.push_back(1); });
+  s.ScheduleIn(20, [&] { order.push_back(2); });
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.ScheduleIn(100, [&, i] { order.push_back(i); });
+  }
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int fired = 0;
+  s.ScheduleIn(1, [&] {
+    ++fired;
+    s.ScheduleIn(1, [&] {
+      ++fired;
+      s.ScheduleIn(1, [&] { ++fired; });
+    });
+  });
+  s.Run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(s.now(), 3u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator s;
+  int fired = 0;
+  s.ScheduleIn(10, [&] { ++fired; });
+  s.ScheduleIn(20, [&] { ++fired; });
+  s.ScheduleIn(30, [&] { ++fired; });
+  s.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 20u);
+  s.RunUntil(25);  // no events in (20, 25]; clock still advances
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 25u);
+  s.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunReturnsEventCount) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.ScheduleIn(static_cast<Time>(i), [] {});
+  EXPECT_EQ(s.Run(), 7u);
+}
+
+TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator s;
+  Time seen = 12345;
+  s.ScheduleIn(50, [&] { s.ScheduleIn(0, [&] { seen = s.now(); }); });
+  s.Run();
+  EXPECT_EQ(seen, 50u);
+}
+
+TEST(SimulatorDeathTest, SchedulingIntoThePastAborts) {
+  Simulator s;
+  s.ScheduleIn(100, [&] {
+    EXPECT_DEATH(s.ScheduleAt(50, [] {}), "scheduling into the past");
+  });
+  s.Run();
+}
+
+TEST(TimeHelpers, ConversionsRoundTrip) {
+  EXPECT_EQ(Microseconds(11.36), 11360u);
+  EXPECT_EQ(Milliseconds(16.19), 16190000u);
+  EXPECT_EQ(Seconds(2), 2'000'000'000u);
+  EXPECT_DOUBLE_EQ(ToMicroseconds(11360), 11.36);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(16190000), 16.19);
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+}
+
+}  // namespace
+}  // namespace zstor::sim

@@ -1,0 +1,145 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace zstor::sim {
+namespace {
+
+TEST(Welford, ComputesExactMomentsOfSmallSample) {
+  Welford w;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.Record(x);
+  EXPECT_EQ(w.count(), 8u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(w.min(), 2.0);
+  EXPECT_DOUBLE_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.cv(), 0.0);
+}
+
+TEST(Welford, CvOfConstantSeriesIsZero) {
+  Welford w;
+  for (int i = 0; i < 10; ++i) w.Record(3.5);
+  EXPECT_NEAR(w.cv(), 0.0, 1e-9);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (Time v = 1; v <= 50; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 50u);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 50.0);
+  EXPECT_NEAR(h.Quantile(0.5), 25.0, 1.0);
+}
+
+TEST(LatencyHistogram, QuantilesWithinRelativeResolution) {
+  LatencyHistogram h;
+  // Latencies spanning µs to ms.
+  Rng rng(5);
+  std::vector<Time> vals;
+  for (int i = 0; i < 50000; ++i) {
+    Time v = 1000 + rng.UniformU64(10'000'000);
+    vals.push_back(v);
+    h.Record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    double exact = static_cast<double>(
+        vals[static_cast<std::size_t>(q * (vals.size() - 1))]);
+    EXPECT_NEAR(h.Quantile(q) / exact, 1.0, 0.02) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, MeanIsExact) {
+  LatencyHistogram h;
+  h.Record(Microseconds(11.36));
+  h.Record(Microseconds(14.02));
+  EXPECT_NEAR(h.mean_ns(), (11360.0 + 14020.0) / 2, 1e-9);
+}
+
+TEST(LatencyHistogram, HandlesHugeLatencies) {
+  LatencyHistogram h;
+  h.Record(Milliseconds(907.51));  // the paper's worst finish latency
+  h.Record(Seconds(2));
+  EXPECT_NEAR(h.Quantile(0.5) / static_cast<double>(Milliseconds(907.51)),
+              1.0, 0.02);
+  EXPECT_NEAR(h.Quantile(1.0) / static_cast<double>(Seconds(2)), 1.0, 0.02);
+}
+
+TEST(LatencyHistogram, MergeAddsCountsAndPreservesQuantiles) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 1000; ++i) a.Record(Microseconds(10));
+  for (int i = 0; i < 1000; ++i) b.Record(Microseconds(1000));
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_NEAR(a.Quantile(0.25) / 10e3, 1.0, 0.02);
+  EXPECT_NEAR(a.Quantile(0.75) / 1000e3, 1.0, 0.02);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogram, SummaryMentionsPercentiles) {
+  LatencyHistogram h;
+  h.Record(Microseconds(12));
+  std::string s = h.Summary();
+  EXPECT_NE(s.find("p95"), std::string::npos);
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+}
+
+TEST(TimeSeries, BinsAccumulateByTime) {
+  TimeSeries ts(Seconds(1));
+  ts.Record(Milliseconds(100), 10.0);
+  ts.Record(Milliseconds(900), 20.0);
+  ts.Record(Milliseconds(1500), 5.0);
+  ASSERT_EQ(ts.num_bins(), 2u);
+  EXPECT_DOUBLE_EQ(ts.BinTotal(0), 30.0);
+  EXPECT_DOUBLE_EQ(ts.BinTotal(1), 5.0);
+  EXPECT_DOUBLE_EQ(ts.BinRate(0), 30.0);
+}
+
+TEST(TimeSeries, RatesScaleByBinWidth) {
+  TimeSeries ts(Milliseconds(100));
+  ts.Record(Milliseconds(50), 10.0);  // 10 units in 0.1 s = 100 units/s
+  EXPECT_DOUBLE_EQ(ts.BinRate(0), 100.0);
+}
+
+TEST(TimeSeries, RateMomentsSkipWarmup) {
+  TimeSeries ts(Seconds(1));
+  ts.Record(Milliseconds(500), 1000.0);  // warmup spike
+  ts.Record(Seconds(1.5), 10.0);
+  ts.Record(Seconds(2.5), 10.0);
+  ts.Record(Seconds(3.5), 10.0);
+  Welford w = ts.RateMoments(/*skip_bins=*/1);
+  EXPECT_EQ(w.count(), 3u);
+  EXPECT_DOUBLE_EQ(w.mean(), 10.0);
+  EXPECT_NEAR(w.cv(), 0.0, 1e-9);
+}
+
+// The discriminator used for Obs. 11: a fluctuating (GC-ridden) series has
+// high CV; a stable (ZNS) one has low CV.
+TEST(TimeSeries, CvSeparatesStableFromFluctuating) {
+  TimeSeries stable(Seconds(1)), sawtooth(Seconds(1));
+  for (int i = 0; i < 60; ++i) {
+    stable.Record(Seconds(i + 0.5), 1000.0);
+    sawtooth.Record(Seconds(i + 0.5), (i % 2 == 0) ? 1900.0 : 100.0);
+  }
+  EXPECT_LT(stable.RateMoments().cv(), 0.01);
+  EXPECT_GT(sawtooth.RateMoments().cv(), 0.5);
+}
+
+}  // namespace
+}  // namespace zstor::sim

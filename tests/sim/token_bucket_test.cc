@@ -1,0 +1,110 @@
+#include "sim/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/task.h"
+
+namespace zstor::sim {
+namespace {
+
+TEST(TokenBucket, BurstIsImmediatelyAvailable) {
+  Simulator s;
+  TokenBucket tb(s, /*rate=*/1000.0, /*burst=*/100.0);
+  Time done_at = 1;
+  auto t = [&]() -> Task<> {
+    co_await tb.Take(100.0);
+    done_at = s.now();
+  };
+  Spawn(t());
+  s.Run();
+  EXPECT_EQ(done_at, 0u);
+}
+
+TEST(TokenBucket, DrainedBucketDelaysAtConfiguredRate) {
+  Simulator s;
+  TokenBucket tb(s, /*rate=*/1000.0, /*burst=*/100.0);  // 1000 tokens/s
+  Time done_at = 0;
+  auto t = [&]() -> Task<> {
+    co_await tb.Take(100.0);  // drains the burst instantly
+    co_await tb.Take(50.0);   // must wait 50/1000 s = 50 ms
+    done_at = s.now();
+  };
+  Spawn(t());
+  s.Run();
+  EXPECT_NEAR(ToSeconds(done_at), 0.050, 0.001);
+}
+
+TEST(TokenBucket, SustainedThroughputMatchesRate) {
+  Simulator s;
+  const double kRate = 1e6;  // tokens per second
+  TokenBucket tb(s, kRate, /*burst=*/1000.0);
+  int completed = 0;
+  auto t = [&]() -> Task<> {
+    for (int i = 0; i < 1000; ++i) {
+      co_await tb.Take(1000.0);
+      ++completed;
+    }
+  };
+  Spawn(t());
+  s.Run();
+  EXPECT_EQ(completed, 1000);
+  // 1e6 tokens at 1e6 tokens/s ≈ 1 s (minus the initial burst's worth).
+  double elapsed = ToSeconds(s.now());
+  EXPECT_NEAR(elapsed, 0.999, 0.01);
+}
+
+TEST(TokenBucket, OversizeRequestIncursDebt) {
+  Simulator s;
+  TokenBucket tb(s, /*rate=*/1000.0, /*burst=*/100.0);
+  Time first = 0, second = 0;
+  auto t = [&]() -> Task<> {
+    co_await tb.Take(500.0);  // 5x burst: granted at full bucket, debt -400
+    first = s.now();
+    co_await tb.Take(100.0);  // must repay debt: (400+100)/1000 s
+    second = s.now();
+  };
+  Spawn(t());
+  s.Run();
+  EXPECT_EQ(first, 0u);
+  EXPECT_NEAR(ToSeconds(second), 0.5, 0.005);
+}
+
+TEST(TokenBucket, CompetingTakersShareFairlyFifo) {
+  Simulator s;
+  TokenBucket tb(s, /*rate=*/1000.0, /*burst=*/10.0);
+  std::vector<int> order;
+  auto t = [&](int id) -> Task<> {
+    co_await s.Delay(static_cast<Time>(id));
+    co_await tb.Take(10.0);
+    order.push_back(id);
+  };
+  for (int i = 0; i < 3; ++i) Spawn(t(i));
+  s.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  // Three takes of 10 tokens at 1000/s: last finishes around 20 ms.
+  EXPECT_NEAR(ToSeconds(s.now()), 0.020, 0.002);
+}
+
+TEST(TokenBucket, ModelsFioRateLimitInBytes) {
+  // The §III-F experiment: rate limit 250 MiB/s, 128 KiB requests.
+  Simulator s;
+  const double kMiB = 1024.0 * 1024.0;
+  TokenBucket tb(s, 250.0 * kMiB, /*burst=*/1.0 * kMiB);
+  const double kReq = 128.0 * 1024.0;
+  int completed = 0;
+  auto t = [&]() -> Task<> {
+    for (int i = 0; i < 2000; ++i) {
+      co_await tb.Take(kReq);
+      ++completed;
+    }
+  };
+  Spawn(t());
+  s.Run();
+  double bytes = 2000 * kReq;
+  double achieved = bytes / ToSeconds(s.now()) / kMiB;
+  EXPECT_NEAR(achieved, 250.0, 5.0);
+  EXPECT_EQ(completed, 2000);
+}
+
+}  // namespace
+}  // namespace zstor::sim

@@ -1,0 +1,106 @@
+// Tests for the fio-style job specification parser.
+#include <gtest/gtest.h>
+
+#include "workload/spec_parser.h"
+
+namespace zstor::workload {
+namespace {
+
+using nvme::Opcode;
+using nvme::ZoneAction;
+
+TEST(SpecParser, FullFioStyleLine) {
+  auto r = ParseJobSpec(
+      "op=append random=1 bs=16k qd=8 workers=4 zones=0-11 rate=250m "
+      "duration=2s warmup=500ms on_full=reset rwmix=70 zipf=0.99 seed=42 "
+      "partition=1");
+  ASSERT_TRUE(r.ok) << r.error;
+  const JobSpec& s = r.spec;
+  EXPECT_EQ(s.op, Opcode::kAppend);
+  EXPECT_TRUE(s.random);
+  EXPECT_EQ(s.request_bytes, 16u * 1024);
+  EXPECT_EQ(s.queue_depth, 8u);
+  EXPECT_EQ(s.workers, 4u);
+  EXPECT_EQ(s.zones.size(), 12u);
+  EXPECT_EQ(s.zones.front(), 0u);
+  EXPECT_EQ(s.zones.back(), 11u);
+  EXPECT_DOUBLE_EQ(s.rate_bytes_per_sec, 250.0 * 1024 * 1024);
+  EXPECT_EQ(s.duration, sim::Seconds(2));
+  EXPECT_EQ(s.warmup, sim::Milliseconds(500));
+  EXPECT_EQ(s.on_full, JobSpec::OnFull::kReset);
+  EXPECT_DOUBLE_EQ(s.read_fraction, 0.7);
+  EXPECT_DOUBLE_EQ(s.zipf_theta, 0.99);
+  EXPECT_EQ(s.seed, 42u);
+  EXPECT_TRUE(s.partition_zones);
+}
+
+TEST(SpecParser, DefaultsWhenOmitted) {
+  auto r = ParseJobSpec("op=read");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.spec.queue_depth, 1u);
+  EXPECT_EQ(r.spec.workers, 1u);
+  EXPECT_EQ(r.spec.request_bytes, 4096u);
+  EXPECT_FALSE(r.spec.random);
+  EXPECT_LT(r.spec.read_fraction, 0);  // not mixed
+}
+
+TEST(SpecParser, MgmtOps) {
+  for (auto [name, action] :
+       {std::pair{"reset", ZoneAction::kReset},
+        std::pair{"finish", ZoneAction::kFinish},
+        std::pair{"open", ZoneAction::kOpen},
+        std::pair{"close", ZoneAction::kClose}}) {
+    auto r = ParseJobSpec(std::string("op=") + name);
+    ASSERT_TRUE(r.ok) << name;
+    EXPECT_EQ(r.spec.op, Opcode::kZoneMgmtSend);
+    EXPECT_EQ(r.spec.zone_action, action);
+  }
+}
+
+TEST(SpecParser, ZoneListsMixRangesAndSingles) {
+  auto r = ParseJobSpec("op=read zones=0-2,7,9-10");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.spec.zones,
+            (std::vector<std::uint32_t>{0, 1, 2, 7, 9, 10}));
+}
+
+TEST(SpecParser, ByteSuffixes) {
+  EXPECT_EQ(ParseJobSpec("op=read bs=512").spec.request_bytes, 512u);
+  EXPECT_EQ(ParseJobSpec("op=read bs=4k").spec.request_bytes, 4096u);
+  EXPECT_EQ(ParseJobSpec("op=read bs=1m").spec.request_bytes, 1u << 20);
+  EXPECT_EQ(ParseJobSpec("op=read rate=1g").spec.rate_bytes_per_sec,
+            double{1u << 30});
+}
+
+TEST(SpecParser, TimeSuffixes) {
+  EXPECT_EQ(ParseJobSpec("op=read duration=250us").spec.duration,
+            sim::Microseconds(250));
+  EXPECT_EQ(ParseJobSpec("op=read duration=1.5s").spec.duration,
+            sim::Seconds(1.5));
+  EXPECT_EQ(ParseJobSpec("op=read duration=20ms").spec.duration,
+            sim::Milliseconds(20));
+}
+
+TEST(SpecParser, ErrorsNameTheToken) {
+  EXPECT_FALSE(ParseJobSpec("op=read bogus=1").ok);
+  EXPECT_NE(ParseJobSpec("op=read bogus=1").error.find("bogus"),
+            std::string::npos);
+  EXPECT_FALSE(ParseJobSpec("op=warp").ok);
+  EXPECT_FALSE(ParseJobSpec("op=read qd=0").ok);
+  EXPECT_FALSE(ParseJobSpec("op=read bs=12q").ok);
+  EXPECT_FALSE(ParseJobSpec("op=read zones=5-2").ok);
+  EXPECT_FALSE(ParseJobSpec("op=read zipf=1.5").ok);
+  EXPECT_FALSE(ParseJobSpec("op=read rwmix=150").ok);
+  EXPECT_FALSE(ParseJobSpec("op=read duration").ok);
+  EXPECT_FALSE(ParseJobSpec("op=read warmup=2s duration=1s").ok);
+}
+
+TEST(SpecParser, WhitespaceIsFlexible) {
+  auto r = ParseJobSpec("  op=read \n qd=4\tbs=8k  ");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.spec.queue_depth, 4u);
+  EXPECT_EQ(r.spec.request_bytes, 8192u);
+}
+
+}  // namespace
+}  // namespace zstor::workload

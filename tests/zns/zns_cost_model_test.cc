@@ -1,0 +1,285 @@
+// Device cost-model tests on the calibrated (noise-free) ZN540 profile:
+// each paper-measured constant, exercised through the public command set.
+// Host-stack overheads are NOT included here (these are device-internal
+// latencies); the calibration_test adds the host stack and checks the
+// paper's end-to-end numbers.
+#include <gtest/gtest.h>
+
+#include "zns_test_util.h"
+
+namespace zstor::zns {
+namespace {
+
+using sim::Microseconds;
+using sim::Milliseconds;
+using sim::Time;
+using sim::ToMicroseconds;
+using sim::ToMilliseconds;
+using zstor::zns::testing::Harness;
+using zstor::zns::testing::QuietZn540;
+
+TEST(ZnsCostModel, Write4kQd1DeviceLatency) {
+  Harness h(QuietZn540());
+  sim::Time lat = 0;
+  ASSERT_TRUE(h.Write(0, 0, 1, &lat).ok());
+  // First write pays the implicit-open penalty; measure the second.
+  ASSERT_TRUE(h.WriteAtWp(0, 1, &lat).ok());
+  // fcp.write (5.37) + post.write_fixed (3.7) + DMA 4 KiB (1.28) = 10.35 us
+  EXPECT_NEAR(ToMicroseconds(lat), 10.35, 0.1);
+}
+
+TEST(ZnsCostModel, Append4kQd1DeviceLatency) {
+  Harness h(QuietZn540());
+  sim::Time lat = 0;
+  ASSERT_TRUE(h.Append(0, 1, &lat).ok());
+  ASSERT_TRUE(h.Append(0, 1, &lat).ok());
+  // fcp.append (7.58) + post (3.7) + substripe (2.4) + DMA (1.28) = 14.96
+  EXPECT_NEAR(ToMicroseconds(lat), 14.96, 0.1);
+}
+
+TEST(ZnsCostModel, Append8kIsFasterThanAppend4k) {
+  Harness h(QuietZn540());
+  sim::Time lat4 = 0, lat8 = 0;
+  ASSERT_TRUE(h.Append(0, 1).ok());
+  ASSERT_TRUE(h.Append(0, 1, &lat4).ok());
+  ASSERT_TRUE(h.Append(0, 2, &lat8).ok());
+  // Observation #3: doubling the append size slightly improves latency.
+  EXPECT_LT(lat8, lat4);
+}
+
+TEST(ZnsCostModel, WriteIsFasterThanAppendAtEveryCommonSize) {
+  // Observation #4: write latency < append latency across configurations.
+  Harness h(QuietZn540());
+  ASSERT_TRUE(h.Write(0, 0, 1).ok());
+  ASSERT_TRUE(h.Append(1, 1).ok());
+  for (std::uint32_t nlb : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    sim::Time w = 0, a = 0;
+    ASSERT_TRUE(h.WriteAtWp(0, nlb, &w).ok());
+    ASSERT_TRUE(h.Append(1, nlb, &a).ok());
+    EXPECT_LT(w, a) << "nlb=" << nlb;
+  }
+}
+
+TEST(ZnsCostModel, SmallLbaFormatRoughlyDoublesSmallWriteLatency) {
+  // Observation #1 (Fig. 2a): 512 B requests on the 512 B format vs 4 KiB
+  // requests on the 4 KiB format — up to a factor of two.
+  Harness h4(QuietZn540(), 4096);
+  Harness h512(QuietZn540(), 512);
+  sim::Time l4 = 0, l512 = 0;
+  ASSERT_TRUE(h4.Write(0, 0, 1).ok());
+  ASSERT_TRUE(h4.WriteAtWp(0, 1, &l4).ok());
+  ASSERT_TRUE(h512.Write(0, 0, 1).ok());
+  ASSERT_TRUE(h512.WriteAtWp(0, 1, &l512).ok());
+  double ratio = static_cast<double>(l512) / static_cast<double>(l4);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.2);
+}
+
+TEST(ZnsCostModel, FourKOn512FormatStillSlowerButLess) {
+  // Fig. 2b: with request sizes that are unit multiples the format overhead
+  // shrinks but does not vanish.
+  Harness h4(QuietZn540(), 4096);
+  Harness h512(QuietZn540(), 512);
+  sim::Time l4 = 0, l512 = 0;
+  ASSERT_TRUE(h4.Write(0, 0, 1).ok());
+  ASSERT_TRUE(h4.WriteAtWp(0, 1, &l4).ok());
+  ASSERT_TRUE(h512.Write(0, 0, 8).ok());
+  ASSERT_TRUE(h512.WriteAtWp(0, 8, &l512).ok());
+  double ratio = static_cast<double>(l512) / static_cast<double>(l4);
+  EXPECT_GT(ratio, 1.1);
+  EXPECT_LT(ratio, 1.6);
+}
+
+TEST(ZnsCostModel, ImplicitOpenPenaltyOnFirstWrite) {
+  Harness h(QuietZn540());
+  sim::Time first = 0, second = 0;
+  ASSERT_TRUE(h.Write(0, 0, 1, &first).ok());
+  ASSERT_TRUE(h.WriteAtWp(0, 1, &second).ok());
+  // Observation #9: +2.02 us on the first write to an implicitly opened
+  // zone.
+  EXPECT_NEAR(ToMicroseconds(first - second), 2.02, 0.05);
+}
+
+TEST(ZnsCostModel, ImplicitOpenPenaltyOnFirstAppend) {
+  Harness h(QuietZn540());
+  sim::Time first = 0, second = 0;
+  ASSERT_TRUE(h.Append(0, 1, &first).ok());
+  ASSERT_TRUE(h.Append(0, 1, &second).ok());
+  EXPECT_NEAR(ToMicroseconds(first - second), 2.83, 0.05);
+}
+
+TEST(ZnsCostModel, ExplicitOpenAndCloseCosts) {
+  Harness h(QuietZn540());
+  sim::Time open = 0, close = 0;
+  ASSERT_TRUE(h.Open(0, &open).ok());
+  ASSERT_TRUE(h.Write(0, 0, 1).ok());
+  ASSERT_TRUE(h.Close(0, &close).ok());
+  // Observation #9: ~9.56 us open / ~11.01 us close end-to-end; the device
+  // share here excludes the ~1 us host stack.
+  EXPECT_NEAR(ToMicroseconds(open), 8.55, 0.05);
+  EXPECT_NEAR(ToMicroseconds(close), 10.0, 0.05);
+}
+
+TEST(ZnsCostModel, ReadLatencyIsNandBound) {
+  Harness h(QuietZn540());
+  ASSERT_TRUE(h.Write(0, 0, 4).ok());
+  // Let the NAND drain finish so the read hits flash, not the buffer.
+  h.sim.RunUntil(h.sim.now() + sim::Milliseconds(10));
+  sim::Time lat = 0;
+  ASSERT_TRUE(h.Read(0, 0, 1, &lat).ok());
+  // fcp.read (2.36) + tR (68) + bus (0.8) + post (0.5) + DMA (1.28) ~ 73 us
+  EXPECT_NEAR(ToMicroseconds(lat), 73.0, 1.5);
+}
+
+TEST(ZnsCostModel, BufferedReadIsFast) {
+  Harness h(QuietZn540());
+  // A 4 KiB write leaves a partial NAND page in the write-back buffer;
+  // reading it back immediately is served from DRAM.
+  ASSERT_TRUE(h.Write(0, 0, 1).ok());
+  sim::Time lat = 0;
+  ASSERT_TRUE(h.Read(0, 0, 1, &lat).ok());
+  EXPECT_LT(ToMicroseconds(lat), 10.0);
+}
+
+TEST(ZnsCostModel, LargeReadFansOutAcrossDies) {
+  Harness h(QuietZn540());
+  // 256 KiB of data spans 16 NAND pages on 16 distinct dies.
+  ASSERT_TRUE(h.Write(0, 0, 64).ok());
+  h.sim.RunUntil(h.sim.now() + sim::Milliseconds(10));
+  sim::Time lat = 0;
+  ASSERT_TRUE(h.Read(0, 0, 64, &lat).ok());
+  // Parallel page reads: far cheaper than 16 serial tR (16 x 68 us).
+  EXPECT_LT(ToMicroseconds(lat), 200.0);
+  EXPECT_GT(ToMicroseconds(lat), 68.0);
+}
+
+// ---- reset model (Fig. 5a) ------------------------------------------
+
+double ResetMsAtOccupancy(double occ, bool finished) {
+  Harness h(QuietZn540());
+  std::uint64_t cap = h.dev.profile().zone_cap_bytes;
+  auto bytes = static_cast<std::uint64_t>(occ * static_cast<double>(cap));
+  bytes -= bytes % 4096;
+  h.dev.DebugFillZone(7, bytes);
+  if (finished && bytes < cap) EXPECT_TRUE(h.Finish(7).ok());
+  sim::Time lat = 0;
+  EXPECT_TRUE(h.Reset(7, &lat).ok());
+  return ToMilliseconds(lat);
+}
+
+TEST(ZnsCostModel, ResetOfHalfFullZoneCosts11_6ms) {
+  EXPECT_NEAR(ResetMsAtOccupancy(0.5, false), 11.60, 0.4);
+}
+
+TEST(ZnsCostModel, ResetOfFullZoneCosts16_19ms) {
+  EXPECT_NEAR(ResetMsAtOccupancy(1.0, false), 16.19, 0.5);
+}
+
+TEST(ZnsCostModel, ResetCostGrowsWithOccupancy) {
+  double prev = 0;
+  for (double occ : {0.0625, 0.125, 0.25, 0.5, 1.0}) {
+    double ms = ResetMsAtOccupancy(occ, false);
+    EXPECT_GT(ms, prev) << "occ=" << occ;
+    prev = ms;
+  }
+}
+
+TEST(ZnsCostModel, ResetOfEmptyZoneIsCheap) {
+  Harness h(QuietZn540());
+  sim::Time lat = 0;
+  ASSERT_TRUE(h.Reset(3, &lat).ok());
+  EXPECT_LT(ToMicroseconds(lat), 100.0);
+}
+
+TEST(ZnsCostModel, FinishedZoneResetCostsMore) {
+  // Observation #10: resetting a half-full zone takes ~3.08 ms less than
+  // resetting the same zone after a finish.
+  double plain = ResetMsAtOccupancy(0.5, false);
+  double finished = ResetMsAtOccupancy(0.5, true);
+  EXPECT_NEAR(finished - plain, 3.08, 0.3);
+}
+
+// ---- finish model (Fig. 5b) ------------------------------------------
+
+double FinishMsAtOccupancy(double occ) {
+  Harness h(QuietZn540());
+  std::uint64_t cap = h.dev.profile().zone_cap_bytes;
+  auto bytes = static_cast<std::uint64_t>(occ * static_cast<double>(cap));
+  bytes -= bytes % 4096;
+  if (bytes == 0) bytes = 4096;
+  if (bytes >= cap) bytes = cap - 4096;
+  h.dev.DebugFillZone(9, bytes);
+  sim::Time lat = 0;
+  EXPECT_TRUE(h.Finish(9, &lat).ok());
+  return ToMilliseconds(lat);
+}
+
+TEST(ZnsCostModel, FinishOfNearlyEmptyZoneCostsNearlyASecond) {
+  EXPECT_NEAR(FinishMsAtOccupancy(0.0), 907.51, 25.0);
+}
+
+TEST(ZnsCostModel, FinishOfNearlyFullZoneIsCheap) {
+  EXPECT_NEAR(FinishMsAtOccupancy(1.0), 3.07, 0.3);
+}
+
+TEST(ZnsCostModel, FinishCostDecreasesLinearlyWithOccupancy) {
+  // Fig. 5b: latency falls linearly as occupancy rises.
+  double f0 = FinishMsAtOccupancy(0.0);
+  double f25 = FinishMsAtOccupancy(0.25);
+  double f50 = FinishMsAtOccupancy(0.50);
+  double f100 = FinishMsAtOccupancy(1.0);
+  EXPECT_GT(f0, f25);
+  EXPECT_GT(f25, f50);
+  EXPECT_GT(f50, f100);
+  // Linearity: the 0->25% drop matches the 25->50% drop within 5%.
+  EXPECT_NEAR((f0 - f25) / (f25 - f50), 1.0, 0.05);
+  // The paper's ~295x ratio between the extremes.
+  EXPECT_NEAR(f0 / f100, 295.0, 45.0);
+}
+
+// ---- emulator profiles (§IV) -----------------------------------------
+
+TEST(ZnsCostModel, FemuLikeProfileHasNoLatencyModel) {
+  Harness h(FemuLikeProfile());
+  sim::Time w = 0, a = 0, r = 0;
+  ASSERT_TRUE(h.Write(0, 0, 1, &w).ok());
+  ASSERT_TRUE(h.Append(1, 1, &a).ok());
+  ASSERT_TRUE(h.Read(0, 0, 1, &r).ok());
+  // Everything is "as fast as the host permits": ~sub-microsecond.
+  EXPECT_LT(ToMicroseconds(w), 2.0);
+  EXPECT_LT(ToMicroseconds(a), 2.0);
+  EXPECT_LT(ToMicroseconds(r), 2.0);
+  sim::Time reset = 0, fin = 0;
+  ASSERT_TRUE(h.Finish(0, &fin).ok());
+  h.dev.DebugFillZone(5, h.dev.profile().zone_cap_bytes);
+  ASSERT_TRUE(h.Reset(5, &reset).ok());
+  EXPECT_LT(ToMicroseconds(reset), 70.0);  // no occupancy model
+  EXPECT_LT(ToMicroseconds(fin), 70.0);
+}
+
+TEST(ZnsCostModel, NvmeVirtLikeProfilePricesAppendAsWrite) {
+  Harness h(NvmeVirtLikeProfile());
+  sim::Time w = 0, a = 0;
+  ASSERT_TRUE(h.Write(0, 0, 1).ok());
+  ASSERT_TRUE(h.Append(1, 1).ok());
+  ASSERT_TRUE(h.WriteAtWp(0, 1, &w).ok());
+  ASSERT_TRUE(h.Append(1, 1, &a).ok());
+  // The §IV critique: NVMeVirt cannot represent Observation #4.
+  double ratio = static_cast<double>(a) / static_cast<double>(w);
+  EXPECT_NEAR(ratio, 1.0, 0.15);
+}
+
+TEST(ZnsCostModel, NvmeVirtLikeProfileResetIsOccupancyBlind) {
+  Harness h(NvmeVirtLikeProfile());
+  h.dev.DebugFillZone(0, h.dev.profile().zone_cap_bytes);
+  h.dev.DebugFillZone(1, h.dev.profile().zone_cap_bytes / 2);
+  sim::Time full = 0, half = 0;
+  ASSERT_TRUE(h.Reset(0, &full).ok());
+  ASSERT_TRUE(h.Reset(1, &half).ok());
+  EXPECT_NEAR(static_cast<double>(full) / static_cast<double>(half), 1.0,
+              0.05);
+  EXPECT_NEAR(ToMilliseconds(full), 3.5, 0.4);  // static NAND-erase cost
+}
+
+}  // namespace
+}  // namespace zstor::zns

@@ -1,0 +1,123 @@
+// Shared harness for ZNS device tests: issues single commands synchronously
+// in virtual time and exposes the command helpers by name.
+#pragma once
+
+#include "nvme/types.h"
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "zns/zns_device.h"
+
+namespace zstor::zns::testing {
+
+class Harness {
+ public:
+  explicit Harness(ZnsProfile profile, std::uint32_t lba_bytes = 4096)
+      : dev(sim, std::move(profile), lba_bytes) {}
+
+  /// Runs one command to completion; returns its completion and, via
+  /// `latency`, the submission-to-completion virtual time.
+  nvme::Completion Run(nvme::Command cmd, sim::Time* latency = nullptr) {
+    nvme::Completion out;
+    sim::Time t0 = 0, t1 = 0;
+    auto body = [&]() -> sim::Task<> {
+      t0 = sim.now();
+      out = co_await dev.Execute(cmd);
+      t1 = sim.now();
+    };
+    auto t = body();
+    sim.Run();
+    if (latency != nullptr) *latency = t1 - t0;
+    return out;
+  }
+
+  nvme::Completion Write(std::uint32_t zone, std::uint64_t lba_off,
+                         std::uint32_t nlb, sim::Time* lat = nullptr) {
+    return Run({.opcode = nvme::Opcode::kWrite,
+                .slba = dev.ZoneStartLba(zone) + lba_off,
+                .nlb = nlb},
+               lat);
+  }
+
+  nvme::Completion WriteAtWp(std::uint32_t zone, std::uint32_t nlb,
+                             sim::Time* lat = nullptr) {
+    return Run({.opcode = nvme::Opcode::kWrite,
+                .slba = dev.ZoneWritePointerLba(zone),
+                .nlb = nlb},
+               lat);
+  }
+
+  nvme::Completion Append(std::uint32_t zone, std::uint32_t nlb,
+                          sim::Time* lat = nullptr) {
+    return Run({.opcode = nvme::Opcode::kAppend,
+                .slba = dev.ZoneStartLba(zone),
+                .nlb = nlb},
+               lat);
+  }
+
+  nvme::Completion Read(std::uint32_t zone, std::uint64_t lba_off,
+                        std::uint32_t nlb, sim::Time* lat = nullptr) {
+    return Run({.opcode = nvme::Opcode::kRead,
+                .slba = dev.ZoneStartLba(zone) + lba_off,
+                .nlb = nlb},
+               lat);
+  }
+
+  nvme::Completion Mgmt(std::uint32_t zone, nvme::ZoneAction action,
+                        sim::Time* lat = nullptr) {
+    return Run({.opcode = nvme::Opcode::kZoneMgmtSend,
+                .slba = dev.ZoneStartLba(zone),
+                .nlb = 0,
+                .zone_action = action},
+               lat);
+  }
+
+  nvme::Completion Open(std::uint32_t z, sim::Time* lat = nullptr) {
+    return Mgmt(z, nvme::ZoneAction::kOpen, lat);
+  }
+  nvme::Completion Close(std::uint32_t z, sim::Time* lat = nullptr) {
+    return Mgmt(z, nvme::ZoneAction::kClose, lat);
+  }
+  nvme::Completion Finish(std::uint32_t z, sim::Time* lat = nullptr) {
+    return Mgmt(z, nvme::ZoneAction::kFinish, lat);
+  }
+  nvme::Completion Reset(std::uint32_t z, sim::Time* lat = nullptr) {
+    return Mgmt(z, nvme::ZoneAction::kReset, lat);
+  }
+
+  /// Fills a zone to Full with maximum-size writes (real simulated I/O).
+  void FillZone(std::uint32_t zone) {
+    std::uint64_t cap = dev.info().zone_cap_lbas;
+    std::uint64_t wp = 0;
+    while (wp < cap) {
+      std::uint32_t n = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(cap - wp, 256));
+      ZSTOR_CHECK(Write(zone, wp, n).ok());
+      wp += n;
+    }
+  }
+
+  sim::Simulator sim;
+  ZnsDevice dev;
+};
+
+/// TinyProfile with noise disabled: cost assertions become exact.
+inline ZnsProfile QuietTiny() {
+  ZnsProfile p = TinyProfile();
+  p.io_sigma = 0;
+  p.reset.sigma = 0;
+  p.finish.sigma = 0;
+  return p;
+}
+
+/// ZN540 with noise disabled.
+inline ZnsProfile QuietZn540() {
+  ZnsProfile p = Zn540Profile();
+  p.io_sigma = 0;
+  p.reset.sigma = 0;
+  p.finish.sigma = 0;
+  p.nand_timing.read_sigma = 0;
+  p.nand_timing.program_sigma = 0;
+  return p;
+}
+
+}  // namespace zstor::zns::testing
