@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_reqsize.dir/bench_fig3_reqsize.cc.o"
+  "CMakeFiles/bench_fig3_reqsize.dir/bench_fig3_reqsize.cc.o.d"
+  "bench_fig3_reqsize"
+  "bench_fig3_reqsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_reqsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_qd_curves.dir/bench_fig8_qd_curves.cc.o"
+  "CMakeFiles/bench_fig8_qd_curves.dir/bench_fig8_qd_curves.cc.o.d"
+  "bench_fig8_qd_curves"
+  "bench_fig8_qd_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_qd_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

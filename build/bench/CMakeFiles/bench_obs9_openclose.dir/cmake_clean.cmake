@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_obs9_openclose.dir/bench_obs9_openclose.cc.o"
+  "CMakeFiles/bench_obs9_openclose.dir/bench_obs9_openclose.cc.o.d"
+  "bench_obs9_openclose"
+  "bench_obs9_openclose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_obs9_openclose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

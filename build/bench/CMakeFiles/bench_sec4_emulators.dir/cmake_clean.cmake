@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_emulators.dir/bench_sec4_emulators.cc.o"
+  "CMakeFiles/bench_sec4_emulators.dir/bench_sec4_emulators.cc.o.d"
+  "bench_sec4_emulators"
+  "bench_sec4_emulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_emulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_env.dir/bench_table2_env.cc.o"
+  "CMakeFiles/bench_table2_env.dir/bench_table2_env.cc.o.d"
+  "bench_table2_env"
+  "bench_table2_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/append_log_store.dir/append_log_store.cpp.o"
+  "CMakeFiles/append_log_store.dir/append_log_store.cpp.o.d"
+  "append_log_store"
+  "append_log_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/append_log_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_showdown.dir/gc_showdown.cpp.o"
+  "CMakeFiles/gc_showdown.dir/gc_showdown.cpp.o.d"
+  "gc_showdown"
+  "gc_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zbench.dir/zbench.cpp.o"
+  "CMakeFiles/zbench.dir/zbench.cpp.o.d"
+  "zbench"
+  "zbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for zbench.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_tour.dir/zone_tour.cpp.o"
+  "CMakeFiles/zone_tour.dir/zone_tour.cpp.o.d"
+  "zone_tour"
+  "zone_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

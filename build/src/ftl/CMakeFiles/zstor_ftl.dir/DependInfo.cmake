@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/conv_device.cc" "src/ftl/CMakeFiles/zstor_ftl.dir/conv_device.cc.o" "gcc" "src/ftl/CMakeFiles/zstor_ftl.dir/conv_device.cc.o.d"
+  "/root/repo/src/ftl/conv_profile.cc" "src/ftl/CMakeFiles/zstor_ftl.dir/conv_profile.cc.o" "gcc" "src/ftl/CMakeFiles/zstor_ftl.dir/conv_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/zstor_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/zstor_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/zns/CMakeFiles/zstor_zns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

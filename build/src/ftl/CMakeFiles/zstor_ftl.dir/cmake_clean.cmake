@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zstor_ftl.dir/conv_device.cc.o"
+  "CMakeFiles/zstor_ftl.dir/conv_device.cc.o.d"
+  "CMakeFiles/zstor_ftl.dir/conv_profile.cc.o"
+  "CMakeFiles/zstor_ftl.dir/conv_profile.cc.o.d"
+  "libzstor_ftl.a"
+  "libzstor_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zstor_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zstor_harness.dir/experiments.cc.o"
+  "CMakeFiles/zstor_harness.dir/experiments.cc.o.d"
+  "CMakeFiles/zstor_harness.dir/gc_experiment.cc.o"
+  "CMakeFiles/zstor_harness.dir/gc_experiment.cc.o.d"
+  "CMakeFiles/zstor_harness.dir/table.cc.o"
+  "CMakeFiles/zstor_harness.dir/table.cc.o.d"
+  "libzstor_harness.a"
+  "libzstor_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zstor_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

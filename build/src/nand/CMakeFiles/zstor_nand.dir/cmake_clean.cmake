@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zstor_nand.dir/flash_array.cc.o"
+  "CMakeFiles/zstor_nand.dir/flash_array.cc.o.d"
+  "libzstor_nand.a"
+  "libzstor_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zstor_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

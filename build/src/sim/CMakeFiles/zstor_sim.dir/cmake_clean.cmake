@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zstor_sim.dir/stats.cc.o"
+  "CMakeFiles/zstor_sim.dir/stats.cc.o.d"
+  "libzstor_sim.a"
+  "libzstor_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zstor_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zstor_workload.dir/runner.cc.o"
+  "CMakeFiles/zstor_workload.dir/runner.cc.o.d"
+  "CMakeFiles/zstor_workload.dir/spec_parser.cc.o"
+  "CMakeFiles/zstor_workload.dir/spec_parser.cc.o.d"
+  "libzstor_workload.a"
+  "libzstor_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zstor_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

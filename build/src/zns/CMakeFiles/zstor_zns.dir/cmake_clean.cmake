@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zstor_zns.dir/profile.cc.o"
+  "CMakeFiles/zstor_zns.dir/profile.cc.o.d"
+  "CMakeFiles/zstor_zns.dir/zns_device.cc.o"
+  "CMakeFiles/zstor_zns.dir/zns_device.cc.o.d"
+  "libzstor_zns.a"
+  "libzstor_zns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zstor_zns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

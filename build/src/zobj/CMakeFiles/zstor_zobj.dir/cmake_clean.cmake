@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zstor_zobj.dir/zone_object_store.cc.o"
+  "CMakeFiles/zstor_zobj.dir/zone_object_store.cc.o.d"
+  "libzstor_zobj.a"
+  "libzstor_zobj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zstor_zobj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

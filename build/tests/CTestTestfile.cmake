@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("nand")
+subdirs("nvme")
+subdirs("zns")
+subdirs("hostif")
+subdirs("workload")
+subdirs("calibration")
+subdirs("ftl")
+subdirs("zobj")
+subdirs("integration")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_trim_test.dir/conv_trim_test.cc.o"
+  "CMakeFiles/conv_trim_test.dir/conv_trim_test.cc.o.d"
+  "conv_trim_test"
+  "conv_trim_test.pdb"
+  "conv_trim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_trim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

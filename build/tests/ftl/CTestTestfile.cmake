@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ftl
+# Build directory: /root/repo/build/tests/ftl
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ftl/conv_device_test[1]_include.cmake")
+include("/root/repo/build/tests/ftl/conv_trim_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flash_array_test.dir/flash_array_test.cc.o"
+  "CMakeFiles/flash_array_test.dir/flash_array_test.cc.o.d"
+  "flash_array_test"
+  "flash_array_test.pdb"
+  "flash_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flash_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

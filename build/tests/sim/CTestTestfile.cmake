@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/sim
+# Build directory: /root/repo/build/tests/sim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/task_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/resource_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/token_bucket_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/sim/stats_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_zipf_test.dir/mixed_zipf_test.cc.o"
+  "CMakeFiles/mixed_zipf_test.dir/mixed_zipf_test.cc.o.d"
+  "mixed_zipf_test"
+  "mixed_zipf_test.pdb"
+  "mixed_zipf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_zipf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

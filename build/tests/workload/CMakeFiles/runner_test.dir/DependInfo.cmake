@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/runner_test.cc" "tests/workload/CMakeFiles/runner_test.dir/runner_test.cc.o" "gcc" "tests/workload/CMakeFiles/runner_test.dir/runner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/zstor_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/zns/CMakeFiles/zstor_zns.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/zstor_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/zstor_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zns_cost_model_test.dir/zns_cost_model_test.cc.o"
+  "CMakeFiles/zns_cost_model_test.dir/zns_cost_model_test.cc.o.d"
+  "zns_cost_model_test"
+  "zns_cost_model_test.pdb"
+  "zns_cost_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zns_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

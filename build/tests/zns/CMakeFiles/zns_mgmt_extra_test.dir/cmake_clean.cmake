@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zns_mgmt_extra_test.dir/zns_mgmt_extra_test.cc.o"
+  "CMakeFiles/zns_mgmt_extra_test.dir/zns_mgmt_extra_test.cc.o.d"
+  "zns_mgmt_extra_test"
+  "zns_mgmt_extra_test.pdb"
+  "zns_mgmt_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zns_mgmt_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zns_property_test.dir/zns_property_test.cc.o"
+  "CMakeFiles/zns_property_test.dir/zns_property_test.cc.o.d"
+  "zns_property_test"
+  "zns_property_test.pdb"
+  "zns_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zns_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zns_state_machine_test.dir/zns_state_machine_test.cc.o"
+  "CMakeFiles/zns_state_machine_test.dir/zns_state_machine_test.cc.o.d"
+  "zns_state_machine_test"
+  "zns_state_machine_test.pdb"
+  "zns_state_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zns_state_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zns_sweep_test.dir/zns_sweep_test.cc.o"
+  "CMakeFiles/zns_sweep_test.dir/zns_sweep_test.cc.o.d"
+  "zns_sweep_test"
+  "zns_sweep_test.pdb"
+  "zns_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zns_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/zns
+# Build directory: /root/repo/build/tests/zns
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/zns/zns_state_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/zns/zns_cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/zns/zns_property_test[1]_include.cmake")
+include("/root/repo/build/tests/zns/zns_mgmt_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/zns/zns_sweep_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zone_object_store_test.dir/zone_object_store_test.cc.o"
+  "CMakeFiles/zone_object_store_test.dir/zone_object_store_test.cc.o.d"
+  "zone_object_store_test"
+  "zone_object_store_test.pdb"
+  "zone_object_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zone_object_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
