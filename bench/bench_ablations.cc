@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "ftl/conv_device.h"
+#include "harness/bench_flags.h"
 #include "harness/experiments.h"
 #include "harness/gc_experiment.h"
 #include "harness/table.h"
@@ -102,7 +103,8 @@ SliceResult ResetSliceTradeoff(sim::Time slice) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::InitBench(argc, argv);
   harness::Banner(
       "Ablation 1 — ZNS write-back buffer size vs read tail under load");
   {

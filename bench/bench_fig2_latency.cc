@@ -9,6 +9,7 @@
 // slower (Observations #1, #2, #4).
 #include <cstdio>
 
+#include "harness/bench_flags.h"
 #include "harness/experiments.h"
 #include "harness/table.h"
 #include "zns/profile.h"
@@ -17,7 +18,8 @@ using namespace zstor;
 using harness::StackKind;
 using nvme::Opcode;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::InitBench(argc, argv);
   zns::ZnsProfile profile = zns::Zn540Profile();
 
   harness::Banner(

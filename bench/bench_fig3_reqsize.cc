@@ -6,6 +6,7 @@
 // throughput is highest for requests >= 32 KiB (Observation #3).
 #include <cstdio>
 
+#include "harness/bench_flags.h"
 #include "harness/experiments.h"
 #include "harness/table.h"
 #include "zns/profile.h"
@@ -13,7 +14,8 @@
 using namespace zstor;
 using nvme::Opcode;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::InitBench(argc, argv);
   zns::ZnsProfile profile = zns::Zn540Profile();
 
   harness::Banner("Figure 3a — write KIOPS vs request size (SPDK, QD1)");

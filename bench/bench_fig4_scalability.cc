@@ -17,6 +17,7 @@
 // with 2-4 zones (Obs. 8).
 #include <cstdio>
 
+#include "harness/bench_flags.h"
 #include "harness/experiments.h"
 #include "harness/table.h"
 #include "zns/profile.h"
@@ -24,7 +25,8 @@
 using namespace zstor;
 using nvme::Opcode;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::InitBench(argc, argv);
   zns::ZnsProfile profile = zns::Zn540Profile();
 
   harness::Banner("Figure 4a — intra-zone scalability, 4 KiB (KIOPS)");

@@ -9,13 +9,15 @@
 // span (Observation #10).
 #include <cstdio>
 
+#include "harness/bench_flags.h"
 #include "harness/experiments.h"
 #include "harness/table.h"
 #include "zns/profile.h"
 
 using namespace zstor;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::InitBench(argc, argv);
   zns::ZnsProfile profile = zns::Zn540Profile();
 
   harness::Banner("Figure 5a — reset latency vs zone occupancy");

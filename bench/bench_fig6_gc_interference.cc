@@ -11,12 +11,14 @@
 // 299.89 ms conventional vs 98.04 ms ZNS; read-only p95 is 81.41 us.
 #include <cstdio>
 
+#include "harness/bench_flags.h"
 #include "harness/gc_experiment.h"
 #include "harness/table.h"
 
 using namespace zstor;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::InitBench(argc, argv);
   const sim::Time kDuration = sim::Seconds(10);
 
   harness::Banner("Figure 6 — throughput over time (1 s bins, MiB/s)");

@@ -8,6 +8,7 @@
 // appends) — while the I/O itself is unaffected by the resets (Obs. 12).
 #include <cstdio>
 
+#include "harness/bench_flags.h"
 #include "harness/experiments.h"
 #include "harness/table.h"
 #include "zns/profile.h"
@@ -15,7 +16,8 @@
 using namespace zstor;
 using nvme::Opcode;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::InitBench(argc, argv);
   zns::ZnsProfile profile = zns::Zn540Profile();
 
   harness::Banner("Figure 7 — p95 reset latency under concurrent I/O");

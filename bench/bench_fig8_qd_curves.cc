@@ -8,13 +8,15 @@
 // latency.
 #include <cstdio>
 
+#include "harness/bench_flags.h"
 #include "harness/experiments.h"
 #include "harness/table.h"
 #include "zns/profile.h"
 
 using namespace zstor;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::InitBench(argc, argv);
   zns::ZnsProfile profile = zns::Zn540Profile();
   const char* sizes[] = {"4KiB", "16KiB", "32KiB"};
   const std::uint64_t reqs[] = {4096, 16384, 32768};

@@ -6,13 +6,15 @@
 // otherwise perform identically.
 #include <cstdio>
 
+#include "harness/bench_flags.h"
 #include "harness/experiments.h"
 #include "harness/table.h"
 #include "zns/profile.h"
 
 using namespace zstor;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::InitBench(argc, argv);
   harness::Banner("Observation #9 — zone open/close costs (SPDK)");
   harness::OpenCloseCosts c =
       harness::MeasureOpenClose(zns::Zn540Profile());

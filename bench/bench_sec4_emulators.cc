@@ -13,6 +13,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness/bench_flags.h"
 #include "harness/experiments.h"
 #include "harness/table.h"
 #include "zns/profile.h"
@@ -75,7 +76,8 @@ const char* Mark(bool ok) { return ok ? "yes" : "NO"; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  harness::InitBench(argc, argv);
   harness::Banner(
       "Section IV — which observations each emulator model reproduces");
   Probe zn = RunProbes(zns::Zn540Profile());

@@ -3,6 +3,7 @@
 // how much virtual time per wall second the experiment harness can cover.
 #include <benchmark/benchmark.h>
 
+#include "harness/bench_flags.h"
 #include "nand/flash_array.h"
 #include "sim/resource.h"
 #include "sim/rng.h"
@@ -102,4 +103,14 @@ BENCHMARK(BM_ZnsWritePath);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Strip the shared --trace=/--metrics= bench flags (kept for a uniform
+// CLI; no testbeds are built here) before google-benchmark rejects them
+// as unrecognized.
+int main(int argc, char** argv) {
+  zstor::harness::InitBench(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,7 @@
 // headline number per insight category.
 #include <cstdio>
 
+#include "harness/bench_flags.h"
 #include "harness/experiments.h"
 #include "harness/gc_experiment.h"
 #include "harness/table.h"
@@ -11,7 +12,8 @@ using namespace zstor;
 using harness::StackKind;
 using nvme::Opcode;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::InitBench(argc, argv);
   zns::ZnsProfile profile = zns::Zn540Profile();
 
   harness::Banner("Table I — overview of the key insights (measured)");

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "ftl/conv_profile.h"
+#include "harness/bench_flags.h"
 #include "harness/table.h"
 #include "nand/flash_array.h"
 #include "sim/simulator.h"
@@ -11,7 +12,8 @@
 
 using namespace zstor;
 
-int main() {
+int main(int argc, char** argv) {
+  harness::InitBench(argc, argv);
   harness::Banner("Table II — benchmarking environment (simulated)");
   zns::ZnsProfile z = zns::Zn540Profile();
   ftl::ConvProfile c = ftl::Sn640Profile();

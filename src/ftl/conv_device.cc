@@ -9,6 +9,26 @@ using nvme::Completion;
 using nvme::Opcode;
 using nvme::Status;
 using sim::Time;
+using telemetry::Layer;
+
+void ConvCounters::Describe(telemetry::MetricsRegistry& m) const {
+  m.GetCounter("conv.reads").Set(reads);
+  m.GetCounter("conv.writes").Set(writes);
+  m.GetCounter("conv.deallocates").Set(deallocates);
+  m.GetCounter("conv.units_trimmed").Set(units_trimmed);
+  m.GetCounter("conv.bytes_read").Set(bytes_read);
+  m.GetCounter("conv.bytes_written").Set(bytes_written);
+  m.GetCounter("conv.host_units_programmed").Set(host_units_programmed);
+  m.GetCounter("conv.gc_units_migrated").Set(gc_units_migrated);
+  m.GetCounter("conv.gc_blocks_erased").Set(gc_blocks_erased);
+  m.GetCounter("conv.io_errors").Set(io_errors);
+  m.GetGauge("conv.write_amplification").Set(WriteAmplification());
+}
+
+void ConvDevice::AttachTelemetry(telemetry::Telemetry* t) {
+  telem_ = t;
+  flash_->AttachTelemetry(t);
+}
 
 ConvDevice::ConvDevice(sim::Simulator& s, ConvProfile profile)
     : sim_(s),
@@ -159,6 +179,11 @@ void ConvDevice::MaybeWakeGc() {
     if (victim == kUnmapped) break;
     blocks_[victim].gc_busy = true;
     ++gc_running_;
+    if (telemetry::Tracer* tr = trace(); tr != nullptr) {
+      tr->Instant(sim_.now(), /*cmd=*/0, Layer::kFtl, "gc.victim",
+                  static_cast<std::int64_t>(victim),
+                  static_cast<std::int64_t>(blocks_[victim].valid));
+    }
     sim::Spawn(MigrateAndErase(victim));
   }
 }
@@ -239,6 +264,8 @@ sim::Task<> ConvDevice::MigrateAndErase(std::uint32_t victim) {
   const std::uint32_t die = DieOfBlockId(victim);
   const std::uint32_t blk = BlockOfBlockId(victim);
   const std::uint32_t upp = profile_.units_per_page();
+  telemetry::Tracer* tr = trace();
+  sim::Time migrate_begin = sim_.now();
 
   // Phase 1 — pipelined page reads: all valid pages of the victim are
   // queued on its die at once (firmware pipelines GC reads). Units are
@@ -288,9 +315,20 @@ sim::Task<> ConvDevice::MigrateAndErase(std::uint32_t victim) {
     co_await pwg.Wait();
   }
 
+  if (tr != nullptr) {
+    tr->Span(migrate_begin, sim_.now(), /*cmd=*/0, Layer::kFtl,
+             "gc.migrate", static_cast<std::int64_t>(victim),
+             static_cast<std::int64_t>(survivors.size()));
+  }
+
   // All surviving units moved; any remaining valid bits belong to host
   // overwrites that raced ahead (they already re-invalidated). Erase.
+  sim::Time erase_begin = sim_.now();
   co_await flash_->EraseBlock(die, blk);
+  if (tr != nullptr) {
+    tr->Span(erase_begin, sim_.now(), /*cmd=*/0, Layer::kFtl, "gc.erase",
+             static_cast<std::int64_t>(victim));
+  }
   ZSTOR_CHECK(vb.valid == 0);
   std::fill(vb.valid_bitmap.begin(), vb.valid_bitmap.end(), 0);
   vb.write_ptr_units = 0;
@@ -337,12 +375,21 @@ sim::Task<Completion> ConvDevice::DoRead(Command cmd) {
   }
   const std::uint64_t bytes =
       static_cast<std::uint64_t>(cmd.nlb) * profile_.lba_bytes;
+  telemetry::Tracer* tr = trace();
+  sim::Time t0 = sim_.now();
   {
     auto g = co_await fcp_.Acquire(0);
+    sim::Time t1 = sim_.now();
     Time c = profile_.fcp.read;
     if (cmd.nlb > 1) c += profile_.fcp.per_extra_unit * (cmd.nlb - 1);
     co_await sim_.Delay(Noise(c));
+    if (tr != nullptr) {
+      tr->Span(t0, t1, cmd.trace_id, Layer::kFcp, "fcp.wait");
+      tr->Span(t1, sim_.now(), cmd.trace_id, Layer::kFcp, "fcp.service",
+               static_cast<std::int64_t>(bytes));
+    }
   }
+  sim::Time nand_begin = sim_.now();
   // Fetch each mapped unit's physical page; distinct pages in parallel.
   std::vector<std::uint64_t> pages;  // phys page ids
   for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
@@ -363,10 +410,19 @@ sim::Task<Completion> ConvDevice::DoRead(Command cmd) {
     }
     co_await wg.Wait();
   }
+  sim::Time post_begin = sim_.now();
+  if (tr != nullptr) {
+    tr->Span(nand_begin, post_begin, cmd.trace_id, Layer::kNand,
+             "nand.read");
+  }
   co_await sim_.Delay(
       Noise(profile_.post.read_fixed +
             static_cast<Time>(profile_.post.dma_ns_per_byte *
                               static_cast<double>(bytes))));
+  if (tr != nullptr) {
+    tr->Span(post_begin, sim_.now(), cmd.trace_id, Layer::kPost, "post",
+             static_cast<std::int64_t>(bytes));
+  }
   counters_.reads++;
   counters_.bytes_read += bytes;
   co_return Completion{.status = Status::kSuccess};
@@ -391,23 +447,43 @@ sim::Task<Completion> ConvDevice::DoWrite(Command cmd) {
   }
   const std::uint64_t bytes =
       static_cast<std::uint64_t>(cmd.nlb) * profile_.lba_bytes;
+  telemetry::Tracer* tr = trace();
+  sim::Time t0 = sim_.now();
   {
     auto g = co_await fcp_.Acquire(0);
+    sim::Time t1 = sim_.now();
     Time c = profile_.fcp.write;
     if (cmd.nlb > 1) c += profile_.fcp.per_extra_unit * (cmd.nlb - 1);
     co_await sim_.Delay(Noise(c));
+    if (tr != nullptr) {
+      tr->Span(t0, t1, cmd.trace_id, Layer::kFcp, "fcp.wait");
+      tr->Span(t1, sim_.now(), cmd.trace_id, Layer::kFcp, "fcp.service",
+               static_cast<std::int64_t>(bytes));
+    }
     // Overwrites invalidate the previous physical locations now.
     for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
       InvalidateUnit(cmd.slba + i);
       l2p_[cmd.slba + i] = kInBuffer;
     }
   }
+  sim::Time post_begin = sim_.now();
   co_await sim_.Delay(
       Noise(profile_.post.write_fixed +
             static_cast<Time>(profile_.post.dma_ns_per_byte *
                               static_cast<double>(bytes))));
+  sim::Time admit_begin = sim_.now();
+  if (tr != nullptr) {
+    tr->Span(post_begin, admit_begin, cmd.trace_id, Layer::kPost, "post",
+             static_cast<std::int64_t>(bytes));
+  }
   for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
     co_await AdmitUnit(static_cast<std::uint32_t>(cmd.slba + i));
+  }
+  if (tr != nullptr) {
+    // Non-zero when the write-back buffer is full or the device stalls
+    // waiting for GC to free a block (the Fig. 6a collapse mechanism).
+    tr->Span(admit_begin, sim_.now(), cmd.trace_id, Layer::kBuffer,
+             "buffer.admit");
   }
   counters_.writes++;
   counters_.bytes_written += bytes;

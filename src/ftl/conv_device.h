@@ -23,6 +23,7 @@
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "sim/task.h"
+#include "telemetry/telemetry.h"
 
 namespace zstor::ftl {
 
@@ -45,6 +46,10 @@ struct ConvCounters {
                : 1.0 + static_cast<double>(gc_units_migrated) /
                            static_cast<double>(host_units_programmed);
   }
+
+  /// Exports every counter into the registry under the "conv." prefix
+  /// (the shared Describe protocol; see telemetry/metrics.h).
+  void Describe(telemetry::MetricsRegistry& m) const;
 };
 
 class ConvDevice : public nvme::Controller {
@@ -53,6 +58,10 @@ class ConvDevice : public nvme::Controller {
 
   const nvme::NamespaceInfo& info() const override { return info_; }
   sim::Task<nvme::Completion> Execute(const nvme::Command& cmd) override;
+
+  /// Enables FTL-side tracing/metrics (non-owning; null disables). Also
+  /// attaches the NAND array.
+  void AttachTelemetry(telemetry::Telemetry* t);
 
   const ConvProfile& profile() const { return profile_; }
   const ConvCounters& counters() const { return counters_; }
@@ -139,7 +148,11 @@ class ConvDevice : public nvme::Controller {
       sim::WaitGroup* wg);
 
   sim::Time Noise(sim::Time t);
+  telemetry::Tracer* trace() const {
+    return telem_ != nullptr ? &telem_->tracer() : nullptr;
+  }
 
+  telemetry::Telemetry* telem_ = nullptr;
   sim::Simulator& sim_;
   ConvProfile profile_;
   nvme::NamespaceInfo info_;

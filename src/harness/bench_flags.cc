@@ -1,0 +1,97 @@
+#include "harness/bench_flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace zstor::harness {
+
+namespace {
+
+/// Returns the value if `arg` is "--NAME=VALUE", else nullptr.
+const char* MatchFlag(const char* arg, const char* name) {
+  std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+}  // namespace
+
+BenchEnv& BenchEnv::Get() {
+  static BenchEnv env;
+  return env;
+}
+
+telemetry::TraceSink* BenchEnv::shared_sink() {
+  if (trace_path_.empty()) return nullptr;
+  if (sink_ == nullptr) {
+    sink_ = std::make_unique<telemetry::JsonlFileSink>(trace_path_);
+    if (!sink_->ok()) {
+      std::fprintf(stderr, "warning: cannot open trace file %s\n",
+                   trace_path_.c_str());
+    }
+  }
+  return sink_.get();
+}
+
+void BenchEnv::AddSnapshot(std::string label, telemetry::Snapshot snap) {
+  snapshots_.emplace_back(std::move(label), std::move(snap));
+}
+
+std::string BenchEnv::NextLabel() {
+  return "testbed-" + std::to_string(label_seq_++);
+}
+
+void BenchEnv::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!metrics_path_.empty()) {
+    std::FILE* f = std::fopen(metrics_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot open metrics file %s\n",
+                   metrics_path_.c_str());
+    } else {
+      std::fputs("[\n", f);
+      for (std::size_t i = 0; i < snapshots_.size(); ++i) {
+        // Labels come from WithLabel()/NextLabel(): identifiers, no
+        // JSON-hostile characters to escape.
+        std::fprintf(f, "  {\"label\": \"%s\", \"metrics\": %s}%s\n",
+                     snapshots_[i].first.c_str(),
+                     snapshots_[i].second.ToJson().c_str(),
+                     i + 1 < snapshots_.size() ? "," : "");
+      }
+      std::fputs("]\n", f);
+      std::fclose(f);
+    }
+  }
+  if (sink_ != nullptr) sink_->Flush();
+}
+
+void FinishBench() { BenchEnv::Get().Finish(); }
+
+void InitBench(int& argc, char** argv) {
+  // Construct the singleton BEFORE registering the atexit hook: local
+  // statics are destroyed in reverse construction order interleaved with
+  // atexit handlers, so the hook must be the later registration or it
+  // would run against an already-destroyed BenchEnv.
+  BenchEnv& env = BenchEnv::Get();
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(FinishBench);
+  }
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = MatchFlag(argv[i], "--trace")) {
+      env.trace_path_ = v;
+    } else if (const char* m = MatchFlag(argv[i], "--metrics")) {
+      env.metrics_path_ = m;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+}
+
+}  // namespace zstor::harness

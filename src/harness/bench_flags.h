@@ -1,0 +1,67 @@
+// Process-wide telemetry plumbing for bench binaries: every bench calls
+// InitBench(argc, argv) first thing in main(), which strips the shared
+// flags
+//
+//   --trace=FILE     append every testbed's trace events to FILE (JSONL,
+//                    one object per event; schema in DESIGN.md §7)
+//   --metrics=FILE   write a JSON array of labeled metrics snapshots,
+//                    one element per testbed, at process exit
+//
+// and leaves the rest of argv untouched for the bench's own parsing.
+// Testbeds built without an explicit TelemetryConfig pick these up
+// automatically (see testbed.h), so `bench_fig2_latency --trace=t.jsonl`
+// traces every experiment the bench runs with zero per-bench code.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace zstor::harness {
+
+/// Parses and removes --trace=/--metrics= from argv; registers an atexit
+/// hook that flushes the shared sink and writes the metrics file. Safe to
+/// call once per process (subsequent calls only re-parse flags).
+void InitBench(int& argc, char** argv);
+
+/// Flushes the shared trace sink and writes the metrics file. Idempotent;
+/// runs automatically at exit after InitBench().
+void FinishBench();
+
+/// The singleton holding what the flags configured.
+class BenchEnv {
+ public:
+  static BenchEnv& Get();
+
+  /// True when either flag was given: freshly built testbeds should
+  /// enable telemetry and report here.
+  bool telemetry_requested() const {
+    return !trace_path_.empty() || !metrics_path_.empty();
+  }
+  /// The shared JSONL sink (opened lazily); null when --trace is absent.
+  telemetry::TraceSink* shared_sink();
+  const std::string& metrics_path() const { return metrics_path_; }
+
+  /// Collects one testbed's frozen snapshot for the metrics file.
+  void AddSnapshot(std::string label, telemetry::Snapshot snap);
+
+  /// A default label for the next unlabeled testbed ("testbed-N").
+  std::string NextLabel();
+
+  void Finish();
+
+ private:
+  friend void InitBench(int& argc, char** argv);
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<telemetry::JsonlFileSink> sink_;
+  std::vector<std::pair<std::string, telemetry::Snapshot>> snapshots_;
+  int label_seq_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace zstor::harness

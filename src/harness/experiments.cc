@@ -2,8 +2,7 @@
 
 #include <memory>
 
-#include "hostif/kernel_stack.h"
-#include "hostif/spdk_stack.h"
+#include "sim/check.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
 #include "workload/runner.h"
@@ -15,66 +14,28 @@ using nvme::Opcode;
 using sim::Time;
 using workload::JobResult;
 using workload::JobSpec;
-using workload::RunJob;
-using workload::RunJobs;
-
-const char* ToString(StackKind k) {
-  switch (k) {
-    case StackKind::kSpdk: return "spdk";
-    case StackKind::kKernelNone: return "kernel-none";
-    case StackKind::kKernelMq: return "kernel-mq-deadline";
-  }
-  return "?";
-}
 
 namespace {
 
-/// One experiment's worth of simulated hardware + host stack.
-struct Bench {
-  Bench(const zns::ZnsProfile& profile, StackKind kind,
-        std::uint32_t lba_bytes = 4096)
-      : dev(sim, profile, lba_bytes) {
-    switch (kind) {
-      case StackKind::kSpdk:
-        stack = std::make_unique<hostif::SpdkStack>(sim, dev);
-        break;
-      case StackKind::kKernelNone:
-        stack = std::make_unique<hostif::KernelStack>(
-            sim, dev, hostif::Scheduler::kNone);
-        break;
-      case StackKind::kKernelMq:
-        kernel = new hostif::KernelStack(sim, dev,
-                                         hostif::Scheduler::kMqDeadline);
-        stack.reset(kernel);
-        break;
-    }
-  }
-
-  void FillZones(std::uint32_t first, std::uint32_t count) {
-    for (std::uint32_t z = first; z < first + count; ++z) {
-      dev.DebugFillZone(z, dev.profile().zone_cap_bytes);
-    }
-  }
-
-  std::vector<std::uint32_t> ZoneList(std::uint32_t first,
-                                      std::uint32_t count) const {
-    std::vector<std::uint32_t> out;
-    for (std::uint32_t z = first; z < first + count; ++z) out.push_back(z);
-    return out;
-  }
-
-  sim::Simulator sim;
-  zns::ZnsDevice dev;
-  std::unique_ptr<hostif::Stack> stack;
-  hostif::KernelStack* kernel = nullptr;  // set only for kKernelMq
-};
+/// One experiment's worth of simulated hardware + host stack. Telemetry
+/// rides along automatically when the bench was started with --trace /
+/// --metrics (see bench_flags.h).
+Testbed MakeBench(const zns::ZnsProfile& profile, StackKind kind,
+                  const char* label, std::uint32_t lba_bytes = 4096) {
+  return TestbedBuilder()
+      .WithZnsProfile(profile)
+      .WithStack(kind)
+      .WithLbaBytes(lba_bytes)
+      .WithLabel(label)
+      .Build();
+}
 
 }  // namespace
 
 double Qd1LatencyUs(const zns::ZnsProfile& profile, StackKind kind,
                     Opcode op, std::uint64_t request_bytes,
                     std::uint32_t lba_bytes, int ops) {
-  Bench b(profile, kind, lba_bytes);
+  Testbed b = MakeBench(profile, kind, "qd1-latency", lba_bytes);
   const auto nlb =
       static_cast<std::uint32_t>(request_bytes / lba_bytes);
   sim::Welford lat;
@@ -83,14 +44,14 @@ double Qd1LatencyUs(const zns::ZnsProfile& profile, StackKind kind,
     for (int i = 0; i < ops + 1; ++i) {
       nvme::Command cmd{.opcode = op, .slba = op == Opcode::kAppend ? 0 : wp,
                         .nlb = nlb};
-      auto tc = co_await b.stack->Submit(cmd);
+      auto tc = co_await b.stack().Submit(cmd);
       ZSTOR_CHECK_MSG(tc.completion.ok(), "QD1 op failed");
       wp += nlb;
       if (i > 0) lat.Record(static_cast<double>(tc.latency()));
     }
   };
   auto t = body();
-  b.sim.Run();
+  b.sim().Run();
   return lat.mean() / 1000.0;
 }
 
@@ -99,9 +60,10 @@ double Qd1Kiops(const zns::ZnsProfile& profile, Opcode op,
   // Synchronous requests: throughput is the inverse of latency (§III-C) —
   // but measured at steady state. Large requests outrun the NAND drain
   // until the write-back buffer fills, so warm past the buffer first.
-  Bench b(profile, StackKind::kSpdk);
+  Testbed b = MakeBench(profile, StackKind::kSpdk, "qd1-kiops");
+  zns::ZnsDevice& dev = *b.zns();
   const std::uint32_t nlb = static_cast<std::uint32_t>(request_bytes / 4096);
-  const std::uint64_t cap_lbas = b.dev.info().zone_cap_lbas;
+  const std::uint64_t cap_lbas = dev.info().zone_cap_lbas;
   auto meas_ops = static_cast<std::uint64_t>(std::max<std::uint64_t>(
       300, 3 * profile.write_buffer_bytes / request_bytes));
   sim::Time t0 = 0, t1 = 0;
@@ -115,9 +77,9 @@ double Qd1Kiops(const zns::ZnsProfile& profile, Opcode op,
       }
       nvme::Command cmd{
           .opcode = op,
-          .slba = b.dev.ZoneStartLba(zone) + (op == Opcode::kAppend ? 0 : off),
+          .slba = dev.ZoneStartLba(zone) + (op == Opcode::kAppend ? 0 : off),
           .nlb = nlb};
-      auto tc = co_await b.stack->Submit(cmd);
+      auto tc = co_await b.stack().Submit(cmd);
       ZSTOR_CHECK(tc.completion.ok());
       off += nlb;
     };
@@ -128,7 +90,7 @@ double Qd1Kiops(const zns::ZnsProfile& profile, Opcode op,
         profile.write_buffer_bytes / profile.nand_geometry.page_bytes;
     std::uint64_t occ_prev = 0;
     for (std::uint64_t i = 0;; ++i) {
-      std::uint64_t occ = total_pages - b.dev.buffer_free_pages();
+      std::uint64_t occ = total_pages - dev.buffer_free_pages();
       if (occ >= total_pages - total_pages / 16) break;  // ~full: throttled
       if (i >= 3000 && i % 3000 == 0) {
         if (occ <= occ_prev + 16) break;  // occupancy flat: no transient
@@ -137,12 +99,12 @@ double Qd1Kiops(const zns::ZnsProfile& profile, Opcode op,
       if (i >= 300'000) break;  // safety bound
       co_await issue_one();
     }
-    t0 = b.sim.now();
+    t0 = b.sim().now();
     for (std::uint64_t i = 0; i < meas_ops; ++i) co_await issue_one();
-    t1 = b.sim.now();
+    t1 = b.sim().now();
   };
   auto t = body();
-  b.sim.Run();
+  b.sim().Run();
   return static_cast<double>(meas_ops) / sim::ToSeconds(t1 - t0) / 1000.0;
 }
 
@@ -151,7 +113,7 @@ workload::JobResult IntraZone(const zns::ZnsProfile& profile, Opcode op,
                               double* merged_fraction) {
   StackKind kind =
       op == Opcode::kWrite ? StackKind::kKernelMq : StackKind::kSpdk;
-  Bench b(profile, kind);
+  Testbed b = MakeBench(profile, kind, "intra-zone");
   JobSpec spec;
   spec.op = op;
   spec.request_bytes = request_bytes;
@@ -174,11 +136,11 @@ workload::JobResult IntraZone(const zns::ZnsProfile& profile, Opcode op,
     spec.duration = sim::Milliseconds(700);
     spec.warmup = sim::Milliseconds(350);
   }
-  JobResult r = RunJob(b.sim, *b.stack, spec);
+  JobResult r = b.RunJob(spec);
   if (merged_fraction != nullptr) {
     *merged_fraction =
-        b.kernel != nullptr ? b.kernel->scheduler_stats().MergedFraction()
-                            : 0.0;
+        b.kernel() != nullptr ? b.kernel()->scheduler_stats().MergedFraction()
+                              : 0.0;
   }
   return r;
 }
@@ -186,7 +148,7 @@ workload::JobResult IntraZone(const zns::ZnsProfile& profile, Opcode op,
 workload::JobResult InterZone(const zns::ZnsProfile& profile, Opcode op,
                               std::uint64_t request_bytes,
                               std::uint32_t zones) {
-  Bench b(profile, StackKind::kSpdk);
+  Testbed b = MakeBench(profile, StackKind::kSpdk, "inter-zone");
   JobSpec spec;
   spec.op = op;
   spec.request_bytes = request_bytes;
@@ -208,26 +170,26 @@ workload::JobResult InterZone(const zns::ZnsProfile& profile, Opcode op,
     spec.duration = sim::Milliseconds(1600);
     spec.warmup = sim::Milliseconds(1100);
   }
-  return RunJob(b.sim, *b.stack, spec);
+  return b.RunJob(spec);
 }
 
 OpenCloseCosts MeasureOpenClose(const zns::ZnsProfile& profile) {
   OpenCloseCosts out;
   const int kZones = 10;
   {  // explicit open + close
-    Bench b(profile, StackKind::kSpdk);
+    Testbed b = MakeBench(profile, StackKind::kSpdk, "open-close");
     sim::Welford open_us, close_us;
     auto body = [&]() -> sim::Task<> {
       for (std::uint32_t z = 0; z < kZones; ++z) {
-        nvme::Lba zslba = b.dev.ZoneStartLba(z);
-        auto o = co_await b.stack->Submit(
+        nvme::Lba zslba = b.zns()->ZoneStartLba(z);
+        auto o = co_await b.stack().Submit(
             {.opcode = Opcode::kZoneMgmtSend,
              .slba = zslba,
              .zone_action = nvme::ZoneAction::kOpen});
         open_us.Record(static_cast<double>(o.latency()));
-        (void)co_await b.stack->Submit(
+        (void)co_await b.stack().Submit(
             {.opcode = Opcode::kWrite, .slba = zslba, .nlb = 1});
-        auto c = co_await b.stack->Submit(
+        auto c = co_await b.stack().Submit(
             {.opcode = Opcode::kZoneMgmtSend,
              .slba = zslba,
              .zone_action = nvme::ZoneAction::kClose});
@@ -235,26 +197,26 @@ OpenCloseCosts MeasureOpenClose(const zns::ZnsProfile& profile) {
       }
     };
     auto t = body();
-    b.sim.Run();
+    b.sim().Run();
     out.explicit_open_us = open_us.mean() / 1000.0;
     out.close_us = close_us.mean() / 1000.0;
   }
   {  // implicit-open penalty: first vs second write/append on fresh zones
-    Bench b(profile, StackKind::kSpdk);
+    Testbed b = MakeBench(profile, StackKind::kSpdk, "implicit-open");
     sim::Welford first_w, second_w, first_a, second_a;
     auto body = [&]() -> sim::Task<> {
       auto reset = [&](std::uint32_t z) -> sim::Task<> {
-        auto r = co_await b.stack->Submit(
+        auto r = co_await b.stack().Submit(
             {.opcode = Opcode::kZoneMgmtSend,
-             .slba = b.dev.ZoneStartLba(z),
+             .slba = b.zns()->ZoneStartLba(z),
              .zone_action = nvme::ZoneAction::kReset});
         ZSTOR_CHECK(r.completion.ok());
       };
       for (std::uint32_t z = 0; z < kZones; ++z) {
-        nvme::Lba zslba = b.dev.ZoneStartLba(z);
-        auto w1 = co_await b.stack->Submit(
+        nvme::Lba zslba = b.zns()->ZoneStartLba(z);
+        auto w1 = co_await b.stack().Submit(
             {.opcode = Opcode::kWrite, .slba = zslba, .nlb = 1});
-        auto w2 = co_await b.stack->Submit(
+        auto w2 = co_await b.stack().Submit(
             {.opcode = Opcode::kWrite, .slba = zslba + 1, .nlb = 1});
         ZSTOR_CHECK(w1.completion.ok() && w2.completion.ok());
         first_w.Record(static_cast<double>(w1.latency()));
@@ -262,10 +224,10 @@ OpenCloseCosts MeasureOpenClose(const zns::ZnsProfile& profile) {
         co_await reset(z);  // stay well under the active-zone limit
       }
       for (std::uint32_t z = 0; z < kZones; ++z) {
-        nvme::Lba zslba = b.dev.ZoneStartLba(z);
-        auto a1 = co_await b.stack->Submit(
+        nvme::Lba zslba = b.zns()->ZoneStartLba(z);
+        auto a1 = co_await b.stack().Submit(
             {.opcode = Opcode::kAppend, .slba = zslba, .nlb = 1});
-        auto a2 = co_await b.stack->Submit(
+        auto a2 = co_await b.stack().Submit(
             {.opcode = Opcode::kAppend, .slba = zslba, .nlb = 1});
         ZSTOR_CHECK(a1.completion.ok() && a2.completion.ok());
         first_a.Record(static_cast<double>(a1.latency()));
@@ -274,7 +236,7 @@ OpenCloseCosts MeasureOpenClose(const zns::ZnsProfile& profile) {
       }
     };
     auto t = body();
-    b.sim.Run();
+    b.sim().Run();
     out.implicit_write_extra_us = (first_w.mean() - second_w.mean()) / 1000.0;
     out.implicit_append_extra_us =
         (first_a.mean() - second_a.mean()) / 1000.0;
@@ -284,7 +246,7 @@ OpenCloseCosts MeasureOpenClose(const zns::ZnsProfile& profile) {
 
 double ResetLatencyMs(const zns::ZnsProfile& profile, double occupancy,
                       bool finish_first, int zones_per_point) {
-  Bench b(profile, StackKind::kSpdk);
+  Testbed b = MakeBench(profile, StackKind::kSpdk, "reset-latency");
   std::uint64_t cap = profile.zone_cap_bytes;
   auto bytes = static_cast<std::uint64_t>(
       occupancy * static_cast<double>(cap));
@@ -292,17 +254,17 @@ double ResetLatencyMs(const zns::ZnsProfile& profile, double occupancy,
   sim::Welford ms;
   auto body = [&](std::uint32_t z) -> sim::Task<> {
     if (finish_first && bytes < cap) {
-      auto f = co_await b.stack->Submit(
+      auto f = co_await b.stack().Submit(
           {.opcode = Opcode::kZoneMgmtSend,
-           .slba = b.dev.ZoneStartLba(z),
+           .slba = b.zns()->ZoneStartLba(z),
            .zone_action = nvme::ZoneAction::kFinish});
       ZSTOR_CHECK(f.completion.ok());
     }
     // Paper protocol: pause for the device to stabilize before reset.
-    co_await b.sim.Delay(sim::Milliseconds(1));
-    auto r = co_await b.stack->Submit(
+    co_await b.sim().Delay(sim::Milliseconds(1));
+    auto r = co_await b.stack().Submit(
         {.opcode = Opcode::kZoneMgmtSend,
-         .slba = b.dev.ZoneStartLba(z),
+         .slba = b.zns()->ZoneStartLba(z),
          .zone_action = nvme::ZoneAction::kReset});
     ZSTOR_CHECK(r.completion.ok());
     ms.Record(sim::ToMilliseconds(r.latency()));
@@ -312,16 +274,16 @@ double ResetLatencyMs(const zns::ZnsProfile& profile, double occupancy,
   for (std::uint32_t z = 0; static_cast<int>(ms.count()) < zones_per_point;
        ++z) {
     ZSTOR_CHECK(z < profile.num_zones);
-    if (bytes > 0) b.dev.DebugFillZone(z, bytes);
+    if (bytes > 0) b.zns()->DebugFillZone(z, bytes);
     auto t = body(z);
-    b.sim.Run();
+    b.sim().Run();
   }
   return ms.mean();
 }
 
 double FinishLatencyMs(const zns::ZnsProfile& profile, double occupancy,
                        int zones_per_point) {
-  Bench b(profile, StackKind::kSpdk);
+  Testbed b = MakeBench(profile, StackKind::kSpdk, "finish-latency");
   std::uint64_t cap = profile.zone_cap_bytes;
   auto bytes = static_cast<std::uint64_t>(
       occupancy * static_cast<double>(cap));
@@ -330,25 +292,25 @@ double FinishLatencyMs(const zns::ZnsProfile& profile, double occupancy,
   if (bytes >= cap) bytes = cap - 4096;    // "~100%": all but one page
   sim::Welford ms;
   auto body = [&](std::uint32_t z) -> sim::Task<> {
-    auto f = co_await b.stack->Submit(
+    auto f = co_await b.stack().Submit(
         {.opcode = Opcode::kZoneMgmtSend,
-         .slba = b.dev.ZoneStartLba(z),
+         .slba = b.zns()->ZoneStartLba(z),
          .zone_action = nvme::ZoneAction::kFinish});
     ZSTOR_CHECK(f.completion.ok());
     ms.Record(sim::ToMilliseconds(f.latency()));
     // Recycle so the next batch has active slots.
-    auto r = co_await b.stack->Submit(
+    auto r = co_await b.stack().Submit(
         {.opcode = Opcode::kZoneMgmtSend,
-         .slba = b.dev.ZoneStartLba(z),
+         .slba = b.zns()->ZoneStartLba(z),
          .zone_action = nvme::ZoneAction::kReset});
     ZSTOR_CHECK(r.completion.ok());
   };
   for (std::uint32_t z = 0; static_cast<int>(ms.count()) < zones_per_point;
        ++z) {
     ZSTOR_CHECK(z < profile.num_zones);
-    b.dev.DebugFillZone(z, bytes);
+    b.zns()->DebugFillZone(z, bytes);
     auto t = body(z);
-    b.sim.Run();
+    b.sim().Run();
   }
   return ms.mean();
 }
@@ -356,7 +318,7 @@ double FinishLatencyMs(const zns::ZnsProfile& profile, double occupancy,
 ResetInterferenceResult ResetInterference(const zns::ZnsProfile& profile,
                                           Opcode op,
                                           std::uint32_t reset_zones) {
-  Bench b(profile, StackKind::kSpdk);
+  Testbed b = MakeBench(profile, StackKind::kSpdk, "reset-interference");
   // First half of the device: full zones to reset. Second half: I/O.
   b.FillZones(0, reset_zones);
   std::uint32_t io_zone = profile.num_zones / 2;
@@ -368,7 +330,7 @@ ResetInterferenceResult ResetInterference(const zns::ZnsProfile& profile,
   reset_job.duration = sim::Seconds(30);  // ends when zones run out
 
   std::vector<std::pair<hostif::Stack*, JobSpec>> jobs;
-  jobs.emplace_back(b.stack.get(), reset_job);
+  jobs.emplace_back(&b.stack(), reset_job);
 
   bool with_io = op == Opcode::kRead || op == Opcode::kWrite ||
                  op == Opcode::kAppend;
@@ -378,9 +340,7 @@ ResetInterferenceResult ResetInterference(const zns::ZnsProfile& profile,
     io_job.request_bytes = 4096;
     if (op == Opcode::kRead) {
       // Random reads need data: pre-fill the I/O region.
-      for (std::uint32_t z = io_zone; z < io_zone + 8; ++z) {
-        b.dev.DebugFillZone(z, profile.zone_cap_bytes);
-      }
+      b.FillZones(io_zone, 8);
       io_job.random = true;
       io_job.queue_depth = 12;
       io_job.zones = b.ZoneList(io_zone, 8);
@@ -390,7 +350,7 @@ ResetInterferenceResult ResetInterference(const zns::ZnsProfile& profile,
       io_job.on_full = JobSpec::OnFull::kAdvance;
     }
     io_job.duration = sim::Seconds(30);
-    jobs.emplace_back(b.stack.get(), io_job);
+    jobs.emplace_back(&b.stack(), io_job);
   }
 
   // Run until the reset job exhausts its zone list, then stop the I/O
@@ -400,14 +360,14 @@ ResetInterferenceResult ResetInterference(const zns::ZnsProfile& profile,
     std::vector<std::unique_ptr<workload::Job>> running;
     for (auto& [stack, spec] : jobs) {
       running.push_back(
-          std::make_unique<workload::Job>(b.sim, *stack, spec));
+          std::make_unique<workload::Job>(b.sim(), *stack, spec));
       running.back()->Start();
     }
-    while (!running[0]->Done() && !b.sim.idle()) {
-      b.sim.RunUntil(b.sim.now() + sim::Milliseconds(10));
+    while (!running[0]->Done() && !b.sim().idle()) {
+      b.sim().RunUntil(b.sim().now() + sim::Milliseconds(10));
     }
     for (auto& j : running) j->Stop();
-    b.sim.Run();
+    b.sim().Run();
     for (auto& j : running) results.push_back(j->result());
   }
 

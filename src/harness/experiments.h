@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "harness/testbed.h"
 #include "nvme/types.h"
 #include "sim/stats.h"
 #include "workload/job.h"
@@ -16,9 +17,11 @@
 
 namespace zstor::harness {
 
-enum class StackKind { kSpdk, kKernelNone, kKernelMq };
+/// Historical name for the stack selector, now shared with the Testbed
+/// facade (see testbed.h).
+using StackKind = StackChoice;
 
-const char* ToString(StackKind k);
+inline const char* ToString(StackKind k) { return zstor::ToString(k); }
 
 /// QD=1 single-op latency through a host stack (Fig. 2). Returns the mean
 /// latency in microseconds over `ops` back-to-back operations (the first

@@ -3,11 +3,8 @@
 #include <memory>
 #include <vector>
 
-#include "ftl/conv_device.h"
-#include "hostif/spdk_stack.h"
-#include "sim/simulator.h"
+#include "harness/testbed.h"
 #include "workload/runner.h"
-#include "zns/zns_device.h"
 
 namespace zstor::harness {
 
@@ -75,24 +72,26 @@ JobSpec ReaderSpec(sim::Time duration) {
 GcExperimentResult RunConvGcExperiment(double rate_mibps,
                                        sim::Time duration,
                                        std::size_t skip_bins) {
-  sim::Simulator s;
-  ftl::ConvDevice dev(s, ftl::Sn640Profile());
-  dev.DebugPrefill();  // aged drive: GC pressure from the first overwrite
-  hostif::SpdkStack stack(s, dev);
-  auto results = workload::RunJobs(
-      s, {{&stack, WriterSpec(rate_mibps, duration)},
-          {&stack, ReaderSpec(duration)}});
+  Testbed tb = TestbedBuilder()
+                   .WithConvProfile(ftl::Sn640Profile())
+                   .WithLabel("gc-conv")
+                   .Build();
+  tb.conv()->DebugPrefill();  // aged drive: GC pressure from first overwrite
+  auto results =
+      tb.RunJobs({WriterSpec(rate_mibps, duration), ReaderSpec(duration)});
   GcExperimentResult out = Summarize(results[0], results[1], skip_bins);
-  out.write_amplification = dev.counters().WriteAmplification();
+  out.write_amplification = tb.conv()->counters().WriteAmplification();
   return out;
 }
 
 GcExperimentResult RunZnsGcExperiment(double rate_mibps,
                                       sim::Time duration,
                                       std::size_t skip_bins) {
-  sim::Simulator s;
-  zns::ZnsDevice dev(s, zns::Zn540Profile());
-  hostif::SpdkStack stack(s, dev);
+  Testbed tb = TestbedBuilder()
+                   .WithZnsProfile(zns::Zn540Profile())
+                   .WithLabel("gc-zns")
+                   .Build();
+  zns::ZnsDevice& dev = *tb.zns();
 
   // Writers: appends over private zone pools, resetting full zones
   // themselves (host-side GC). 4 workers x 3 zones = 12 active zones,
@@ -111,32 +110,28 @@ GcExperimentResult RunZnsGcExperiment(double rate_mibps,
     reader.zones.push_back(z);
   }
 
-  auto results =
-      workload::RunJobs(s, {{&stack, writer}, {&stack, reader}});
+  auto results = tb.RunJobs({writer, reader});
   return Summarize(results[0], results[1], skip_bins);
 }
 
 double ReadOnlyP95Us(bool use_zns) {
-  sim::Simulator s;
-  std::unique_ptr<nvme::Controller> dev;
+  TestbedBuilder builder;
+  if (use_zns) {
+    builder.WithZnsProfile(zns::Zn540Profile()).WithLabel("read-only-zns");
+  } else {
+    builder.WithConvProfile(ftl::Sn640Profile()).WithLabel("read-only-conv");
+  }
+  Testbed tb = builder.Build();
   JobSpec reader = ReaderSpec(sim::Milliseconds(500));
   reader.queue_depth = 1;
   if (use_zns) {
-    auto z = std::make_unique<zns::ZnsDevice>(s, zns::Zn540Profile());
-    std::uint32_t base = z->profile().num_zones / 2;
-    for (std::uint32_t zi = base; zi < base + 8; ++zi) {
-      z->DebugFillZone(zi, z->profile().zone_cap_bytes);
-      reader.zones.push_back(zi);
-    }
-    dev = std::move(z);
+    std::uint32_t base = tb.zns()->profile().num_zones / 2;
+    tb.FillZones(base, 8);
+    reader.zones = tb.ZoneList(base, 8);
   } else {
-    auto c = std::make_unique<ftl::ConvDevice>(s, ftl::Sn640Profile());
-    c->DebugPrefill();
-    dev = std::move(c);
+    tb.conv()->DebugPrefill();
   }
-  hostif::SpdkStack stack(s, *dev);
-  JobResult r = workload::RunJob(s, stack, reader);
-  return r.latency.p95_ns() / 1000.0;
+  return tb.RunJob(reader).latency.p95_ns() / 1000.0;
 }
 
 }  // namespace zstor::harness

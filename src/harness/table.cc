@@ -68,4 +68,20 @@ void Banner(const std::string& title) {
   std::printf("\n== %s ==\n\n", title.c_str());
 }
 
+Table SnapshotTable(const telemetry::Snapshot& snap) {
+  Table t({"metric", "kind", "value", "mean", "p50", "p95", "p99"});
+  auto us = [](double ns) { return FmtUs(ns / 1000.0); };
+  for (const auto& m : snap.metrics) {
+    if (m.kind == "histogram") {
+      t.AddRow({m.name, m.kind, Fmt(m.value, 0), us(m.mean), us(m.p50),
+                us(m.p95), us(m.p99)});
+    } else {
+      t.AddRow({m.name, m.kind,
+                m.kind == "counter" ? Fmt(m.value, 0) : Fmt(m.value, 3), "",
+                "", "", ""});
+    }
+  }
+  return t;
+}
+
 }  // namespace zstor::harness

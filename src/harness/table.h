@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics.h"
+
 namespace zstor::harness {
 
 class Table {
@@ -33,5 +35,11 @@ std::string FmtMibps(double mibps);
 
 /// Prints a section banner ("== Figure 2a — ... ==").
 void Banner(const std::string& title);
+
+/// Renders a telemetry snapshot as a table: one row per metric, with the
+/// histogram columns (mean/p50/p95/p99, in us) filled only for histogram
+/// metrics. The same path telemetry JSON export uses, so table and
+/// --metrics output always agree.
+Table SnapshotTable(const telemetry::Snapshot& snap);
 
 }  // namespace zstor::harness

@@ -1,0 +1,197 @@
+#include "harness/testbed.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "harness/bench_flags.h"
+#include "hostif/spdk_stack.h"
+#include "sim/check.h"
+#include "workload/runner.h"
+
+namespace zstor {
+
+const char* ToString(StackChoice k) {
+  switch (k) {
+    case StackChoice::kSpdk: return "spdk";
+    case StackChoice::kKernelNone: return "kernel-none";
+    case StackChoice::kKernelMq: return "kernel-mq-deadline";
+  }
+  return "?";
+}
+
+Testbed::~Testbed() { Finish(); }
+
+nvme::Controller& Testbed::controller() {
+  if (zns_ != nullptr) return *zns_;
+  return *conv_;
+}
+
+void Testbed::FillZones(std::uint32_t first, std::uint32_t count) {
+  ZSTOR_CHECK_MSG(zns_ != nullptr, "FillZones needs a ZNS testbed");
+  for (std::uint32_t z = first; z < first + count; ++z) {
+    zns_->DebugFillZone(z, zns_->profile().zone_cap_bytes);
+  }
+}
+
+std::vector<std::uint32_t> Testbed::ZoneList(std::uint32_t first,
+                                             std::uint32_t count) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::uint32_t z = first; z < first + count; ++z) out.push_back(z);
+  return out;
+}
+
+workload::JobResult Testbed::RunJob(const workload::JobSpec& spec) {
+  workload::JobResult r = workload::RunJob(*sim_, *stack_, spec);
+  if (telem_ != nullptr) r.Describe(telem_->metrics());
+  return r;
+}
+
+std::vector<workload::JobResult> Testbed::RunJobs(
+    const std::vector<workload::JobSpec>& specs) {
+  std::vector<std::pair<hostif::Stack*, workload::JobSpec>> jobs;
+  jobs.reserve(specs.size());
+  for (const auto& spec : specs) jobs.emplace_back(stack_.get(), spec);
+  std::vector<workload::JobResult> results =
+      workload::RunJobs(*sim_, jobs);
+  if (telem_ != nullptr) {
+    for (const auto& r : results) r.Describe(telem_->metrics());
+  }
+  return results;
+}
+
+telemetry::Snapshot Testbed::TakeSnapshot() {
+  ZSTOR_CHECK_MSG(telem_ != nullptr,
+                  "TakeSnapshot requires telemetry (WithTelemetry or "
+                  "--trace/--metrics)");
+  telemetry::MetricsRegistry& m = telem_->metrics();
+  if (zns_ != nullptr) {
+    zns_->counters().Describe(m);
+    if (zns_->flash() != nullptr) zns_->flash()->counters().Describe(m);
+  }
+  if (conv_ != nullptr) {
+    conv_->counters().Describe(m);
+    conv_->flash().counters().Describe(m);
+  }
+  if (kernel_ != nullptr) kernel_->scheduler_stats().Describe(m);
+  return m.TakeSnapshot();
+}
+
+void Testbed::Finish() {
+  if (finished_ || telem_ == nullptr) return;
+  finished_ = true;
+  telemetry::Snapshot snap = TakeSnapshot();
+  if (!metrics_path_.empty()) {
+    std::FILE* f = std::fopen(metrics_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot open metrics file %s\n",
+                   metrics_path_.c_str());
+    } else {
+      std::fprintf(f, "%s\n", snap.ToJson().c_str());
+      std::fclose(f);
+    }
+  }
+  if (report_to_env_) {
+    harness::BenchEnv::Get().AddSnapshot(label_, std::move(snap));
+  }
+  telem_->Flush();
+}
+
+TestbedBuilder& TestbedBuilder::WithZnsProfile(const zns::ZnsProfile& p) {
+  zns_profile_ = p;
+  conv_profile_.reset();
+  return *this;
+}
+
+TestbedBuilder& TestbedBuilder::WithConvProfile(const ftl::ConvProfile& p) {
+  conv_profile_ = p;
+  zns_profile_.reset();
+  return *this;
+}
+
+TestbedBuilder& TestbedBuilder::WithStack(StackChoice s) {
+  stack_ = s;
+  return *this;
+}
+
+TestbedBuilder& TestbedBuilder::WithLbaBytes(std::uint32_t lba_bytes) {
+  lba_bytes_ = lba_bytes;
+  return *this;
+}
+
+TestbedBuilder& TestbedBuilder::WithQueueDepth(std::uint32_t qp_depth) {
+  qp_depth_ = qp_depth;
+  return *this;
+}
+
+TestbedBuilder& TestbedBuilder::WithTelemetry(TelemetryConfig cfg) {
+  telem_cfg_ = std::move(cfg);
+  return *this;
+}
+
+TestbedBuilder& TestbedBuilder::WithLabel(std::string label) {
+  label_ = std::move(label);
+  return *this;
+}
+
+Testbed TestbedBuilder::Build() {
+  Testbed tb;
+  tb.sim_ = std::make_unique<sim::Simulator>();
+
+  // Device.
+  if (conv_profile_.has_value()) {
+    tb.conv_ = std::make_unique<ftl::ConvDevice>(*tb.sim_, *conv_profile_);
+  } else {
+    tb.zns_ = std::make_unique<zns::ZnsDevice>(
+        *tb.sim_, zns_profile_.value_or(zns::Zn540Profile()), lba_bytes_);
+  }
+  nvme::Controller& dev = tb.controller();
+
+  // Host stack.
+  switch (stack_) {
+    case StackChoice::kSpdk:
+      tb.stack_ =
+          std::make_unique<hostif::SpdkStack>(*tb.sim_, dev, qp_depth_);
+      break;
+    case StackChoice::kKernelNone:
+      tb.stack_ = std::make_unique<hostif::KernelStack>(
+          *tb.sim_, dev, hostif::Scheduler::kNone, qp_depth_);
+      break;
+    case StackChoice::kKernelMq:
+      tb.kernel_ = new hostif::KernelStack(
+          *tb.sim_, dev, hostif::Scheduler::kMqDeadline, qp_depth_);
+      tb.stack_.reset(tb.kernel_);
+      break;
+  }
+
+  // Telemetry: explicit config wins; otherwise the bench flags decide.
+  harness::BenchEnv& env = harness::BenchEnv::Get();
+  if (telem_cfg_.has_value()) {
+    tb.telem_ = std::make_unique<telemetry::Telemetry>();
+    if (telem_cfg_->ring_capacity > 0) {
+      auto ring =
+          std::make_unique<telemetry::RingBufferSink>(telem_cfg_->ring_capacity);
+      tb.ring_ = ring.get();
+      tb.telem_->SetSink(std::move(ring));
+    } else if (!telem_cfg_->trace_path.empty()) {
+      tb.telem_->SetSink(
+          std::make_unique<telemetry::JsonlFileSink>(telem_cfg_->trace_path));
+    }
+    tb.metrics_path_ = telem_cfg_->metrics_path;
+  } else if (env.telemetry_requested()) {
+    tb.telem_ = std::make_unique<telemetry::Telemetry>();
+    if (telemetry::TraceSink* sink = env.shared_sink(); sink != nullptr) {
+      tb.telem_->SetExternalSink(sink);
+    }
+    tb.report_to_env_ = true;
+  }
+  if (tb.telem_ != nullptr) {
+    tb.label_ = label_.empty() ? env.NextLabel() : label_;
+    if (tb.zns_ != nullptr) tb.zns_->AttachTelemetry(tb.telem_.get());
+    if (tb.conv_ != nullptr) tb.conv_->AttachTelemetry(tb.telem_.get());
+    tb.stack_->AttachTelemetry(tb.telem_.get());
+  }
+  return tb;
+}
+
+}  // namespace zstor

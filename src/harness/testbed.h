@@ -1,0 +1,146 @@
+// The one-stop experiment facade: a Testbed owns a simulator, a device
+// (ZNS or conventional), a host stack and — optionally — a telemetry
+// bundle, wired together so benches and tests stop copy-pasting the same
+// construction boilerplate.
+//
+//   auto tb = zstor::TestbedBuilder()
+//                 .WithZnsProfile(zns::Zn540Profile())
+//                 .WithStack(zstor::StackChoice::kSpdk)
+//                 .WithTelemetry({.trace_path = "run.jsonl"})
+//                 .Build();
+//   auto r = tb.RunJob(spec);        // described into tb's metrics
+//   tb.Finish();                     // flush trace, write metrics JSON
+//
+// When no explicit telemetry config is given, Build() consults the
+// process-wide BenchEnv (see bench_flags.h): a bench invoked with
+// --trace=FILE / --metrics=FILE gets tracing on every testbed it builds,
+// all sharing one JSONL sink, with per-testbed metrics snapshots written
+// at exit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ftl/conv_device.h"
+#include "hostif/kernel_stack.h"
+#include "hostif/stack.h"
+#include "sim/simulator.h"
+#include "telemetry/telemetry.h"
+#include "workload/job.h"
+#include "zns/profile.h"
+#include "zns/zns_device.h"
+
+namespace zstor {
+
+/// Which host software stack services submissions (§III-A).
+enum class StackChoice { kSpdk, kKernelNone, kKernelMq };
+
+const char* ToString(StackChoice k);
+
+/// How a testbed's telemetry is surfaced. All fields optional; an
+/// all-default config still enables metrics collection (no trace sink).
+struct TelemetryConfig {
+  /// Append trace events to this JSONL file ("" = no file sink).
+  std::string trace_path;
+  /// Keep the last N events in an in-memory ring instead (tests and
+  /// post-hoc inspection). Takes precedence over trace_path.
+  std::size_t ring_capacity = 0;
+  /// Write a metrics-snapshot JSON object here on Finish().
+  std::string metrics_path;
+};
+
+class TestbedBuilder;
+
+/// Owns one experiment's worth of simulated hardware + host stack.
+/// Movable (members are heap-allocated, so internal references stay
+/// valid); destruction runs Finish() if the caller didn't.
+class Testbed {
+ public:
+  Testbed(Testbed&&) = default;
+  Testbed& operator=(Testbed&&) = default;
+  ~Testbed();
+
+  sim::Simulator& sim() { return *sim_; }
+  hostif::Stack& stack() { return *stack_; }
+  /// The device as its generic NVMe face.
+  nvme::Controller& controller();
+  /// Concrete device accessors; null when the testbed holds the other
+  /// kind (a testbed has exactly one device).
+  zns::ZnsDevice* zns() { return zns_.get(); }
+  ftl::ConvDevice* conv() { return conv_.get(); }
+  /// Non-null only for StackChoice::kKernelMq (scheduler stats live here).
+  hostif::KernelStack* kernel() { return kernel_; }
+  /// Null when telemetry is disabled.
+  telemetry::Telemetry* telemetry() { return telem_.get(); }
+  /// Null unless TelemetryConfig::ring_capacity was set.
+  telemetry::RingBufferSink* ring() { return ring_; }
+
+  // ---- experiment conveniences ---------------------------------------
+  /// DebugFillZone over [first, first+count) (ZNS testbeds only).
+  void FillZones(std::uint32_t first, std::uint32_t count);
+  std::vector<std::uint32_t> ZoneList(std::uint32_t first,
+                                      std::uint32_t count) const;
+  /// Runs a workload job to completion; the result is additionally
+  /// Describe()d into this testbed's metrics when telemetry is on.
+  workload::JobResult RunJob(const workload::JobSpec& spec);
+  std::vector<workload::JobResult> RunJobs(
+      const std::vector<workload::JobSpec>& specs);
+
+  /// Batch-exports every layer's counters (device, NAND, scheduler) into
+  /// the registry and freezes it. Requires telemetry.
+  telemetry::Snapshot TakeSnapshot();
+
+  /// Idempotent teardown: snapshot + metrics-file write (or hand-off to
+  /// the BenchEnv collector) and trace flush. Called by the destructor.
+  void Finish();
+
+ private:
+  friend class TestbedBuilder;
+  Testbed() = default;
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<telemetry::Telemetry> telem_;
+  std::unique_ptr<zns::ZnsDevice> zns_;
+  std::unique_ptr<ftl::ConvDevice> conv_;
+  std::unique_ptr<hostif::Stack> stack_;
+  hostif::KernelStack* kernel_ = nullptr;
+  telemetry::RingBufferSink* ring_ = nullptr;  // owned by telem_
+  std::string label_;
+  std::string metrics_path_;
+  bool report_to_env_ = false;
+  bool finished_ = false;
+};
+
+class TestbedBuilder {
+ public:
+  /// Selects the simulated ZNS device (the default, with Zn540Profile()).
+  TestbedBuilder& WithZnsProfile(const zns::ZnsProfile& p);
+  /// Selects the conventional (device-side GC) device instead.
+  TestbedBuilder& WithConvProfile(const ftl::ConvProfile& p);
+  TestbedBuilder& WithStack(StackChoice s);
+  /// Namespace LBA format (ZNS only; the conventional model is 4 KiB).
+  TestbedBuilder& WithLbaBytes(std::uint32_t lba_bytes);
+  /// Queue-pair depth (device-visible in-flight bound).
+  TestbedBuilder& WithQueueDepth(std::uint32_t qp_depth);
+  /// Explicitly enables telemetry with this config (otherwise Build()
+  /// consults the BenchEnv --trace/--metrics flags).
+  TestbedBuilder& WithTelemetry(TelemetryConfig cfg);
+  /// Names this testbed's snapshot in shared metrics output.
+  TestbedBuilder& WithLabel(std::string label);
+
+  Testbed Build();
+
+ private:
+  std::optional<zns::ZnsProfile> zns_profile_;
+  std::optional<ftl::ConvProfile> conv_profile_;
+  StackChoice stack_ = StackChoice::kSpdk;
+  std::uint32_t lba_bytes_ = 4096;
+  std::uint32_t qp_depth_ = 4096;
+  std::optional<TelemetryConfig> telem_cfg_;
+  std::string label_;
+};
+
+}  // namespace zstor

@@ -36,6 +36,15 @@ struct SchedulerStats {
                : static_cast<double>(merged_writes) /
                      static_cast<double>(staged_writes);
   }
+
+  /// Exports scheduler counters under the "sched." prefix (the shared
+  /// Describe protocol; see telemetry/metrics.h).
+  void Describe(telemetry::MetricsRegistry& m) const {
+    m.GetCounter("sched.staged_writes").Set(staged_writes);
+    m.GetCounter("sched.dispatched_writes").Set(dispatched_writes);
+    m.GetCounter("sched.merged_writes").Set(merged_writes);
+    m.GetGauge("sched.merged_fraction").Set(MergedFraction());
+  }
 };
 
 class KernelStack : public Stack {
@@ -55,26 +64,55 @@ class KernelStack : public Stack {
         max_merge_bytes_(max_merge_bytes) {}
 
   sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
+    telemetry::Tracer* tr = trace();
+    if (tr != nullptr && cmd.trace_id == 0) {
+      cmd.trace_id = telemetry::Tracer::NextCmdId();
+    }
     sim::Time start = sim_.now();
     sim::Time overhead =
         costs_.submit +
         (sched_ == Scheduler::kMqDeadline ? scheduler_cost_ : 0);
     co_await sim_.Delay(overhead);
+    if (tr != nullptr) {
+      tr->Span(start, sim_.now(), cmd.trace_id, telemetry::Layer::kHost,
+               "host.submit", static_cast<std::int64_t>(cmd.opcode),
+               static_cast<std::int64_t>(cmd.nlb));
+    }
     nvme::TimedCompletion tc;
     if (sched_ == Scheduler::kMqDeadline &&
         cmd.opcode == nvme::Opcode::kWrite && info().zoned) {
+      sim::Time staged_at = sim_.now();
       tc.completion = co_await StageZonedWrite(cmd);
+      tc.trace_id = cmd.trace_id;
+      if (tr != nullptr) {
+        // The whole scheduler round trip: staging, possibly merging into a
+        // neighbor's request, device service of the dispatched batch.
+        tr->Span(staged_at, sim_.now(), cmd.trace_id,
+                 telemetry::Layer::kHost, "sched.wait",
+                 static_cast<std::int64_t>(ZoneOf(cmd.slba)));
+      }
     } else {
       tc = co_await qp_.Issue(cmd);
     }
+    sim::Time device_done = sim_.now();
     co_await sim_.Delay(costs_.complete);
     tc.submitted = start;
     tc.completed = sim_.now();
+    if (tr != nullptr) {
+      tr->Span(device_done, tc.completed, cmd.trace_id,
+               telemetry::Layer::kHost, "host.complete");
+      telem_->metrics().GetHistogram("host.latency_ns").Record(tc.latency());
+    }
     co_return tc;
   }
 
   const nvme::NamespaceInfo& info() const override { return ctrl_.info(); }
   const SchedulerStats& scheduler_stats() const { return sched_stats_; }
+
+  void AttachTelemetry(telemetry::Telemetry* t) override {
+    telem_ = t;
+    qp_.AttachTelemetry(t);
+  }
 
  private:
   /// One staged write. Owned by the coroutine frame of the waiter in
@@ -143,6 +181,14 @@ class KernelStack : public Stack {
     std::uint32_t nlb = 0;
     for (const Request* r : batch) nlb += r->cmd.nlb;
     merged.nlb = nlb;
+    if (telemetry::Tracer* tr = trace(); tr != nullptr) {
+      // The merged request is a new device-visible command; give it its
+      // own id so device spans aren't misattributed to the head write.
+      merged.trace_id = telemetry::Tracer::NextCmdId();
+      tr->Instant(sim_.now(), merged.trace_id, telemetry::Layer::kHost,
+                  "sched.dispatch", static_cast<std::int64_t>(zid),
+                  static_cast<std::int64_t>(batch.size()));
+    }
     nvme::TimedCompletion tc = co_await qp_.Issue(merged);
     for (Request* r : batch) {
       r->completion = tc.completion;

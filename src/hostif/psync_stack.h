@@ -24,18 +24,38 @@ class PsyncStack : public Stack {
       : sim_(s), qp_(s, ctrl, qp_depth), costs_(costs), ctrl_(ctrl) {}
 
   sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
+    telemetry::Tracer* tr = trace();
+    if (tr != nullptr && cmd.trace_id == 0) {
+      cmd.trace_id = telemetry::Tracer::NextCmdId();
+    }
     sim::Time start = sim_.now();
     // Syscall entry + kernel block layer on the way down...
     co_await sim_.Delay(costs_.submit);
+    if (tr != nullptr) {
+      tr->Span(start, sim_.now(), cmd.trace_id, telemetry::Layer::kHost,
+               "host.submit", static_cast<std::int64_t>(cmd.opcode),
+               static_cast<std::int64_t>(cmd.nlb));
+    }
     nvme::TimedCompletion tc = co_await qp_.Issue(cmd);
+    sim::Time device_done = tc.completed;
     // ...interrupt + completion path + syscall return on the way up.
     co_await sim_.Delay(costs_.complete);
     tc.submitted = start;
     tc.completed = sim_.now();
+    if (tr != nullptr) {
+      tr->Span(device_done, tc.completed, cmd.trace_id,
+               telemetry::Layer::kHost, "host.complete");
+      telem_->metrics().GetHistogram("host.latency_ns").Record(tc.latency());
+    }
     co_return tc;
   }
 
   const nvme::NamespaceInfo& info() const override { return ctrl_.info(); }
+
+  void AttachTelemetry(telemetry::Telemetry* t) override {
+    telem_ = t;
+    qp_.AttachTelemetry(t);
+  }
 
  private:
   sim::Simulator& sim_;

@@ -15,6 +15,7 @@
 #include "nvme/types.h"
 #include "sim/task.h"
 #include "sim/time.h"
+#include "telemetry/telemetry.h"
 
 namespace zstor::hostif {
 
@@ -33,6 +34,18 @@ class Stack {
   /// Issues one command through the stack and suspends to its completion.
   virtual sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) = 0;
   virtual const nvme::NamespaceInfo& info() const = 0;
+  /// Enables host-side tracing/metrics (non-owning; null disables).
+  /// Implementations forward to their queue pair as well.
+  virtual void AttachTelemetry(telemetry::Telemetry* t) { telem_ = t; }
+
+ protected:
+  /// The tracer to emit into, or nullptr when telemetry is disabled —
+  /// call sites guard on this one pointer and cost nothing otherwise.
+  telemetry::Tracer* trace() const {
+    return telem_ != nullptr ? &telem_->tracer() : nullptr;
+  }
+
+  telemetry::Telemetry* telem_ = nullptr;
 };
 
 }  // namespace zstor::hostif

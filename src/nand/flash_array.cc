@@ -2,6 +2,16 @@
 
 namespace zstor::nand {
 
+using telemetry::Layer;
+
+void FlashCounters::Describe(telemetry::MetricsRegistry& m) const {
+  m.GetCounter("nand.page_reads").Set(page_reads);
+  m.GetCounter("nand.page_programs").Set(page_programs);
+  m.GetCounter("nand.block_erases").Set(block_erases);
+  m.GetCounter("nand.bytes_read").Set(bytes_read);
+  m.GetCounter("nand.bytes_programmed").Set(bytes_programmed);
+}
+
 FlashArray::FlashArray(sim::Simulator& s, const Geometry& geo,
                        const Timing& timing)
     : sim_(s), geo_(geo), timing_(timing), rng_(timing.noise_seed) {
@@ -38,6 +48,8 @@ sim::Task<> FlashArray::ReadPage(PageAddr addr, std::uint32_t bytes) {
   ZSTOR_CHECK(bytes > 0 && bytes <= geo_.page_bytes);
   ZSTOR_CHECK_MSG(addr.page < Block(addr.die, addr.block).write_ptr,
                   "read of an unprogrammed page");
+  telemetry::Tracer* tr = trace();
+  sim::Time t0 = sim_.now();
   {
     auto die = co_await dies_[addr.die]->Acquire();
     co_await sim_.Delay(NoisyRead());
@@ -47,6 +59,11 @@ sim::Task<> FlashArray::ReadPage(PageAddr addr, std::uint32_t bytes) {
     // Bus time scales with the fraction of the page transferred.
     sim::Time xfer = timing_.bus_xfer_page * bytes / geo_.page_bytes;
     co_await sim_.Delay(xfer);
+  }
+  if (tr != nullptr) {
+    tr->Span(t0, sim_.now(), /*cmd=*/0, Layer::kNand, "die.read",
+             static_cast<std::int64_t>(addr.die),
+             static_cast<std::int64_t>(bytes));
   }
   counters_.page_reads++;
   counters_.bytes_read += bytes;
@@ -58,6 +75,8 @@ sim::Task<> FlashArray::ProgramPage(PageAddr addr) {
                   "non-sequential program within a block");
   ZSTOR_CHECK(addr.page < geo_.pages_per_block);
   blk.write_ptr++;
+  telemetry::Tracer* tr = trace();
+  sim::Time t0 = sim_.now();
   {
     auto chan = co_await channels_[geo_.channel_of({addr.die})]->Acquire();
     co_await sim_.Delay(timing_.bus_xfer_page);
@@ -66,15 +85,27 @@ sim::Task<> FlashArray::ProgramPage(PageAddr addr) {
     auto die = co_await dies_[addr.die]->Acquire();
     co_await sim_.Delay(NoisyProgram());
   }
+  if (tr != nullptr) {
+    tr->Span(t0, sim_.now(), /*cmd=*/0, Layer::kNand, "die.program",
+             static_cast<std::int64_t>(addr.die),
+             static_cast<std::int64_t>(geo_.page_bytes));
+  }
   counters_.page_programs++;
   counters_.bytes_programmed += geo_.page_bytes;
 }
 
 sim::Task<> FlashArray::EraseBlock(std::uint32_t die, std::uint32_t block) {
   BlockState& blk = Block(die, block);
+  telemetry::Tracer* tr = trace();
+  sim::Time t0 = sim_.now();
   {
     auto g = co_await dies_[die]->Acquire();
     co_await sim_.Delay(timing_.erase_block);
+  }
+  if (tr != nullptr) {
+    tr->Span(t0, sim_.now(), /*cmd=*/0, Layer::kNand, "die.erase",
+             static_cast<std::int64_t>(die),
+             static_cast<std::int64_t>(block));
   }
   blk.write_ptr = 0;
   blk.pe_cycles++;

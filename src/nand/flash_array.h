@@ -21,6 +21,7 @@
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
+#include "telemetry/telemetry.h"
 
 namespace zstor::nand {
 
@@ -30,6 +31,10 @@ struct FlashCounters {
   std::uint64_t block_erases = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_programmed = 0;
+
+  /// Exports every counter into the registry under the "nand." prefix
+  /// (the shared Describe protocol; see telemetry/metrics.h).
+  void Describe(telemetry::MetricsRegistry& m) const;
 };
 
 class FlashArray {
@@ -39,6 +44,11 @@ class FlashArray {
   const Geometry& geometry() const { return geo_; }
   const Timing& timing() const { return timing_; }
   const FlashCounters& counters() const { return counters_; }
+
+  /// Enables die/channel-level tracing (non-owning; null disables). Die
+  /// spans carry no command id — cell service is decoupled from commands
+  /// by the write-back buffer; `a` holds the die index instead.
+  void AttachTelemetry(telemetry::Telemetry* t) { telem_ = t; }
 
   /// Reads `bytes` (<= page size) from a programmed page: occupies the die
   /// for tR, then the channel for the data-out transfer.
@@ -89,7 +99,11 @@ class FlashArray {
 
   sim::Time NoisyRead();
   sim::Time NoisyProgram();
+  telemetry::Tracer* trace() const {
+    return telem_ != nullptr ? &telem_->tracer() : nullptr;
+  }
 
+  telemetry::Telemetry* telem_ = nullptr;
   sim::Simulator& sim_;
   Geometry geo_;
   Timing timing_;

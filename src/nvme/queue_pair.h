@@ -17,6 +17,7 @@
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "sim/task.h"
+#include "telemetry/telemetry.h"
 
 namespace zstor::nvme {
 
@@ -24,6 +25,7 @@ struct TimedCompletion {
   Completion completion;
   sim::Time submitted = 0;
   sim::Time completed = 0;
+  std::uint64_t trace_id = 0;  // correlates with trace spans (0 = untraced)
   sim::Time latency() const { return completed - submitted; }
 };
 
@@ -36,14 +38,38 @@ class QueuePair {
   QueuePair(const QueuePair&) = delete;
   QueuePair& operator=(const QueuePair&) = delete;
 
+  void AttachTelemetry(telemetry::Telemetry* t) { telem_ = t; }
+
   /// Submits a command and suspends until its completion is posted.
   /// Suspends first if the queue is full (in-flight == depth).
   sim::Task<TimedCompletion> Issue(Command cmd) {
+    telemetry::Tracer* tr =
+        telem_ != nullptr ? &telem_->tracer() : nullptr;
+    if (tr != nullptr && cmd.trace_id == 0) {
+      cmd.trace_id = telemetry::Tracer::NextCmdId();
+    }
+    sim::Time enqueued = sim_.now();
     co_await slots_.Acquire();
     TimedCompletion out;
+    out.trace_id = cmd.trace_id;
     out.submitted = sim_.now();
+    if (tr != nullptr) {
+      // qp.wait is zero-length whenever a slot was free (QD not yet
+      // reached): Semaphore::Acquire doesn't suspend then.
+      tr->Span(enqueued, out.submitted, cmd.trace_id,
+               telemetry::Layer::kQueue, "qp.wait");
+      tr->Instant(out.submitted, cmd.trace_id, telemetry::Layer::kQueue,
+                  "qp.doorbell", static_cast<std::int64_t>(cmd.opcode),
+                  static_cast<std::int64_t>(cmd.nlb));
+    }
     out.completion = co_await ctrl_.Execute(cmd);
     out.completed = sim_.now();
+    if (tr != nullptr) {
+      tr->Instant(out.completed, cmd.trace_id, telemetry::Layer::kQueue,
+                  "qp.cqe",
+                  static_cast<std::int64_t>(out.completion.status));
+      telem_->metrics().GetCounter("qp.completions").Add();
+    }
     slots_.Release();
     ++completed_;
     co_return out;
@@ -59,6 +85,7 @@ class QueuePair {
   std::uint32_t depth_;
   sim::Semaphore slots_;
   std::uint64_t completed_ = 0;
+  telemetry::Telemetry* telem_ = nullptr;
 };
 
 }  // namespace zstor::nvme

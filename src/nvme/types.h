@@ -105,6 +105,10 @@ struct Command {
   /// Zone Management Receive (report zones): maximum descriptors to
   /// return, 0 = all from `slba`'s zone onward.
   std::uint32_t report_max = 0;
+  /// Telemetry correlation id threading the command through every layer's
+  /// trace spans. 0 = unassigned; the queue pair assigns one on issue if
+  /// the host stack hasn't already (telemetry::Tracer::NextCmdId()).
+  std::uint64_t trace_id = 0;
 };
 
 /// One entry of a zone report (Zone Management Receive).

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -19,8 +20,14 @@ class Welford {
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const;
   double stddev() const;
-  double min() const { return n_ ? min_ : 0.0; }
-  double max() const { return n_ ? max_ : 0.0; }
+  /// NaN when no samples were recorded — an empty window must never be
+  /// mistaken for a real zero-valued measurement.
+  double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
   /// Coefficient of variation (stddev / mean); 0 when undefined.
   double cv() const;
 

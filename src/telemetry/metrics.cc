@@ -1,0 +1,132 @@
+#include "telemetry/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/check.h"
+
+namespace zstor::telemetry {
+
+MetricsRegistry::Entry& MetricsRegistry::Lookup(const std::string& name,
+                                                Kind kind) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram:
+        e.histogram = std::make_unique<sim::LatencyHistogram>();
+        break;
+    }
+  } else {
+    ZSTOR_CHECK_MSG(e.kind == kind,
+                    "metric registered twice with different kinds");
+  }
+  return e;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  return *Lookup(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  return *Lookup(name, Kind::kGauge).gauge;
+}
+
+sim::LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  return *Lookup(name, Kind::kHistogram).histogram;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  Snapshot snap;
+  snap.metrics.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    Snapshot::Metric m;
+    m.name = name;
+    switch (e.kind) {
+      case Kind::kCounter:
+        m.kind = "counter";
+        m.value = static_cast<double>(e.counter->value());
+        break;
+      case Kind::kGauge:
+        m.kind = "gauge";
+        m.value = e.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        const auto& h = *e.histogram;
+        m.kind = "histogram";
+        m.value = static_cast<double>(h.count());
+        if (h.count() > 0) {
+          m.mean = h.mean_ns();
+          m.p50 = h.p50_ns();
+          m.p95 = h.p95_ns();
+          m.p99 = h.p99_ns();
+          m.max = h.max_ns();
+        }
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+const Snapshot::Metric* Snapshot::Find(const std::string& name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// JSON has no NaN/Inf; map non-finite values (e.g. empty-histogram stats)
+// to null.
+void AppendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::string Snapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& m : metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + m.name + "\":";
+    if (m.kind == "histogram") {
+      out += "{\"count\":";
+      AppendNumber(out, m.value);
+      out += ",\"mean_ns\":";
+      AppendNumber(out, m.mean);
+      out += ",\"p50_ns\":";
+      AppendNumber(out, m.p50);
+      out += ",\"p95_ns\":";
+      AppendNumber(out, m.p95);
+      out += ",\"p99_ns\":";
+      AppendNumber(out, m.p99);
+      out += ",\"max_ns\":";
+      AppendNumber(out, m.max);
+      out += "}";
+    } else {
+      AppendNumber(out, m.value);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace zstor::telemetry

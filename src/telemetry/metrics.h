@@ -1,0 +1,87 @@
+// Named metrics shared by every layer: monotonic counters, point-in-time
+// gauges, and latency histograms, all living in one MetricsRegistry so a
+// run can be summarized as a single JSON snapshot. Layers either register
+// live instruments (hot-path increments) or batch-export their internal
+// counter structs at snapshot time via a `Describe(MetricsRegistry&)`
+// method — ZnsCounters, ftl::ConvCounters, nand::FlashCounters and
+// workload::JobResult all speak that one protocol.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace zstor::telemetry {
+
+/// A monotonically increasing count (events, bytes, retries...).
+class Counter {
+ public:
+  void Add(std::uint64_t delta = 1) { value_ += delta; }
+  /// Overwrites the value — for batch export from an external tally.
+  void Set(std::uint64_t value) { value_ = value; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A point-in-time level (occupancy, fraction, amplification factor...).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// A name -> instrument directory. Instruments are created on first use
+/// and live as long as the registry; re-requesting a name returns the
+/// same instrument. Requesting an existing name as a different kind is a
+/// programming error and aborts.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  sim::LatencyHistogram& GetHistogram(const std::string& name);
+
+  struct Snapshot;
+  Snapshot TakeSnapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<sim::LatencyHistogram> histogram;
+  };
+  Entry& Lookup(const std::string& name, Kind kind);
+
+  std::map<std::string, Entry> entries_;  // ordered => sorted snapshots
+};
+
+/// A frozen, exportable copy of a registry's state.
+struct MetricsRegistry::Snapshot {
+  struct Metric {
+    std::string name;
+    std::string kind;     // "counter" | "gauge" | "histogram"
+    double value = 0.0;   // counter/gauge value, histogram count
+    // Histogram-only summary (nanoseconds).
+    double mean = 0.0, p50 = 0.0, p95 = 0.0, p99 = 0.0, max = 0.0;
+  };
+  std::vector<Metric> metrics;  // sorted by name
+
+  const Metric* Find(const std::string& name) const;
+  /// One JSON object: {"metric.name": ..., ...}; histograms expand into
+  /// an object with count/mean/percentile fields.
+  std::string ToJson() const;
+};
+
+using Snapshot = MetricsRegistry::Snapshot;
+
+}  // namespace zstor::telemetry

@@ -1,0 +1,46 @@
+// The per-testbed telemetry bundle: one Tracer plus one MetricsRegistry,
+// handed (non-owning) to every layer via AttachTelemetry(). A null
+// Telemetry* anywhere means "disabled" and costs one branch per would-be
+// emit — see DESIGN.md §7 for the architecture and overhead argument.
+#pragma once
+
+#include <memory>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace zstor::telemetry {
+
+class Telemetry {
+ public:
+  Telemetry() = default;
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  Tracer& tracer() { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Installs an owned sink (replacing any previous one).
+  void SetSink(std::unique_ptr<TraceSink> sink) {
+    owned_sink_ = std::move(sink);
+    tracer_.SetSink(owned_sink_.get());
+  }
+  /// Points the tracer at a sink owned elsewhere (e.g. a process-wide
+  /// JSONL file shared by several testbeds).
+  void SetExternalSink(TraceSink* sink) {
+    owned_sink_.reset();
+    tracer_.SetSink(sink);
+  }
+
+  void Flush() {
+    if (tracer_.sink() != nullptr) tracer_.sink()->Flush();
+  }
+
+ private:
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<TraceSink> owned_sink_;
+};
+
+}  // namespace zstor::telemetry

@@ -1,0 +1,87 @@
+#include "telemetry/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "sim/check.h"
+
+namespace zstor::telemetry {
+
+const char* ToString(Layer l) {
+  switch (l) {
+    case Layer::kHost: return "host";
+    case Layer::kQueue: return "queue";
+    case Layer::kFcp: return "fcp";
+    case Layer::kPost: return "post";
+    case Layer::kBuffer: return "buffer";
+    case Layer::kZone: return "zone";
+    case Layer::kNand: return "nand";
+    case Layer::kFtl: return "ftl";
+    case Layer::kWorkload: return "workload";
+  }
+  return "?";
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
+  ZSTOR_CHECK(capacity_ > 0);
+  ring_.reserve(capacity_);
+}
+
+void RingBufferSink::OnEvent(const TraceEvent& e) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[total_ % capacity_] = e;
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> RingBufferSink::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, the oldest surviving event sits right
+  // after the most recently written slot.
+  std::size_t start = total_ > capacity_ ? total_ % capacity_ : 0;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+JsonlFileSink::JsonlFileSink(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot open trace file '%s'\n",
+                 path.c_str());
+  }
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void JsonlFileSink::OnEvent(const TraceEvent& e) {
+  if (file_ == nullptr) return;
+  std::fprintf(file_,
+               "{\"ts\":%llu,\"dur\":%llu,\"cmd\":%llu,\"layer\":\"%s\","
+               "\"name\":\"%s\",\"a\":%lld,\"b\":%lld}\n",
+               static_cast<unsigned long long>(e.begin),
+               static_cast<unsigned long long>(e.duration()),
+               static_cast<unsigned long long>(e.cmd), ToString(e.layer),
+               e.name, static_cast<long long>(e.a),
+               static_cast<long long>(e.b));
+  ++written_;
+}
+
+void JsonlFileSink::Flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+std::uint64_t Tracer::NextCmdId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace zstor::telemetry

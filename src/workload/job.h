@@ -12,6 +12,7 @@
 #include "nvme/types.h"
 #include "sim/stats.h"
 #include "sim/time.h"
+#include "telemetry/metrics.h"
 
 namespace zstor::workload {
 
@@ -83,6 +84,22 @@ struct JobResult {
   }
   double MibPerSec() const { return BytesPerSec() / (1024.0 * 1024.0); }
   double Kiops() const { return Iops() / 1000.0; }
+
+  /// Exports counters, rates and latency histograms into the registry
+  /// under the "job." prefix (the shared Describe protocol; see
+  /// telemetry/metrics.h). Histograms merge, so describing several jobs
+  /// into one registry aggregates them.
+  void Describe(telemetry::MetricsRegistry& m) const {
+    m.GetCounter("job.ops").Add(ops);
+    m.GetCounter("job.bytes").Add(bytes);
+    m.GetCounter("job.errors").Add(errors);
+    m.GetGauge("job.iops").Set(Iops());
+    m.GetGauge("job.mib_per_sec").Set(MibPerSec());
+    m.GetHistogram("job.latency_ns").Merge(latency);
+    m.GetHistogram("job.read_latency_ns").Merge(read_latency);
+    m.GetHistogram("job.write_latency_ns").Merge(write_latency);
+    m.GetHistogram("job.reset_latency_ns").Merge(reset_latency);
+  }
 };
 
 }  // namespace zstor::workload

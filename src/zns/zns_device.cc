@@ -12,6 +12,26 @@ using nvme::Opcode;
 using nvme::Status;
 using nvme::ZoneAction;
 using sim::Time;
+using telemetry::Layer;
+
+void ZnsCounters::Describe(telemetry::MetricsRegistry& m) const {
+  m.GetCounter("zns.reads").Set(reads);
+  m.GetCounter("zns.writes").Set(writes);
+  m.GetCounter("zns.appends").Set(appends);
+  m.GetCounter("zns.flushes").Set(flushes);
+  m.GetCounter("zns.zone_reports").Set(zone_reports);
+  m.GetCounter("zns.zones_worn_offline").Set(zones_worn_offline);
+  m.GetCounter("zns.explicit_opens").Set(explicit_opens);
+  m.GetCounter("zns.implicit_opens").Set(implicit_opens);
+  m.GetCounter("zns.implicit_open_evictions").Set(implicit_open_evictions);
+  m.GetCounter("zns.closes").Set(closes);
+  m.GetCounter("zns.finishes").Set(finishes);
+  m.GetCounter("zns.resets").Set(resets);
+  m.GetCounter("zns.bytes_written").Set(bytes_written);
+  m.GetCounter("zns.bytes_read").Set(bytes_read);
+  m.GetCounter("zns.io_errors").Set(io_errors);
+  m.GetCounter("zns.zone_transitions").Set(zone_transitions);
+}
 
 ZnsDevice::ZnsDevice(sim::Simulator& s, ZnsProfile profile,
                      std::uint32_t lba_bytes)
@@ -63,6 +83,11 @@ ZnsDevice::ZnsDevice(sim::Simulator& s, ZnsProfile profile,
   info_.num_zones = profile_.num_zones;
   info_.max_open_zones = profile_.max_open_zones;
   info_.max_active_zones = profile_.max_active_zones;
+}
+
+void ZnsDevice::AttachTelemetry(telemetry::Telemetry* t) {
+  telem_ = t;
+  if (flash_) flash_->AttachTelemetry(t);
 }
 
 // ---------------------------------------------------------------- helpers
@@ -178,6 +203,13 @@ void ZnsDevice::SetZoneState(std::uint32_t zone, ZoneState next) {
   Zone& z = zones_[zone];
   ZoneState prev = z.state;
   if (prev == next) return;
+  counters_.zone_transitions++;
+  if (telemetry::Tracer* tr = trace(); tr != nullptr) {
+    tr->Instant(sim_.now(), /*cmd=*/0, Layer::kZone, "zone.transition",
+                static_cast<std::int64_t>(zone),
+                (static_cast<std::int64_t>(prev) << 8) |
+                    static_cast<std::int64_t>(next));
+  }
   if (IsOpen(prev) && !IsOpen(next)) {
     ZSTOR_CHECK(open_count_ > 0);
     --open_count_;
@@ -338,7 +370,7 @@ sim::Task<Completion> ZnsDevice::Execute(const Command& cmd) {
       c = co_await DoReportZones(cmd);
       break;
     case Opcode::kFlush:
-      c = co_await DoFlush();
+      c = co_await DoFlush(cmd.trace_id);
       break;
     default:
       c.status = Status::kInvalidOpcode;
@@ -357,11 +389,24 @@ sim::Task<Completion> ZnsDevice::DoRead(Command cmd) {
       static_cast<std::uint64_t>(cmd.nlb) * lba_bytes_;
   const std::uint32_t zone = ZoneOfLba(cmd.slba);
   InflightGuard io_guard(*this);
+  telemetry::Tracer* tr = trace();
+  sim::Time t0 = sim_.now();
   {
     auto g = co_await fcp_.Acquire(kPrioIo);
+    sim::Time t1 = sim_.now();
+    if (tr != nullptr) {
+      tr->Span(t0, t1, cmd.trace_id, Layer::kFcp, "fcp.wait",
+               static_cast<std::int64_t>(zone));
+    }
     co_await sim_.Delay(
         Noise(FcpIoCost(Opcode::kRead, bytes, cmd.nlb, cmd.slba)));
+    if (tr != nullptr) {
+      tr->Span(t1, sim_.now(), cmd.trace_id, Layer::kFcp, "fcp.service",
+               static_cast<std::int64_t>(zone),
+               static_cast<std::int64_t>(bytes));
+    }
   }
+  sim::Time nand_begin = sim_.now();
   // NAND phase: fetch the pages that have actually been programmed; the
   // rest is served from the write-back buffer or as deallocated zeroes.
   if (flash_) {
@@ -388,10 +433,20 @@ sim::Task<Completion> ZnsDevice::DoRead(Command cmd) {
       }
     }
   }
+  sim::Time post_begin = sim_.now();
+  if (tr != nullptr && flash_) {
+    // Zero-length when everything was served from the write-back buffer.
+    tr->Span(nand_begin, post_begin, cmd.trace_id, Layer::kNand,
+             "nand.read", static_cast<std::int64_t>(zone));
+  }
   co_await sim_.Delay(
       Noise(profile_.post.read_fixed +
             static_cast<Time>(profile_.post.dma_ns_per_byte *
                               static_cast<double>(bytes))));
+  if (tr != nullptr) {
+    tr->Span(post_begin, sim_.now(), cmd.trace_id, Layer::kPost, "post",
+             static_cast<std::int64_t>(bytes));
+  }
   counters_.reads++;
   counters_.bytes_read += bytes;
   co_return Completion{.status = Status::kSuccess};
@@ -406,12 +461,24 @@ sim::Task<Completion> ZnsDevice::DoWrite(Command cmd) {
       static_cast<std::uint64_t>(cmd.nlb) * lba_bytes_;
   const std::uint32_t zone = ZoneOfLba(cmd.slba);
   InflightGuard io_guard(*this);
+  telemetry::Tracer* tr = trace();
   bool first_io = false;
   std::uint64_t end_off;
+  sim::Time t0 = sim_.now();
   {
     auto g = co_await fcp_.Acquire(kPrioIo);
+    sim::Time t1 = sim_.now();
+    if (tr != nullptr) {
+      tr->Span(t0, t1, cmd.trace_id, Layer::kFcp, "fcp.wait",
+               static_cast<std::int64_t>(zone));
+    }
     co_await sim_.Delay(
         Noise(FcpIoCost(Opcode::kWrite, bytes, cmd.nlb, cmd.slba)));
+    if (tr != nullptr) {
+      tr->Span(t1, sim_.now(), cmd.trace_id, Layer::kFcp, "fcp.service",
+               static_cast<std::int64_t>(zone),
+               static_cast<std::int64_t>(bytes));
+    }
     Zone& z = zones_[zone];
     if (ZoneDataOffsetBytes(cmd.slba) != z.wp_bytes &&
         z.state != ZoneState::kFull) {
@@ -427,15 +494,27 @@ sim::Task<Completion> ZnsDevice::DoWrite(Command cmd) {
       TransitionToFullLocked(zone, /*via_finish=*/false);
     }
   }
+  sim::Time post_begin = sim_.now();
   Time post = profile_.post.write_fixed +
               static_cast<Time>(profile_.post.dma_ns_per_byte *
                                 static_cast<double>(bytes));
   if (first_io) post += profile_.open_close.implicit_first_write_extra;
   co_await sim_.Delay(Noise(post));
+  sim::Time admit_begin = sim_.now();
+  if (tr != nullptr) {
+    tr->Span(post_begin, admit_begin, cmd.trace_id, Layer::kPost, "post",
+             static_cast<std::int64_t>(bytes), first_io ? 1 : 0);
+  }
   if (flash_) {
     co_await AdmitPrograms(zone, end_off);
   } else {
     zones_[zone].programmed_bytes = end_off;
+  }
+  if (tr != nullptr) {
+    // Non-zero only when the write-back buffer is full and admission has
+    // to wait for the NAND drain (the Obs. 9 throttling mechanism).
+    tr->Span(admit_begin, sim_.now(), cmd.trace_id, Layer::kBuffer,
+             "buffer.admit", static_cast<std::int64_t>(zone));
   }
   counters_.writes++;
   counters_.bytes_written += bytes;
@@ -454,13 +533,25 @@ sim::Task<Completion> ZnsDevice::DoAppend(Command cmd) {
       static_cast<std::uint64_t>(cmd.nlb) * lba_bytes_;
   const std::uint32_t zone = ZoneOfLba(cmd.slba);
   InflightGuard io_guard(*this);
+  telemetry::Tracer* tr = trace();
   bool first_io = false;
   std::uint64_t assigned_off;
   std::uint64_t end_off;
+  sim::Time t0 = sim_.now();
   {
     auto g = co_await fcp_.Acquire(kPrioIo);
+    sim::Time t1 = sim_.now();
+    if (tr != nullptr) {
+      tr->Span(t0, t1, cmd.trace_id, Layer::kFcp, "fcp.wait",
+               static_cast<std::int64_t>(zone));
+    }
     co_await sim_.Delay(
         Noise(FcpIoCost(Opcode::kAppend, bytes, cmd.nlb, cmd.slba)));
+    if (tr != nullptr) {
+      tr->Span(t1, sim_.now(), cmd.trace_id, Layer::kFcp, "fcp.service",
+               static_cast<std::int64_t>(zone),
+               static_cast<std::int64_t>(bytes));
+    }
     Zone& z = zones_[zone];
     if (z.wp_bytes + bytes > profile_.zone_cap_bytes &&
         z.state != ZoneState::kFull) {
@@ -477,6 +568,7 @@ sim::Task<Completion> ZnsDevice::DoAppend(Command cmd) {
       TransitionToFullLocked(zone, /*via_finish=*/false);
     }
   }
+  sim::Time post_begin = sim_.now();
   Time post = profile_.post.write_fixed +
               static_cast<Time>(profile_.post.dma_ns_per_byte *
                                 static_cast<double>(bytes));
@@ -485,11 +577,20 @@ sim::Task<Completion> ZnsDevice::DoAppend(Command cmd) {
   }
   if (first_io) post += profile_.open_close.implicit_first_append_extra;
   co_await sim_.Delay(Noise(post));
+  sim::Time admit_begin = sim_.now();
+  if (tr != nullptr) {
+    tr->Span(post_begin, admit_begin, cmd.trace_id, Layer::kPost, "post",
+             static_cast<std::int64_t>(bytes), first_io ? 1 : 0);
+  }
   if (flash_) {
     co_await AdmitPrograms(zone, end_off);
   } else {
     zones_[zone].programmed_bytes =
         std::max(zones_[zone].programmed_bytes, end_off);
+  }
+  if (tr != nullptr) {
+    tr->Span(admit_begin, sim_.now(), cmd.trace_id, Layer::kBuffer,
+             "buffer.admit", static_cast<std::int64_t>(zone));
   }
   counters_.appends++;
   counters_.bytes_written += bytes;
@@ -503,25 +604,34 @@ sim::Task<Completion> ZnsDevice::DoZoneMgmt(Command cmd) {
     if (cmd.zone_action != ZoneAction::kReset) {
       co_return Completion{.status = Status::kInvalidField};
     }
-    co_return co_await DoResetAll();
+    co_return co_await DoResetAll(cmd.trace_id);
   }
   if (cmd.slba >= info_.capacity_lbas) {
     co_return Completion{.status = Status::kLbaOutOfRange};
   }
   const std::uint32_t zone = ZoneOfLba(cmd.slba);
   switch (cmd.zone_action) {
-    case ZoneAction::kOpen: co_return co_await DoOpen(zone);
-    case ZoneAction::kClose: co_return co_await DoClose(zone);
-    case ZoneAction::kFinish: co_return co_await DoFinish(zone);
-    case ZoneAction::kReset: co_return co_await DoReset(zone);
+    case ZoneAction::kOpen: co_return co_await DoOpen(zone, cmd.trace_id);
+    case ZoneAction::kClose: co_return co_await DoClose(zone, cmd.trace_id);
+    case ZoneAction::kFinish: co_return co_await DoFinish(zone, cmd.trace_id);
+    case ZoneAction::kReset: co_return co_await DoReset(zone, cmd.trace_id);
     case ZoneAction::kNone: break;
   }
   co_return Completion{.status = Status::kInvalidField};
 }
 
-sim::Task<Completion> ZnsDevice::DoOpen(std::uint32_t zone) {
+sim::Task<Completion> ZnsDevice::DoOpen(std::uint32_t zone,
+                                        std::uint64_t tid) {
+  sim::Time t0 = sim_.now();
   auto g = co_await fcp_.Acquire(kPrioIo);
+  sim::Time t1 = sim_.now();
   co_await sim_.Delay(Noise(profile_.open_close.explicit_open));
+  if (telemetry::Tracer* tr = trace(); tr != nullptr) {
+    tr->Span(t0, t1, tid, Layer::kFcp, "fcp.wait",
+             static_cast<std::int64_t>(zone));
+    tr->Span(t1, sim_.now(), tid, Layer::kZone, "zone.open",
+             static_cast<std::int64_t>(zone));
+  }
   Zone& z = zones_[zone];
   switch (z.state) {
     case ZoneState::kExplicitlyOpened:
@@ -552,9 +662,18 @@ sim::Task<Completion> ZnsDevice::DoOpen(std::uint32_t zone) {
   co_return Completion{.status = Status::kInvalidField};
 }
 
-sim::Task<Completion> ZnsDevice::DoClose(std::uint32_t zone) {
+sim::Task<Completion> ZnsDevice::DoClose(std::uint32_t zone,
+                                         std::uint64_t tid) {
+  sim::Time t0 = sim_.now();
   auto g = co_await fcp_.Acquire(kPrioIo);
+  sim::Time t1 = sim_.now();
   co_await sim_.Delay(Noise(profile_.open_close.close));
+  if (telemetry::Tracer* tr = trace(); tr != nullptr) {
+    tr->Span(t0, t1, tid, Layer::kFcp, "fcp.wait",
+             static_cast<std::int64_t>(zone));
+    tr->Span(t1, sim_.now(), tid, Layer::kZone, "zone.close",
+             static_cast<std::int64_t>(zone));
+  }
   Zone& z = zones_[zone];
   switch (z.state) {
     case ZoneState::kClosed:
@@ -572,10 +691,18 @@ sim::Task<Completion> ZnsDevice::DoClose(std::uint32_t zone) {
   }
 }
 
-sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone) {
+sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone,
+                                          std::uint64_t tid) {
+  telemetry::Tracer* tr = trace();
   Zone& z = zones_[zone];
   {
+    sim::Time t0 = sim_.now();
     auto g = co_await fcp_.Acquire(kPrioIo);
+    sim::Time t1 = sim_.now();
+    if (tr != nullptr) {
+      tr->Span(t0, t1, tid, Layer::kFcp, "fcp.wait",
+               static_cast<std::int64_t>(zone));
+    }
     co_await sim_.Delay(Noise(profile_.fcp.write));  // command admission
     switch (z.state) {
       case ZoneState::kEmpty:
@@ -592,7 +719,12 @@ sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone) {
     }
   }
   // Quiesce in-flight NAND programs, then pad the remaining capacity.
+  sim::Time quiesce_begin = sim_.now();
   co_await program_wg_[zone]->Wait();
+  if (tr != nullptr) {
+    tr->Span(quiesce_begin, sim_.now(), tid, Layer::kZone, "zone.quiesce",
+             static_cast<std::int64_t>(zone));
+  }
   std::uint64_t remaining = profile_.zone_cap_bytes - z.wp_bytes;
   if (!profile_.finish.zero_cost) {
     Time pad =
@@ -602,8 +734,14 @@ sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone) {
     double noise = profile_.finish.sigma == 0.0
                        ? 1.0
                        : rng_.LogNormalNoise(profile_.finish.sigma);
+    sim::Time pad_begin = sim_.now();
     co_await sim_.Delay(
         static_cast<Time>(static_cast<double>(pad) * noise));
+    if (tr != nullptr) {
+      tr->Span(pad_begin, sim_.now(), tid, Layer::kZone, "finish.pad",
+               static_cast<std::int64_t>(zone),
+               static_cast<std::int64_t>(remaining));
+    }
   }
   if (flash_) {
     // Mark the padded region programmed (the pad time above charged the
@@ -630,13 +768,20 @@ sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone) {
   co_return Completion{.status = Status::kSuccess};
 }
 
-sim::Task<Completion> ZnsDevice::DoReset(std::uint32_t zone) {
+sim::Task<Completion> ZnsDevice::DoReset(std::uint32_t zone,
+                                         std::uint64_t tid) {
+  telemetry::Tracer* tr = trace();
   Zone& z = zones_[zone];
   if (z.state == ZoneState::kReadOnly || z.state == ZoneState::kOffline) {
     co_return Completion{.status = Status::kZoneInvalidStateTransition};
   }
   // Quiesce in-flight NAND programs for this zone first.
+  sim::Time quiesce_begin = sim_.now();
   co_await program_wg_[zone]->Wait();
+  if (tr != nullptr) {
+    tr->Span(quiesce_begin, sim_.now(), tid, Layer::kZone, "zone.quiesce",
+             static_cast<std::int64_t>(zone));
+  }
   // The unmap work runs on the FCP at background priority, in slices so
   // small that host I/O never noticeably waits behind one (Obs. 12),
   // while concurrent I/O — which the FCP serves first — stretches the
@@ -647,18 +792,36 @@ sim::Task<Completion> ZnsDevice::DoReset(std::uint32_t zone) {
   if (profile_.reset.static_cost) {
     // Emulator-style static model (NVMeVirt): a flat charge with no
     // contention — precisely what makes such models miss Obs. 13.
+    sim::Time b = sim_.now();
     co_await sim_.Delay(work);
+    if (tr != nullptr) {
+      tr->Span(b, sim_.now(), tid, Layer::kZone, "reset.bulk",
+               static_cast<std::int64_t>(zone));
+    }
   } else {
     const Time slice = std::max<Time>(profile_.reset.slice, 1);
     while (work > 0) {
       if (DeviceIsIoQuiet()) {
+        sim::Time b = sim_.now();
         co_await sim_.Delay(work);
+        if (tr != nullptr) {
+          tr->Span(b, sim_.now(), tid, Layer::kZone, "reset.bulk",
+                   static_cast<std::int64_t>(zone));
+        }
         break;
       }
       Time this_slice = std::min(work, slice);
       {
+        sim::Time b = sim_.now();
         auto g = co_await fcp_.Acquire(kPrioBackground);
         co_await sim_.Delay(this_slice);
+        if (tr != nullptr) {
+          // Includes the background-priority FCP wait: the stretch that
+          // concurrent I/O imposes on the reset (Obs. 13).
+          tr->Span(b, sim_.now(), tid, Layer::kZone, "reset.slice",
+                   static_cast<std::int64_t>(zone),
+                   static_cast<std::int64_t>(this_slice));
+        }
       }
       work -= this_slice;
     }
@@ -705,14 +868,14 @@ bool ZnsDevice::ZoneWornOut(std::uint32_t zone) const {
   return false;
 }
 
-sim::Task<Completion> ZnsDevice::DoResetAll() {
+sim::Task<Completion> ZnsDevice::DoResetAll(std::uint64_t tid) {
   // Reset All Zones (select-all): every resettable zone, sequentially —
   // the device walks its zone table; per-zone costs apply as usual.
   for (std::uint32_t z = 0; z < profile_.num_zones; ++z) {
     ZoneState st = zones_[z].state;
     if (st == ZoneState::kReadOnly || st == ZoneState::kOffline) continue;
     if (st == ZoneState::kEmpty) continue;  // nothing to do
-    Completion c = co_await DoReset(z);
+    Completion c = co_await DoReset(z, tid);
     if (!c.ok()) co_return c;
   }
   co_return Completion{.status = Status::kSuccess};
@@ -728,9 +891,16 @@ sim::Task<Completion> ZnsDevice::DoReportZones(Command cmd) {
     count = std::min(count, cmd.report_max);
   }
   {
+    sim::Time t0 = sim_.now();
     auto g = co_await fcp_.Acquire(kPrioIo);
+    sim::Time t1 = sim_.now();
     co_await sim_.Delay(
         Noise(profile_.report_fixed + profile_.report_per_zone * count));
+    if (telemetry::Tracer* tr = trace(); tr != nullptr) {
+      tr->Span(t0, t1, cmd.trace_id, Layer::kFcp, "fcp.wait");
+      tr->Span(t1, sim_.now(), cmd.trace_id, Layer::kFcp, "fcp.service",
+               static_cast<std::int64_t>(count));
+    }
   }
   Completion c;
   c.report.reserve(count);
@@ -745,14 +915,25 @@ sim::Task<Completion> ZnsDevice::DoReportZones(Command cmd) {
   co_return c;
 }
 
-sim::Task<Completion> ZnsDevice::DoFlush() {
+sim::Task<Completion> ZnsDevice::DoFlush(std::uint64_t tid) {
+  telemetry::Tracer* tr = trace();
   {
+    sim::Time t0 = sim_.now();
     auto g = co_await fcp_.Acquire(kPrioIo);
+    sim::Time t1 = sim_.now();
     co_await sim_.Delay(Noise(profile_.fcp.write));
+    if (tr != nullptr) {
+      tr->Span(t0, t1, tid, Layer::kFcp, "fcp.wait");
+      tr->Span(t1, sim_.now(), tid, Layer::kFcp, "fcp.service");
+    }
   }
   // Quiesce the NAND drain. Partial (sub-page) buffer contents stay in
   // the capacitor-backed buffer — they are already durable.
+  sim::Time drain_begin = sim_.now();
   co_await all_programs_.Wait();
+  if (tr != nullptr) {
+    tr->Span(drain_begin, sim_.now(), tid, Layer::kBuffer, "buffer.drain");
+  }
   counters_.flushes++;
   co_return Completion{.status = Status::kSuccess};
 }

@@ -35,6 +35,7 @@
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "sim/task.h"
+#include "telemetry/telemetry.h"
 #include "zns/profile.h"
 #include "zns/zone.h"
 
@@ -56,6 +57,11 @@ struct ZnsCounters {
   std::uint64_t bytes_written = 0;   // via write + append
   std::uint64_t bytes_read = 0;
   std::uint64_t io_errors = 0;       // commands completed with bad status
+  std::uint64_t zone_transitions = 0;  // zone state-machine edges taken
+
+  /// Exports every counter into the registry under the "zns." prefix
+  /// (the shared Describe protocol; see telemetry/metrics.h).
+  void Describe(telemetry::MetricsRegistry& m) const;
 };
 
 class ZnsDevice : public nvme::Controller {
@@ -67,6 +73,10 @@ class ZnsDevice : public nvme::Controller {
 
   const nvme::NamespaceInfo& info() const override { return info_; }
   sim::Task<nvme::Completion> Execute(const nvme::Command& cmd) override;
+
+  /// Enables device-side tracing/metrics (non-owning; null disables).
+  /// Also attaches the NAND array so die-level service is visible.
+  void AttachTelemetry(telemetry::Telemetry* t);
 
   // ---- introspection --------------------------------------------------
   const ZnsProfile& profile() const { return profile_; }
@@ -98,18 +108,19 @@ class ZnsDevice : public nvme::Controller {
   static constexpr std::uint32_t kPrioIo = 0;
   static constexpr std::uint32_t kPrioBackground = 1;
 
-  // Command handlers.
+  // Command handlers. `tid` is the command's telemetry trace id (0 when
+  // tracing is off or the caller didn't thread one through).
   sim::Task<nvme::Completion> DoRead(nvme::Command cmd);
   sim::Task<nvme::Completion> DoWrite(nvme::Command cmd);
   sim::Task<nvme::Completion> DoAppend(nvme::Command cmd);
   sim::Task<nvme::Completion> DoZoneMgmt(nvme::Command cmd);
-  sim::Task<nvme::Completion> DoOpen(std::uint32_t zone);
-  sim::Task<nvme::Completion> DoClose(std::uint32_t zone);
-  sim::Task<nvme::Completion> DoFinish(std::uint32_t zone);
-  sim::Task<nvme::Completion> DoReset(std::uint32_t zone);
-  sim::Task<nvme::Completion> DoResetAll();
+  sim::Task<nvme::Completion> DoOpen(std::uint32_t zone, std::uint64_t tid);
+  sim::Task<nvme::Completion> DoClose(std::uint32_t zone, std::uint64_t tid);
+  sim::Task<nvme::Completion> DoFinish(std::uint32_t zone, std::uint64_t tid);
+  sim::Task<nvme::Completion> DoReset(std::uint32_t zone, std::uint64_t tid);
+  sim::Task<nvme::Completion> DoResetAll(std::uint64_t tid);
   sim::Task<nvme::Completion> DoReportZones(nvme::Command cmd);
-  sim::Task<nvme::Completion> DoFlush();
+  sim::Task<nvme::Completion> DoFlush(std::uint64_t tid);
   /// True when any of the zone's NAND blocks has exhausted its endurance.
   bool ZoneWornOut(std::uint32_t zone) const;
 
@@ -177,6 +188,13 @@ class ZnsDevice : public nvme::Controller {
 
   bool DeviceIsIoQuiet() const;
 
+  /// The tracer to emit into, or nullptr when telemetry is disabled —
+  /// every emit site guards on this pointer and costs nothing otherwise.
+  telemetry::Tracer* trace() const {
+    return telem_ != nullptr ? &telem_->tracer() : nullptr;
+  }
+
+  telemetry::Telemetry* telem_ = nullptr;
   std::uint32_t io_inflight_ = 0;
   bool io_seen_ = false;
   sim::Time last_io_time_ = 0;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/rng.h"
 
 namespace zstor::sim {
@@ -17,12 +19,16 @@ TEST(Welford, ComputesExactMomentsOfSmallSample) {
   EXPECT_DOUBLE_EQ(w.max(), 9.0);
 }
 
-TEST(Welford, EmptyIsZero) {
+TEST(Welford, EmptyIsZeroExceptExtrema) {
   Welford w;
   EXPECT_EQ(w.count(), 0u);
   EXPECT_EQ(w.mean(), 0.0);
   EXPECT_EQ(w.variance(), 0.0);
   EXPECT_EQ(w.cv(), 0.0);
+  // min/max of nothing is NaN, not 0 — an empty window must not look like
+  // a real zero-latency sample.
+  EXPECT_TRUE(std::isnan(w.min()));
+  EXPECT_TRUE(std::isnan(w.max()));
 }
 
 TEST(Welford, CvOfConstantSeriesIsZero) {

@@ -1,0 +1,157 @@
+// End-to-end telemetry checks through the Testbed facade: the spans a
+// traced command emits must tile its application-observed latency, and a
+// run's metrics snapshot must agree with the device's own counters.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "harness/testbed.h"
+#include "sim/task.h"
+
+namespace zstor {
+namespace {
+
+using nvme::Opcode;
+using telemetry::TraceEvent;
+
+Testbed TracedZnsTestbed() {
+  return TestbedBuilder()
+      .WithZnsProfile(zns::TinyProfile())
+      .WithStack(StackChoice::kSpdk)
+      .WithTelemetry({.ring_capacity = 4096})
+      .Build();
+}
+
+// At QD=1 through the SPDK stack every phase of a command happens
+// back-to-back in virtual time, so its span durations must sum exactly
+// to the TimedCompletion latency the application sees.
+TEST(TraceIntegration, Qd1AppendSpansSumToReportedLatency) {
+  Testbed tb = TracedZnsTestbed();
+  struct Done {
+    std::uint64_t trace_id;
+    sim::Time latency;
+  };
+  std::vector<Done> done;
+  auto body = [&]() -> sim::Task<> {
+    for (int i = 0; i < 10; ++i) {
+      auto tc = co_await tb.stack().Submit(
+          {.opcode = Opcode::kAppend, .slba = 0, .nlb = 1});
+      EXPECT_TRUE(tc.completion.ok());
+      done.push_back({tc.trace_id, tc.latency()});
+    }
+  };
+  auto t = body();
+  tb.sim().Run();
+  ASSERT_EQ(done.size(), 10u);
+
+  auto events = tb.ring()->Events();
+  EXPECT_EQ(tb.ring()->dropped(), 0u);
+  std::map<std::uint64_t, sim::Time> span_sum;
+  for (const TraceEvent& e : events) span_sum[e.cmd] += e.duration();
+  for (const Done& d : done) {
+    EXPECT_NE(d.trace_id, 0u);
+    EXPECT_EQ(span_sum[d.trace_id], d.latency)
+        << "spans of command " << d.trace_id
+        << " do not tile its latency";
+  }
+}
+
+TEST(TraceIntegration, ReadSpansIncludeNandServiceAndSumToLatency) {
+  Testbed tb = TracedZnsTestbed();
+  tb.zns()->DebugFillZone(0, tb.zns()->profile().zone_cap_bytes);
+  std::uint64_t trace_id = 0;
+  sim::Time latency = 0;
+  auto body = [&]() -> sim::Task<> {
+    auto tc = co_await tb.stack().Submit(
+        {.opcode = Opcode::kRead, .slba = 0, .nlb = 1});
+    EXPECT_TRUE(tc.completion.ok());
+    trace_id = tc.trace_id;
+    latency = tc.latency();
+  };
+  auto t = body();
+  tb.sim().Run();
+
+  sim::Time sum = 0;
+  bool saw_nand_read = false;
+  for (const TraceEvent& e : tb.ring()->Events()) {
+    if (e.cmd != trace_id) continue;
+    sum += e.duration();
+    if (std::string_view(e.name) == "nand.read") saw_nand_read = true;
+  }
+  EXPECT_TRUE(saw_nand_read);
+  EXPECT_EQ(sum, latency);
+}
+
+TEST(TraceIntegration, SnapshotMatchesDeviceCounters) {
+  Testbed tb = TracedZnsTestbed();
+  auto body = [&]() -> sim::Task<> {
+    for (int i = 0; i < 5; ++i) {
+      auto tc = co_await tb.stack().Submit(
+          {.opcode = Opcode::kAppend, .slba = 0, .nlb = 1});
+      EXPECT_TRUE(tc.completion.ok());
+    }
+    auto r = co_await tb.stack().Submit(
+        {.opcode = Opcode::kZoneMgmtSend,
+         .slba = 0,
+         .zone_action = nvme::ZoneAction::kReset});
+    EXPECT_TRUE(r.completion.ok());
+  };
+  auto t = body();
+  tb.sim().Run();
+
+  telemetry::Snapshot snap = tb.TakeSnapshot();
+  const auto* appends = snap.Find("zns.appends");
+  ASSERT_NE(appends, nullptr);
+  EXPECT_DOUBLE_EQ(appends->value,
+                   static_cast<double>(tb.zns()->counters().appends));
+  const auto* resets = snap.Find("zns.resets");
+  ASSERT_NE(resets, nullptr);
+  EXPECT_DOUBLE_EQ(resets->value, 1.0);
+  // Transitions happened (Empty -> ImplicitlyOpen -> ... -> Empty).
+  const auto* transitions = snap.Find("zns.zone_transitions");
+  ASSERT_NE(transitions, nullptr);
+  EXPECT_GE(transitions->value, 2.0);
+  // The queue pair counted every command.
+  const auto* cqes = snap.Find("qp.completions");
+  ASSERT_NE(cqes, nullptr);
+  EXPECT_DOUBLE_EQ(cqes->value, 6.0);
+  // The host latency histogram recorded every submission.
+  const auto* lat = snap.Find("host.latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->value, 6.0);
+}
+
+TEST(TraceIntegration, DisabledTelemetryMeansNullAccessors) {
+  Testbed tb = TestbedBuilder().WithZnsProfile(zns::TinyProfile()).Build();
+  EXPECT_EQ(tb.telemetry(), nullptr);
+  EXPECT_EQ(tb.ring(), nullptr);
+  // The device still works without any telemetry attached.
+  auto body = [&]() -> sim::Task<> {
+    auto tc = co_await tb.stack().Submit(
+        {.opcode = Opcode::kAppend, .slba = 0, .nlb = 1});
+    EXPECT_TRUE(tc.completion.ok());
+    EXPECT_EQ(tc.trace_id, 0u);
+  };
+  auto t = body();
+  tb.sim().Run();
+}
+
+TEST(TraceIntegration, JobResultDescribesIntoTestbedMetrics) {
+  Testbed tb = TracedZnsTestbed();
+  workload::JobSpec spec;
+  spec.op = Opcode::kAppend;
+  spec.request_bytes = 4096;
+  spec.zones = {0, 1};
+  spec.duration = sim::Milliseconds(5);
+  workload::JobResult r = tb.RunJob(spec);
+  ASSERT_GT(r.ops, 0u);
+  telemetry::Snapshot snap = tb.TakeSnapshot();
+  const auto* ops = snap.Find("job.ops");
+  ASSERT_NE(ops, nullptr);
+  EXPECT_DOUBLE_EQ(ops->value, static_cast<double>(r.ops));
+}
+
+}  // namespace
+}  // namespace zstor

@@ -161,7 +161,9 @@ double ResetMsAtOccupancy(double occ, bool finished) {
   auto bytes = static_cast<std::uint64_t>(occ * static_cast<double>(cap));
   bytes -= bytes % 4096;
   h.dev.DebugFillZone(7, bytes);
-  if (finished && bytes < cap) EXPECT_TRUE(h.Finish(7).ok());
+  if (finished && bytes < cap) {
+    EXPECT_TRUE(h.Finish(7).ok());
+  }
   sim::Time lat = 0;
   EXPECT_TRUE(h.Reset(7, &lat).ok());
   return ToMilliseconds(lat);

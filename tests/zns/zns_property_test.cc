@@ -236,9 +236,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Param{4096, 1}, Param{4096, 2}, Param{4096, 3},
                       Param{512, 1}, Param{512, 2}, Param{512, 7},
                       Param{4096, 0xDEADBEEF}, Param{512, 0xDEADBEEF}),
-    [](const ::testing::TestParamInfo<Param>& info) {
-      return "lba" + std::to_string(info.param.lba_bytes) + "_seed" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<Param>& p) {
+      return "lba" + std::to_string(p.param.lba_bytes) + "_seed" +
+             std::to_string(p.param.seed);
     });
 
 // Conservation property: all bytes acknowledged as written are readable

@@ -67,10 +67,9 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{4096, Opcode::kAppend},
                       SweepParam{512, Opcode::kWrite},
                       SweepParam{512, Opcode::kAppend}),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return std::string(info.param.op == Opcode::kWrite ? "write"
-                                                         : "append") +
-             "_lba" + std::to_string(info.param.lba_bytes);
+    [](const ::testing::TestParamInfo<SweepParam>& p) {
+      return std::string(p.param.op == Opcode::kWrite ? "write" : "append") +
+             "_lba" + std::to_string(p.param.lba_bytes);
     });
 
 TEST(CostSweep, ResetCostIsMonotonicInOccupancyEverywhere) {

@@ -127,7 +127,9 @@ TEST(ZoneObjectStore, CompactionReclaimsSpaceUnderChurn) {
   EXPECT_GT(f.store.stats().zone_resets, 0u);
   // Everything written is still readable.
   for (std::uint64_t k = 0; k < 8; ++k) {
-    if (f.store.Contains(k)) EXPECT_EQ(f.Get(k), Status::kSuccess);
+    if (f.store.Contains(k)) {
+      EXPECT_EQ(f.Get(k), Status::kSuccess);
+    }
   }
   // 120 x 256 KiB = 30 MiB written through an ~18 MiB store.
   EXPECT_GT(f.store.stats().bytes_written, 29u << 20);
