@@ -105,13 +105,16 @@ SliceResult ResetSliceTradeoff(sim::Time slice) {
 
 int main(int argc, char** argv) {
   harness::InitBench(argc, argv);
+  auto& results = harness::Results();
   harness::Banner(
       "Ablation 1 — ZNS write-back buffer size vs read tail under load");
   {
     harness::Table t({"buffer", "read p95 under full-rate appends"});
     for (std::uint64_t mib : {16ull, 48ull, 96ull, 192ull}) {
-      t.AddRow({std::to_string(mib) + "MiB",
-                harness::FmtMs(ReadP95UnderLoadMs(mib << 20))});
+      double p95 = ReadP95UnderLoadMs(mib << 20);
+      results.Series("ablation1_read_p95_vs_buffer", "ms")
+          .Add(static_cast<double>(mib), p95);
+      t.AddRow({std::to_string(mib) + "MiB", harness::FmtMs(p95)});
     }
     t.Print();
     std::printf(
@@ -124,9 +127,9 @@ int main(int argc, char** argv) {
   {
     harness::Table t({"fcp.append", "intra-zone append saturation"});
     for (double us : {3.79, 7.58, 15.16}) {
-      t.AddRow({harness::FmtUs(us),
-                harness::FmtKiops(AppendSaturationKiops(
-                    sim::Microseconds(us)))});
+      double kiops = AppendSaturationKiops(sim::Microseconds(us));
+      results.Series("ablation2_append_saturation", "KIOPS").Add(us, kiops);
+      t.AddRow({harness::FmtUs(us), harness::FmtKiops(kiops)});
     }
     t.Print();
     std::printf(
@@ -141,6 +144,9 @@ int main(int argc, char** argv) {
         {"OP fraction", "write amplification", "sustained writes"});
     for (double op : {0.07, 0.125, 0.25}) {
       OpResult r = ConvOpSweep(op);
+      results.Series("ablation3_write_amplification", "").Add(op, r.wa);
+      results.Series("ablation3_sustained_write", "MiB/s")
+          .Add(op, r.write_mibps);
       t.AddRow({harness::Fmt(100 * op, 1) + "%", harness::Fmt(r.wa, 2),
                 harness::FmtMibps(r.write_mibps)});
     }
@@ -159,6 +165,10 @@ int main(int argc, char** argv) {
         {"slice", "concurrent 4KiB write mean", "reset p95"});
     for (double us : {1.0, 16.0, 256.0}) {
       SliceResult r = ResetSliceTradeoff(sim::Microseconds(us));
+      results.Series("ablation4_io_mean_vs_slice", "us")
+          .Add(us, r.io_mean_us);
+      results.Series("ablation4_reset_p95_vs_slice", "ms")
+          .Add(us, r.reset_p95_ms);
       t.AddRow({harness::FmtUs(us), harness::FmtUs(r.io_mean_us),
                 harness::FmtMs(r.reset_p95_ms)});
     }

@@ -8,6 +8,7 @@
 // kernel-mq 14.47 us, SPDK 8 KiB append 14.02 us; 512 B format up to ~2x
 // slower (Observations #1, #2, #4).
 #include <cstdio>
+#include <string>
 
 #include "harness/bench_flags.h"
 #include "harness/experiments.h"
@@ -21,6 +22,9 @@ using nvme::Opcode;
 int main(int argc, char** argv) {
   harness::InitBench(argc, argv);
   zns::ZnsProfile profile = zns::Zn540Profile();
+  auto& results = harness::Results();
+  results.Config("profile", "ZN540");
+  results.Config("qd", 1.0);
 
   harness::Banner(
       "Figure 2a — QD1 latency, request size == LBA size (us)");
@@ -33,6 +37,10 @@ int main(int argc, char** argv) {
                                          lba, lba);
         double a = harness::Qd1LatencyUs(profile, kind, Opcode::kAppend,
                                          lba, lba);
+        std::string label = std::string(harness::ToString(kind)) + "/" +
+                            (lba == 512 ? "512B" : "4KiB");
+        results.Series("fig2a_write_latency", "us").AddLabeled(label, lba, w);
+        results.Series("fig2a_append_latency", "us").AddLabeled(label, lba, a);
         t.AddRow({harness::ToString(kind),
                   lba == 512 ? "512B" : "4KiB", harness::FmtUs(w),
                   harness::FmtUs(a)});
@@ -56,6 +64,11 @@ int main(int argc, char** argv) {
                                          4096, lba);
         double a = harness::Qd1LatencyUs(profile, kind, Opcode::kAppend,
                                          8192, lba);
+        std::string label = std::string(harness::ToString(kind)) + "/" +
+                            (lba == 512 ? "512B" : "4KiB");
+        results.Series("fig2b_write4k_latency", "us").AddLabeled(label, lba, w);
+        results.Series("fig2b_append8k_latency", "us")
+            .AddLabeled(label, lba, a);
         t.AddRow({harness::ToString(kind),
                   lba == 512 ? "512B" : "4KiB", harness::FmtUs(w),
                   harness::FmtUs(a)});

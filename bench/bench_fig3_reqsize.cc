@@ -17,6 +17,10 @@ using nvme::Opcode;
 int main(int argc, char** argv) {
   harness::InitBench(argc, argv);
   zns::ZnsProfile profile = zns::Zn540Profile();
+  auto& results = harness::Results();
+  results.Config("profile", "ZN540");
+  results.Config("stack", "spdk");
+  results.Config("qd", 1.0);
 
   harness::Banner("Figure 3a — write KIOPS vs request size (SPDK, QD1)");
   harness::Table tw({"request", "KIOPS", "MiB/s"});
@@ -24,6 +28,10 @@ int main(int argc, char** argv) {
        {4096ull, 8192ull, 16384ull, 32768ull, 65536ull, 131072ull}) {
     double kiops = harness::Qd1Kiops(profile, Opcode::kWrite, req);
     double mibps = kiops * 1000.0 * static_cast<double>(req) / (1 << 20);
+    results.Series("fig3a_write_kiops", "KIOPS")
+        .Add(static_cast<double>(req), kiops);
+    results.Series("fig3a_write_mibps", "MiB/s")
+        .Add(static_cast<double>(req), mibps);
     tw.AddRow({std::to_string(req / 1024) + "KiB",
                harness::FmtKiops(kiops), harness::FmtMibps(mibps)});
   }
@@ -36,6 +44,10 @@ int main(int argc, char** argv) {
        {4096ull, 8192ull, 16384ull, 32768ull, 65536ull, 131072ull}) {
     double kiops = harness::Qd1Kiops(profile, Opcode::kAppend, req);
     double mibps = kiops * 1000.0 * static_cast<double>(req) / (1 << 20);
+    results.Series("fig3b_append_kiops", "KIOPS")
+        .Add(static_cast<double>(req), kiops);
+    results.Series("fig3b_append_mibps", "MiB/s")
+        .Add(static_cast<double>(req), mibps);
     ta.AddRow({std::to_string(req / 1024) + "KiB",
                harness::FmtKiops(kiops), harness::FmtMibps(mibps)});
   }

@@ -28,6 +28,8 @@ using nvme::Opcode;
 int main(int argc, char** argv) {
   harness::InitBench(argc, argv);
   zns::ZnsProfile profile = zns::Zn540Profile();
+  auto& results = harness::Results();
+  results.Config("profile", "ZN540");
 
   harness::Banner("Figure 4a — intra-zone scalability, 4 KiB (KIOPS)");
   {
@@ -38,6 +40,10 @@ int main(int argc, char** argv) {
       double merged = 0;
       auto w = harness::IntraZone(profile, Opcode::kWrite, 4096, qd, &merged);
       auto a = harness::IntraZone(profile, Opcode::kAppend, 4096, qd);
+      results.Series("fig4a_read_kiops", "KIOPS").Add(qd, r.Kiops());
+      results.Series("fig4a_write_kiops", "KIOPS").Add(qd, w.Kiops());
+      results.Series("fig4a_append_kiops", "KIOPS").Add(qd, a.Kiops());
+      results.Series("fig4a_write_merged", "%").Add(qd, 100 * merged);
       t.AddRow({std::to_string(qd), harness::FmtKiops(r.Kiops()),
                 harness::FmtKiops(w.Kiops()), harness::FmtKiops(a.Kiops()),
                 harness::Fmt(100 * merged, 1)});
@@ -55,6 +61,9 @@ int main(int argc, char** argv) {
       auto r = harness::InterZone(profile, Opcode::kRead, 4096, z);
       auto w = harness::InterZone(profile, Opcode::kWrite, 4096, z);
       auto a = harness::InterZone(profile, Opcode::kAppend, 4096, z);
+      results.Series("fig4b_read_kiops", "KIOPS").Add(z, r.Kiops());
+      results.Series("fig4b_write_kiops", "KIOPS").Add(z, w.Kiops());
+      results.Series("fig4b_append_kiops", "KIOPS").Add(z, a.Kiops());
       t.AddRow({std::to_string(z), harness::FmtKiops(r.Kiops()),
                 harness::FmtKiops(w.Kiops()), harness::FmtKiops(a.Kiops())});
     }
@@ -74,6 +83,11 @@ int main(int argc, char** argv) {
       for (std::uint64_t req : {4096ull, 8192ull, 16384ull}) {
         auto a = harness::IntraZone(profile, Opcode::kAppend, req, c);
         auto w = harness::InterZone(profile, Opcode::kWrite, req, c);
+        std::string kib = std::to_string(req / 1024) + "KiB";
+        results.Series("fig4c_append_intra_mibps", "MiB/s")
+            .AddLabeled(kib + "/c" + std::to_string(c), c, a.MibPerSec());
+        results.Series("fig4c_write_inter_mibps", "MiB/s")
+            .AddLabeled(kib + "/c" + std::to_string(c), c, w.MibPerSec());
         arow.push_back(harness::FmtMibps(a.MibPerSec()));
         wrow.push_back(harness::FmtMibps(w.MibPerSec()));
       }

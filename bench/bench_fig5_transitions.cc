@@ -19,6 +19,8 @@ using namespace zstor;
 int main(int argc, char** argv) {
   harness::InitBench(argc, argv);
   zns::ZnsProfile profile = zns::Zn540Profile();
+  auto& results = harness::Results();
+  results.Config("profile", "ZN540");
 
   harness::Banner("Figure 5a — reset latency vs zone occupancy");
   {
@@ -27,6 +29,10 @@ int main(int argc, char** argv) {
       double plain = harness::ResetLatencyMs(profile, occ, false);
       double fin = occ > 0 ? harness::ResetLatencyMs(profile, occ, true)
                            : plain;
+      results.Series("fig5a_reset_latency", "ms").Add(occ, plain);
+      if (occ > 0) {
+        results.Series("fig5a_finish_then_reset_latency", "ms").Add(occ, fin);
+      }
       char label[16];
       std::snprintf(label, sizeof label, "%.2f%%", occ * 100);
       t.AddRow({occ == 0 ? "empty" : label, harness::FmtMs(plain),
@@ -43,6 +49,7 @@ int main(int argc, char** argv) {
     harness::Table t({"occupancy", "finish"});
     for (double occ : {0.0, 0.0625, 0.125, 0.25, 0.5, 0.75, 1.0}) {
       double ms = harness::FinishLatencyMs(profile, occ, 4);
+      results.Series("fig5b_finish_latency", "ms").Add(occ, ms);
       char label[16];
       std::snprintf(label, sizeof label, "%.2f%%", occ * 100);
       t.AddRow({occ == 0 ? "<0.1%" : (occ == 1.0 ? "~100%" : label),

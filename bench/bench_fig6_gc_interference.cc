@@ -26,6 +26,9 @@ int main(int argc, char** argv) {
       harness::RunConvGcExperiment(0, kDuration, 2);
   harness::GcExperimentResult zns =
       harness::RunZnsGcExperiment(0, kDuration, 2);
+  auto& results = harness::Results();
+  results.Config("duration_s", 10.0);
+  results.Config("read_qd", 32.0);
   {
     harness::Table t({"t(s)", "conv write", "conv read", "zns write",
                       "zns read"});
@@ -33,6 +36,15 @@ int main(int argc, char** argv) {
         std::min(conv.write_series.num_bins(), zns.write_series.num_bins());
     const double kMiB = 1 << 20;
     for (std::size_t i = 0; i + 1 < bins; ++i) {
+      double sec = static_cast<double>(i);
+      results.Series("fig6a_conv_write_mibps", "MiB/s")
+          .Add(sec, conv.write_series.BinRate(i) / kMiB);
+      results.Series("fig6b_conv_read_mibps", "MiB/s")
+          .Add(sec, conv.read_series.BinRate(i) / kMiB);
+      results.Series("fig6a_zns_write_mibps", "MiB/s")
+          .Add(sec, zns.write_series.BinRate(i) / kMiB);
+      results.Series("fig6b_zns_read_mibps", "MiB/s")
+          .Add(sec, zns.read_series.BinRate(i) / kMiB);
       t.AddRow({std::to_string(i),
                 harness::Fmt(conv.write_series.BinRate(i) / kMiB, 1),
                 harness::Fmt(conv.read_series.BinRate(i) / kMiB, 2),
@@ -59,6 +71,16 @@ int main(int argc, char** argv) {
               harness::Fmt(conv.write_amplification, 2), "1.00",
               "zns GC is host-side"});
     t.Print();
+    results.Series("fig6_summary", "")
+        .AddLabeled("conv_write_mibps_mean", 0, conv.write_mibps_mean)
+        .AddLabeled("zns_write_mibps_mean", 1, zns.write_mibps_mean)
+        .AddLabeled("conv_write_cv", 2, conv.write_cv)
+        .AddLabeled("zns_write_cv", 3, zns.write_cv)
+        .AddLabeled("conv_read_mibps_mean", 4, conv.read_mibps_mean)
+        .AddLabeled("zns_read_mibps_mean", 5, zns.read_mibps_mean)
+        .AddLabeled("conv_read_p95_us", 6, conv.read_p95_us)
+        .AddLabeled("zns_read_p95_us", 7, zns.read_p95_us)
+        .AddLabeled("conv_write_amplification", 8, conv.write_amplification);
   }
 
   harness::Banner("Rate-limited ZNS stability (paper: stable at all rates)");
@@ -66,6 +88,10 @@ int main(int argc, char** argv) {
     harness::Table t({"rate limit", "achieved MiB/s", "write CV"});
     for (double rate : {250.0, 750.0}) {
       auto r = harness::RunZnsGcExperiment(rate, sim::Seconds(6), 2);
+      results.Series("fig6_zns_rate_limited_mibps", "MiB/s")
+          .Add(rate, r.write_mibps_mean);
+      results.Series("fig6_zns_rate_limited_cv", "")
+          .Add(rate, r.write_cv);
       t.AddRow({harness::FmtMibps(rate),
                 harness::Fmt(r.write_mibps_mean, 1),
                 harness::Fmt(r.write_cv, 3)});
@@ -76,8 +102,13 @@ int main(int argc, char** argv) {
   harness::Banner("Read-only baseline p95 (paper: 81.41 us both devices)");
   {
     harness::Table t({"device", "read-only p95"});
-    t.AddRow({"zns", harness::FmtUs(harness::ReadOnlyP95Us(true))});
-    t.AddRow({"conventional", harness::FmtUs(harness::ReadOnlyP95Us(false))});
+    double zns_p95 = harness::ReadOnlyP95Us(true);
+    double conv_p95 = harness::ReadOnlyP95Us(false);
+    results.Series("fig6_readonly_p95", "us")
+        .AddLabeled("zns", 0, zns_p95)
+        .AddLabeled("conv", 1, conv_p95);
+    t.AddRow({"zns", harness::FmtUs(zns_p95)});
+    t.AddRow({"conventional", harness::FmtUs(conv_p95)});
     t.Print();
   }
   return 0;

@@ -26,6 +26,14 @@ int main(int argc, char** argv) {
   auto write = harness::ResetInterference(profile, Opcode::kWrite);
   auto append = harness::ResetInterference(profile, Opcode::kAppend);
 
+  auto& results = harness::Results();
+  results.Config("profile", "ZN540");
+  results.Series("fig7_reset_p95", "ms")
+      .AddLabeled("none", 0, none.reset_p95_ms)
+      .AddLabeled("read", 1, read.reset_p95_ms)
+      .AddLabeled("write", 2, write.reset_p95_ms)
+      .AddLabeled("append", 3, append.reset_p95_ms);
+
   harness::Table t({"concurrent op", "reset p95", "increase", "paper"});
   auto inc = [&](const harness::ResetInterferenceResult& r) {
     return harness::Fmt(100.0 * (r.reset_p95_ms / none.reset_p95_ms - 1.0),
@@ -44,6 +52,9 @@ int main(int argc, char** argv) {
   harness::Banner("Observation #12 — I/O latency is reset-agnostic");
   double write_alone = harness::Qd1LatencyUs(
       profile, harness::StackKind::kSpdk, Opcode::kWrite, 4096, 4096);
+  results.Series("fig7_write_mean", "us")
+      .AddLabeled("with_resets", 0, write.io_mean_us)
+      .AddLabeled("no_resets", 1, write_alone);
   harness::Table t2({"metric", "value"});
   t2.AddRow({"4KiB write mean, concurrent resets",
              harness::FmtUs(write.io_mean_us)});

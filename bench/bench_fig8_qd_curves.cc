@@ -18,6 +18,8 @@ using namespace zstor;
 int main(int argc, char** argv) {
   harness::InitBench(argc, argv);
   zns::ZnsProfile profile = zns::Zn540Profile();
+  auto& results = harness::Results();
+  results.Config("profile", "ZN540");
   const char* sizes[] = {"4KiB", "16KiB", "32KiB"};
   const std::uint64_t reqs[] = {4096, 16384, 32768};
 
@@ -26,9 +28,18 @@ int main(int argc, char** argv) {
                     " requests: throughput vs latency by QD");
     harness::Table t({"QD", "append KIOPS", "append mean", "append p95",
                       "write KIOPS", "write mean", "write p95"});
+    std::string sz = sizes[s];
     for (std::uint32_t qd : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
       auto a = harness::AppendQdPoint(profile, reqs[s], qd);
       auto w = harness::WriteQdPoint(profile, reqs[s], qd);
+      results.Series("fig8_append_kiops_" + sz, "KIOPS").Add(qd, a.kiops);
+      results.Series("fig8_append_mean_" + sz, "us")
+          .Add(qd, a.mean_latency_us);
+      results.Series("fig8_append_p95_" + sz, "us").Add(qd, a.p95_latency_us);
+      results.Series("fig8_write_kiops_" + sz, "KIOPS").Add(qd, w.kiops);
+      results.Series("fig8_write_mean_" + sz, "us")
+          .Add(qd, w.mean_latency_us);
+      results.Series("fig8_write_p95_" + sz, "us").Add(qd, w.p95_latency_us);
       t.AddRow({std::to_string(qd), harness::FmtKiops(a.kiops),
                 harness::FmtUs(a.mean_latency_us),
                 harness::FmtUs(a.p95_latency_us),

@@ -18,6 +18,13 @@ int main(int argc, char** argv) {
   harness::Banner("Observation #9 — zone open/close costs (SPDK)");
   harness::OpenCloseCosts c =
       harness::MeasureOpenClose(zns::Zn540Profile());
+  auto& results = harness::Results();
+  results.Config("profile", "ZN540");
+  results.Series("obs9_zone_mgmt_cost", "us")
+      .AddLabeled("explicit_open", 0, c.explicit_open_us)
+      .AddLabeled("close", 1, c.close_us)
+      .AddLabeled("implicit_write_extra", 2, c.implicit_write_extra_us)
+      .AddLabeled("implicit_append_extra", 3, c.implicit_append_extra_us);
   harness::Table t({"operation", "measured", "paper"});
   t.AddRow({"explicit open", harness::FmtUs(c.explicit_open_us), "9.56us"});
   t.AddRow({"close", harness::FmtUs(c.close_us), "11.01us"});

@@ -12,6 +12,7 @@
 // #12, #13.
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "harness/bench_flags.h"
 #include "harness/experiments.h"
@@ -83,6 +84,24 @@ int main(int argc, char** argv) {
   Probe zn = RunProbes(zns::Zn540Profile());
   Probe femu = RunProbes(zns::FemuLikeProfile());
   Probe nvv = RunProbes(zns::NvmeVirtLikeProfile());
+
+  auto& results = harness::Results();
+  auto record = [&results](const char* model, const Probe& p) {
+    results.Series(std::string("sec4_") + model, "bool")
+        .AddLabeled("obs3_reqsize", 0, p.obs3_reqsize ? 1 : 0)
+        .AddLabeled("obs4_append_slower", 1, p.obs4_append_slower ? 1 : 0)
+        .AddLabeled("obs7_read_scales", 2, p.obs7_read_scales ? 1 : 0)
+        .AddLabeled("obs9_open_cost", 3, p.obs9_open_cost ? 1 : 0)
+        .AddLabeled("obs10_reset_occupancy", 4,
+                    p.obs10_reset_occupancy ? 1 : 0)
+        .AddLabeled("obs10_finish_expensive", 5,
+                    p.obs10_finish_expensive ? 1 : 0)
+        .AddLabeled("obs13_reset_interference", 6,
+                    p.obs13_reset_interference ? 1 : 0);
+  };
+  record("calibrated", zn);
+  record("femu_like", femu);
+  record("nvmevirt_like", nvv);
 
   harness::Table t({"observation", "calibrated", "femu-like",
                     "nvmevirt-like", "paper verdict"});

@@ -103,11 +103,16 @@ BENCHMARK(BM_ZnsWritePath);
 
 }  // namespace
 
-// Strip the shared --trace=/--metrics= bench flags (kept for a uniform
-// CLI; no testbeds are built here) before google-benchmark rejects them
-// as unrecognized.
+// Strip the shared --trace=/--metrics=/--json=/--logpages= bench flags
+// (kept for a uniform CLI; no testbeds are built here) before
+// google-benchmark rejects them as unrecognized. Wall-clock numbers live
+// in google-benchmark's own reporters; the shared --json output carries
+// only a pointer to that, so its schema stays uniform across benches.
 int main(int argc, char** argv) {
   zstor::harness::InitBench(argc, argv);
+  zstor::harness::Results().Config(
+      "note", "wall-clock micro-benchmarks; use --benchmark_format=json "
+              "for per-benchmark numbers");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -44,6 +44,20 @@ int main(int argc, char** argv) {
   auto conv = harness::RunConvGcExperiment(0, sim::Seconds(6), 2);
   auto zns = harness::RunZnsGcExperiment(0, sim::Seconds(6), 2);
 
+  auto& results = harness::Results();
+  results.Config("profile", "ZN540 + SN640");
+  results.Series("table1_headlines", "")
+      .AddLabeled("write_qd1_us", 0, w)
+      .AddLabeled("append_qd1_us", 1, a)
+      .AddLabeled("append_gap_pct", 2, gap_pct)
+      .AddLabeled("intra_read_kiops", 3, intra_read.Kiops())
+      .AddLabeled("intra_write_kiops", 4, intra_write.Kiops())
+      .AddLabeled("inter_write_kiops", 5, inter_write.Kiops())
+      .AddLabeled("finish_empty_ms", 6, finish_empty)
+      .AddLabeled("reset_p95_increase_pct", 7, reset_inc)
+      .AddLabeled("conv_read_mibps", 8, conv.read_mibps_mean)
+      .AddLabeled("zns_read_mibps", 9, zns.read_mibps_mean);
+
   harness::Table t({"category", "measured", "paper"});
   t.AddRow({"append vs. write",
             "write " + harness::FmtUs(w) + " vs append " +

@@ -21,6 +21,25 @@ int main(int argc, char** argv) {
   sim::Simulator s;
   nand::FlashArray arr(s, z.nand_geometry, z.nand_timing);
 
+  auto& results = harness::Results();
+  results.Config("zns_profile", "ZN540");
+  results.Config("conv_profile", "SN640");
+  results.Config("zone_size_mib",
+                 static_cast<double>(z.zone_size_bytes >> 20));
+  results.Config("zone_cap_mib", static_cast<double>(z.zone_cap_bytes >> 20));
+  results.Config("num_zones", static_cast<double>(z.num_zones));
+  results.Config("max_open_zones", static_cast<double>(z.max_open_zones));
+  results.Config("max_active_zones",
+                 static_cast<double>(z.max_active_zones));
+  results.Config("nand_channels",
+                 static_cast<double>(z.nand_geometry.channels));
+  results.Config("nand_dies_per_channel",
+                 static_cast<double>(z.nand_geometry.dies_per_channel));
+  results.Config("peak_program_mibps",
+                 arr.PeakProgramBandwidth() / (1 << 20));
+  results.Config("conv_op_fraction", c.op_fraction);
+  results.Config("conv_gc_workers", static_cast<double>(c.gc_workers));
+
   harness::Table t({"component", "configuration"});
   t.AddRow({"ZNS (ZN540 model)",
             "zone size " + std::to_string(z.zone_size_bytes >> 20) +

@@ -19,6 +19,7 @@ void ConvCounters::Describe(telemetry::MetricsRegistry& m) const {
   m.GetCounter("conv.bytes_read").Set(bytes_read);
   m.GetCounter("conv.bytes_written").Set(bytes_written);
   m.GetCounter("conv.host_units_programmed").Set(host_units_programmed);
+  m.GetCounter("conv.gc_invocations").Set(gc_invocations);
   m.GetCounter("conv.gc_units_migrated").Set(gc_units_migrated);
   m.GetCounter("conv.gc_blocks_erased").Set(gc_blocks_erased);
   m.GetCounter("conv.io_errors").Set(io_errors);
@@ -28,6 +29,48 @@ void ConvCounters::Describe(telemetry::MetricsRegistry& m) const {
 void ConvDevice::AttachTelemetry(telemetry::Telemetry* t) {
   telem_ = t;
   flash_->AttachTelemetry(t);
+}
+
+nvme::SmartLog ConvDevice::GetSmartLog() const {
+  nvme::SmartLog log;
+  log.device = "conv";
+  log.host_reads = counters_.reads;
+  log.host_writes = counters_.writes;
+  log.bytes_read = counters_.bytes_read;
+  log.bytes_written = counters_.bytes_written;
+  log.io_errors = counters_.io_errors;
+  const nand::FlashCounters& fc = flash_->counters();
+  log.media_page_reads = fc.page_reads;
+  log.media_page_programs = fc.page_programs;
+  log.media_block_erases = fc.block_erases;
+  log.media_bytes_read = fc.bytes_read;
+  log.media_bytes_programmed = fc.bytes_programmed;
+  log.gc_invocations = counters_.gc_invocations;
+  log.gc_units_migrated = counters_.gc_units_migrated;
+  log.gc_blocks_erased = counters_.gc_blocks_erased;
+  log.write_amplification = counters_.WriteAmplification();
+  return log;
+}
+
+nvme::DieUtilLog ConvDevice::GetDieUtilLog() const {
+  nvme::DieUtilLog log;
+  log.elapsed_ns = static_cast<std::uint64_t>(sim_.now());
+  const std::vector<nand::DieStats>& stats = flash_->die_stats();
+  log.dies.reserve(stats.size());
+  for (std::uint32_t d = 0; d < stats.size(); ++d) {
+    nvme::DieUtilEntry e;
+    e.die = d;
+    e.reads = stats[d].reads;
+    e.programs = stats[d].programs;
+    e.erases = stats[d].erases;
+    e.busy_ns = static_cast<std::uint64_t>(stats[d].busy_ns);
+    e.utilization = log.elapsed_ns == 0
+                        ? 0.0
+                        : static_cast<double>(e.busy_ns) /
+                              static_cast<double>(log.elapsed_ns);
+    log.dies.push_back(e);
+  }
+  return log;
 }
 
 ConvDevice::ConvDevice(sim::Simulator& s, ConvProfile profile)
@@ -179,6 +222,7 @@ void ConvDevice::MaybeWakeGc() {
     if (victim == kUnmapped) break;
     blocks_[victim].gc_busy = true;
     ++gc_running_;
+    ++counters_.gc_invocations;
     if (telemetry::Tracer* tr = trace(); tr != nullptr) {
       tr->Instant(sim_.now(), /*cmd=*/0, Layer::kFtl, "gc.victim",
                   static_cast<std::int64_t>(victim),

@@ -17,6 +17,7 @@
 #include "ftl/conv_profile.h"
 #include "nand/flash_array.h"
 #include "nvme/controller.h"
+#include "nvme/log_page.h"
 #include "nvme/types.h"
 #include "sim/resource.h"
 #include "sim/rng.h"
@@ -35,6 +36,7 @@ struct ConvCounters {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t host_units_programmed = 0;
+  std::uint64_t gc_invocations = 0;  // MigrateAndErase passes launched
   std::uint64_t gc_units_migrated = 0;
   std::uint64_t gc_blocks_erased = 0;
   std::uint64_t io_errors = 0;
@@ -68,6 +70,13 @@ class ConvDevice : public nvme::Controller {
   nand::FlashArray& flash() { return *flash_; }
   std::uint32_t free_blocks() const { return free_total_; }
   bool gc_active() const { return gc_running_ > 0; }
+
+  // ---- log pages (nvme/log_page.h) ------------------------------------
+  // Free introspection: no virtual time, no counter side effects.
+  /// SMART-like page: host + media activity, GC stats, write amplification.
+  nvme::SmartLog GetSmartLog() const;
+  /// Per-die service counts and utilization.
+  nvme::DieUtilLog GetDieUtilLog() const;
 
   /// Maps the whole logical space sequentially without simulated I/O —
   /// the "precondition the drive" step every SSD GC experiment needs

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "telemetry/json.h"
+
 namespace zstor::harness {
 
 namespace {
@@ -15,12 +17,21 @@ const char* MatchFlag(const char* arg, const char* name) {
   return nullptr;
 }
 
+/// argv[0] without directories: the bench's name for the results file.
+std::string Basename(const char* argv0) {
+  if (argv0 == nullptr) return "bench";
+  const char* slash = std::strrchr(argv0, '/');
+  return slash != nullptr ? slash + 1 : argv0;
+}
+
 }  // namespace
 
 BenchEnv& BenchEnv::Get() {
   static BenchEnv env;
   return env;
 }
+
+ResultWriter& Results() { return BenchEnv::Get().results(); }
 
 telemetry::TraceSink* BenchEnv::shared_sink() {
   if (trace_path_.empty()) return nullptr;
@@ -38,6 +49,10 @@ void BenchEnv::AddSnapshot(std::string label, telemetry::Snapshot snap) {
   snapshots_.emplace_back(std::move(label), std::move(snap));
 }
 
+void BenchEnv::AddLogPages(std::string label, std::string logpages_json) {
+  logpages_.emplace_back(std::move(label), std::move(logpages_json));
+}
+
 std::string BenchEnv::NextLabel() {
   return "testbed-" + std::to_string(label_seq_++);
 }
@@ -53,16 +68,36 @@ void BenchEnv::Finish() {
     } else {
       std::fputs("[\n", f);
       for (std::size_t i = 0; i < snapshots_.size(); ++i) {
-        // Labels come from WithLabel()/NextLabel(): identifiers, no
-        // JSON-hostile characters to escape.
-        std::fprintf(f, "  {\"label\": \"%s\", \"metrics\": %s}%s\n",
-                     snapshots_[i].first.c_str(),
+        // Labels are usually identifiers, but WithLabel() accepts
+        // anything — escape.
+        std::fprintf(f, "  {\"label\": %s, \"metrics\": %s}%s\n",
+                     telemetry::JsonQuoted(snapshots_[i].first).c_str(),
                      snapshots_[i].second.ToJson().c_str(),
                      i + 1 < snapshots_.size() ? "," : "");
       }
       std::fputs("]\n", f);
       std::fclose(f);
     }
+  }
+  if (!logpages_path_.empty()) {
+    std::FILE* f = std::fopen(logpages_path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot open logpages file %s\n",
+                   logpages_path_.c_str());
+    } else {
+      std::fputs("[\n", f);
+      for (std::size_t i = 0; i < logpages_.size(); ++i) {
+        std::fprintf(f, "  {\"label\": %s, \"logpages\": %s}%s\n",
+                     telemetry::JsonQuoted(logpages_[i].first).c_str(),
+                     logpages_[i].second.c_str(),
+                     i + 1 < logpages_.size() ? "," : "");
+      }
+      std::fputs("]\n", f);
+      std::fclose(f);
+    }
+  }
+  if (!json_path_.empty()) {
+    results_.WriteFile(json_path_);
   }
   if (sink_ != nullptr) sink_->Flush();
 }
@@ -80,12 +115,19 @@ void InitBench(int& argc, char** argv) {
     registered = true;
     std::atexit(FinishBench);
   }
+  if (env.results_.bench().empty() && argc > 0) {
+    env.results_.set_bench(Basename(argv[0]));
+  }
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = MatchFlag(argv[i], "--trace")) {
       env.trace_path_ = v;
     } else if (const char* m = MatchFlag(argv[i], "--metrics")) {
       env.metrics_path_ = m;
+    } else if (const char* j = MatchFlag(argv[i], "--json")) {
+      env.json_path_ = j;
+    } else if (const char* lp = MatchFlag(argv[i], "--logpages")) {
+      env.logpages_path_ = lp;
     } else {
       argv[out++] = argv[i];
     }

@@ -6,6 +6,12 @@
 //                    one object per event; schema in DESIGN.md §7)
 //   --metrics=FILE   write a JSON array of labeled metrics snapshots,
 //                    one element per testbed, at process exit
+//   --json=FILE      write the bench's machine-readable results (the
+//                    harness::ResultWriter document; schema in
+//                    DESIGN.md §7) at process exit
+//   --logpages=FILE  write a JSON array of labeled per-testbed NVMe-style
+//                    log pages (SMART / Zone Report / Die Utilization) at
+//                    process exit
 //
 // and leaves the rest of argv untouched for the bench's own parsing.
 // Testbeds built without an explicit TelemetryConfig pick these up
@@ -18,16 +24,17 @@
 #include <utility>
 #include <vector>
 
+#include "harness/result_writer.h"
 #include "telemetry/telemetry.h"
 
 namespace zstor::harness {
 
-/// Parses and removes --trace=/--metrics= from argv; registers an atexit
-/// hook that flushes the shared sink and writes the metrics file. Safe to
+/// Parses and removes the shared flags from argv; registers an atexit
+/// hook that flushes the shared sink and writes the output files. Safe to
 /// call once per process (subsequent calls only re-parse flags).
 void InitBench(int& argc, char** argv);
 
-/// Flushes the shared trace sink and writes the metrics file. Idempotent;
+/// Flushes the shared trace sink and writes the output files. Idempotent;
 /// runs automatically at exit after InitBench().
 void FinishBench();
 
@@ -36,17 +43,28 @@ class BenchEnv {
  public:
   static BenchEnv& Get();
 
-  /// True when either flag was given: freshly built testbeds should
-  /// enable telemetry and report here.
+  /// True when any snapshot-producing flag was given: freshly built
+  /// testbeds should enable telemetry and report here. (--json alone does
+  /// not force telemetry: results are recorded by the bench itself.)
   bool telemetry_requested() const {
-    return !trace_path_.empty() || !metrics_path_.empty();
+    return !trace_path_.empty() || !metrics_path_.empty() ||
+           !logpages_path_.empty();
   }
+  /// True when --logpages was given: testbeds dump their device log pages
+  /// here on Finish().
+  bool logpages_requested() const { return !logpages_path_.empty(); }
   /// The shared JSONL sink (opened lazily); null when --trace is absent.
   telemetry::TraceSink* shared_sink();
   const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& json_path() const { return json_path_; }
+
+  /// The process-wide result document (also via harness::Results()).
+  ResultWriter& results() { return results_; }
 
   /// Collects one testbed's frozen snapshot for the metrics file.
   void AddSnapshot(std::string label, telemetry::Snapshot snap);
+  /// Collects one testbed's log-pages JSON object for the logpages file.
+  void AddLogPages(std::string label, std::string logpages_json);
 
   /// A default label for the next unlabeled testbed ("testbed-N").
   std::string NextLabel();
@@ -58,8 +76,12 @@ class BenchEnv {
 
   std::string trace_path_;
   std::string metrics_path_;
+  std::string json_path_;
+  std::string logpages_path_;
   std::unique_ptr<telemetry::JsonlFileSink> sink_;
   std::vector<std::pair<std::string, telemetry::Snapshot>> snapshots_;
+  std::vector<std::pair<std::string, std::string>> logpages_;
+  ResultWriter results_;
   int label_seq_ = 0;
   bool finished_ = false;
 };

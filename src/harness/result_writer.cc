@@ -1,0 +1,151 @@
+#include "harness/result_writer.h"
+
+#include <cstdio>
+#include <limits>
+
+#include "telemetry/json.h"
+
+namespace zstor::harness {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+ResultPoint::ResultPoint()
+    : mean_ns(kNan), p50_ns(kNan), p95_ns(kNan), p99_ns(kNan) {}
+
+ResultSeries& ResultSeries::Add(double x, double value) {
+  ResultPoint p;
+  p.x = x;
+  p.value = value;
+  points_.push_back(std::move(p));
+  return *this;
+}
+
+ResultSeries& ResultSeries::Add(double x, double value,
+                                const sim::LatencyHistogram& h) {
+  Add(x, value);
+  ResultPoint& p = points_.back();
+  p.samples = h.count();
+  if (h.count() > 0) {
+    p.mean_ns = h.mean_ns();
+    p.p50_ns = h.p50_ns();
+    p.p95_ns = h.p95_ns();
+    p.p99_ns = h.p99_ns();
+  }
+  return *this;
+}
+
+ResultSeries& ResultSeries::AddLabeled(std::string label, double x,
+                                       double value) {
+  Add(x, value);
+  points_.back().label = std::move(label);
+  return *this;
+}
+
+ResultSeries& ResultSeries::AddLabeled(std::string label, double x,
+                                       double value,
+                                       const sim::LatencyHistogram& h) {
+  Add(x, value, h);
+  points_.back().label = std::move(label);
+  return *this;
+}
+
+void ResultWriter::Config(const std::string& key, const std::string& value) {
+  std::string rendered = telemetry::JsonQuoted(value);
+  for (auto& [k, v] : config_) {
+    if (k == key) {
+      v = std::move(rendered);
+      return;
+    }
+  }
+  config_.emplace_back(key, std::move(rendered));
+}
+
+void ResultWriter::Config(const std::string& key, double value) {
+  std::string rendered;
+  telemetry::AppendJsonNumber(rendered, value);
+  for (auto& [k, v] : config_) {
+    if (k == key) {
+      v = std::move(rendered);
+      return;
+    }
+  }
+  config_.emplace_back(key, std::move(rendered));
+}
+
+ResultSeries& ResultWriter::Series(const std::string& name,
+                                   const std::string& unit) {
+  for (auto& s : series_) {
+    if (s.name() == name) return s;
+  }
+  series_.emplace_back(name, unit);
+  return series_.back();
+}
+
+std::string ResultWriter::ToJson() const {
+  using telemetry::AppendJsonNumber;
+  using telemetry::AppendJsonString;
+  std::string out = "{\"bench\":";
+  AppendJsonString(out, bench_);
+  out += ",\"schema_version\":1,\"config\":{";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendJsonString(out, config_[i].first);
+    out += ":";
+    out += config_[i].second;
+  }
+  out += "},\"series\":[";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    const ResultSeries& s = series_[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":";
+    AppendJsonString(out, s.name());
+    out += ",\"unit\":";
+    AppendJsonString(out, s.unit());
+    out += ",\"points\":[";
+    const auto& pts = s.points();
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      const ResultPoint& p = pts[j];
+      if (j > 0) out += ",";
+      out += "{\"x\":";
+      AppendJsonNumber(out, p.x);
+      if (!p.label.empty()) {
+        out += ",\"label\":";
+        AppendJsonString(out, p.label);
+      }
+      out += ",\"value\":";
+      AppendJsonNumber(out, p.value);
+      out += ",\"samples\":";
+      AppendJsonNumber(out, static_cast<double>(p.samples));
+      out += ",\"mean_ns\":";
+      AppendJsonNumber(out, p.mean_ns);
+      out += ",\"p50_ns\":";
+      AppendJsonNumber(out, p.p50_ns);
+      out += ",\"p95_ns\":";
+      AppendJsonNumber(out, p.p95_ns);
+      out += ",\"p99_ns\":";
+      AppendJsonNumber(out, p.p99_ns);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool ResultWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot open results file %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::string json = ToJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace zstor::harness

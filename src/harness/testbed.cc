@@ -77,9 +77,47 @@ telemetry::Snapshot Testbed::TakeSnapshot() {
   return m.TakeSnapshot();
 }
 
+nvme::SmartLog Testbed::Smart() const {
+  if (zns_ != nullptr) return zns_->GetSmartLog();
+  return conv_->GetSmartLog();
+}
+
+nvme::ZoneReportLog Testbed::ZoneReport() const {
+  ZSTOR_CHECK_MSG(zns_ != nullptr, "ZoneReport needs a ZNS testbed");
+  return zns_->GetZoneReportLog();
+}
+
+nvme::DieUtilLog Testbed::DieUtil() const {
+  if (zns_ != nullptr) return zns_->GetDieUtilLog();
+  return conv_->GetDieUtilLog();
+}
+
+std::string Testbed::LogPagesJson() const {
+  std::string out = "{\"smart\":" + Smart().ToJson();
+  out += ",\"die_util\":" + DieUtil().ToJson();
+  if (zns_ != nullptr) out += ",\"zone_report\":" + ZoneReport().ToJson();
+  out += "}";
+  return out;
+}
+
+bool Testbed::WriteLogPages(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot open logpages file %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(f, "%s\n", LogPagesJson().c_str());
+  std::fclose(f);
+  return true;
+}
+
 void Testbed::Finish() {
   if (finished_ || telem_ == nullptr) return;
   finished_ = true;
+  if (logpages_to_env_ && (zns_ != nullptr || conv_ != nullptr)) {
+    harness::BenchEnv::Get().AddLogPages(label_, LogPagesJson());
+  }
   telemetry::Snapshot snap = TakeSnapshot();
   if (!metrics_path_.empty()) {
     std::FILE* f = std::fopen(metrics_path_.c_str(), "w");
@@ -184,6 +222,7 @@ Testbed TestbedBuilder::Build() {
       tb.telem_->SetExternalSink(sink);
     }
     tb.report_to_env_ = true;
+    tb.logpages_to_env_ = env.logpages_requested();
   }
   if (tb.telem_ != nullptr) {
     tb.label_ = label_.empty() ? env.NextLabel() : label_;

@@ -26,6 +26,7 @@
 
 #include "ftl/conv_device.h"
 #include "hostif/kernel_stack.h"
+#include "nvme/log_page.h"
 #include "hostif/stack.h"
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
@@ -93,6 +94,21 @@ class Testbed {
   /// the registry and freezes it. Requires telemetry.
   telemetry::Snapshot TakeSnapshot();
 
+  // ---- NVMe-style log pages (nvme/log_page.h) ------------------------
+  // Live device introspection: free (no virtual time, no counters), works
+  // with or without telemetry.
+  /// The device's SMART-like log (either device kind).
+  nvme::SmartLog Smart() const;
+  /// Per-zone state + occupancy (ZNS testbeds only; checked).
+  nvme::ZoneReportLog ZoneReport() const;
+  /// Per-die utilization (either device kind).
+  nvme::DieUtilLog DieUtil() const;
+  /// All of the device's log pages as one JSON object:
+  /// {"smart": ..., "die_util": ..., "zone_report": ...?}.
+  std::string LogPagesJson() const;
+  /// Writes LogPagesJson() to `path` (+ newline); false if unopenable.
+  bool WriteLogPages(const std::string& path) const;
+
   /// Idempotent teardown: snapshot + metrics-file write (or hand-off to
   /// the BenchEnv collector) and trace flush. Called by the destructor.
   void Finish();
@@ -111,6 +127,7 @@ class Testbed {
   std::string label_;
   std::string metrics_path_;
   bool report_to_env_ = false;
+  bool logpages_to_env_ = false;
   bool finished_ = false;
 };
 

@@ -25,6 +25,7 @@ FlashArray::FlashArray(sim::Simulator& s, const Geometry& geo,
     channels_.push_back(std::make_unique<sim::FifoResource>(s, 1));
   }
   blocks_.resize(geo_.total_dies() * static_cast<std::size_t>(geo_.blocks_per_die));
+  die_stats_.resize(geo_.total_dies());
 }
 
 FlashArray::BlockState& FlashArray::Block(std::uint32_t die,
@@ -52,7 +53,10 @@ sim::Task<> FlashArray::ReadPage(PageAddr addr, std::uint32_t bytes) {
   sim::Time t0 = sim_.now();
   {
     auto die = co_await dies_[addr.die]->Acquire();
-    co_await sim_.Delay(NoisyRead());
+    sim::Time t_read = NoisyRead();
+    co_await sim_.Delay(t_read);
+    die_stats_[addr.die].reads++;
+    die_stats_[addr.die].busy_ns += t_read;
   }
   {
     auto chan = co_await channels_[geo_.channel_of({addr.die})]->Acquire();
@@ -83,7 +87,10 @@ sim::Task<> FlashArray::ProgramPage(PageAddr addr) {
   }
   {
     auto die = co_await dies_[addr.die]->Acquire();
-    co_await sim_.Delay(NoisyProgram());
+    sim::Time t_prog = NoisyProgram();
+    co_await sim_.Delay(t_prog);
+    die_stats_[addr.die].programs++;
+    die_stats_[addr.die].busy_ns += t_prog;
   }
   if (tr != nullptr) {
     tr->Span(t0, sim_.now(), /*cmd=*/0, Layer::kNand, "die.program",
@@ -101,6 +108,8 @@ sim::Task<> FlashArray::EraseBlock(std::uint32_t die, std::uint32_t block) {
   {
     auto g = co_await dies_[die]->Acquire();
     co_await sim_.Delay(timing_.erase_block);
+    die_stats_[die].erases++;
+    die_stats_[die].busy_ns += timing_.erase_block;
   }
   if (tr != nullptr) {
     tr->Span(t0, sim_.now(), /*cmd=*/0, Layer::kNand, "die.erase",

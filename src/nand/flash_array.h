@@ -37,6 +37,16 @@ struct FlashCounters {
   void Describe(telemetry::MetricsRegistry& m) const;
 };
 
+/// Per-die service accounting, fed by the die-held portion of each cell
+/// operation. busy_ns / sim.now() is that die's utilization — the raw
+/// material of the Die Utilization log page (nvme/log_page.h).
+struct DieStats {
+  std::uint64_t reads = 0;
+  std::uint64_t programs = 0;
+  std::uint64_t erases = 0;
+  sim::Time busy_ns = 0;  // total time the die executed cell operations
+};
+
 class FlashArray {
  public:
   FlashArray(sim::Simulator& s, const Geometry& geo, const Timing& timing);
@@ -84,6 +94,9 @@ class FlashArray {
   /// utilization-aware policies.
   std::size_t DieQueueDepth(std::uint32_t die) const;
 
+  /// Per-die service accounting, indexed by die; size == total_dies().
+  const std::vector<DieStats>& die_stats() const { return die_stats_; }
+
   /// Aggregate program bandwidth achievable when all dies stream (bytes/s).
   double PeakProgramBandwidth() const;
 
@@ -111,6 +124,7 @@ class FlashArray {
   std::vector<std::unique_ptr<sim::FifoResource>> dies_;
   std::vector<std::unique_ptr<sim::FifoResource>> channels_;
   std::vector<BlockState> blocks_;  // [die * blocks_per_die + block]
+  std::vector<DieStats> die_stats_;
   FlashCounters counters_;
 };
 

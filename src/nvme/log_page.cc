@@ -1,0 +1,102 @@
+#include "nvme/log_page.h"
+
+#include "telemetry/json.h"
+
+namespace zstor::nvme {
+
+namespace {
+
+using telemetry::AppendJsonNumber;
+using telemetry::AppendJsonString;
+
+void Field(std::string& out, const char* key, double v, bool first = false) {
+  if (!first) out += ",";
+  AppendJsonString(out, key);
+  out += ":";
+  AppendJsonNumber(out, v);
+}
+
+void Field(std::string& out, const char* key, std::uint64_t v,
+           bool first = false) {
+  Field(out, key, static_cast<double>(v), first);
+}
+
+}  // namespace
+
+std::string SmartLog::ToJson() const {
+  std::string out = "{\"device\":";
+  AppendJsonString(out, device);
+  Field(out, "host_reads", host_reads);
+  Field(out, "host_writes", host_writes);
+  Field(out, "bytes_read", bytes_read);
+  Field(out, "bytes_written", bytes_written);
+  Field(out, "io_errors", io_errors);
+  Field(out, "media_page_reads", media_page_reads);
+  Field(out, "media_page_programs", media_page_programs);
+  Field(out, "media_block_erases", media_block_erases);
+  Field(out, "media_bytes_read", media_bytes_read);
+  Field(out, "media_bytes_programmed", media_bytes_programmed);
+  Field(out, "zone_resets", zone_resets);
+  Field(out, "zone_finishes", zone_finishes);
+  Field(out, "zone_explicit_opens", zone_explicit_opens);
+  Field(out, "zone_implicit_opens", zone_implicit_opens);
+  Field(out, "zone_closes", zone_closes);
+  Field(out, "zone_transitions", zone_transitions);
+  Field(out, "zones_worn_offline", zones_worn_offline);
+  Field(out, "gc_invocations", gc_invocations);
+  Field(out, "gc_units_migrated", gc_units_migrated);
+  Field(out, "gc_blocks_erased", gc_blocks_erased);
+  Field(out, "write_amplification", write_amplification);
+  out += "}";
+  return out;
+}
+
+std::string ZoneReportLog::ToJson() const {
+  std::string out = "{";
+  Field(out, "num_zones", static_cast<std::uint64_t>(num_zones),
+        /*first=*/true);
+  Field(out, "open_zones", static_cast<std::uint64_t>(open_zones));
+  Field(out, "active_zones", static_cast<std::uint64_t>(active_zones));
+  Field(out, "max_open", static_cast<std::uint64_t>(max_open));
+  Field(out, "max_active", static_cast<std::uint64_t>(max_active));
+  out += ",\"zones\":[";
+  for (std::size_t i = 0; i < zones.size(); ++i) {
+    const ZoneReportEntry& z = zones[i];
+    if (i > 0) out += ",";
+    out += "{";
+    Field(out, "zone", static_cast<std::uint64_t>(z.zone), /*first=*/true);
+    Field(out, "state_raw", static_cast<std::uint64_t>(z.state_raw));
+    out += ",\"state\":";
+    AppendJsonString(out, z.state);
+    Field(out, "zslba", z.zslba);
+    Field(out, "write_pointer", z.write_pointer);
+    Field(out, "written_bytes", z.written_bytes);
+    Field(out, "cap_bytes", z.cap_bytes);
+    Field(out, "occupancy", z.Occupancy());
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string DieUtilLog::ToJson() const {
+  std::string out = "{";
+  Field(out, "elapsed_ns", elapsed_ns, /*first=*/true);
+  out += ",\"dies\":[";
+  for (std::size_t i = 0; i < dies.size(); ++i) {
+    const DieUtilEntry& d = dies[i];
+    if (i > 0) out += ",";
+    out += "{";
+    Field(out, "die", static_cast<std::uint64_t>(d.die), /*first=*/true);
+    Field(out, "reads", d.reads);
+    Field(out, "programs", d.programs);
+    Field(out, "erases", d.erases);
+    Field(out, "busy_ns", d.busy_ns);
+    Field(out, "utilization", d.utilization);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace zstor::nvme

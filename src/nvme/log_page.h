@@ -1,0 +1,115 @@
+// NVMe-style log pages: structured, queryable device self-reports,
+// modeled on the SMART / Health Information and Zone Report log pages a
+// real controller serves through Get Log Page.
+//
+// Unlike trace events (what happened over time) these are *state*
+// snapshots: free-function introspection with no virtual-time cost and no
+// counter side effects, so tests and benches can interrogate a device
+// mid-experiment without perturbing it. Both simulated devices produce
+// them — zns::ZnsDevice::GetSmartLog()/GetZoneReportLog() and
+// ftl::ConvDevice::GetSmartLog() — and zstor::Testbed bundles all of a
+// device's pages into one JSON document (--logpages=FILE in benches).
+//
+// JSON schemas are documented in DESIGN.md §7.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zstor::nvme {
+
+/// SMART-like device health/activity log. One struct serves both device
+/// models: fields that do not apply to a model are zero (e.g. zone_*
+/// for the conventional FTL, gc_* for ZNS) and `device` says which model
+/// produced the page.
+struct SmartLog {
+  std::string device;  // "zns" or "conv"
+
+  // Host-visible command activity.
+  std::uint64_t host_reads = 0;
+  std::uint64_t host_writes = 0;  // writes + appends for ZNS
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t io_errors = 0;
+
+  // Media (NAND) activity — what the device did to flash to serve the
+  // host, including padding/GC traffic the host never issued.
+  std::uint64_t media_page_reads = 0;
+  std::uint64_t media_page_programs = 0;
+  std::uint64_t media_block_erases = 0;
+  std::uint64_t media_bytes_read = 0;
+  std::uint64_t media_bytes_programmed = 0;
+
+  // Zone-management activity (ZNS only).
+  std::uint64_t zone_resets = 0;
+  std::uint64_t zone_finishes = 0;
+  std::uint64_t zone_explicit_opens = 0;
+  std::uint64_t zone_implicit_opens = 0;
+  std::uint64_t zone_closes = 0;
+  std::uint64_t zone_transitions = 0;
+  std::uint64_t zones_worn_offline = 0;
+
+  // Garbage-collection activity (conventional FTL only).
+  std::uint64_t gc_invocations = 0;
+  std::uint64_t gc_units_migrated = 0;
+  std::uint64_t gc_blocks_erased = 0;
+
+  /// NAND programs per host write; exactly 1.0 for ZNS (no device GC).
+  double write_amplification = 1.0;
+
+  std::string ToJson() const;
+};
+
+/// One zone's row in the Zone Report log.
+struct ZoneReportEntry {
+  std::uint32_t zone = 0;
+  std::uint32_t state_raw = 0;  // numeric ZoneState value
+  std::string state;            // "Empty", "ExplicitlyOpened", ...
+  std::uint64_t zslba = 0;
+  std::uint64_t write_pointer = 0;  // absolute LBA
+  std::uint64_t written_bytes = 0;
+  std::uint64_t cap_bytes = 0;
+
+  /// written_bytes / cap_bytes in [0,1].
+  double Occupancy() const {
+    return cap_bytes == 0
+               ? 0.0
+               : static_cast<double>(written_bytes) /
+                     static_cast<double>(cap_bytes);
+  }
+};
+
+/// Zone Report log: per-zone state + occupancy plus the device-wide
+/// open/active accounting the state machine enforces.
+struct ZoneReportLog {
+  std::uint32_t num_zones = 0;
+  std::uint32_t open_zones = 0;
+  std::uint32_t active_zones = 0;
+  std::uint32_t max_open = 0;
+  std::uint32_t max_active = 0;
+  std::vector<ZoneReportEntry> zones;
+
+  std::string ToJson() const;
+};
+
+/// One die's row in the Die Utilization log.
+struct DieUtilEntry {
+  std::uint32_t die = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t programs = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t busy_ns = 0;
+  double utilization = 0.0;  // busy_ns / elapsed_ns, in [0,1]
+};
+
+/// Die Utilization log: how evenly work spread across the flash array —
+/// the striping/contention ground truth behind the scalability figures.
+struct DieUtilLog {
+  std::uint64_t elapsed_ns = 0;  // virtual time the page covers
+  std::vector<DieUtilEntry> dies;
+
+  std::string ToJson() const;
+};
+
+}  // namespace zstor::nvme

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "sim/check.h"
 
@@ -61,7 +62,7 @@ void LatencyHistogram::Record(Time latency_ns) {
 double LatencyHistogram::Quantile(double q) const {
   ZSTOR_CHECK(q >= 0.0 && q <= 1.0);
   std::uint64_t total = moments_.count();
-  if (total == 0) return 0.0;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
   // Rank of the q-th sample (1-based, nearest-rank definition).
   auto rank = static_cast<std::uint64_t>(
       std::ceil(q * static_cast<double>(total)));
@@ -110,6 +111,7 @@ std::string FormatNs(double ns) {
 }  // namespace
 
 std::string LatencyHistogram::Summary() const {
+  if (count() == 0) return "n=0";
   std::string out = "n=" + std::to_string(count());
   out += " mean=" + FormatNs(mean_ns());
   out += " p50=" + FormatNs(Quantile(0.50));

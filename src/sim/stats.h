@@ -55,6 +55,8 @@ class LatencyHistogram {
 
   /// Latency (ns) at quantile q in [0,1], e.g. 0.95 for p95. Exact count
   /// ranks; value is the midpoint of the containing bucket (<=1.6% error).
+  /// NaN when the histogram is empty — same convention as Welford
+  /// min()/max(): an empty window must never look like a measurement.
   double Quantile(double q) const;
 
   double p50_ns() const { return Quantile(0.50); }

@@ -1,0 +1,24 @@
+// Minimal JSON writing helpers shared by every JSON producer in the tree
+// (trace JSONL, metrics snapshots, log pages, bench results): correct
+// string escaping and finite-number formatting in one place, so no writer
+// ever emits invalid JSON for a hostile label or a NaN statistic.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace zstor::telemetry {
+
+/// Appends the JSON string literal for `s` — surrounding quotes plus
+/// escapes for quotes, backslashes and control characters.
+void AppendJsonString(std::string& out, std::string_view s);
+
+/// Appends a JSON number. Non-finite values (NaN/Inf have no JSON
+/// representation) become `null`; integral values print without a
+/// fractional part.
+void AppendJsonNumber(std::string& out, double v);
+
+/// Convenience: the escaped-and-quoted form of `s` as a new string.
+std::string JsonQuoted(std::string_view s);
+
+}  // namespace zstor::telemetry

@@ -1,9 +1,7 @@
 #include "telemetry/metrics.h"
 
-#include <cmath>
-#include <cstdio>
-
 #include "sim/check.h"
+#include "telemetry/json.h"
 
 namespace zstor::telemetry {
 
@@ -80,49 +78,30 @@ const Snapshot::Metric* Snapshot::Find(const std::string& name) const {
   return nullptr;
 }
 
-namespace {
-
-// JSON has no NaN/Inf; map non-finite values (e.g. empty-histogram stats)
-// to null.
-void AppendNumber(std::string& out, double v) {
-  if (!std::isfinite(v)) {
-    out += "null";
-    return;
-  }
-  char buf[64];
-  if (v == std::floor(v) && std::fabs(v) < 1e15) {
-    std::snprintf(buf, sizeof buf, "%.0f", v);
-  } else {
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-  }
-  out += buf;
-}
-
-}  // namespace
-
 std::string Snapshot::ToJson() const {
   std::string out = "{";
   bool first = true;
   for (const auto& m : metrics) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + m.name + "\":";
+    AppendJsonString(out, m.name);
+    out += ":";
     if (m.kind == "histogram") {
       out += "{\"count\":";
-      AppendNumber(out, m.value);
+      AppendJsonNumber(out, m.value);
       out += ",\"mean_ns\":";
-      AppendNumber(out, m.mean);
+      AppendJsonNumber(out, m.mean);
       out += ",\"p50_ns\":";
-      AppendNumber(out, m.p50);
+      AppendJsonNumber(out, m.p50);
       out += ",\"p95_ns\":";
-      AppendNumber(out, m.p95);
+      AppendJsonNumber(out, m.p95);
       out += ",\"p99_ns\":";
-      AppendNumber(out, m.p99);
+      AppendJsonNumber(out, m.p99);
       out += ",\"max_ns\":";
-      AppendNumber(out, m.max);
+      AppendJsonNumber(out, m.max);
       out += "}";
     } else {
-      AppendNumber(out, m.value);
+      AppendJsonNumber(out, m.value);
     }
   }
   out += "}";

@@ -2,8 +2,11 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "sim/check.h"
+#include "telemetry/json.h"
 
 namespace zstor::telemetry {
 
@@ -62,15 +65,40 @@ JsonlFileSink::~JsonlFileSink() {
   }
 }
 
+namespace {
+
+/// True when a phase name needs no escaping — the overwhelmingly common
+/// case (static identifiers like "fcp.wait"), kept off the slow path.
+bool PlainJsonString(const char* s) {
+  for (; *s != '\0'; ++s) {
+    unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\' || c < 0x20) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 void JsonlFileSink::OnEvent(const TraceEvent& e) {
   if (file_ == nullptr) return;
+  // Layer names come from ToString() and are always plain; event names are
+  // almost always static identifiers but must still produce valid JSON
+  // when someone registers a hostile one.
+  const char* name = e.name;
+  std::string escaped;
+  if (!PlainJsonString(name)) {
+    AppendJsonString(escaped, name);
+    // AppendJsonString quotes; the format string quotes too, so strip.
+    escaped = escaped.substr(1, escaped.size() - 2);
+    name = escaped.c_str();
+  }
   std::fprintf(file_,
                "{\"ts\":%llu,\"dur\":%llu,\"cmd\":%llu,\"layer\":\"%s\","
                "\"name\":\"%s\",\"a\":%lld,\"b\":%lld}\n",
                static_cast<unsigned long long>(e.begin),
                static_cast<unsigned long long>(e.duration()),
                static_cast<unsigned long long>(e.cmd), ToString(e.layer),
-               e.name, static_cast<long long>(e.a),
+               name, static_cast<long long>(e.a),
                static_cast<long long>(e.b));
   ++written_;
 }

@@ -119,6 +119,79 @@ std::uint64_t ZnsDevice::ZoneWrittenBytes(std::uint32_t zone) const {
   return zones_[zone].wp_bytes;
 }
 
+nvme::SmartLog ZnsDevice::GetSmartLog() const {
+  nvme::SmartLog log;
+  log.device = "zns";
+  log.host_reads = counters_.reads;
+  log.host_writes = counters_.writes + counters_.appends;
+  log.bytes_read = counters_.bytes_read;
+  log.bytes_written = counters_.bytes_written;
+  log.io_errors = counters_.io_errors;
+  if (flash_ != nullptr) {
+    const nand::FlashCounters& fc = flash_->counters();
+    log.media_page_reads = fc.page_reads;
+    log.media_page_programs = fc.page_programs;
+    log.media_block_erases = fc.block_erases;
+    log.media_bytes_read = fc.bytes_read;
+    log.media_bytes_programmed = fc.bytes_programmed;
+  }
+  log.zone_resets = counters_.resets;
+  log.zone_finishes = counters_.finishes;
+  log.zone_explicit_opens = counters_.explicit_opens;
+  log.zone_implicit_opens = counters_.implicit_opens;
+  log.zone_closes = counters_.closes;
+  log.zone_transitions = counters_.zone_transitions;
+  log.zones_worn_offline = counters_.zones_worn_offline;
+  // Host-managed placement: the device never migrates data, so media
+  // programs per host write is exactly 1.
+  log.write_amplification = 1.0;
+  return log;
+}
+
+nvme::ZoneReportLog ZnsDevice::GetZoneReportLog() const {
+  nvme::ZoneReportLog log;
+  log.num_zones = profile_.num_zones;
+  log.open_zones = open_count_;
+  log.active_zones = active_count_;
+  log.max_open = profile_.max_open_zones;
+  log.max_active = profile_.max_active_zones;
+  log.zones.reserve(zones_.size());
+  for (std::uint32_t z = 0; z < zones_.size(); ++z) {
+    nvme::ZoneReportEntry e;
+    e.zone = z;
+    e.state_raw = static_cast<std::uint32_t>(zones_[z].state);
+    e.state = std::string(ToString(zones_[z].state));
+    e.zslba = ZoneStartLba(z);
+    e.write_pointer = ZoneWritePointerLba(z);
+    e.written_bytes = zones_[z].wp_bytes;
+    e.cap_bytes = profile_.zone_cap_bytes;
+    log.zones.push_back(std::move(e));
+  }
+  return log;
+}
+
+nvme::DieUtilLog ZnsDevice::GetDieUtilLog() const {
+  nvme::DieUtilLog log;
+  log.elapsed_ns = static_cast<std::uint64_t>(sim_.now());
+  if (flash_ == nullptr) return log;
+  const std::vector<nand::DieStats>& stats = flash_->die_stats();
+  log.dies.reserve(stats.size());
+  for (std::uint32_t d = 0; d < stats.size(); ++d) {
+    nvme::DieUtilEntry e;
+    e.die = d;
+    e.reads = stats[d].reads;
+    e.programs = stats[d].programs;
+    e.erases = stats[d].erases;
+    e.busy_ns = static_cast<std::uint64_t>(stats[d].busy_ns);
+    e.utilization = log.elapsed_ns == 0
+                        ? 0.0
+                        : static_cast<double>(e.busy_ns) /
+                              static_cast<double>(log.elapsed_ns);
+    log.dies.push_back(e);
+  }
+  return log;
+}
+
 Time ZnsDevice::Noise(Time t) {
   if (profile_.io_sigma == 0.0 || t == 0) return t;
   return static_cast<Time>(static_cast<double>(t) *

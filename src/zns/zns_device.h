@@ -29,6 +29,7 @@
 
 #include "nand/flash_array.h"
 #include "nvme/controller.h"
+#include "nvme/log_page.h"
 #include "nvme/types.h"
 #include "sim/resource.h"
 #include "sim/rng.h"
@@ -92,6 +93,17 @@ class ZnsDevice : public nvme::Controller {
   std::uint32_t ZoneOfLba(nvme::Lba lba) const;
   /// Null when the profile bypasses the NAND backend (FEMU-like).
   nand::FlashArray* flash() { return flash_.get(); }
+
+  // ---- log pages (nvme/log_page.h) ------------------------------------
+  // Free introspection: no virtual time, no counter side effects — unlike
+  // the ReportZones *command*, which models the real report cost.
+  /// SMART-like health/activity page (host + media + zone-mgmt activity).
+  nvme::SmartLog GetSmartLog() const;
+  /// Per-zone state + occupancy, mirroring the zone state machine.
+  nvme::ZoneReportLog GetZoneReportLog() const;
+  /// Per-die service counts and utilization; empty when the profile
+  /// bypasses the NAND backend.
+  nvme::DieUtilLog GetDieUtilLog() const;
   /// Free write-back buffer capacity in NAND pages (0 = writes are being
   /// throttled at the NAND drain rate).
   std::uint64_t buffer_free_pages() const { return buffer_slots_.available(); }

@@ -95,7 +95,44 @@ TEST(LatencyHistogram, ResetClears) {
   h.Record(5);
   h.Reset();
   EXPECT_EQ(h.count(), 0u);
-  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+}
+
+// An empty histogram has no quantiles: NaN for every q, matching the
+// Welford min()/max() convention so an idle op class never reads as a
+// zero-latency measurement.
+TEST(LatencyHistogram, EmptyQuantilesAreNaN) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_TRUE(std::isnan(h.Quantile(q))) << "q=" << q;
+  }
+  EXPECT_TRUE(std::isnan(h.p50_ns()));
+  EXPECT_TRUE(std::isnan(h.p99_ns()));
+  EXPECT_TRUE(std::isnan(h.min_ns()));
+  EXPECT_TRUE(std::isnan(h.max_ns()));
+  EXPECT_EQ(h.Summary(), "n=0");
+}
+
+// With one sample every quantile — p0 through p100 — is that sample
+// (within bucket resolution).
+TEST(LatencyHistogram, SingleSampleDominatesAllQuantiles) {
+  LatencyHistogram h;
+  h.Record(Microseconds(42));
+  for (double q : {0.0, 0.25, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_NEAR(h.Quantile(q) / 42e3, 1.0, 0.02) << "q=" << q;
+  }
+}
+
+// p0 is the minimum's bucket, p100 the maximum's, even when the ranks
+// collapse at the extremes of the CDF.
+TEST(LatencyHistogram, ExtremeQuantilesHitMinAndMax) {
+  LatencyHistogram h;
+  h.Record(Microseconds(10));
+  for (int i = 0; i < 100; ++i) h.Record(Microseconds(100));
+  h.Record(Milliseconds(5));
+  EXPECT_NEAR(h.Quantile(0.0) / 10e3, 1.0, 0.02);
+  EXPECT_NEAR(h.Quantile(1.0) / 5e6, 1.0, 0.02);
 }
 
 TEST(LatencyHistogram, SummaryMentionsPercentiles) {

@@ -1,0 +1,97 @@
+// Coverage guard for the Describe() protocol: every field of every
+// counters struct must be exported into the metrics registry. The
+// static_asserts pin each struct's field count — adding a field without
+// updating Describe() (and this test) fails the build here, not
+// silently in a dashboard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ftl/conv_device.h"
+#include "hostif/kernel_stack.h"
+#include "nand/flash_array.h"
+#include "telemetry/metrics.h"
+#include "zns/zns_device.h"
+
+namespace zstor {
+namespace {
+
+// Field-count drift guards: uint64 counters only, so sizeof is exact.
+static_assert(sizeof(zns::ZnsCounters) == 16 * sizeof(std::uint64_t),
+              "ZnsCounters changed: update Describe(), GetSmartLog() and "
+              "this test");
+static_assert(sizeof(ftl::ConvCounters) == 11 * sizeof(std::uint64_t),
+              "ConvCounters changed: update Describe(), GetSmartLog() and "
+              "this test");
+static_assert(sizeof(nand::FlashCounters) == 5 * sizeof(std::uint64_t),
+              "FlashCounters changed: update Describe() and this test");
+static_assert(sizeof(hostif::SchedulerStats) == 3 * sizeof(std::uint64_t),
+              "SchedulerStats changed: update Describe() and this test");
+
+std::vector<std::string> SnapshotNames(
+    const telemetry::MetricsRegistry& reg) {
+  std::vector<std::string> out;
+  for (const auto& m : reg.TakeSnapshot().metrics) out.push_back(m.name);
+  return out;
+}
+
+void ExpectAll(const std::vector<std::string>& have,
+               const std::vector<std::string>& want) {
+  for (const std::string& name : want) {
+    EXPECT_NE(std::find(have.begin(), have.end(), name), have.end())
+        << "counter not registered by Describe(): " << name;
+  }
+}
+
+TEST(CountersCoverage, ZnsDescribeExportsEveryField) {
+  telemetry::MetricsRegistry reg;
+  zns::ZnsCounters{}.Describe(reg);
+  std::vector<std::string> names = SnapshotNames(reg);
+  EXPECT_EQ(names.size(), 16u);
+  ExpectAll(names,
+            {"zns.reads", "zns.writes", "zns.appends", "zns.flushes",
+             "zns.zone_reports", "zns.zones_worn_offline",
+             "zns.explicit_opens", "zns.implicit_opens",
+             "zns.implicit_open_evictions", "zns.closes", "zns.finishes",
+             "zns.resets", "zns.bytes_written", "zns.bytes_read",
+             "zns.io_errors", "zns.zone_transitions"});
+}
+
+TEST(CountersCoverage, ConvDescribeExportsEveryFieldPlusWa) {
+  telemetry::MetricsRegistry reg;
+  ftl::ConvCounters{}.Describe(reg);
+  std::vector<std::string> names = SnapshotNames(reg);
+  // 11 counters + the derived write_amplification gauge.
+  EXPECT_EQ(names.size(), 12u);
+  ExpectAll(names,
+            {"conv.reads", "conv.writes", "conv.deallocates",
+             "conv.units_trimmed", "conv.bytes_read", "conv.bytes_written",
+             "conv.host_units_programmed", "conv.gc_invocations",
+             "conv.gc_units_migrated", "conv.gc_blocks_erased",
+             "conv.io_errors", "conv.write_amplification"});
+}
+
+TEST(CountersCoverage, FlashDescribeExportsEveryField) {
+  telemetry::MetricsRegistry reg;
+  nand::FlashCounters{}.Describe(reg);
+  std::vector<std::string> names = SnapshotNames(reg);
+  EXPECT_EQ(names.size(), 5u);
+  ExpectAll(names, {"nand.page_reads", "nand.page_programs",
+                    "nand.block_erases", "nand.bytes_read",
+                    "nand.bytes_programmed"});
+}
+
+TEST(CountersCoverage, SchedulerDescribeExportsEveryFieldPlusFraction) {
+  telemetry::MetricsRegistry reg;
+  hostif::SchedulerStats{}.Describe(reg);
+  std::vector<std::string> names = SnapshotNames(reg);
+  EXPECT_EQ(names.size(), 4u);
+  ExpectAll(names, {"sched.staged_writes", "sched.dispatched_writes",
+                    "sched.merged_writes", "sched.merged_fraction"});
+}
+
+}  // namespace
+}  // namespace zstor

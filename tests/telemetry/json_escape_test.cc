@@ -1,0 +1,79 @@
+// Escaping tests for the telemetry JSON writers: hostile span and metric
+// names must round-trip through the JSONL trace sink and the metrics
+// snapshot as valid JSON. Verified with the ztrace parser — the actual
+// downstream consumer of both formats.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "ztrace/json_value.h"
+
+namespace zstor::telemetry {
+namespace {
+
+using ztrace::JsonValue;
+
+TEST(JsonHelpers, EscapesQuotesBackslashesAndControls) {
+  std::string out;
+  AppendJsonString(out, "a\"b\\c\nd\te\x01");
+  auto v = JsonValue::Parse(out);
+  ASSERT_TRUE(v.has_value()) << out;
+  EXPECT_EQ(v->string(), "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(JsonQuoted("x\"y"), "\"x\\\"y\"");
+}
+
+TEST(JsonHelpers, NumbersAreFiniteJson) {
+  std::string out;
+  AppendJsonNumber(out, 1.5);
+  out += " ";
+  AppendJsonNumber(out, std::numeric_limits<double>::quiet_NaN());
+  out += " ";
+  AppendJsonNumber(out, std::numeric_limits<double>::infinity());
+  // NaN/inf have no JSON representation; they must render as null.
+  EXPECT_EQ(out, "1.5 null null");
+}
+
+TEST(JsonlFileSink, HostileSpanNamesStayParseable) {
+  std::string path =
+      ::testing::TempDir() + "/hostile_trace.jsonl";
+  {
+    JsonlFileSink sink(path);
+    ASSERT_TRUE(sink.ok());
+    TraceEvent e;
+    e.begin = 10;
+    e.end = 20;
+    e.cmd = 7;
+    e.layer = Layer::kHost;
+    e.name = "evil\"name\\with\ncontrols";
+    sink.OnEvent(e);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  auto v = JsonValue::Parse(line);
+  ASSERT_TRUE(v.has_value()) << line;
+  EXPECT_EQ(v->StringOr("name", ""), "evil\"name\\with\ncontrols");
+  EXPECT_DOUBLE_EQ(v->NumberOr("cmd", 0), 7.0);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsSnapshot, HostileMetricNamesStayParseable) {
+  MetricsRegistry reg;
+  reg.GetCounter("evil\"counter\nname").Set(3);
+  reg.GetGauge("gauge\\name").Set(1.25);
+  std::string json = reg.TakeSnapshot().ToJson();
+  auto v = JsonValue::Parse(json);
+  ASSERT_TRUE(v.has_value()) << json;
+  EXPECT_DOUBLE_EQ(v->NumberOr("evil\"counter\nname", 0), 3.0);
+  EXPECT_DOUBLE_EQ(v->NumberOr("gauge\\name", 0), 1.25);
+}
+
+}  // namespace
+}  // namespace zstor::telemetry

@@ -1,0 +1,176 @@
+// Log-page tests: the Zone Report log must agree with the zone state
+// machine at every step of an open/close/finish/reset lifecycle, the
+// SMART log with the device counters, and the Die Utilization log with
+// the flash array's accounting — all as free introspection (no virtual
+// time, no counter side effects). The JSON renderings are checked with
+// the ztrace parser, closing the loop between producer and consumer.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "zns/zns_device.h"
+#include "zns_test_util.h"
+#include "ztrace/json_value.h"
+
+namespace zstor::zns {
+namespace {
+
+using testing::Harness;
+using testing::QuietTiny;
+using ztrace::JsonValue;
+
+const nvme::ZoneReportEntry& Entry(const nvme::ZoneReportLog& log,
+                                   std::uint32_t zone) {
+  return log.zones.at(zone);
+}
+
+TEST(ZoneReportLog, FollowsTheStateMachineThroughALifecycle) {
+  Harness h(QuietTiny());
+  const std::uint32_t lba_bytes = 4096;
+
+  // Fresh device: everything Empty, nothing open or active.
+  nvme::ZoneReportLog log = h.dev.GetZoneReportLog();
+  EXPECT_EQ(log.num_zones, h.dev.profile().num_zones);
+  ASSERT_EQ(log.zones.size(), log.num_zones);
+  EXPECT_EQ(log.open_zones, 0u);
+  EXPECT_EQ(log.active_zones, 0u);
+  EXPECT_EQ(log.max_open, h.dev.profile().max_open_zones);
+  EXPECT_EQ(log.max_active, h.dev.profile().max_active_zones);
+  for (const auto& e : log.zones) {
+    EXPECT_EQ(e.state, "Empty");
+    EXPECT_EQ(e.write_pointer, e.zslba);
+    EXPECT_DOUBLE_EQ(e.Occupancy(), 0.0);
+  }
+
+  // A write implicitly opens zone 0 and advances its write pointer.
+  ASSERT_TRUE(h.Write(0, 0, 2).ok());
+  log = h.dev.GetZoneReportLog();
+  EXPECT_EQ(Entry(log, 0).state, "ImplicitlyOpened");
+  EXPECT_EQ(Entry(log, 0).write_pointer, Entry(log, 0).zslba + 2);
+  EXPECT_EQ(Entry(log, 0).written_bytes, 2ull * lba_bytes);
+  EXPECT_EQ(log.open_zones, 1u);
+  EXPECT_EQ(log.active_zones, 1u);
+
+  // Explicit open of zone 1.
+  ASSERT_TRUE(h.Open(1).ok());
+  log = h.dev.GetZoneReportLog();
+  EXPECT_EQ(Entry(log, 1).state, "ExplicitlyOpened");
+  EXPECT_EQ(log.open_zones, 2u);
+  EXPECT_EQ(log.active_zones, 2u);
+
+  // Closing zone 0 keeps it active but not open.
+  ASSERT_TRUE(h.Close(0).ok());
+  log = h.dev.GetZoneReportLog();
+  EXPECT_EQ(Entry(log, 0).state, "Closed");
+  EXPECT_EQ(log.open_zones, 1u);
+  EXPECT_EQ(log.active_zones, 2u);
+
+  // Finishing zone 0 pads it to Full: wp jumps, occupancy hits 1.
+  ASSERT_TRUE(h.Finish(0).ok());
+  log = h.dev.GetZoneReportLog();
+  EXPECT_EQ(Entry(log, 0).state, "Full");
+  EXPECT_DOUBLE_EQ(Entry(log, 0).Occupancy(), 1.0);
+  EXPECT_EQ(log.active_zones, 1u);  // Full zones are no longer active
+
+  // Reset returns it to Empty with a rewound write pointer.
+  ASSERT_TRUE(h.Reset(0).ok());
+  log = h.dev.GetZoneReportLog();
+  EXPECT_EQ(Entry(log, 0).state, "Empty");
+  EXPECT_EQ(Entry(log, 0).write_pointer, Entry(log, 0).zslba);
+  EXPECT_EQ(Entry(log, 0).written_bytes, 0u);
+
+  // Zone 1 was untouched by all of the above.
+  EXPECT_EQ(Entry(log, 1).state, "ExplicitlyOpened");
+  EXPECT_EQ(log.open_zones, 1u);
+  EXPECT_EQ(log.active_zones, 1u);
+}
+
+TEST(ZoneReportLog, StateRawMatchesStateString) {
+  Harness h(QuietTiny());
+  ASSERT_TRUE(h.Write(0, 0, 1).ok());
+  nvme::ZoneReportLog log = h.dev.GetZoneReportLog();
+  for (const auto& e : log.zones) {
+    EXPECT_EQ(e.state, ToString(static_cast<ZoneState>(e.state_raw)));
+  }
+}
+
+TEST(SmartLog, CountsZoneManagementAndHostActivity) {
+  Harness h(QuietTiny());
+  ASSERT_TRUE(h.Write(0, 0, 1).ok());   // implicit open
+  ASSERT_TRUE(h.Append(0, 1).ok());
+  ASSERT_TRUE(h.Read(0, 0, 1).ok());
+  ASSERT_TRUE(h.Open(1).ok());          // explicit open
+  ASSERT_TRUE(h.Append(1, 1).ok());     // closing an empty zone == Empty
+  ASSERT_TRUE(h.Close(1).ok());
+  ASSERT_TRUE(h.Finish(1).ok());
+  ASSERT_TRUE(h.Reset(1).ok());
+
+  nvme::SmartLog s = h.dev.GetSmartLog();
+  EXPECT_EQ(s.device, "zns");
+  EXPECT_EQ(s.host_reads, 1u);
+  EXPECT_EQ(s.host_writes, 3u);  // one write + two appends
+  EXPECT_EQ(s.bytes_written, 3u * 4096u);
+  EXPECT_EQ(s.bytes_read, 4096u);
+  EXPECT_EQ(s.zone_implicit_opens, 1u);
+  EXPECT_EQ(s.zone_explicit_opens, 1u);
+  EXPECT_EQ(s.zone_closes, 1u);
+  EXPECT_EQ(s.zone_finishes, 1u);
+  EXPECT_EQ(s.zone_resets, 1u);
+  EXPECT_GE(s.zone_transitions, 4u);
+  EXPECT_EQ(s.io_errors, 0u);
+  // Host-managed placement: ZNS never programs more than the host wrote.
+  EXPECT_DOUBLE_EQ(s.write_amplification, 1.0);
+
+  // Introspection is free: taking a log page bumps no counters.
+  nvme::SmartLog again = h.dev.GetSmartLog();
+  EXPECT_EQ(again.host_reads, s.host_reads);
+  EXPECT_EQ(again.zone_transitions, s.zone_transitions);
+}
+
+TEST(DieUtilLog, ReflectsFlashActivityWithinBounds) {
+  Harness h(testing::QuietZn540());
+  ASSERT_TRUE(h.Write(0, 0, 8).ok());
+  ASSERT_TRUE(h.Read(0, 0, 8).ok());
+
+  nvme::DieUtilLog log = h.dev.GetDieUtilLog();
+  EXPECT_EQ(log.elapsed_ns, static_cast<std::uint64_t>(h.sim.now()));
+  ASSERT_FALSE(log.dies.empty());
+  std::uint64_t programs = 0, reads = 0, busy = 0;
+  for (const auto& d : log.dies) {
+    EXPECT_GE(d.utilization, 0.0);
+    EXPECT_LE(d.utilization, 1.0);
+    programs += d.programs;
+    reads += d.reads;
+    busy += d.busy_ns;
+  }
+  const nand::FlashCounters& fc = h.dev.flash()->counters();
+  EXPECT_EQ(programs, fc.page_programs);
+  EXPECT_EQ(reads, fc.page_reads);
+  EXPECT_GT(busy, 0u);
+}
+
+TEST(LogPageJson, RendersParseableDocuments) {
+  Harness h(QuietTiny());
+  ASSERT_TRUE(h.Write(0, 0, 1).ok());
+
+  auto smart = JsonValue::Parse(h.dev.GetSmartLog().ToJson());
+  ASSERT_TRUE(smart.has_value());
+  EXPECT_EQ(smart->StringOr("device", ""), "zns");
+  EXPECT_DOUBLE_EQ(smart->NumberOr("host_writes", -1), 1.0);
+
+  auto report = JsonValue::Parse(h.dev.GetZoneReportLog().ToJson());
+  ASSERT_TRUE(report.has_value());
+  const JsonValue* zones = report->Find("zones");
+  ASSERT_NE(zones, nullptr);
+  ASSERT_TRUE(zones->is_array());
+  EXPECT_EQ(zones->array().size(), h.dev.profile().num_zones);
+  EXPECT_EQ(zones->array().front().StringOr("state", ""),
+            "ImplicitlyOpened");
+
+  auto dies = JsonValue::Parse(h.dev.GetDieUtilLog().ToJson());
+  ASSERT_TRUE(dies.has_value());
+  EXPECT_NE(dies->Find("dies"), nullptr);
+}
+
+}  // namespace
+}  // namespace zstor::zns

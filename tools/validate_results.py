@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validates a bench --json results document against the DESIGN.md §7
+schema. Stdlib only; used by CI and by hand:
+
+    ./tools/validate_results.py BENCH_fig2.json [more.json ...]
+
+Exit status 0 when every document conforms, 1 otherwise (violations on
+stderr)."""
+import json
+import math
+import sys
+
+POINT_NUMBER_FIELDS = ("x", "value")
+POINT_NULLABLE_FIELDS = ("mean_ns", "p50_ns", "p95_ns", "p99_ns")
+
+
+def fail(path, msg, errors):
+    errors.append(f"{path}: {msg}")
+
+
+def validate_point(path, i, j, point, errors):
+    where = f"{path}: series[{i}].points[{j}]"
+    if not isinstance(point, dict):
+        return fail(where, "not an object", errors)
+    for key in POINT_NUMBER_FIELDS:
+        v = point.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            fail(where, f"'{key}' must be a number, got {v!r}", errors)
+    samples = point.get("samples")
+    if not isinstance(samples, int) or isinstance(samples, bool) or samples < 0:
+        fail(where, f"'samples' must be a non-negative int, got {samples!r}",
+             errors)
+    if "label" in point and not isinstance(point["label"], str):
+        fail(where, "'label' must be a string", errors)
+    for key in POINT_NULLABLE_FIELDS:
+        if key not in point:
+            fail(where, f"missing '{key}' (null when absent, never omitted)",
+                 errors)
+            continue
+        v = point[key]
+        if v is None:
+            continue
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            fail(where, f"'{key}' must be a number or null, got {v!r}", errors)
+        elif not math.isfinite(v):
+            fail(where, f"'{key}' must be finite, got {v!r}", errors)
+
+
+def validate_document(path, doc, errors):
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object", errors)
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail(path, "'bench' must be a non-empty string", errors)
+    if doc.get("schema_version") != 1:
+        fail(path, f"'schema_version' must be 1, got "
+                   f"{doc.get('schema_version')!r}", errors)
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        fail(path, "'config' must be an object", errors)
+    else:
+        for k, v in config.items():
+            if not isinstance(v, (str, int, float)) or isinstance(v, bool):
+                fail(path, f"config['{k}'] must be a string or number", errors)
+    series = doc.get("series")
+    if not isinstance(series, list):
+        return fail(path, "'series' must be an array", errors)
+    seen = set()
+    for i, s in enumerate(series):
+        if not isinstance(s, dict):
+            fail(path, f"series[{i}] is not an object", errors)
+            continue
+        name = s.get("name")
+        if not isinstance(name, str) or not name:
+            fail(path, f"series[{i}].name must be a non-empty string", errors)
+        elif name in seen:
+            fail(path, f"duplicate series name '{name}'", errors)
+        else:
+            seen.add(name)
+        if not isinstance(s.get("unit"), str):
+            fail(path, f"series[{i}].unit must be a string", errors)
+        points = s.get("points")
+        if not isinstance(points, list):
+            fail(path, f"series[{i}].points must be an array", errors)
+            continue
+        for j, p in enumerate(points):
+            validate_point(path, i, j, p, errors)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    errors = []
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"{path}: {e}")
+            continue
+        validate_document(path, doc, errors)
+        if not errors:
+            n_series = len(doc.get("series", []))
+            n_points = sum(len(s.get("points", []))
+                           for s in doc.get("series", [])
+                           if isinstance(s, dict))
+            print(f"{path}: ok ({doc.get('bench')}, {n_series} series, "
+                  f"{n_points} points)")
+    for e in errors:
+        print(e, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

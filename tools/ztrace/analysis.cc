@@ -1,0 +1,305 @@
+#include "ztrace/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "nvme/types.h"
+#include "telemetry/json.h"
+#include "ztrace/json_value.h"
+
+namespace zstor::ztrace {
+
+namespace {
+
+/// Decodes the opcode payload of a host.submit / qp.doorbell span.
+std::string OpcodeName(std::int64_t a) {
+  if (a < 0 || a > static_cast<std::int64_t>(nvme::Opcode::kDeallocate)) {
+    return "unknown";
+  }
+  return std::string(nvme::ToString(static_cast<nvme::Opcode>(a)));
+}
+
+/// Nearest-rank quantile of a sorted sample; 0 for an empty one (callers
+/// only query classes that have commands).
+double SortedQuantile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  return static_cast<double>(sorted[rank - 1]);
+}
+
+}  // namespace
+
+LoadResult LoadJsonl(std::istream& in) {
+  LoadResult out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::optional<JsonValue> v = JsonValue::Parse(line);
+    if (!v.has_value() || !v->is_object()) {
+      ++out.bad_lines;
+      continue;
+    }
+    TraceRecord r;
+    r.ts = static_cast<std::uint64_t>(v->NumberOr("ts", 0));
+    r.dur = static_cast<std::uint64_t>(v->NumberOr("dur", 0));
+    r.cmd = static_cast<std::uint64_t>(v->NumberOr("cmd", 0));
+    r.layer = v->StringOr("layer", "");
+    r.name = v->StringOr("name", "");
+    r.a = static_cast<std::int64_t>(v->NumberOr("a", 0));
+    r.b = static_cast<std::int64_t>(v->NumberOr("b", 0));
+    out.records.push_back(std::move(r));
+  }
+  return out;
+}
+
+LoadResult LoadJsonlFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "ztrace: cannot open %s\n", path.c_str());
+    return {};
+  }
+  return LoadJsonl(in);
+}
+
+std::vector<StageStat> StageBreakdown(const std::vector<TraceRecord>& recs) {
+  std::map<std::pair<std::string, std::string>, StageStat> by_stage;
+  for (const TraceRecord& r : recs) {
+    StageStat& s = by_stage[{r.layer, r.name}];
+    if (s.count == 0) {
+      s.layer = r.layer;
+      s.name = r.name;
+    }
+    s.count++;
+    s.total_ns += r.dur;
+  }
+  std::vector<StageStat> out;
+  out.reserve(by_stage.size());
+  for (auto& [key, s] : by_stage) out.push_back(std::move(s));
+  std::sort(out.begin(), out.end(), [](const StageStat& x, const StageStat& y) {
+    return x.total_ns > y.total_ns;
+  });
+  return out;
+}
+
+std::vector<CommandTrace> GroupByCommand(
+    const std::vector<TraceRecord>& recs) {
+  std::vector<CommandTrace> out;
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  for (const TraceRecord& r : recs) {
+    if (r.cmd == 0) continue;
+    auto [it, inserted] = index.try_emplace(r.cmd, out.size());
+    if (inserted) {
+      CommandTrace ct;
+      ct.cmd = r.cmd;
+      ct.begin = r.ts;
+      ct.end = r.end();
+      out.push_back(std::move(ct));
+    }
+    CommandTrace& ct = out[it->second];
+    ct.begin = std::min(ct.begin, r.ts);
+    ct.end = std::max(ct.end, r.end());
+    ct.total_ns += r.dur;
+    ct.stage_ns[r.name] += r.dur;
+    if (r.name == "host.submit" ||
+        (r.name == "qp.doorbell" && ct.op == "unknown")) {
+      ct.op = OpcodeName(r.a);
+    }
+  }
+  return out;
+}
+
+std::vector<TailAttribution> AttributeTails(
+    const std::vector<CommandTrace>& cmds) {
+  std::map<std::string, std::vector<const CommandTrace*>> by_op;
+  for (const CommandTrace& c : cmds) by_op[c.op].push_back(&c);
+
+  std::vector<TailAttribution> out;
+  for (auto& [op, members] : by_op) {
+    TailAttribution t;
+    t.op = op;
+    t.commands = members.size();
+
+    std::vector<std::uint64_t> totals;
+    totals.reserve(members.size());
+    double sum = 0.0;
+    for (const CommandTrace* c : members) {
+      totals.push_back(c->total_ns);
+      sum += static_cast<double>(c->total_ns);
+    }
+    std::sort(totals.begin(), totals.end());
+    t.mean_ns = sum / static_cast<double>(totals.size());
+    t.p50_ns = SortedQuantile(totals, 0.50);
+    t.p95_ns = SortedQuantile(totals, 0.95);
+    t.p99_ns = SortedQuantile(totals, 0.99);
+
+    // Mean per-stage time among the commands at or beyond each quantile.
+    auto attribute = [&members](double threshold_ns,
+                                std::map<std::string, double>& stage_mean,
+                                std::string& dominant) {
+      std::size_t n = 0;
+      for (const CommandTrace* c : members) {
+        if (static_cast<double>(c->total_ns) < threshold_ns) continue;
+        ++n;
+        for (const auto& [stage, ns] : c->stage_ns) {
+          stage_mean[stage] += static_cast<double>(ns);
+        }
+      }
+      double best = -1.0;
+      for (auto& [stage, ns] : stage_mean) {
+        ns /= static_cast<double>(n);  // n >= 1: the max is always >= q
+        if (ns > best) {
+          best = ns;
+          dominant = stage;
+        }
+      }
+    };
+    attribute(t.p95_ns, t.p95_stage_ns, t.p95_dominant);
+    attribute(t.p99_ns, t.p99_stage_ns, t.p99_dominant);
+    out.push_back(std::move(t));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TailAttribution& x, const TailAttribution& y) {
+              return x.commands > y.commands;
+            });
+  return out;
+}
+
+QdTimeline ComputeQueueDepth(const std::vector<CommandTrace>& cmds) {
+  QdTimeline out;
+  if (cmds.empty()) return out;
+  // +1 at each command's begin, -1 at its end; at equal timestamps ends
+  // sort first so a back-to-back handoff doesn't momentarily double-count.
+  std::vector<std::pair<std::uint64_t, std::int64_t>> deltas;
+  deltas.reserve(cmds.size() * 2);
+  for (const CommandTrace& c : cmds) {
+    deltas.emplace_back(c.begin, +1);
+    deltas.emplace_back(c.end, -1);
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const auto& x, const auto& y) {
+              if (x.first != y.first) return x.first < y.first;
+              return x.second < y.second;
+            });
+
+  std::int64_t qd = 0;
+  std::uint64_t prev_ts = deltas.front().first;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < deltas.size();) {
+    std::uint64_t ts = deltas[i].first;
+    weighted += static_cast<double>(qd) * static_cast<double>(ts - prev_ts);
+    prev_ts = ts;
+    while (i < deltas.size() && deltas[i].first == ts) {
+      qd += deltas[i].second;
+      ++i;
+    }
+    out.points.push_back(QdPoint{ts, qd});
+    out.max_qd = std::max(out.max_qd, qd);
+  }
+  std::uint64_t span = out.points.back().ts - out.points.front().ts;
+  out.mean_qd = span == 0 ? 0.0 : weighted / static_cast<double>(span);
+  return out;
+}
+
+std::string ToChromeTrace(const std::vector<TraceRecord>& recs,
+                          const QdTimeline* qd) {
+  using telemetry::AppendJsonNumber;
+  using telemetry::AppendJsonString;
+  // One track (tid) per layer, in pipeline order, so Perfetto lays the
+  // stack out top-to-bottom the way a command traverses it.
+  static constexpr const char* kLayerOrder[] = {
+      "workload", "host", "queue", "fcp", "post",
+      "buffer",   "zone", "nand",  "ftl"};
+  auto tid_of = [](const std::string& layer) -> int {
+    for (std::size_t i = 0; i < std::size(kLayerOrder); ++i) {
+      if (layer == kLayerOrder[i]) return static_cast<int>(i) + 1;
+    }
+    return static_cast<int>(std::size(kLayerOrder)) + 1;
+  };
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const TraceRecord& r : recs) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(out, r.name);
+    out += ",\"cat\":";
+    AppendJsonString(out, r.layer);
+    // Durations below: trace-event ts/dur are microseconds (double).
+    if (r.dur > 0) {
+      out += ",\"ph\":\"X\"";
+    } else {
+      out += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    std::snprintf(buf, sizeof buf, ",\"ts\":%.3f",
+                  static_cast<double>(r.ts) / 1000.0);
+    out += buf;
+    if (r.dur > 0) {
+      std::snprintf(buf, sizeof buf, ",\"dur\":%.3f",
+                    static_cast<double>(r.dur) / 1000.0);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof buf, ",\"pid\":1,\"tid\":%d",
+                  tid_of(r.layer));
+    out += buf;
+    out += ",\"args\":{\"cmd\":";
+    AppendJsonNumber(out, static_cast<double>(r.cmd));
+    out += ",\"a\":";
+    AppendJsonNumber(out, static_cast<double>(r.a));
+    out += ",\"b\":";
+    AppendJsonNumber(out, static_cast<double>(r.b));
+    out += "}}";
+  }
+  if (qd != nullptr) {
+    for (const QdPoint& p : qd->points) {
+      if (!first) out += ",";
+      first = false;
+      std::snprintf(buf, sizeof buf, "%.3f",
+                    static_cast<double>(p.ts) / 1000.0);
+      out += "{\"name\":\"queue depth\",\"ph\":\"C\",\"ts\":";
+      out += buf;
+      out += ",\"pid\":1,\"args\":{\"qd\":";
+      AppendJsonNumber(out, static_cast<double>(p.qd));
+      out += "}}";
+    }
+  }
+  // Track names, so the per-layer tids read as layer names in the UI.
+  for (std::size_t i = 0; i < std::size(kLayerOrder); ++i) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof buf, "%d", static_cast<int>(i) + 1);
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += buf;
+    out += ",\"args\":{\"name\":";
+    AppendJsonString(out, kLayerOrder[i]);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<TraceRecord>& recs,
+                      const QdTimeline* qd) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ztrace: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  std::string json = ToChromeTrace(recs, qd);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace zstor::ztrace

@@ -1,0 +1,145 @@
+// Trace analysis behind the ztrace CLI: loads the JSONL span traces the
+// simulator emits (telemetry::JsonlFileSink; schema in DESIGN.md §7) and
+// answers the questions the paper's figures keep asking —
+//
+//   * per-stage latency breakdown: where does command time go between
+//     submit, queueing, FCP, post/DMA, write buffer, NAND, GC?
+//   * tail attribution: for each op class, which stage dominates the
+//     commands at and beyond p95/p99?
+//   * queue-depth timeline: how many commands were in flight over time?
+//   * Chrome trace-event export: load the whole run into Perfetto /
+//     chrome://tracing for visual inspection.
+//
+// Everything here is plain post-processing over TraceRecord vectors, so
+// tests drive it directly against in-memory traces.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zstor::ztrace {
+
+/// One JSONL trace line. Mirrors telemetry::TraceEvent after export:
+/// ts/dur are virtual nanoseconds; cmd correlates a command's spans
+/// across layers (0 = not command-scoped, e.g. die service, GC).
+struct TraceRecord {
+  std::uint64_t ts = 0;
+  std::uint64_t dur = 0;
+  std::uint64_t cmd = 0;
+  std::string layer;
+  std::string name;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+
+  std::uint64_t end() const { return ts + dur; }
+};
+
+struct LoadResult {
+  std::vector<TraceRecord> records;
+  std::size_t bad_lines = 0;  // lines that failed to parse (skipped)
+};
+
+/// Parses JSONL trace lines from a stream; blank lines are ignored.
+LoadResult LoadJsonl(std::istream& in);
+/// Opens `path` and LoadJsonl()s it. Empty result if unopenable.
+LoadResult LoadJsonlFile(const std::string& path);
+
+// ---- per-stage breakdown -----------------------------------------------
+
+/// Aggregate service time of one stage (a distinct layer+name pair).
+struct StageStat {
+  std::string layer;
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+
+  double mean_ns() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_ns) /
+                            static_cast<double>(count);
+  }
+};
+
+/// All stages seen in the trace, sorted by total_ns descending.
+std::vector<StageStat> StageBreakdown(const std::vector<TraceRecord>& recs);
+
+// ---- per-command grouping ----------------------------------------------
+
+/// Everything the trace says about one command (one `cmd` id).
+struct CommandTrace {
+  std::uint64_t cmd = 0;
+  /// Op-class name decoded from the host.submit / qp.doorbell payload
+  /// ("read", "write", "append", ...); "unknown" when neither span
+  /// appeared for this command.
+  std::string op = "unknown";
+  std::uint64_t begin = 0;  // earliest span start
+  std::uint64_t end = 0;    // latest span end
+  /// Sum of span durations. By the span-tiling invariant this equals
+  /// end - begin (the measured latency) for QD=1 commands.
+  std::uint64_t total_ns = 0;
+  /// Per-stage service time, keyed by span name.
+  std::map<std::string, std::uint64_t> stage_ns;
+};
+
+/// Groups command-scoped records (cmd != 0) into per-command traces,
+/// ordered by first appearance.
+std::vector<CommandTrace> GroupByCommand(const std::vector<TraceRecord>& recs);
+
+// ---- tail attribution --------------------------------------------------
+
+/// Which stage dominates the slow commands of one op class.
+struct TailAttribution {
+  std::string op;
+  std::size_t commands = 0;
+  double mean_ns = 0.0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  /// Mean per-stage time among commands with total_ns >= the quantile.
+  std::map<std::string, double> p95_stage_ns;
+  std::map<std::string, double> p99_stage_ns;
+  /// argmax of the above: the stage the tail spends most time in.
+  std::string p95_dominant;
+  std::string p99_dominant;
+};
+
+/// Per-op-class latency distribution and tail attribution, sorted by
+/// command count descending.
+std::vector<TailAttribution> AttributeTails(
+    const std::vector<CommandTrace>& cmds);
+
+// ---- queue-depth timeline ----------------------------------------------
+
+struct QdPoint {
+  std::uint64_t ts = 0;
+  std::int64_t qd = 0;  // commands in flight from this instant
+};
+
+struct QdTimeline {
+  /// Change points (one per command start/end instant), ts ascending.
+  std::vector<QdPoint> points;
+  std::int64_t max_qd = 0;
+  double mean_qd = 0.0;  // time-weighted over [first, last]
+};
+
+/// Commands in flight over time, from each command's [begin, end) window.
+QdTimeline ComputeQueueDepth(const std::vector<CommandTrace>& cmds);
+
+// ---- Chrome trace-event export -----------------------------------------
+
+/// Renders records as a Chrome trace-event JSON document (loadable in
+/// Perfetto / chrome://tracing): complete events per span on one track
+/// per layer, plus a queue-depth counter track when `qd` is non-null.
+std::string ToChromeTrace(const std::vector<TraceRecord>& recs,
+                          const QdTimeline* qd = nullptr);
+
+/// Writes ToChromeTrace() to `path`; false (warning on stderr) if
+/// unopenable.
+bool WriteChromeTrace(const std::string& path,
+                      const std::vector<TraceRecord>& recs,
+                      const QdTimeline* qd = nullptr);
+
+}  // namespace zstor::ztrace

@@ -1,0 +1,282 @@
+#include "ztrace/json_value.h"
+
+#include <cstdlib>
+
+namespace zstor::ztrace {
+
+namespace {
+
+/// Appends a Unicode code point as UTF-8.
+void AppendUtf8(std::string& out, unsigned int cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+/// Validates the RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?
+/// ([eE][+-]?[0-9]+)? — strtod alone is laxer (leading zeros, hex, "+1").
+bool MatchesJsonNumberGrammar(std::string_view s) {
+  std::size_t i = 0;
+  auto digits = [&s, &i]() {
+    std::size_t n = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i, ++n;
+    return n;
+  };
+  if (i < s.size() && s[i] == '-') ++i;
+  if (i >= s.size()) return false;
+  if (s[i] == '0') {
+    ++i;
+  } else if (s[i] >= '1' && s[i] <= '9') {
+    digits();
+  } else {
+    return false;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (digits() == 0) return false;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (digits() == 0) return false;
+  }
+  return i == s.size();
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> ParseDocument() {
+    SkipWs();
+    JsonValue v;
+    if (!ParseValue(v)) return std::nullopt;
+    SkipWs();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    if (AtEnd()) return false;
+    switch (Peek()) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': {
+        out.type_ = JsonValue::Type::kString;
+        return ParseString(out.string_);
+      }
+      case 't':
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = true;
+        return Literal("true");
+      case 'f':
+        out.type_ = JsonValue::Type::kBool;
+        out.bool_ = false;
+        return Literal("false");
+      case 'n':
+        out.type_ = JsonValue::Type::kNull;
+        return Literal("null");
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    std::size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    while (!AtEnd()) {
+      char c = Peek();
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return false;
+    std::string num(text_.substr(start, pos_ - start));
+    if (!MatchesJsonNumberGrammar(num)) return false;
+    char* end = nullptr;
+    double v = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') return false;
+    out.type_ = JsonValue::Type::kNumber;
+    out.number_ = v;
+    return true;
+  }
+
+  bool ParseHex4(unsigned int& out) {
+    if (pos_ + 4 > text_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned int>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned int>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned int>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    if (AtEnd() || Peek() != '"') return false;
+    ++pos_;
+    out.clear();
+    while (true) {
+      if (AtEnd()) return false;
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (AtEnd()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned int cp = 0;
+            if (!ParseHex4(cp)) return false;
+            // Surrogate pair: combine when a low surrogate follows.
+            if (cp >= 0xD800 && cp <= 0xDBFF &&
+                text_.substr(pos_, 2) == "\\u") {
+              std::size_t save = pos_;
+              pos_ += 2;
+              unsigned int lo = 0;
+              if (ParseHex4(lo) && lo >= 0xDC00 && lo <= 0xDFFF) {
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              } else {
+                pos_ = save;  // lone high surrogate: emit as-is
+              }
+            }
+            AppendUtf8(out, cp);
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control characters are invalid JSON
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  bool ParseArray(JsonValue& out) {
+    ++pos_;  // '['
+    out.type_ = JsonValue::Type::kArray;
+    SkipWs();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue elem;
+      SkipWs();
+      if (!ParseValue(elem)) return false;
+      out.array_.push_back(std::move(elem));
+      SkipWs();
+      if (AtEnd()) return false;
+      char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') return false;
+    }
+  }
+
+  bool ParseObject(JsonValue& out) {
+    ++pos_;  // '{'
+    out.type_ = JsonValue::Type::kObject;
+    SkipWs();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(key)) return false;
+      SkipWs();
+      if (AtEnd() || text_[pos_++] != ':') return false;
+      SkipWs();
+      JsonValue val;
+      if (!ParseValue(val)) return false;
+      out.object_.emplace_back(std::move(key), std::move(val));
+      SkipWs();
+      if (AtEnd()) return false;
+      char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text) {
+  return JsonParser(text).ParseDocument();
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number() : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string() : fallback;
+}
+
+}  // namespace zstor::ztrace

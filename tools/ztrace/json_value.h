@@ -1,0 +1,60 @@
+// A small recursive-descent JSON reader for ztrace: parses the JSONL
+// trace schema (telemetry::JsonlFileSink), the metrics/logpages/results
+// documents, and the tool's own Chrome export (round-trip validation in
+// tests). Full JSON: objects, arrays, strings with escapes, numbers,
+// booleans, null. No external dependencies.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace zstor::ztrace {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON value (surrounding whitespace allowed);
+  /// nullopt on any syntax error or trailing garbage.
+  static std::optional<JsonValue> Parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object() const {
+    return object_;
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience: Find(key)->number() with a default for absent/non-number.
+  double NumberOr(std::string_view key, double fallback) const;
+  /// Convenience: Find(key)->string() with a default.
+  std::string StringOr(std::string_view key, std::string fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+}  // namespace zstor::ztrace

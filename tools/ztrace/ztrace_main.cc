@@ -1,0 +1,169 @@
+// ztrace: trace-analysis CLI for the simulator's JSONL span traces.
+//
+//   ztrace run.jsonl                  # breakdown + tails + queue depth
+//   ztrace run.jsonl --chrome=out.json   # + Perfetto/chrome://tracing export
+//   ztrace run.jsonl --qd             # + queue-depth change points
+//
+// Produce a trace with any bench or example binary:
+//   ./bench/bench_fig2_latency --trace=run.jsonl
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "ztrace/analysis.h"
+
+namespace {
+
+using zstor::ztrace::AttributeTails;
+using zstor::ztrace::CommandTrace;
+using zstor::ztrace::ComputeQueueDepth;
+using zstor::ztrace::GroupByCommand;
+using zstor::ztrace::LoadJsonlFile;
+using zstor::ztrace::LoadResult;
+using zstor::ztrace::QdTimeline;
+using zstor::ztrace::StageBreakdown;
+using zstor::ztrace::StageStat;
+using zstor::ztrace::TailAttribution;
+using zstor::ztrace::WriteChromeTrace;
+
+const char* MatchFlag(const char* arg, const char* name) {
+  std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: ztrace TRACE.jsonl [--chrome=FILE] [--qd]\n"
+               "\n"
+               "Analyzes a JSONL span trace produced with --trace=FILE on\n"
+               "any bench binary (schema: DESIGN.md section 7).\n"
+               "\n"
+               "  --chrome=FILE  write a Chrome trace-event JSON export\n"
+               "                 (open in Perfetto or chrome://tracing)\n"
+               "  --qd           also print queue-depth change points\n");
+}
+
+double Us(double ns) { return ns / 1000.0; }
+
+void PrintBreakdown(const std::vector<StageStat>& stages) {
+  std::uint64_t grand_total = 0;
+  for (const StageStat& s : stages) grand_total += s.total_ns;
+  std::printf("Per-stage breakdown (all spans):\n");
+  std::printf("  %-9s %-16s %10s %14s %12s %7s\n", "layer", "stage", "count",
+              "total_us", "mean_us", "share");
+  for (const StageStat& s : stages) {
+    double share = grand_total == 0
+                       ? 0.0
+                       : 100.0 * static_cast<double>(s.total_ns) /
+                             static_cast<double>(grand_total);
+    std::printf("  %-9s %-16s %10llu %14.1f %12.3f %6.1f%%\n",
+                s.layer.c_str(), s.name.c_str(),
+                static_cast<unsigned long long>(s.count),
+                Us(static_cast<double>(s.total_ns)),
+                Us(s.mean_ns()), share);
+  }
+}
+
+void PrintTails(const std::vector<TailAttribution>& tails) {
+  std::printf("\nPer-op-class latency and tail attribution:\n");
+  std::printf("  %-14s %8s %10s %10s %10s %10s  %s\n", "op", "cmds",
+              "mean_us", "p50_us", "p95_us", "p99_us",
+              "tail dominated by");
+  for (const TailAttribution& t : tails) {
+    double p95_share = 0.0;
+    if (auto it = t.p95_stage_ns.find(t.p95_dominant);
+        it != t.p95_stage_ns.end() && t.p95_ns > 0) {
+      double tail_total = 0.0;
+      for (const auto& [stage, ns] : t.p95_stage_ns) tail_total += ns;
+      if (tail_total > 0) p95_share = 100.0 * it->second / tail_total;
+    }
+    std::printf("  %-14s %8zu %10.2f %10.2f %10.2f %10.2f  "
+                "p95: %s (%.0f%%), p99: %s\n",
+                t.op.c_str(), t.commands, Us(t.mean_ns), Us(t.p50_ns),
+                Us(t.p95_ns), Us(t.p99_ns), t.p95_dominant.c_str(),
+                p95_share, t.p99_dominant.c_str());
+  }
+}
+
+void PrintQdSummary(const QdTimeline& qd, bool dump_points) {
+  std::printf("\nQueue depth: max=%lld, time-weighted mean=%.2f\n",
+              static_cast<long long>(qd.max_qd), qd.mean_qd);
+  if (dump_points) {
+    std::printf("  %-16s %s\n", "ts_ns", "qd");
+    for (const auto& p : qd.points) {
+      std::printf("  %-16llu %lld\n",
+                  static_cast<unsigned long long>(p.ts),
+                  static_cast<long long>(p.qd));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string chrome_path;
+  bool dump_qd = false;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = MatchFlag(argv[i], "--chrome")) {
+      chrome_path = v;
+    } else if (std::strcmp(argv[i], "--qd") == 0) {
+      dump_qd = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else if (trace_path.empty() && argv[i][0] != '-') {
+      trace_path = argv[i];
+    } else {
+      std::fprintf(stderr, "ztrace: unrecognized argument '%s'\n", argv[i]);
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  LoadResult loaded = LoadJsonlFile(trace_path);
+  if (loaded.records.empty()) {
+    std::fprintf(stderr, "ztrace: no parsable trace events in %s\n",
+                 trace_path.c_str());
+    return 1;
+  }
+  if (loaded.bad_lines > 0) {
+    std::fprintf(stderr, "ztrace: skipped %zu unparsable line(s)\n",
+                 loaded.bad_lines);
+  }
+
+  std::vector<CommandTrace> cmds = GroupByCommand(loaded.records);
+  std::uint64_t t_min = loaded.records.front().ts, t_max = 0;
+  for (const auto& r : loaded.records) {
+    t_min = std::min(t_min, r.ts);
+    t_max = std::max(t_max, r.end());
+  }
+  std::printf("%zu spans, %zu commands, %.3f ms of virtual time (%s)\n\n",
+              loaded.records.size(), cmds.size(),
+              static_cast<double>(t_max - t_min) / 1e6, trace_path.c_str());
+
+  PrintBreakdown(StageBreakdown(loaded.records));
+
+  QdTimeline qd;
+  if (!cmds.empty()) {
+    PrintTails(AttributeTails(cmds));
+    qd = ComputeQueueDepth(cmds);
+    PrintQdSummary(qd, dump_qd);
+  }
+
+  if (!chrome_path.empty()) {
+    if (!WriteChromeTrace(chrome_path, loaded.records,
+                          cmds.empty() ? nullptr : &qd)) {
+      return 1;
+    }
+    std::printf("\nwrote Chrome trace export to %s\n", chrome_path.c_str());
+  }
+  return 0;
+}
