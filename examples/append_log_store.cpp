@@ -155,6 +155,6 @@ int main() {
               static_cast<unsigned long long>(log.resets()));
   std::printf("  device:  %llu boundary errors absorbed by zone "
               "rotation\n",
-              static_cast<unsigned long long>(dev.counters().io_errors));
+              static_cast<unsigned long long>(dev.counters().host_rejects));
   return 0;
 }

@@ -22,13 +22,22 @@ void ConvCounters::Describe(telemetry::MetricsRegistry& m) const {
   m.GetCounter("conv.gc_invocations").Set(gc_invocations);
   m.GetCounter("conv.gc_units_migrated").Set(gc_units_migrated);
   m.GetCounter("conv.gc_blocks_erased").Set(gc_blocks_erased);
-  m.GetCounter("conv.io_errors").Set(io_errors);
+  m.GetCounter("conv.host_rejects").Set(host_rejects);
+  m.GetCounter("conv.media_errors").Set(media_errors);
+  m.GetCounter("conv.read_faults").Set(read_faults);
+  m.GetCounter("conv.write_faults").Set(write_faults);
+  m.GetCounter("conv.retired_blocks").Set(retired_blocks);
+  m.GetCounter("conv.program_retries").Set(program_retries);
   m.GetGauge("conv.write_amplification").Set(WriteAmplification());
 }
 
 void ConvDevice::AttachTelemetry(telemetry::Telemetry* t) {
   telem_ = t;
   flash_->AttachTelemetry(t);
+}
+
+void ConvDevice::AttachFaultPlan(fault::FaultPlan* p) {
+  flash_->AttachFaultPlan(p);
 }
 
 nvme::SmartLog ConvDevice::GetSmartLog() const {
@@ -38,8 +47,13 @@ nvme::SmartLog ConvDevice::GetSmartLog() const {
   log.host_writes = counters_.writes;
   log.bytes_read = counters_.bytes_read;
   log.bytes_written = counters_.bytes_written;
-  log.io_errors = counters_.io_errors;
+  log.host_rejects = counters_.host_rejects;
+  log.media_errors = counters_.media_errors;
+  log.read_faults = counters_.read_faults;
+  log.write_faults = counters_.write_faults;
+  log.retired_blocks = counters_.retired_blocks;
   const nand::FlashCounters& fc = flash_->counters();
+  log.media_read_retries = fc.read_retries;
   log.media_page_reads = fc.page_reads;
   log.media_page_programs = fc.page_programs;
   log.media_block_erases = fc.block_erases;
@@ -245,7 +259,7 @@ std::uint32_t ConvDevice::PickVictim() {
   std::uint32_t best_valid = units_per_block();
   for (std::uint32_t id = 0; id < blocks_.size(); ++id) {
     const Block& b = blocks_[id];
-    if (b.open || b.gc_busy || b.inflight > 0) continue;
+    if (b.open || b.gc_busy || b.inflight > 0 || b.retired) continue;
     if (b.write_ptr_units != units_per_block()) continue;  // not full
     if (units_per_block() - b.valid < min_garbage) continue;
     if (b.valid < best_valid) {
@@ -260,8 +274,24 @@ sim::Task<> ConvDevice::GcProgramPage(
     std::uint32_t block_id, std::uint32_t page,
     std::vector<std::pair<std::uint32_t, std::uint32_t>> batch,
     sim::WaitGroup* wg) {
-  co_await flash_->ProgramPage(
-      {DieOfBlockId(block_id), BlockOfBlockId(block_id), page});
+  for (;;) {
+    const nand::MediaStatus st = co_await flash_->ProgramPage(
+        {DieOfBlockId(block_id), BlockOfBlockId(block_id), page});
+    if (st == nand::MediaStatus::kOk) break;
+    // Program failure: retire the output block and restage this batch
+    // into a fresh GC block — survivors are still held in controller
+    // memory, so GC heals the fault with no data loss.
+    blocks_[block_id].inflight--;
+    RetireBlock(block_id);
+    counters_.program_retries++;
+    const std::uint32_t upp = profile_.units_per_page();
+    block_id = TakeGcOpenBlock();
+    Block& ob = blocks_[block_id];
+    page = ob.write_ptr_units / upp;
+    ob.write_ptr_units += upp;
+    ob.inflight++;
+    ReturnGcOpenBlock(block_id);
+  }
   std::uint32_t base = page * profile_.units_per_page();
   std::uint32_t slot = 0;
   for (auto [logical, old_phys] : batch) {
@@ -277,16 +307,41 @@ sim::Task<> ConvDevice::GcProgramPage(
 }
 
 std::uint32_t ConvDevice::TakeGcOpenBlock() {
-  if (!gc_open_pool_.empty()) {
+  while (!gc_open_pool_.empty()) {
     std::uint32_t id = gc_open_pool_.front();
     gc_open_pool_.pop_front();
-    return id;
+    if (!blocks_[id].retired) return id;
   }
   ZSTOR_CHECK_MSG(!gc_reserve_.empty(), "GC block reserve exhausted");
   std::uint32_t id = gc_reserve_.front();
   gc_reserve_.pop_front();
   blocks_[id].open = true;
   return id;
+}
+
+bool ConvDevice::RetireBlock(std::uint32_t block_id) {
+  counters_.write_faults++;
+  if (!flash_->MarkBlockRetired(DieOfBlockId(block_id),
+                                BlockOfBlockId(block_id))) {
+    return false;
+  }
+  Block& b = blocks_[block_id];
+  b.retired = true;
+  b.open = false;
+  // Seal at "full" so no in-flight writer reserves another page on it.
+  // Its valid units stay mapped (retired blocks remain readable); they
+  // are never reclaimed — retirement is permanent capacity loss.
+  b.write_ptr_units = units_per_block();
+  counters_.retired_blocks++;
+  for (auto& open : host_open_block_) {
+    if (open == block_id) open = kUnmapped;
+  }
+  if (telemetry::Tracer* tr = trace(); tr != nullptr) {
+    tr->Instant(sim_.now(), /*cmd=*/0, Layer::kFtl, "block.retired",
+                static_cast<std::int64_t>(block_id),
+                static_cast<std::int64_t>(counters_.retired_blocks));
+  }
+  return true;
 }
 
 void ConvDevice::ReturnGcOpenBlock(std::uint32_t block_id) {
@@ -408,7 +463,13 @@ sim::Task<Completion> ConvDevice::Execute(const Command& cmd) {
       c.status = Status::kInvalidOpcode;
       break;
   }
-  if (!c.ok()) counters_.io_errors++;
+  if (!c.ok()) {
+    if (nvme::IsMediaError(c.status)) {
+      counters_.media_errors++;
+    } else {
+      counters_.host_rejects++;
+    }
+  }
   co_return c;
 }
 
@@ -444,13 +505,15 @@ sim::Task<Completion> ConvDevice::DoRead(Command cmd) {
       pages.push_back(page_id);
     }
   }
+  nand::MediaStatus media = nand::MediaStatus::kOk;
   if (pages.size() == 1) {
-    co_await ReadPhysPage(pages[0], nullptr);
+    co_await ReadPhysPage(pages[0], nullptr, &media);
   } else if (!pages.empty()) {
     sim::WaitGroup wg(sim_);
     for (std::uint64_t p : pages) {
       wg.Add();
-      sim::Spawn(ReadPhysPage(p, &wg));
+      // &media outlives the spawned reads: wg.Wait() joins them below.
+      sim::Spawn(ReadPhysPage(p, &wg, &media));
     }
     co_await wg.Wait();
   }
@@ -458,6 +521,10 @@ sim::Task<Completion> ConvDevice::DoRead(Command cmd) {
   if (tr != nullptr) {
     tr->Span(nand_begin, post_begin, cmd.trace_id, Layer::kNand,
              "nand.read");
+  }
+  if (media == nand::MediaStatus::kReadError) {
+    counters_.read_faults++;
+    co_return Completion{.status = Status::kMediaReadError};
   }
   co_await sim_.Delay(
       Noise(profile_.post.read_fixed +
@@ -473,14 +540,16 @@ sim::Task<Completion> ConvDevice::DoRead(Command cmd) {
 }
 
 sim::Task<> ConvDevice::ReadPhysPage(std::uint64_t page_id,
-                                     sim::WaitGroup* wg) {
+                                     sim::WaitGroup* wg,
+                                     nand::MediaStatus* failed) {
   std::uint32_t block_id = static_cast<std::uint32_t>(
       page_id / profile_.nand_geometry.pages_per_block);
   std::uint32_t page = static_cast<std::uint32_t>(
       page_id % profile_.nand_geometry.pages_per_block);
-  co_await flash_->ReadPage(
+  const nand::MediaStatus st = co_await flash_->ReadPage(
       {DieOfBlockId(block_id), BlockOfBlockId(block_id), page},
       profile_.map_unit_bytes);
+  if (st != nand::MediaStatus::kOk && failed != nullptr) *failed = st;
   if (wg != nullptr) wg->Done();
 }
 
@@ -574,31 +643,40 @@ sim::Task<> ConvDevice::ProgramHostPage(std::vector<std::uint32_t> units) {
   const std::uint32_t stream = next_die_rr_++ % dies;
   std::uint32_t block_id;
   std::uint32_t page;
-  {
-    // Per-stream allocation lock: block lookup + page reservation is
-    // atomic with respect to other programs on the same stream. (The
-    // stream's block usually lives on the same-numbered die but may come
-    // from another die under pressure.)
-    auto g = co_await die_alloc_[stream]->Acquire();
-    block_id = host_open_block_[stream];
-    if (block_id == kUnmapped ||
-        blocks_[block_id].write_ptr_units == units_per_block()) {
-      if (block_id != kUnmapped) blocks_[block_id].open = false;
-      block_id = co_await AcquireFreeBlock(stream);
-      host_open_block_[stream] = block_id;
-      blocks_[block_id].open = true;
+  for (;;) {
+    {
+      // Per-stream allocation lock: block lookup + page reservation is
+      // atomic with respect to other programs on the same stream. (The
+      // stream's block usually lives on the same-numbered die but may
+      // come from another die under pressure.)
+      auto g = co_await die_alloc_[stream]->Acquire();
+      block_id = host_open_block_[stream];
+      if (block_id == kUnmapped ||
+          blocks_[block_id].write_ptr_units == units_per_block()) {
+        if (block_id != kUnmapped) blocks_[block_id].open = false;
+        block_id = co_await AcquireFreeBlock(stream);
+        host_open_block_[stream] = block_id;
+        blocks_[block_id].open = true;
+      }
+      Block& b = blocks_[block_id];
+      page = b.write_ptr_units / profile_.units_per_page();
+      b.write_ptr_units += profile_.units_per_page();
+      b.inflight++;
+      if (b.write_ptr_units == units_per_block()) {
+        b.open = false;
+        host_open_block_[stream] = kUnmapped;
+      }
     }
-    Block& b = blocks_[block_id];
-    page = b.write_ptr_units / profile_.units_per_page();
-    b.write_ptr_units += profile_.units_per_page();
-    b.inflight++;
-    if (b.write_ptr_units == units_per_block()) {
-      b.open = false;
-      host_open_block_[stream] = kUnmapped;
-    }
+    const nand::MediaStatus st = co_await flash_->ProgramPage(
+        {DieOfBlockId(block_id), BlockOfBlockId(block_id), page});
+    blocks_[block_id].inflight--;
+    if (st == nand::MediaStatus::kOk) break;
+    // Program failure: the units are still buffered, so retire the bad
+    // block and re-drive the page into a fresh allocation — the fault is
+    // invisible to the host beyond the extra latency.
+    RetireBlock(block_id);
+    counters_.program_retries++;
   }
-  co_await flash_->ProgramPage(
-      {DieOfBlockId(block_id), BlockOfBlockId(block_id), page});
   std::uint32_t base = page * profile_.units_per_page();
   for (std::uint32_t i = 0; i < units.size(); ++i) {
     std::uint32_t u = units[i];
@@ -610,7 +688,6 @@ sim::Task<> ConvDevice::ProgramHostPage(std::vector<std::uint32_t> units) {
     buffer_slots_.Release();
     counters_.host_units_programmed++;
   }
-  blocks_[block_id].inflight--;
   inflight_programs_.Done();
 }
 

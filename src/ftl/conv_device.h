@@ -39,7 +39,16 @@ struct ConvCounters {
   std::uint64_t gc_invocations = 0;  // MigrateAndErase passes launched
   std::uint64_t gc_units_migrated = 0;
   std::uint64_t gc_blocks_erased = 0;
-  std::uint64_t io_errors = 0;
+  /// Commands rejected for host-side reasons (bad field/range).
+  std::uint64_t host_rejects = 0;
+  /// Commands completed with a media fault status (kMediaReadError...).
+  std::uint64_t media_errors = 0;
+  std::uint64_t read_faults = 0;     // uncorrectable NAND reads surfaced
+  std::uint64_t write_faults = 0;    // NAND program failures absorbed
+  std::uint64_t retired_blocks = 0;  // blocks taken out of service
+  /// Page programs re-driven into a fresh block after a failure (host
+  /// and GC paths; the FTL heals write faults transparently).
+  std::uint64_t program_retries = 0;
 
   /// Write amplification: NAND unit programs per host unit write.
   double WriteAmplification() const {
@@ -64,6 +73,10 @@ class ConvDevice : public nvme::Controller {
   /// Enables FTL-side tracing/metrics (non-owning; null disables). Also
   /// attaches the NAND array.
   void AttachTelemetry(telemetry::Telemetry* t);
+
+  /// Injects media faults into the NAND backend (non-owning; null
+  /// disables).
+  void AttachFaultPlan(fault::FaultPlan* p);
 
   const ConvProfile& profile() const { return profile_; }
   const ConvCounters& counters() const { return counters_; }
@@ -94,6 +107,7 @@ class ConvDevice : public nvme::Controller {
     std::vector<std::uint64_t> valid_bitmap;  // one bit per unit slot
     bool open = false;                // currently receiving programs
     bool gc_busy = false;             // being migrated/erased
+    bool retired = false;             // failed a program; out of service
   };
 
   // ---- unit/address arithmetic ---------------------------------------
@@ -130,7 +144,10 @@ class ConvDevice : public nvme::Controller {
   sim::Task<nvme::Completion> DoRead(nvme::Command cmd);
   sim::Task<nvme::Completion> DoWrite(nvme::Command cmd);
   sim::Task<nvme::Completion> DoDeallocate(nvme::Command cmd);
-  sim::Task<> ReadPhysPage(std::uint64_t page_id, sim::WaitGroup* wg);
+  /// `failed` (nullable) is set when the page read comes back bad — a
+  /// fan-out read reports the command-level worst case through it.
+  sim::Task<> ReadPhysPage(std::uint64_t page_id, sim::WaitGroup* wg,
+                           nand::MediaStatus* failed);
   /// Admits one logical unit into the buffer and schedules programs.
   sim::Task<> AdmitUnit(std::uint32_t logical_unit);
   /// Programs one NAND page holding `units` pending logical units.
@@ -151,6 +168,10 @@ class ConvDevice : public nvme::Controller {
   void ReturnGcOpenBlock(std::uint32_t block_id);
   sim::Task<> MigrateAndErase(std::uint32_t victim);
   sim::Task<> ReadVictimPage(nand::PageAddr addr, sim::WaitGroup* wg);
+  /// Takes a retired block out of every allocation path (free pools never
+  /// see it again; its valid units stay mapped and readable). Returns
+  /// true if the block was newly retired.
+  bool RetireBlock(std::uint32_t block_id);
   sim::Task<> GcProgramPage(
       std::uint32_t block_id, std::uint32_t page,
       std::vector<std::pair<std::uint32_t, std::uint32_t>> batch,

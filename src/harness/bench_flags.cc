@@ -128,6 +128,13 @@ void InitBench(int& argc, char** argv) {
       env.json_path_ = j;
     } else if (const char* lp = MatchFlag(argv[i], "--logpages")) {
       env.logpages_path_ = lp;
+    } else if (const char* fs = MatchFlag(argv[i], "--faults")) {
+      std::string error;
+      if (!fault::ParseFaultSpec(fs, &env.fault_spec_, &error)) {
+        std::fprintf(stderr, "error: bad --faults spec: %s\n",
+                     error.c_str());
+        std::exit(2);
+      }
     } else {
       argv[out++] = argv[i];
     }

@@ -12,6 +12,9 @@
 //   --logpages=FILE  write a JSON array of labeled per-testbed NVMe-style
 //                    log pages (SMART / Zone Report / Die Utilization) at
 //                    process exit
+//   --faults=SPEC    inject media faults into every testbed the bench
+//                    builds (grammar in fault/fault_plan.h; e.g.
+//                    "seed=7,read_uc=1e-4,prog=1e-3")
 //
 // and leaves the rest of argv untouched for the bench's own parsing.
 // Testbeds built without an explicit TelemetryConfig pick these up
@@ -24,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "harness/result_writer.h"
 #include "telemetry/telemetry.h"
 
@@ -53,6 +57,10 @@ class BenchEnv {
   /// True when --logpages was given: testbeds dump their device log pages
   /// here on Finish().
   bool logpages_requested() const { return !logpages_path_.empty(); }
+  /// True when --faults was given: freshly built testbeds inject this
+  /// fault spec (builder-level WithFaults overrides it per testbed).
+  bool faults_requested() const { return fault_spec_.enabled; }
+  const fault::FaultSpec& fault_spec() const { return fault_spec_; }
   /// The shared JSONL sink (opened lazily); null when --trace is absent.
   telemetry::TraceSink* shared_sink();
   const std::string& metrics_path() const { return metrics_path_; }
@@ -78,6 +86,7 @@ class BenchEnv {
   std::string metrics_path_;
   std::string json_path_;
   std::string logpages_path_;
+  fault::FaultSpec fault_spec_;  // enabled=false until --faults parses
   std::unique_ptr<telemetry::JsonlFileSink> sink_;
   std::vector<std::pair<std::string, telemetry::Snapshot>> snapshots_;
   std::vector<std::pair<std::string, std::string>> logpages_;

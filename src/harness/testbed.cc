@@ -74,6 +74,8 @@ telemetry::Snapshot Testbed::TakeSnapshot() {
     conv_->flash().counters().Describe(m);
   }
   if (kernel_ != nullptr) kernel_->scheduler_stats().Describe(m);
+  if (faults_ != nullptr) faults_->counters().Describe(m);
+  if (resilient_ != nullptr) resilient_->stats().Describe(m);
   return m.TakeSnapshot();
 }
 
@@ -172,6 +174,17 @@ TestbedBuilder& TestbedBuilder::WithLabel(std::string label) {
   return *this;
 }
 
+TestbedBuilder& TestbedBuilder::WithFaults(const fault::FaultSpec& spec) {
+  fault_spec_ = spec;
+  return *this;
+}
+
+TestbedBuilder& TestbedBuilder::WithRetryPolicy(
+    const hostif::RetryPolicy& policy) {
+  retry_policy_ = policy;
+  return *this;
+}
+
 Testbed TestbedBuilder::Build() {
   Testbed tb;
   tb.sim_ = std::make_unique<sim::Simulator>();
@@ -184,6 +197,18 @@ Testbed TestbedBuilder::Build() {
         *tb.sim_, zns_profile_.value_or(zns::Zn540Profile()), lba_bytes_);
   }
   nvme::Controller& dev = tb.controller();
+
+  // Faults: explicit builder spec wins; otherwise the --faults flag
+  // applies to every testbed the bench builds.
+  harness::BenchEnv& envf = harness::BenchEnv::Get();
+  fault::FaultSpec fspec =
+      fault_spec_.value_or(envf.faults_requested() ? envf.fault_spec()
+                                                   : fault::FaultSpec{});
+  if (fspec.enabled) {
+    tb.faults_ = std::make_unique<fault::FaultPlan>(fspec);
+    if (tb.zns_ != nullptr) tb.zns_->AttachFaultPlan(tb.faults_.get());
+    if (tb.conv_ != nullptr) tb.conv_->AttachFaultPlan(tb.faults_.get());
+  }
 
   // Host stack.
   switch (stack_) {
@@ -200,6 +225,19 @@ Testbed TestbedBuilder::Build() {
           *tb.sim_, dev, hostif::Scheduler::kMqDeadline, qp_depth_);
       tb.stack_.reset(tb.kernel_);
       break;
+  }
+
+  // Host resilience: wrap the stack when a policy was given, or by
+  // default whenever faults are injected (a fault run without host
+  // retries is almost never what an experiment wants; pass
+  // WithRetryPolicy({.max_attempts = 1}) to observe raw errors).
+  if (retry_policy_.has_value() || fspec.enabled) {
+    tb.inner_stack_ = std::move(tb.stack_);
+    auto resilient = std::make_unique<hostif::ResilientStack>(
+        *tb.sim_, *tb.inner_stack_,
+        retry_policy_.value_or(hostif::RetryPolicy{}));
+    tb.resilient_ = resilient.get();
+    tb.stack_ = std::move(resilient);
   }
 
   // Telemetry: explicit config wins; otherwise the bench flags decide.

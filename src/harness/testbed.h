@@ -24,8 +24,10 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "ftl/conv_device.h"
 #include "hostif/kernel_stack.h"
+#include "hostif/resilient_stack.h"
 #include "nvme/log_page.h"
 #include "hostif/stack.h"
 #include "sim/simulator.h"
@@ -76,6 +78,11 @@ class Testbed {
   hostif::KernelStack* kernel() { return kernel_; }
   /// Null when telemetry is disabled.
   telemetry::Telemetry* telemetry() { return telem_.get(); }
+  /// The injected fault plan; null when faults are disabled.
+  fault::FaultPlan* faults() { return faults_.get(); }
+  /// The host retry layer; null unless faults or WithRetryPolicy enabled
+  /// it. When non-null, stack() IS this wrapper.
+  hostif::ResilientStack* resilient() { return resilient_; }
   /// Null unless TelemetryConfig::ring_capacity was set.
   telemetry::RingBufferSink* ring() { return ring_; }
 
@@ -119,9 +126,14 @@ class Testbed {
 
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<telemetry::Telemetry> telem_;
+  std::unique_ptr<fault::FaultPlan> faults_;
   std::unique_ptr<zns::ZnsDevice> zns_;
   std::unique_ptr<ftl::ConvDevice> conv_;
+  /// The raw stack when a ResilientStack wraps it (stack_ is the wrapper
+  /// then); empty otherwise.
+  std::unique_ptr<hostif::Stack> inner_stack_;
   std::unique_ptr<hostif::Stack> stack_;
+  hostif::ResilientStack* resilient_ = nullptr;
   hostif::KernelStack* kernel_ = nullptr;
   telemetry::RingBufferSink* ring_ = nullptr;  // owned by telem_
   std::string label_;
@@ -147,6 +159,14 @@ class TestbedBuilder {
   TestbedBuilder& WithTelemetry(TelemetryConfig cfg);
   /// Names this testbed's snapshot in shared metrics output.
   TestbedBuilder& WithLabel(std::string label);
+  /// Injects media faults per `spec` (overrides the BenchEnv --faults
+  /// flag, which otherwise applies to every built testbed). The testbed
+  /// owns the FaultPlan. Also enables the host retry layer unless
+  /// WithRetryPolicy set one explicitly.
+  TestbedBuilder& WithFaults(const fault::FaultSpec& spec);
+  /// Wraps the host stack in a hostif::ResilientStack with this policy
+  /// (retries, backoff, per-attempt timeout).
+  TestbedBuilder& WithRetryPolicy(const hostif::RetryPolicy& policy);
 
   Testbed Build();
 
@@ -157,6 +177,8 @@ class TestbedBuilder {
   std::uint32_t lba_bytes_ = 4096;
   std::uint32_t qp_depth_ = 4096;
   std::optional<TelemetryConfig> telem_cfg_;
+  std::optional<fault::FaultSpec> fault_spec_;
+  std::optional<hostif::RetryPolicy> retry_policy_;
   std::string label_;
 };
 

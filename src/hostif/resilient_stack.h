@@ -1,0 +1,251 @@
+// ResilientStack: host-side error handling wrapped around any Stack.
+//
+// Real deployments do not hand raw NVMe completions to the application —
+// the kernel (and SPDK's bdev layer) retries transient media errors,
+// enforces per-command timeouts, and only surfaces an error once the
+// retry budget is spent or the failure is clearly permanent. This
+// decorator reproduces that layer in virtual time:
+//
+//   * classification — Classify() splits statuses into retryable
+//     (uncorrectable reads, internal errors, host timeouts: a re-issued
+//     command may succeed) and terminal (validation failures and
+//     state-machine rejections: re-issuing the same command cannot help;
+//     kWriteFault is terminal because the data is gone and the zone is
+//     degraded — recovery is a rewrite elsewhere, a caller decision);
+//   * retry policy — up to max_attempts issues of the same command with
+//     exponential backoff in virtual time between attempts;
+//   * per-attempt timeout — an attempt that outlives `timeout` fails with
+//     kHostTimeout and is re-issued. The timed-out attempt is NOT
+//     cancelled (commands in flight cannot be revoked from a real device
+//     either); its eventual completion is dropped, and the retry can
+//     therefore duplicate device work — exactly the hazard real timeout
+//     handling has.
+//
+// All attempts share one trace id, so a traced command shows its full
+// retry history: per-failed-attempt "host.retry" spans, "host.timeout"
+// instants, and a "host.error" instant when the surfaced completion is an
+// error (ztrace derives per-op-class retry counts and error rates from
+// these). ResilienceStats speaks the shared Describe protocol under the
+// "hostif." prefix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "hostif/stack.h"
+#include "nvme/queue_pair.h"
+#include "sim/check.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "telemetry/telemetry.h"
+
+namespace zstor::hostif {
+
+/// How hard the host fights before surfacing an error to the caller.
+struct RetryPolicy {
+  /// Total issues of the command, including the first (>= 1).
+  std::uint32_t max_attempts = 4;
+  /// Virtual-time delay before the first re-issue...
+  sim::Time backoff = sim::Microseconds(50);
+  /// ...multiplied by this after every failed attempt.
+  double backoff_multiplier = 2.0;
+  /// Per-attempt timeout; 0 disables. Attempts that exceed it complete
+  /// host-side with kHostTimeout and count as retryable.
+  sim::Time timeout = 0;
+};
+
+enum class ErrorClass : std::uint8_t { kSuccess, kRetryable, kTerminal };
+
+constexpr std::string_view ToString(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::kSuccess: return "success";
+    case ErrorClass::kRetryable: return "retryable";
+    case ErrorClass::kTerminal: return "terminal";
+  }
+  return "unknown";
+}
+
+/// The host's triage of a completion status (see file comment).
+constexpr ErrorClass Classify(nvme::Status s) {
+  switch (s) {
+    case nvme::Status::kSuccess:
+      return ErrorClass::kSuccess;
+    case nvme::Status::kMediaReadError:
+    case nvme::Status::kInternalError:
+    case nvme::Status::kHostTimeout:
+      return ErrorClass::kRetryable;
+    default:
+      return ErrorClass::kTerminal;
+  }
+}
+
+struct ResilienceStats {
+  std::uint64_t commands = 0;         // Submit() calls
+  std::uint64_t attempts = 0;         // device issues (>= commands)
+  std::uint64_t retries = 0;          // re-issues after a retryable error
+  std::uint64_t timeouts = 0;         // attempts failed by the timeout
+  std::uint64_t recovered = 0;        // commands that failed, then succeeded
+  std::uint64_t terminal_errors = 0;  // gave up: terminal status
+  std::uint64_t retries_exhausted = 0;  // gave up: attempt budget spent
+
+  /// Exports every counter into the registry under the "hostif." prefix
+  /// (the shared Describe protocol; see telemetry/metrics.h).
+  void Describe(telemetry::MetricsRegistry& m) const {
+    m.GetCounter("hostif.commands").Set(commands);
+    m.GetCounter("hostif.attempts").Set(attempts);
+    m.GetCounter("hostif.retries").Set(retries);
+    m.GetCounter("hostif.timeouts").Set(timeouts);
+    m.GetCounter("hostif.recovered").Set(recovered);
+    m.GetCounter("hostif.terminal_errors").Set(terminal_errors);
+    m.GetCounter("hostif.retries_exhausted").Set(retries_exhausted);
+  }
+};
+
+namespace detail {
+
+/// State shared between an attempt, its timeout watchdog, and the waiter.
+/// Heap-held via shared_ptr because the loser of the race outlives the
+/// Submit() frame that started it.
+struct AttemptState {
+  nvme::TimedCompletion tc{};
+  bool settled = false;
+  bool timed_out = false;
+  sim::OneShotEvent done;
+  explicit AttemptState(sim::Simulator& s) : done(s) {}
+};
+
+// Free coroutines (not lambdas): the frames own their parameters, so they
+// stay valid after Submit() has moved on (see DESIGN.md on capture rules).
+
+inline sim::Task<> RunAttempt(Stack* inner, nvme::Command cmd,
+                              std::shared_ptr<AttemptState> st) {
+  nvme::TimedCompletion tc = co_await inner->Submit(cmd);
+  if (!st->settled) {
+    st->settled = true;
+    st->tc = tc;
+    st->done.Set();
+  }
+  // Otherwise the attempt already timed out; the completion is dropped.
+}
+
+inline sim::Task<> ArmTimeout(sim::Simulator* s, sim::Time after,
+                              std::shared_ptr<AttemptState> st) {
+  co_await s->Delay(after);
+  if (!st->settled) {
+    st->settled = true;
+    st->timed_out = true;
+    st->done.Set();
+  }
+}
+
+}  // namespace detail
+
+class ResilientStack : public Stack {
+ public:
+  ResilientStack(sim::Simulator& s, Stack& inner, RetryPolicy policy = {})
+      : sim_(s), inner_(inner), policy_(policy) {
+    ZSTOR_CHECK_MSG(policy_.max_attempts >= 1,
+                    "RetryPolicy needs at least one attempt");
+    ZSTOR_CHECK(policy_.backoff_multiplier >= 1.0);
+  }
+
+  sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
+    telemetry::Tracer* tr = trace();
+    if (tr != nullptr && cmd.trace_id == 0) {
+      // One id for the whole command: every attempt's device spans and the
+      // retry spans below correlate under it.
+      cmd.trace_id = telemetry::Tracer::NextCmdId();
+    }
+    const sim::Time start = sim_.now();
+    stats_.commands++;
+    sim::Time backoff = policy_.backoff;
+    nvme::TimedCompletion tc;
+    std::uint32_t attempt = 1;
+    for (;; ++attempt) {
+      stats_.attempts++;
+      const sim::Time attempt_begin = sim_.now();
+      tc = co_await IssueOnce(cmd, attempt, tr);
+      const ErrorClass cls = Classify(tc.completion.status);
+      if (cls == ErrorClass::kSuccess) {
+        if (attempt > 1) stats_.recovered++;
+        break;
+      }
+      if (cls == ErrorClass::kTerminal) {
+        stats_.terminal_errors++;
+        break;
+      }
+      if (attempt >= policy_.max_attempts) {
+        stats_.retries_exhausted++;
+        break;
+      }
+      stats_.retries++;
+      if (tr != nullptr) {
+        // One span per spent (about-to-be-retried) attempt; ztrace counts
+        // these to report per-command retry totals.
+        tr->Span(attempt_begin, sim_.now(), cmd.trace_id,
+                 telemetry::Layer::kHost, "host.retry",
+                 static_cast<std::int64_t>(attempt),
+                 static_cast<std::int64_t>(tc.completion.status));
+      }
+      if (backoff > 0) {
+        co_await sim_.Delay(backoff);
+        backoff = static_cast<sim::Time>(static_cast<double>(backoff) *
+                                         policy_.backoff_multiplier);
+      }
+    }
+    if (tr != nullptr && !tc.completion.ok()) {
+      // Terminal or budget-exhausted: the error reached the caller.
+      // ztrace uses these instants for per-op-class error rates.
+      tr->Instant(sim_.now(), cmd.trace_id, telemetry::Layer::kHost,
+                  "host.error",
+                  static_cast<std::int64_t>(tc.completion.status),
+                  static_cast<std::int64_t>(attempt));
+    }
+    // The caller-observed window covers every attempt and backoff.
+    tc.trace_id = cmd.trace_id;
+    tc.submitted = start;
+    tc.completed = sim_.now();
+    co_return tc;
+  }
+
+  const nvme::NamespaceInfo& info() const override { return inner_.info(); }
+
+  void AttachTelemetry(telemetry::Telemetry* t) override {
+    telem_ = t;
+    inner_.AttachTelemetry(t);
+  }
+
+  const RetryPolicy& policy() const { return policy_; }
+  const ResilienceStats& stats() const { return stats_; }
+
+ private:
+  sim::Task<nvme::TimedCompletion> IssueOnce(nvme::Command cmd,
+                                             std::uint32_t attempt,
+                                             telemetry::Tracer* tr) {
+    if (policy_.timeout == 0) {
+      co_return co_await inner_.Submit(cmd);
+    }
+    auto st = std::make_shared<detail::AttemptState>(sim_);
+    sim::Spawn(detail::RunAttempt(&inner_, cmd, st));
+    sim::Spawn(detail::ArmTimeout(&sim_, policy_.timeout, st));
+    co_await st->done.Wait();
+    if (!st->timed_out) co_return st->tc;
+    stats_.timeouts++;
+    if (tr != nullptr) {
+      tr->Instant(sim_.now(), cmd.trace_id, telemetry::Layer::kHost,
+                  "host.timeout", static_cast<std::int64_t>(attempt),
+                  static_cast<std::int64_t>(policy_.timeout));
+    }
+    nvme::TimedCompletion out;
+    out.completion.status = nvme::Status::kHostTimeout;
+    out.trace_id = cmd.trace_id;
+    co_return out;
+  }
+
+  sim::Simulator& sim_;
+  Stack& inner_;
+  RetryPolicy policy_;
+  ResilienceStats stats_;
+};
+
+}  // namespace zstor::hostif

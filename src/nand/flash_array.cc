@@ -10,6 +10,10 @@ void FlashCounters::Describe(telemetry::MetricsRegistry& m) const {
   m.GetCounter("nand.block_erases").Set(block_erases);
   m.GetCounter("nand.bytes_read").Set(bytes_read);
   m.GetCounter("nand.bytes_programmed").Set(bytes_programmed);
+  m.GetCounter("nand.read_retries").Set(read_retries);
+  m.GetCounter("nand.read_errors").Set(read_errors);
+  m.GetCounter("nand.program_failures").Set(program_failures);
+  m.GetCounter("nand.blocks_retired").Set(blocks_retired);
 }
 
 FlashArray::FlashArray(sim::Simulator& s, const Geometry& geo,
@@ -45,18 +49,48 @@ void FlashArray::CheckAddr(std::uint32_t die, std::uint32_t block) const {
   ZSTOR_CHECK(block < geo_.blocks_per_die);
 }
 
-sim::Task<> FlashArray::ReadPage(PageAddr addr, std::uint32_t bytes) {
+sim::Task<MediaStatus> FlashArray::ReadPage(PageAddr addr,
+                                            std::uint32_t bytes) {
   ZSTOR_CHECK(bytes > 0 && bytes <= geo_.page_bytes);
   ZSTOR_CHECK_MSG(addr.page < Block(addr.die, addr.block).write_ptr,
                   "read of an unprogrammed page");
   telemetry::Tracer* tr = trace();
+  fault::ReadVerdict verdict;
+  if (faults_ != nullptr) {
+    verdict = faults_->OnRead(sim_.now(), addr.die, addr.block,
+                              Block(addr.die, addr.block).pe_cycles);
+  }
   sim::Time t0 = sim_.now();
   {
     auto die = co_await dies_[addr.die]->Acquire();
     sim::Time t_read = NoisyRead();
+    if (verdict.retry_steps > 0) {
+      // Read-retry: the die re-senses with stepped voltages; every step
+      // costs a full extra sensing pass.
+      sim::Time t_retry = verdict.retry_steps *
+                          faults_->spec().read_retry_penalty;
+      if (tr != nullptr) {
+        tr->Span(sim_.now() + t_read, sim_.now() + t_read + t_retry,
+                 /*cmd=*/0, Layer::kNand, "die.read_retry",
+                 static_cast<std::int64_t>(addr.die),
+                 static_cast<std::int64_t>(verdict.retry_steps));
+      }
+      t_read += t_retry;
+    }
     co_await sim_.Delay(t_read);
     die_stats_[addr.die].reads++;
     die_stats_[addr.die].busy_ns += t_read;
+  }
+  if (verdict.uncorrectable) {
+    // ECC exhausted: nothing to transfer to the host.
+    if (tr != nullptr) {
+      tr->Instant(sim_.now(), /*cmd=*/0, Layer::kNand, "media.error",
+                  static_cast<std::int64_t>(addr.die),
+                  static_cast<std::int64_t>(addr.block));
+    }
+    counters_.page_reads++;
+    counters_.read_errors++;
+    co_return MediaStatus::kReadError;
   }
   {
     auto chan = co_await channels_[geo_.channel_of({addr.die})]->Acquire();
@@ -71,14 +105,27 @@ sim::Task<> FlashArray::ReadPage(PageAddr addr, std::uint32_t bytes) {
   }
   counters_.page_reads++;
   counters_.bytes_read += bytes;
+  if (verdict.retry_steps > 0) counters_.read_retries++;
+  co_return MediaStatus::kOk;
 }
 
-sim::Task<> FlashArray::ProgramPage(PageAddr addr) {
+sim::Task<MediaStatus> FlashArray::ProgramPage(PageAddr addr) {
   BlockState& blk = Block(addr.die, addr.block);
   ZSTOR_CHECK_MSG(addr.page == blk.write_ptr,
                   "non-sequential program within a block");
   ZSTOR_CHECK(addr.page < geo_.pages_per_block);
   blk.write_ptr++;
+  if (blk.retired) {
+    // The slot is still consumed (queued follow-on programs must keep the
+    // sequential contract), but the die refuses the operation outright.
+    counters_.program_failures++;
+    co_return MediaStatus::kProgramFail;
+  }
+  fault::ProgramVerdict verdict;
+  if (faults_ != nullptr) {
+    verdict = faults_->OnProgram(sim_.now(), addr.die, addr.block,
+                                 blk.pe_cycles);
+  }
   telemetry::Tracer* tr = trace();
   sim::Time t0 = sim_.now();
   {
@@ -92,6 +139,17 @@ sim::Task<> FlashArray::ProgramPage(PageAddr addr) {
     die_stats_[addr.die].programs++;
     die_stats_[addr.die].busy_ns += t_prog;
   }
+  if (verdict.fail) {
+    // The program-verify pass failed after the full tPROG was spent.
+    if (tr != nullptr) {
+      tr->Instant(sim_.now(), /*cmd=*/0, Layer::kNand, "media.error",
+                  static_cast<std::int64_t>(addr.die),
+                  static_cast<std::int64_t>(addr.block));
+    }
+    counters_.page_programs++;
+    counters_.program_failures++;
+    co_return MediaStatus::kProgramFail;
+  }
   if (tr != nullptr) {
     tr->Span(t0, sim_.now(), /*cmd=*/0, Layer::kNand, "die.program",
              static_cast<std::int64_t>(addr.die),
@@ -99,10 +157,12 @@ sim::Task<> FlashArray::ProgramPage(PageAddr addr) {
   }
   counters_.page_programs++;
   counters_.bytes_programmed += geo_.page_bytes;
+  co_return MediaStatus::kOk;
 }
 
 sim::Task<> FlashArray::EraseBlock(std::uint32_t die, std::uint32_t block) {
   BlockState& blk = Block(die, block);
+  ZSTOR_CHECK_MSG(!blk.retired, "erase of a retired block");
   telemetry::Tracer* tr = trace();
   sim::Time t0 = sim_.now();
   {
@@ -144,6 +204,7 @@ void FlashArray::DebugProgramRange(std::uint32_t die, std::uint32_t block,
 
 void FlashArray::DeferredEraseBlock(std::uint32_t die, std::uint32_t block) {
   BlockState& blk = Block(die, block);
+  if (blk.retired) return;         // retired blocks are never recycled
   if (blk.write_ptr == 0) return;  // nothing was programmed
   blk.write_ptr = 0;
   blk.pe_cycles++;
@@ -158,6 +219,18 @@ std::uint32_t FlashArray::BlockWritePointer(std::uint32_t die,
 std::uint32_t FlashArray::BlockPeCycles(std::uint32_t die,
                                         std::uint32_t block) const {
   return Block(die, block).pe_cycles;
+}
+
+bool FlashArray::MarkBlockRetired(std::uint32_t die, std::uint32_t block) {
+  BlockState& blk = Block(die, block);
+  if (blk.retired) return false;
+  blk.retired = true;
+  counters_.blocks_retired++;
+  return true;
+}
+
+bool FlashArray::BlockRetired(std::uint32_t die, std::uint32_t block) const {
+  return Block(die, block).retired;
 }
 
 std::size_t FlashArray::DieQueueDepth(std::uint32_t die) const {

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "nand/geometry.h"
 #include "sim/resource.h"
 #include "sim/rng.h"
@@ -25,12 +26,25 @@
 
 namespace zstor::nand {
 
+/// Outcome of one cell operation, as observed by the layer above. kOk is
+/// the only value possible unless a fault::FaultPlan is attached.
+enum class MediaStatus : std::uint8_t {
+  kOk,
+  kReadError,    // uncorrectable read: ECC exhausted after every retry step
+  kProgramFail,  // program failed (or targeted an already-retired block)
+};
+
 struct FlashCounters {
   std::uint64_t page_reads = 0;
   std::uint64_t page_programs = 0;
   std::uint64_t block_erases = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_programmed = 0;
+  // Fault-path outcomes (all zero without an attached fault plan).
+  std::uint64_t read_retries = 0;       // correctable reads (retry episodes)
+  std::uint64_t read_errors = 0;        // uncorrectable reads surfaced
+  std::uint64_t program_failures = 0;   // failed page programs
+  std::uint64_t blocks_retired = 0;     // blocks taken out of service
 
   /// Exports every counter into the registry under the "nand." prefix
   /// (the shared Describe protocol; see telemetry/metrics.h).
@@ -60,13 +74,23 @@ class FlashArray {
   /// by the write-back buffer; `a` holds the die index instead.
   void AttachTelemetry(telemetry::Telemetry* t) { telem_ = t; }
 
+  /// Injects media faults into subsequent cell operations (non-owning;
+  /// null disables — the default, under which every operation is kOk and
+  /// timing is bit-identical to a build without fault support).
+  void AttachFaultPlan(fault::FaultPlan* p) { faults_ = p; }
+
   /// Reads `bytes` (<= page size) from a programmed page: occupies the die
-  /// for tR, then the channel for the data-out transfer.
-  sim::Task<> ReadPage(PageAddr addr, std::uint32_t bytes);
+  /// for tR (plus any read-retry voltage steps under an attached fault
+  /// plan), then the channel for the data-out transfer. kReadError means
+  /// ECC gave up after the full retry budget; no data is transferred.
+  sim::Task<MediaStatus> ReadPage(PageAddr addr, std::uint32_t bytes);
 
   /// Programs the next page of a block (addr.page must equal the block's
   /// write pointer): channel data-in transfer, then die busy for tPROG.
-  sim::Task<> ProgramPage(PageAddr addr);
+  /// A failing program still consumes the page slot (the write pointer
+  /// advances) so queued follow-on programs keep the sequential contract;
+  /// programs to a retired block fail immediately without die time.
+  sim::Task<MediaStatus> ProgramPage(PageAddr addr);
 
   /// Erases a block: die busy for tBERS; resets the block write pointer.
   sim::Task<> EraseBlock(std::uint32_t die, std::uint32_t block);
@@ -90,6 +114,13 @@ class FlashArray {
   /// Program/erase cycles endured by the block so far.
   std::uint32_t BlockPeCycles(std::uint32_t die, std::uint32_t block) const;
 
+  /// Takes a block out of service after a program failure: its programmed
+  /// pages stay readable, but further programs fail fast and erases are
+  /// refused. Returns true if the block was newly retired (callers use
+  /// this to charge spare-block accounting exactly once per block).
+  bool MarkBlockRetired(std::uint32_t die, std::uint32_t block);
+  bool BlockRetired(std::uint32_t die, std::uint32_t block) const;
+
   /// Queue length (in-service + waiting) at a die; used by tests and by
   /// utilization-aware policies.
   std::size_t DieQueueDepth(std::uint32_t die) const;
@@ -104,6 +135,7 @@ class FlashArray {
   struct BlockState {
     std::uint32_t write_ptr = 0;
     std::uint32_t pe_cycles = 0;
+    bool retired = false;
   };
 
   BlockState& Block(std::uint32_t die, std::uint32_t block);
@@ -117,6 +149,7 @@ class FlashArray {
   }
 
   telemetry::Telemetry* telem_ = nullptr;
+  fault::FaultPlan* faults_ = nullptr;
   sim::Simulator& sim_;
   Geometry geo_;
   Timing timing_;

@@ -30,7 +30,14 @@ std::string SmartLog::ToJson() const {
   Field(out, "host_writes", host_writes);
   Field(out, "bytes_read", bytes_read);
   Field(out, "bytes_written", bytes_written);
-  Field(out, "io_errors", io_errors);
+  Field(out, "host_rejects", host_rejects);
+  Field(out, "media_errors", media_errors);
+  Field(out, "read_faults", read_faults);
+  Field(out, "write_faults", write_faults);
+  Field(out, "retired_blocks", retired_blocks);
+  Field(out, "spare_blocks_used", spare_blocks_used);
+  Field(out, "spare_blocks_total", spare_blocks_total);
+  Field(out, "media_read_retries", media_read_retries);
   Field(out, "media_page_reads", media_page_reads);
   Field(out, "media_page_programs", media_page_programs);
   Field(out, "media_block_erases", media_block_erases);
@@ -43,6 +50,8 @@ std::string SmartLog::ToJson() const {
   Field(out, "zone_closes", zone_closes);
   Field(out, "zone_transitions", zone_transitions);
   Field(out, "zones_worn_offline", zones_worn_offline);
+  Field(out, "zones_degraded_readonly", zones_degraded_readonly);
+  Field(out, "zones_failed_offline", zones_failed_offline);
   Field(out, "gc_invocations", gc_invocations);
   Field(out, "gc_units_migrated", gc_units_migrated);
   Field(out, "gc_blocks_erased", gc_blocks_erased);
@@ -59,6 +68,9 @@ std::string ZoneReportLog::ToJson() const {
   Field(out, "active_zones", static_cast<std::uint64_t>(active_zones));
   Field(out, "max_open", static_cast<std::uint64_t>(max_open));
   Field(out, "max_active", static_cast<std::uint64_t>(max_active));
+  Field(out, "read_only_zones",
+        static_cast<std::uint64_t>(read_only_zones));
+  Field(out, "offline_zones", static_cast<std::uint64_t>(offline_zones));
   out += ",\"zones\":[";
   for (std::size_t i = 0; i < zones.size(); ++i) {
     const ZoneReportEntry& z = zones[i];
@@ -72,6 +84,7 @@ std::string ZoneReportLog::ToJson() const {
     Field(out, "write_pointer", z.write_pointer);
     Field(out, "written_bytes", z.written_bytes);
     Field(out, "cap_bytes", z.cap_bytes);
+    Field(out, "retired_blocks", static_cast<std::uint64_t>(z.retired_blocks));
     Field(out, "occupancy", z.Occupancy());
     out += "}";
   }

@@ -31,7 +31,20 @@ struct SmartLog {
   std::uint64_t host_writes = 0;  // writes + appends for ZNS
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
-  std::uint64_t io_errors = 0;
+  /// Commands rejected for host-side reasons (bad range, wrong zone
+  /// state, open/active limits): caller bugs, not device faults.
+  std::uint64_t host_rejects = 0;
+  /// Commands completed with a media/hardware fault status. Together with
+  /// host_rejects this replaces the old undifferentiated io_errors field.
+  std::uint64_t media_errors = 0;
+
+  // Media-fault detail (all zero without injected faults).
+  std::uint64_t read_faults = 0;       // uncorrectable-read commands
+  std::uint64_t write_faults = 0;      // NAND program failures observed
+  std::uint64_t retired_blocks = 0;    // blocks taken out of service
+  std::uint64_t spare_blocks_used = 0;
+  std::uint64_t spare_blocks_total = 0;
+  std::uint64_t media_read_retries = 0;  // correctable read-retry episodes
 
   // Media (NAND) activity — what the device did to flash to serve the
   // host, including padding/GC traffic the host never issued.
@@ -49,6 +62,8 @@ struct SmartLog {
   std::uint64_t zone_closes = 0;
   std::uint64_t zone_transitions = 0;
   std::uint64_t zones_worn_offline = 0;
+  std::uint64_t zones_degraded_readonly = 0;  // via program failures
+  std::uint64_t zones_failed_offline = 0;     // via spare exhaustion
 
   // Garbage-collection activity (conventional FTL only).
   std::uint64_t gc_invocations = 0;
@@ -70,6 +85,9 @@ struct ZoneReportEntry {
   std::uint64_t write_pointer = 0;  // absolute LBA
   std::uint64_t written_bytes = 0;
   std::uint64_t cap_bytes = 0;
+  /// NAND blocks of this zone retired after program failures (degraded
+  /// zones report how much redundancy they lost).
+  std::uint32_t retired_blocks = 0;
 
   /// written_bytes / cap_bytes in [0,1].
   double Occupancy() const {
@@ -88,6 +106,9 @@ struct ZoneReportLog {
   std::uint32_t active_zones = 0;
   std::uint32_t max_open = 0;
   std::uint32_t max_active = 0;
+  /// Degraded-zone populations (point-in-time counts over `zones`).
+  std::uint32_t read_only_zones = 0;
+  std::uint32_t offline_zones = 0;
   std::vector<ZoneReportEntry> zones;
 
   std::string ToJson() const;

@@ -49,7 +49,18 @@ enum class Status : std::uint8_t {
   kTooManyActiveZones,
   kTooManyOpenZones,
   kWriteProhibited,
+  kMediaReadError,         // uncorrectable NAND read (ECC exhausted)
+  kWriteFault,             // NAND program failure lost buffered data
+  kInternalError,          // device-internal failure
+  /// Host-side pseudo-status: the command outlived the host stack's
+  /// per-attempt timeout. Never produced by a device — synthesized by
+  /// hostif::ResilientStack, and classified as retryable.
+  kHostTimeout,
 };
+
+/// The highest Status enumerator. Tests iterate [0, kMaxStatus] to assert
+/// ToString covers every value — keep in sync when extending the enum.
+inline constexpr Status kMaxStatus = Status::kHostTimeout;
 
 constexpr std::string_view ToString(Status s) {
   switch (s) {
@@ -68,8 +79,21 @@ constexpr std::string_view ToString(Status s) {
     case Status::kTooManyActiveZones: return "TooManyActiveZones";
     case Status::kTooManyOpenZones: return "TooManyOpenZones";
     case Status::kWriteProhibited: return "WriteProhibited";
+    case Status::kMediaReadError: return "MediaReadError";
+    case Status::kWriteFault: return "WriteFault";
+    case Status::kInternalError: return "InternalError";
+    case Status::kHostTimeout: return "HostTimeout";
   }
   return "Unknown";
+}
+
+/// True for statuses reporting a device-internal media/hardware fault (as
+/// opposed to the host sending an invalid or inapplicable command). The
+/// SMART log counts the two populations separately (media_errors vs.
+/// host_rejects) and host retry policies treat them differently.
+constexpr bool IsMediaError(Status s) {
+  return s == Status::kMediaReadError || s == Status::kWriteFault ||
+         s == Status::kInternalError;
 }
 
 constexpr std::string_view ToString(Opcode op) {

@@ -142,6 +142,13 @@ struct ZnsProfile {
   /// limited program/erase endurance — §II-A of the paper). 0 = unlimited.
   std::uint32_t pe_cycle_limit = 0;
 
+  /// Spare-block budget for program-failure handling: each block retired
+  /// after a failed program consumes one spare, and the owning zone
+  /// degrades to ReadOnly. Once spares are exhausted, further failing
+  /// zones go Offline instead. Only consulted when a fault plan actually
+  /// retires blocks — with faults disabled the value is inert.
+  std::uint32_t spare_blocks = 4;
+
   /// Zone-report cost model: fixed command admission plus a per-returned-
   /// descriptor metadata walk.
   sim::Time report_fixed = sim::Microseconds(6.0);

@@ -29,7 +29,14 @@ void ZnsCounters::Describe(telemetry::MetricsRegistry& m) const {
   m.GetCounter("zns.resets").Set(resets);
   m.GetCounter("zns.bytes_written").Set(bytes_written);
   m.GetCounter("zns.bytes_read").Set(bytes_read);
-  m.GetCounter("zns.io_errors").Set(io_errors);
+  m.GetCounter("zns.host_rejects").Set(host_rejects);
+  m.GetCounter("zns.media_errors").Set(media_errors);
+  m.GetCounter("zns.read_faults").Set(read_faults);
+  m.GetCounter("zns.write_faults").Set(write_faults);
+  m.GetCounter("zns.retired_blocks").Set(retired_blocks);
+  m.GetCounter("zns.zones_degraded_readonly").Set(zones_degraded_readonly);
+  m.GetCounter("zns.zones_failed_offline").Set(zones_failed_offline);
+  m.GetCounter("zns.spare_blocks_used").Set(spare_blocks_used);
   m.GetCounter("zns.zone_transitions").Set(zone_transitions);
 }
 
@@ -90,6 +97,10 @@ void ZnsDevice::AttachTelemetry(telemetry::Telemetry* t) {
   if (flash_) flash_->AttachTelemetry(t);
 }
 
+void ZnsDevice::AttachFaultPlan(fault::FaultPlan* p) {
+  if (flash_) flash_->AttachFaultPlan(p);
+}
+
 // ---------------------------------------------------------------- helpers
 
 std::uint32_t ZnsDevice::ZoneOfLba(Lba lba) const {
@@ -126,7 +137,13 @@ nvme::SmartLog ZnsDevice::GetSmartLog() const {
   log.host_writes = counters_.writes + counters_.appends;
   log.bytes_read = counters_.bytes_read;
   log.bytes_written = counters_.bytes_written;
-  log.io_errors = counters_.io_errors;
+  log.host_rejects = counters_.host_rejects;
+  log.media_errors = counters_.media_errors;
+  log.read_faults = counters_.read_faults;
+  log.write_faults = counters_.write_faults;
+  log.retired_blocks = counters_.retired_blocks;
+  log.spare_blocks_used = counters_.spare_blocks_used;
+  log.spare_blocks_total = profile_.spare_blocks;
   if (flash_ != nullptr) {
     const nand::FlashCounters& fc = flash_->counters();
     log.media_page_reads = fc.page_reads;
@@ -134,6 +151,7 @@ nvme::SmartLog ZnsDevice::GetSmartLog() const {
     log.media_block_erases = fc.block_erases;
     log.media_bytes_read = fc.bytes_read;
     log.media_bytes_programmed = fc.bytes_programmed;
+    log.media_read_retries = fc.read_retries;
   }
   log.zone_resets = counters_.resets;
   log.zone_finishes = counters_.finishes;
@@ -142,6 +160,8 @@ nvme::SmartLog ZnsDevice::GetSmartLog() const {
   log.zone_closes = counters_.closes;
   log.zone_transitions = counters_.zone_transitions;
   log.zones_worn_offline = counters_.zones_worn_offline;
+  log.zones_degraded_readonly = counters_.zones_degraded_readonly;
+  log.zones_failed_offline = counters_.zones_failed_offline;
   // Host-managed placement: the device never migrates data, so media
   // programs per host write is exactly 1.
   log.write_amplification = 1.0;
@@ -165,6 +185,9 @@ nvme::ZoneReportLog ZnsDevice::GetZoneReportLog() const {
     e.write_pointer = ZoneWritePointerLba(z);
     e.written_bytes = zones_[z].wp_bytes;
     e.cap_bytes = profile_.zone_cap_bytes;
+    e.retired_blocks = zones_[z].retired_blocks;
+    if (zones_[z].state == ZoneState::kReadOnly) log.read_only_zones++;
+    if (zones_[z].state == ZoneState::kOffline) log.offline_zones++;
     log.zones.push_back(std::move(e));
   }
   return log;
@@ -370,14 +393,46 @@ void ZnsDevice::TransitionToFullLocked(std::uint32_t zone, bool via_finish) {
 
 sim::Task<> ZnsDevice::ProgramZonePage(std::uint32_t zone,
                                        std::uint64_t page_idx) {
-  co_await flash_->ProgramPage(AddrOfZonePage(zone, page_idx));
+  const nand::PageAddr addr = AddrOfZonePage(zone, page_idx);
+  const nand::MediaStatus st = co_await flash_->ProgramPage(addr);
   buffer_slots_.Release();
   Zone& z = zones_[zone];
+  // The page slot is consumed even on failure (the write pointer already
+  // advanced and follow-on pages were admitted behind it); the data loss
+  // is reported to the host via kWriteFault, not by shrinking the zone.
   z.programmed_bytes += profile_.nand_geometry.page_bytes;
+  if (st == nand::MediaStatus::kProgramFail) HandleProgramFailure(zone, addr);
   ZSTOR_CHECK(z.inflight_programs > 0);
   z.inflight_programs--;
   program_wg_[zone]->Done();
   all_programs_.Done();
+}
+
+void ZnsDevice::HandleProgramFailure(std::uint32_t zone,
+                                     nand::PageAddr addr) {
+  Zone& z = zones_[zone];
+  counters_.write_faults++;
+  z.write_fault_pending = true;
+  flush_fault_pending_ = true;
+  if (!flash_->MarkBlockRetired(addr.die, addr.block)) {
+    return;  // fail-fast program on an already-retired block
+  }
+  z.retired_blocks++;
+  counters_.retired_blocks++;
+  if (z.state == ZoneState::kOffline) return;
+  if (counters_.spare_blocks_used < profile_.spare_blocks) {
+    // A spare absorbs the loss of redundancy; the zone keeps its data
+    // readable but accepts no further writes.
+    counters_.spare_blocks_used++;
+    if (z.state != ZoneState::kReadOnly) {
+      SetZoneState(zone, ZoneState::kReadOnly);
+      counters_.zones_degraded_readonly++;
+    }
+  } else {
+    // Spares exhausted: the device can no longer guarantee the zone.
+    SetZoneState(zone, ZoneState::kOffline);
+    counters_.zones_failed_offline++;
+  }
 }
 
 sim::Task<> ZnsDevice::AdmitPrograms(std::uint32_t zone,
@@ -397,8 +452,11 @@ sim::Task<> ZnsDevice::AdmitPrograms(std::uint32_t zone,
 sim::Task<> ZnsDevice::ReadOneZonePage(std::uint32_t zone,
                                        std::uint64_t page_idx,
                                        std::uint32_t bytes,
-                                       sim::WaitGroup* wg) {
-  co_await flash_->ReadPage(AddrOfZonePage(zone, page_idx), bytes);
+                                       sim::WaitGroup* wg,
+                                       nand::MediaStatus* failed) {
+  const nand::MediaStatus st =
+      co_await flash_->ReadPage(AddrOfZonePage(zone, page_idx), bytes);
+  if (st != nand::MediaStatus::kOk && failed != nullptr) *failed = st;
   wg->Done();
 }
 
@@ -449,7 +507,13 @@ sim::Task<Completion> ZnsDevice::Execute(const Command& cmd) {
       c.status = Status::kInvalidOpcode;
       break;
   }
-  if (!c.ok()) counters_.io_errors++;
+  if (!c.ok()) {
+    if (nvme::IsMediaError(c.status)) {
+      counters_.media_errors++;
+    } else {
+      counters_.host_rejects++;
+    }
+  }
   co_return c;
 }
 
@@ -461,6 +525,10 @@ sim::Task<Completion> ZnsDevice::DoRead(Command cmd) {
   const std::uint64_t bytes =
       static_cast<std::uint64_t>(cmd.nlb) * lba_bytes_;
   const std::uint32_t zone = ZoneOfLba(cmd.slba);
+  // Offline zones lost their data; ReadOnly zones still serve reads.
+  if (zones_[zone].state == ZoneState::kOffline) {
+    co_return Completion{.status = Status::kZoneIsOffline};
+  }
   InflightGuard io_guard(*this);
   telemetry::Tracer* tr = trace();
   sim::Time t0 = sim_.now();
@@ -482,6 +550,7 @@ sim::Task<Completion> ZnsDevice::DoRead(Command cmd) {
   sim::Time nand_begin = sim_.now();
   // NAND phase: fetch the pages that have actually been programmed; the
   // rest is served from the write-back buffer or as deallocated zeroes.
+  nand::MediaStatus media = nand::MediaStatus::kOk;
   if (flash_) {
     const Zone& z = zones_[zone];
     const std::uint64_t pb = profile_.nand_geometry.page_bytes;
@@ -491,8 +560,9 @@ sim::Task<Completion> ZnsDevice::DoRead(Command cmd) {
       std::uint64_t first_page = off / pb;
       std::uint64_t last_page = (end - 1) / pb;
       if (first_page == last_page) {
-        co_await flash_->ReadPage(AddrOfZonePage(zone, first_page),
-                                  static_cast<std::uint32_t>(end - off));
+        media = co_await flash_->ReadPage(
+            AddrOfZonePage(zone, first_page),
+            static_cast<std::uint32_t>(end - off));
       } else {
         sim::WaitGroup wg(sim_);
         for (std::uint64_t p = first_page; p <= last_page; ++p) {
@@ -500,7 +570,8 @@ sim::Task<Completion> ZnsDevice::DoRead(Command cmd) {
           std::uint64_t p_hi = std::min(end, (p + 1) * pb);
           wg.Add();
           sim::Spawn(ReadOneZonePage(
-              zone, p, static_cast<std::uint32_t>(p_hi - p_lo), &wg));
+              zone, p, static_cast<std::uint32_t>(p_hi - p_lo), &wg,
+              &media));
         }
         co_await wg.Wait();
       }
@@ -511,6 +582,11 @@ sim::Task<Completion> ZnsDevice::DoRead(Command cmd) {
     // Zero-length when everything was served from the write-back buffer.
     tr->Span(nand_begin, post_begin, cmd.trace_id, Layer::kNand,
              "nand.read", static_cast<std::int64_t>(zone));
+  }
+  if (media == nand::MediaStatus::kReadError) {
+    // ECC gave up on at least one page: the command fails; no host DMA.
+    counters_.read_faults++;
+    co_return Completion{.status = Status::kMediaReadError};
   }
   co_await sim_.Delay(
       Noise(profile_.post.read_fixed +
@@ -553,6 +629,12 @@ sim::Task<Completion> ZnsDevice::DoWrite(Command cmd) {
                static_cast<std::int64_t>(bytes));
     }
     Zone& z = zones_[zone];
+    if (z.write_fault_pending) {
+      // Report the earlier program failure once; subsequent writes see
+      // the zone's degraded state instead.
+      z.write_fault_pending = false;
+      co_return Completion{.status = Status::kWriteFault};
+    }
     if (ZoneDataOffsetBytes(cmd.slba) != z.wp_bytes &&
         z.state != ZoneState::kFull) {
       co_return Completion{.status = Status::kZoneInvalidWrite};
@@ -626,6 +708,10 @@ sim::Task<Completion> ZnsDevice::DoAppend(Command cmd) {
                static_cast<std::int64_t>(bytes));
     }
     Zone& z = zones_[zone];
+    if (z.write_fault_pending) {
+      z.write_fault_pending = false;
+      co_return Completion{.status = Status::kWriteFault};
+    }
     if (z.wp_bytes + bytes > profile_.zone_cap_bytes &&
         z.state != ZoneState::kFull) {
       co_return Completion{.status = Status::kZoneBoundaryError};
@@ -798,6 +884,13 @@ sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone,
     tr->Span(quiesce_begin, sim_.now(), tid, Layer::kZone, "zone.quiesce",
              static_cast<std::int64_t>(zone));
   }
+  if (z.state == ZoneState::kReadOnly || z.state == ZoneState::kOffline) {
+    // An in-flight program failed while finish quiesced: the zone
+    // degraded under us — report the buffered-data loss instead of
+    // padding a zone that no longer accepts programs.
+    z.write_fault_pending = false;
+    co_return Completion{.status = Status::kWriteFault};
+  }
   std::uint64_t remaining = profile_.zone_cap_bytes - z.wp_bytes;
   if (!profile_.finish.zero_cost) {
     Time pad =
@@ -854,6 +947,12 @@ sim::Task<Completion> ZnsDevice::DoReset(std::uint32_t zone,
   if (tr != nullptr) {
     tr->Span(quiesce_begin, sim_.now(), tid, Layer::kZone, "zone.quiesce",
              static_cast<std::int64_t>(zone));
+  }
+  if (z.state == ZoneState::kReadOnly || z.state == ZoneState::kOffline) {
+    // The zone degraded while the reset quiesced (an in-flight program
+    // failed): degraded zones are not resettable.
+    z.write_fault_pending = false;
+    co_return Completion{.status = Status::kWriteFault};
   }
   // The unmap work runs on the FCP at background priority, in slices so
   // small that host I/O never noticeably waits behind one (Obs. 12),
@@ -1008,6 +1107,12 @@ sim::Task<Completion> ZnsDevice::DoFlush(std::uint64_t tid) {
     tr->Span(drain_begin, sim_.now(), tid, Layer::kBuffer, "buffer.drain");
   }
   counters_.flushes++;
+  if (flush_fault_pending_) {
+    // Some buffered data never reached NAND since the last flush: the
+    // durability barrier cannot be honored in full.
+    flush_fault_pending_ = false;
+    co_return Completion{.status = Status::kWriteFault};
+  }
   co_return Completion{.status = Status::kSuccess};
 }
 
@@ -1048,6 +1153,14 @@ void ZnsDevice::DebugFillZone(std::uint32_t zone, std::uint64_t bytes) {
                     "DebugFillZone: no active slot for a partial zone");
     SetZoneState(zone, ZoneState::kClosed);
   }
+}
+
+void ZnsDevice::DebugSetZoneState(std::uint32_t zone, ZoneState state) {
+  ZSTOR_CHECK(zone < zones_.size());
+  ZSTOR_CHECK_MSG(state == ZoneState::kReadOnly ||
+                      state == ZoneState::kOffline,
+                  "DebugSetZoneState only forces degraded states");
+  SetZoneState(zone, state);
 }
 
 }  // namespace zstor::zns

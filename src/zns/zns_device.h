@@ -57,7 +57,18 @@ struct ZnsCounters {
   std::uint64_t resets = 0;
   std::uint64_t bytes_written = 0;   // via write + append
   std::uint64_t bytes_read = 0;
-  std::uint64_t io_errors = 0;       // commands completed with bad status
+  /// Commands rejected for host-side reasons (bad range, wrong state,
+  /// limits) — caller bugs, not device faults.
+  std::uint64_t host_rejects = 0;
+  /// Commands completed with a media/hardware fault status
+  /// (kMediaReadError / kWriteFault / kInternalError).
+  std::uint64_t media_errors = 0;
+  std::uint64_t read_faults = 0;     // uncorrectable NAND reads surfaced
+  std::uint64_t write_faults = 0;    // NAND program failures observed
+  std::uint64_t retired_blocks = 0;  // blocks taken out of service
+  std::uint64_t zones_degraded_readonly = 0;
+  std::uint64_t zones_failed_offline = 0;  // via spare exhaustion
+  std::uint64_t spare_blocks_used = 0;
   std::uint64_t zone_transitions = 0;  // zone state-machine edges taken
 
   /// Exports every counter into the registry under the "zns." prefix
@@ -78,6 +89,10 @@ class ZnsDevice : public nvme::Controller {
   /// Enables device-side tracing/metrics (non-owning; null disables).
   /// Also attaches the NAND array so die-level service is visible.
   void AttachTelemetry(telemetry::Telemetry* t);
+
+  /// Injects media faults into the NAND backend (non-owning; null
+  /// disables). No-op for profiles without a NAND backend.
+  void AttachFaultPlan(fault::FaultPlan* p);
 
   // ---- introspection --------------------------------------------------
   const ZnsProfile& profile() const { return profile_; }
@@ -116,6 +131,12 @@ class ZnsDevice : public nvme::Controller {
   /// it Full.
   void DebugFillZone(std::uint32_t zone, std::uint64_t bytes);
 
+  /// Forces a zone into a degraded state (kReadOnly or kOffline only) so
+  /// tests can exercise the otherwise fault-gated state-machine arms
+  /// without configuring a fault plan. Open/active accounting follows the
+  /// normal transition rules.
+  void DebugSetZoneState(std::uint32_t zone, ZoneState state);
+
  private:
   static constexpr std::uint32_t kPrioIo = 0;
   static constexpr std::uint32_t kPrioBackground = 1;
@@ -152,8 +173,14 @@ class ZnsDevice : public nvme::Controller {
   nand::PageAddr AddrOfZonePage(std::uint32_t zone,
                                 std::uint64_t page_idx) const;
   sim::Task<> ProgramZonePage(std::uint32_t zone, std::uint64_t page_idx);
+  /// `failed` (nullable) is set to the page's MediaStatus when not kOk —
+  /// a fan-out read reports the command-level worst case through it.
   sim::Task<> ReadOneZonePage(std::uint32_t zone, std::uint64_t page_idx,
-                              std::uint32_t bytes, sim::WaitGroup* wg);
+                              std::uint32_t bytes, sim::WaitGroup* wg,
+                              nand::MediaStatus* failed);
+  /// Retires the failed block, charges spare accounting, and degrades the
+  /// owning zone (ReadOnly; Offline once spares are exhausted).
+  void HandleProgramFailure(std::uint32_t zone, nand::PageAddr addr);
   /// Dispatches NAND programs for all fully-covered pages up to
   /// `end_off_bytes`, waiting on buffer-slot admission (backpressure).
   sim::Task<> AdmitPrograms(std::uint32_t zone, std::uint64_t end_off_bytes);
@@ -207,6 +234,9 @@ class ZnsDevice : public nvme::Controller {
   }
 
   telemetry::Telemetry* telem_ = nullptr;
+  /// Set by any program failure, cleared by the next flush: flush reports
+  /// buffered-data loss even when the host never rewrites the zone.
+  bool flush_fault_pending_ = false;
   std::uint32_t io_inflight_ = 0;
   bool io_seen_ = false;
   sim::Time last_io_time_ = 0;

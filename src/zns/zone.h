@@ -65,6 +65,12 @@ struct Zone {
   std::uint64_t data_bytes_at_finish = 0;
   /// Monotonic counter for LRU eviction of implicitly-opened zones.
   std::uint64_t opened_at_seq = 0;
+  /// Set by a NAND program failure; the next write-class command on the
+  /// zone (or a flush) completes kWriteFault to report the lost buffered
+  /// data, then the flag clears.
+  bool write_fault_pending = false;
+  /// NAND blocks of this zone retired after program failures.
+  std::uint32_t retired_blocks = 0;
 };
 
 }  // namespace zstor::zns

@@ -68,6 +68,19 @@ void ZoneObjectStore::AddGarbage(const Extent& e) {
   ZSTOR_CHECK(zi.garbage_bytes <= zi.writen_bytes);
 }
 
+bool ZoneObjectStore::IsZoneWriteFailure(nvme::Status s) {
+  return s == Status::kWriteFault || s == Status::kZoneIsReadOnly ||
+         s == Status::kZoneIsOffline;
+}
+
+void ZoneObjectStore::DegradeZone(std::uint32_t zone) {
+  ZoneInfo& zi = zones_[ZoneIndex(zone)];
+  if (zi.degraded) return;
+  zi.degraded = true;
+  zi.sealed = true;
+  stats_.zones_degraded++;
+}
+
 sim::Task<> ZoneObjectStore::RotateActiveZone() {
   zones_[ZoneIndex(active_zone_)].sealed = true;
   // Reclaim until a free zone is available (and keep headroom).
@@ -82,7 +95,7 @@ sim::Task<> ZoneObjectStore::RotateActiveZone() {
     for (std::uint32_t z = opt_.first_zone;
          z < opt_.first_zone + opt_.zone_count; ++z) {
       const ZoneInfo& zi = zones_[ZoneIndex(z)];
-      if (zi.sealed && !zi.compacting &&
+      if (zi.sealed && !zi.compacting && !zi.degraded &&
           GarbageFraction(z) >= opt_.compact_garbage_min) {
         worthwhile = true;
       }
@@ -103,7 +116,8 @@ sim::Task<> ZoneObjectStore::CompactOne() {
   for (std::uint32_t z = opt_.first_zone;
        z < opt_.first_zone + opt_.zone_count; ++z) {
     const ZoneInfo& zi = zones_[ZoneIndex(z)];
-    if (!zi.sealed || zi.compacting) continue;
+    // Degraded zones are never victims: they cannot be reset.
+    if (!zi.sealed || zi.compacting || zi.degraded) continue;
     if (zi.garbage_bytes >= best_garbage) {
       best_garbage = zi.garbage_bytes;
       victim = z;
@@ -131,7 +145,15 @@ sim::Task<> ZoneObjectStore::CompactOne() {
     Extent e = it->second[idx];
     auto rd = co_await stack_.Submit(
         {.opcode = Opcode::kRead, .slba = e.lba, .nlb = e.lbas});
-    ZSTOR_CHECK(rd.completion.ok());
+    if (!rd.completion.ok()) {
+      // Uncorrectable even after host retries: the payload is gone. The
+      // extent is still re-homed (the simulator carries no data, only
+      // placement) so the index stays consistent; the loss is recorded.
+      ZSTOR_CHECK_MSG(rd.completion.status == Status::kMediaReadError ||
+                          rd.completion.status == Status::kHostTimeout,
+                      "compaction read failed with a host-side status");
+      stats_.lost_extents++;
+    }
     Extent moved = co_await AppendRelocated(e.lbas);
     stats_.bytes_relocated +=
         static_cast<std::uint64_t>(e.lbas) * lba_bytes_;
@@ -150,36 +172,63 @@ sim::Task<> ZoneObjectStore::CompactOne() {
   auto rst = co_await stack_.Submit({.opcode = Opcode::kZoneMgmtSend,
                                      .slba = ZoneStartLba(victim),
                                      .zone_action = ZoneAction::kReset});
-  ZSTOR_CHECK(rst.completion.ok());
-  zones_[ZoneIndex(victim)] = ZoneInfo{};
-  free_zones_.push_back(victim);
-  stats_.zone_resets++;
+  if (rst.completion.ok()) {
+    zones_[ZoneIndex(victim)] = ZoneInfo{};
+    free_zones_.push_back(victim);
+    stats_.zone_resets++;
+  } else {
+    // The device degraded the zone while we were compacting it (a reset
+    // on a ReadOnly/Offline zone reports the deferred write fault). Its
+    // live data has just been relocated, so simply drop the zone from
+    // the pool instead of recycling it.
+    ZSTOR_CHECK_MSG(IsZoneWriteFailure(rst.completion.status),
+                    "zone reset failed with a host-side status");
+    vz.compacting = false;
+    DegradeZone(victim);
+  }
   stats_.compactions++;
 }
 
 sim::Task<Extent> ZoneObjectStore::AppendBlocks(std::uint32_t lbas) {
   ZSTOR_CHECK(static_cast<std::uint64_t>(lbas) * lba_bytes_ <=
               zone_cap_bytes());
-  std::uint32_t zone;
-  {
-    auto g = co_await alloc_lock_.Acquire();
-    std::uint64_t bytes = static_cast<std::uint64_t>(lbas) * lba_bytes_;
-    if (zones_[ZoneIndex(active_zone_)].writen_bytes + bytes >
-        zone_cap_bytes()) {
-      co_await RotateActiveZone();
+  const std::uint64_t bytes = static_cast<std::uint64_t>(lbas) * lba_bytes_;
+  for (;;) {
+    std::uint32_t zone;
+    {
+      auto g = co_await alloc_lock_.Acquire();
+      if (zones_[ZoneIndex(active_zone_)].degraded ||
+          zones_[ZoneIndex(active_zone_)].writen_bytes + bytes >
+              zone_cap_bytes()) {
+        co_await RotateActiveZone();
+      }
+      zone = active_zone_;
+      // Reserve host-side fill under the lock so concurrent appenders
+      // never oversubscribe the zone.
+      zones_[ZoneIndex(zone)].writen_bytes += bytes;
     }
-    zone = active_zone_;
-    // Reserve host-side fill under the lock so concurrent appenders never
-    // oversubscribe the zone.
-    zones_[ZoneIndex(zone)].writen_bytes += bytes;
+    auto tc = co_await stack_.Submit({.opcode = Opcode::kAppend,
+                                      .slba = ZoneStartLba(zone),
+                                      .nlb = lbas});
+    if (tc.completion.ok()) {
+      co_return Extent{.zone = zone,
+                       .lba = tc.completion.result_lba,
+                       .lbas = lbas};
+    }
+    // Anything other than a zone-level write failure means the
+    // reservation logic is broken — that stays fatal.
+    ZSTOR_CHECK_MSG(IsZoneWriteFailure(tc.completion.status),
+                    "append failed despite reservation");
+    // The device degraded the zone under us: un-reserve, take the zone
+    // out of the write path, and re-drive the append into whichever zone
+    // is active by the time we get the allocator back.
+    {
+      auto g = co_await alloc_lock_.Acquire();
+      zones_[ZoneIndex(zone)].writen_bytes -= bytes;
+      DegradeZone(zone);
+      stats_.write_reroutes++;
+    }
   }
-  auto tc = co_await stack_.Submit({.opcode = Opcode::kAppend,
-                                    .slba = ZoneStartLba(zone),
-                                    .nlb = lbas});
-  ZSTOR_CHECK_MSG(tc.completion.ok(), "append failed despite reservation");
-  co_return Extent{.zone = zone,
-                   .lba = tc.completion.result_lba,
-                   .lbas = lbas};
 }
 
 sim::Task<Extent> ZoneObjectStore::AppendRelocated(std::uint32_t lbas) {
@@ -188,26 +237,35 @@ sim::Task<Extent> ZoneObjectStore::AppendRelocated(std::uint32_t lbas) {
   // relocation zone always has room because compaction keeps a spill
   // zone in reserve (ctor sizing + compact_free_low >= 1).
   std::uint64_t bytes = static_cast<std::uint64_t>(lbas) * lba_bytes_;
-  if (zones_[ZoneIndex(relocation_zone_)].writen_bytes + bytes >
-      zone_cap_bytes()) {
-    // Seal the full relocation zone into the regular population and take
-    // a fresh one from the free list.
-    zones_[ZoneIndex(relocation_zone_)].sealed = true;
-    ZSTOR_CHECK_MSG(!free_zones_.empty(),
-                    "relocation spill with no free zone (store overfull)");
-    relocation_zone_ = free_zones_.front();
-    free_zones_.pop_front();
-    zones_[ZoneIndex(relocation_zone_)] = ZoneInfo{};
+  for (;;) {
+    if (zones_[ZoneIndex(relocation_zone_)].degraded ||
+        zones_[ZoneIndex(relocation_zone_)].writen_bytes + bytes >
+            zone_cap_bytes()) {
+      // Seal the spent relocation zone into the regular population and
+      // take a fresh one from the free list.
+      zones_[ZoneIndex(relocation_zone_)].sealed = true;
+      ZSTOR_CHECK_MSG(!free_zones_.empty(),
+                      "relocation spill with no free zone (store overfull)");
+      relocation_zone_ = free_zones_.front();
+      free_zones_.pop_front();
+      zones_[ZoneIndex(relocation_zone_)] = ZoneInfo{};
+    }
+    std::uint32_t zone = relocation_zone_;
+    zones_[ZoneIndex(zone)].writen_bytes += bytes;
+    auto tc = co_await stack_.Submit({.opcode = Opcode::kAppend,
+                                      .slba = ZoneStartLba(zone),
+                                      .nlb = lbas});
+    if (tc.completion.ok()) {
+      co_return Extent{.zone = zone,
+                       .lba = tc.completion.result_lba,
+                       .lbas = lbas};
+    }
+    ZSTOR_CHECK_MSG(IsZoneWriteFailure(tc.completion.status),
+                    "relocation append failed with a host-side status");
+    zones_[ZoneIndex(zone)].writen_bytes -= bytes;
+    DegradeZone(zone);
+    stats_.write_reroutes++;
   }
-  std::uint32_t zone = relocation_zone_;
-  zones_[ZoneIndex(zone)].writen_bytes += bytes;
-  auto tc = co_await stack_.Submit({.opcode = Opcode::kAppend,
-                                    .slba = ZoneStartLba(zone),
-                                    .nlb = lbas});
-  ZSTOR_CHECK(tc.completion.ok());
-  co_return Extent{.zone = zone,
-                   .lba = tc.completion.result_lba,
-                   .lbas = lbas};
 }
 
 sim::Task<Status> ZoneObjectStore::Put(std::uint64_t key,

@@ -45,6 +45,10 @@ struct StoreStats {
   std::uint64_t bytes_written = 0;     // foreground
   std::uint64_t bytes_relocated = 0;   // compaction traffic
   std::uint64_t zone_resets = 0;
+  // Fault handling (all zero on a healthy device).
+  std::uint64_t write_reroutes = 0;    // appends re-driven to another zone
+  std::uint64_t zones_degraded = 0;    // zones dropped from the write path
+  std::uint64_t lost_extents = 0;      // extents whose data was unreadable
 
   /// Total device writes per byte of user data — the store's own write
   /// amplification (the device adds none: ZNS, Obs. 11).
@@ -98,6 +102,11 @@ class ZoneObjectStore {
     std::uint64_t garbage_bytes = 0;
     bool sealed = false;              // reached capacity
     bool compacting = false;
+    /// The device degraded this zone (ReadOnly/Offline/write fault): no
+    /// more appends, never a compaction victim (it cannot be reset), and
+    /// never returned to the free list. Its extents stay readable while
+    /// the zone is ReadOnly.
+    bool degraded = false;
   };
 
   std::uint32_t ZoneIndex(std::uint32_t zone) const {
@@ -116,6 +125,11 @@ class ZoneObjectStore {
   /// foreground appends wait on rotation).
   sim::Task<Extent> AppendRelocated(std::uint32_t lbas);
   void AddGarbage(const Extent& e);
+  /// True for completion statuses meaning "this zone can no longer accept
+  /// writes" — the store reroutes to another zone instead of failing.
+  static bool IsZoneWriteFailure(nvme::Status s);
+  /// Takes `zone` out of the write path (sealed + degraded).
+  void DegradeZone(std::uint32_t zone);
 
   sim::Simulator& sim_;
   hostif::Stack& stack_;

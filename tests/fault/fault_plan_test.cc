@@ -1,0 +1,233 @@
+// FaultPlan unit tests: spec grammar, determinism, scheduled one-shot
+// faults, the wear model, and the inertness of a disabled plan.
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace zstor::fault {
+namespace {
+
+TEST(ParseFaultSpec, FullGrammarRoundTrips) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseFaultSpec(
+      "seed=7,read_c=0.25,read_uc=0.001,prog=0.0005,retries=6,"
+      "retry_us=12.5,wear_pe=1000,wear_slope=0.0001,"
+      "sched=1000:prog:0:*,sched=2500:read_uc:*:3",
+      &spec, &error))
+      << error;
+  EXPECT_TRUE(spec.enabled);
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_DOUBLE_EQ(spec.read_correctable_rate, 0.25);
+  EXPECT_DOUBLE_EQ(spec.read_uncorrectable_rate, 0.001);
+  EXPECT_DOUBLE_EQ(spec.program_fail_rate, 0.0005);
+  EXPECT_EQ(spec.max_read_retries, 6u);
+  EXPECT_EQ(spec.read_retry_penalty, sim::Microseconds(12.5));
+  EXPECT_EQ(spec.wear_threshold_pe, 1000u);
+  EXPECT_DOUBLE_EQ(spec.wear_rber_slope, 0.0001);
+  ASSERT_EQ(spec.scheduled.size(), 2u);
+  EXPECT_EQ(spec.scheduled[0].at, sim::Microseconds(1000));
+  EXPECT_EQ(spec.scheduled[0].kind, FaultKind::kProgramFail);
+  EXPECT_EQ(spec.scheduled[0].die, 0u);
+  EXPECT_EQ(spec.scheduled[0].block, kAnySite);
+  EXPECT_EQ(spec.scheduled[1].kind, FaultKind::kReadUncorrectable);
+  EXPECT_EQ(spec.scheduled[1].die, kAnySite);
+  EXPECT_EQ(spec.scheduled[1].block, 3u);
+
+  // Format -> parse -> format is a fixed point: the canonical rendering
+  // is what benches use to label fault runs, so it must round-trip.
+  const std::string canon = FormatFaultSpec(spec);
+  FaultSpec reparsed;
+  ASSERT_TRUE(ParseFaultSpec(canon, &reparsed, &error)) << error;
+  EXPECT_EQ(FormatFaultSpec(reparsed), canon);
+  EXPECT_EQ(reparsed.seed, spec.seed);
+  EXPECT_EQ(reparsed.scheduled.size(), spec.scheduled.size());
+}
+
+TEST(ParseFaultSpec, AnySpecEnablesFaults) {
+  FaultSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseFaultSpec("seed=1", &spec, &error));
+  EXPECT_TRUE(spec.enabled);
+}
+
+TEST(ParseFaultSpec, RejectsMalformedInput) {
+  const char* bad[] = {
+      "frobnicate=1",          // unknown key
+      "read_c=1.5",            // probability out of range
+      "read_uc=-0.1",          // negative probability
+      "prog=banana",           // not a number
+      "retries=",              // missing value
+      "sched=1000:prog:0",     // too few schedule fields
+      "sched=1000:explode:0:0",  // unknown fault kind
+      "sched=x:prog:0:0",      // non-numeric time
+  };
+  for (const char* text : bad) {
+    FaultSpec spec;
+    std::string error;
+    EXPECT_FALSE(ParseFaultSpec(text, &spec, &error))
+        << "accepted malformed spec: " << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(FaultPlan, DisabledPlanIsInert) {
+  FaultPlan plan{FaultSpec{}};  // enabled = false
+  for (int i = 0; i < 1000; ++i) {
+    ReadVerdict r = plan.OnRead(i, 0, 0, 0);
+    EXPECT_EQ(r.retry_steps, 0u);
+    EXPECT_FALSE(r.uncorrectable);
+    EXPECT_FALSE(plan.OnProgram(i, 0, 0, 0).fail);
+  }
+  const FaultCounters& c = plan.counters();
+  EXPECT_EQ(c.correctable_read_errors, 0u);
+  EXPECT_EQ(c.uncorrectable_read_errors, 0u);
+  EXPECT_EQ(c.program_failures, 0u);
+  EXPECT_EQ(c.read_retry_steps, 0u);
+}
+
+TEST(FaultPlan, SameSeedSameVerdictStream) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.seed = 42;
+  spec.read_correctable_rate = 0.3;
+  spec.read_uncorrectable_rate = 0.05;
+  spec.program_fail_rate = 0.1;
+  FaultPlan a{spec};
+  FaultPlan b{spec};
+  for (int i = 0; i < 2000; ++i) {
+    ReadVerdict ra = a.OnRead(i, i % 4, i % 7, 0);
+    ReadVerdict rb = b.OnRead(i, i % 4, i % 7, 0);
+    EXPECT_EQ(ra.retry_steps, rb.retry_steps) << "op " << i;
+    EXPECT_EQ(ra.uncorrectable, rb.uncorrectable) << "op " << i;
+    EXPECT_EQ(a.OnProgram(i, i % 4, i % 7, 0).fail,
+              b.OnProgram(i, i % 4, i % 7, 0).fail)
+        << "op " << i;
+  }
+  EXPECT_EQ(a.counters().uncorrectable_read_errors,
+            b.counters().uncorrectable_read_errors);
+  EXPECT_EQ(a.counters().program_failures, b.counters().program_failures);
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.read_uncorrectable_rate = 0.5;
+  spec.seed = 1;
+  FaultPlan a{spec};
+  spec.seed = 2;
+  FaultPlan b{spec};
+  bool diverged = false;
+  for (int i = 0; i < 200 && !diverged; ++i) {
+    diverged = a.OnRead(i, 0, 0, 0).uncorrectable !=
+               b.OnRead(i, 0, 0, 0).uncorrectable;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultPlan, UncorrectableReadChargesFullRetryBudget) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.read_uncorrectable_rate = 1.0;
+  spec.max_read_retries = 5;
+  FaultPlan plan{spec};
+  ReadVerdict v = plan.OnRead(0, 0, 0, 0);
+  EXPECT_TRUE(v.uncorrectable);
+  EXPECT_EQ(v.retry_steps, 5u);  // the drive tried every voltage
+  EXPECT_EQ(plan.counters().uncorrectable_read_errors, 1u);
+  EXPECT_EQ(plan.counters().read_retry_steps, 5u);
+}
+
+TEST(FaultPlan, CorrectableReadUsesPartialBudget) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.read_correctable_rate = 1.0;
+  spec.max_read_retries = 8;
+  FaultPlan plan{spec};
+  for (int i = 0; i < 100; ++i) {
+    ReadVerdict v = plan.OnRead(i, 0, 0, 0);
+    EXPECT_FALSE(v.uncorrectable);
+    EXPECT_GE(v.retry_steps, 1u);
+    EXPECT_LE(v.retry_steps, 8u);
+  }
+  EXPECT_EQ(plan.counters().correctable_read_errors, 100u);
+}
+
+TEST(FaultPlan, ScheduledFaultFiresOnceAtItsSite) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.scheduled.push_back({.at = sim::Microseconds(1000),
+                            .kind = FaultKind::kProgramFail,
+                            .die = 2,
+                            .block = kAnySite});
+  FaultPlan plan{spec};
+  // Before the arm time: nothing fires.
+  EXPECT_FALSE(plan.OnProgram(sim::Microseconds(999), 2, 0, 0).fail);
+  // At/after the arm time but on the wrong die: still armed.
+  EXPECT_FALSE(plan.OnProgram(sim::Microseconds(1000), 1, 0, 0).fail);
+  // First matching op fires it...
+  EXPECT_TRUE(plan.OnProgram(sim::Microseconds(1001), 2, 5, 0).fail);
+  EXPECT_EQ(plan.counters().scheduled_fired, 1u);
+  EXPECT_EQ(plan.counters().program_failures, 1u);
+  // ...and it is one-shot.
+  EXPECT_FALSE(plan.OnProgram(sim::Microseconds(1002), 2, 5, 0).fail);
+  EXPECT_EQ(plan.counters().scheduled_fired, 1u);
+}
+
+TEST(FaultPlan, ScheduledReadFaultKindsAreDistinguished) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.max_read_retries = 4;
+  spec.scheduled.push_back({.at = 0,
+                            .kind = FaultKind::kReadCorrectable,
+                            .die = kAnySite,
+                            .block = kAnySite});
+  spec.scheduled.push_back({.at = 0,
+                            .kind = FaultKind::kReadUncorrectable,
+                            .die = kAnySite,
+                            .block = kAnySite});
+  FaultPlan plan{spec};
+  ReadVerdict first = plan.OnRead(1, 0, 0, 0);
+  ReadVerdict second = plan.OnRead(2, 0, 0, 0);
+  // Both scheduled read faults fire, one per read, in schedule order.
+  EXPECT_FALSE(first.uncorrectable);
+  EXPECT_GE(first.retry_steps, 1u);
+  EXPECT_TRUE(second.uncorrectable);
+  EXPECT_EQ(second.retry_steps, 4u);
+  EXPECT_EQ(plan.counters().scheduled_fired, 2u);
+  // A program never consumes a read-kind schedule entry.
+  EXPECT_FALSE(plan.OnProgram(3, 0, 0, 0).fail);
+}
+
+TEST(FaultPlan, WearRaisesErrorRatesPastThreshold) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.wear_threshold_pe = 100;
+  spec.wear_rber_slope = 0.01;  // +1% per cycle over threshold
+  FaultPlan plan{spec};
+  // Under the threshold with zero base rates: nothing ever fails.
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(plan.OnProgram(i, 0, 0, 100).fail);
+  }
+  EXPECT_EQ(plan.counters().wear_boosted_ops, 0u);
+  // 200 cycles past the threshold: +200% -> certain program failure.
+  EXPECT_TRUE(plan.OnProgram(1000, 0, 0, 300).fail);
+  EXPECT_GE(plan.counters().wear_boosted_ops, 1u);
+  // Reads on worn blocks become retry-prone too.
+  ReadVerdict v = plan.OnRead(1001, 0, 0, 300);
+  EXPECT_GE(v.retry_steps, 1u);
+}
+
+TEST(FaultKindNames, RoundTripThroughTheSpecGrammar) {
+  EXPECT_EQ(ToString(FaultKind::kReadCorrectable), "read_c");
+  EXPECT_EQ(ToString(FaultKind::kReadUncorrectable), "read_uc");
+  EXPECT_EQ(ToString(FaultKind::kProgramFail), "prog");
+}
+
+}  // namespace
+}  // namespace zstor::fault

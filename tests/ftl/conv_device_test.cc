@@ -59,7 +59,8 @@ TEST(ConvDevice, OverwritesAreAccepted) {
   for (int i = 0; i < 10; ++i) {
     EXPECT_TRUE(f.Run({.opcode = Opcode::kWrite, .slba = 5, .nlb = 1}).ok());
   }
-  EXPECT_EQ(f.dev.counters().io_errors, 0u);
+  EXPECT_EQ(f.dev.counters().host_rejects, 0u);
+  EXPECT_EQ(f.dev.counters().media_errors, 0u);
 }
 
 TEST(ConvDevice, OutOfRangeIsRejected) {

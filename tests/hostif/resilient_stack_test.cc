@@ -1,0 +1,213 @@
+// ResilientStack tests: status classification, retry/backoff behavior in
+// virtual time, per-attempt timeouts, and the resilience counters — all
+// against a scriptable fake stack so every failure is deterministic.
+#include "hostif/resilient_stack.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace zstor::hostif {
+namespace {
+
+using sim::Microseconds;
+using sim::Time;
+
+/// Inner stack that completes each Submit() after `service_time` with the
+/// next scripted status (the last entry repeats once the script runs dry).
+class ScriptedStack : public Stack {
+ public:
+  explicit ScriptedStack(sim::Simulator& s) : sim_(s) {
+    info_.capacity_lbas = 1 << 20;
+  }
+
+  sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
+    submits_++;
+    nvme::TimedCompletion tc;
+    tc.submitted = sim_.now();
+    tc.trace_id = cmd.trace_id;
+    co_await sim_.Delay(service_time);
+    tc.completed = sim_.now();
+    tc.completion.status = NextStatus();
+    co_return tc;
+  }
+
+  const nvme::NamespaceInfo& info() const override { return info_; }
+
+  std::vector<nvme::Status> script{nvme::Status::kSuccess};
+  Time service_time = Microseconds(10);
+  std::uint64_t submits() const { return submits_; }
+
+ private:
+  nvme::Status NextStatus() {
+    if (next_ < script.size()) return script[next_++];
+    return script.back();
+  }
+
+  sim::Simulator& sim_;
+  nvme::NamespaceInfo info_;
+  std::size_t next_ = 0;
+  std::uint64_t submits_ = 0;
+};
+
+nvme::TimedCompletion RunOne(sim::Simulator& s, ResilientStack& stack) {
+  nvme::TimedCompletion out;
+  auto body = [&]() -> sim::Task<> {
+    out = co_await stack.Submit({.opcode = nvme::Opcode::kRead});
+  };
+  auto t = body();
+  s.Run();
+  return out;
+}
+
+TEST(Classify, TriageMatchesThePolicyTable) {
+  EXPECT_EQ(Classify(nvme::Status::kSuccess), ErrorClass::kSuccess);
+  // Retryable: a re-issue may genuinely succeed.
+  EXPECT_EQ(Classify(nvme::Status::kMediaReadError), ErrorClass::kRetryable);
+  EXPECT_EQ(Classify(nvme::Status::kInternalError), ErrorClass::kRetryable);
+  EXPECT_EQ(Classify(nvme::Status::kHostTimeout), ErrorClass::kRetryable);
+  // Terminal: validation/state rejections — re-issuing cannot help.
+  EXPECT_EQ(Classify(nvme::Status::kInvalidOpcode), ErrorClass::kTerminal);
+  EXPECT_EQ(Classify(nvme::Status::kLbaOutOfRange), ErrorClass::kTerminal);
+  EXPECT_EQ(Classify(nvme::Status::kZoneIsReadOnly), ErrorClass::kTerminal);
+  EXPECT_EQ(Classify(nvme::Status::kZoneIsOffline), ErrorClass::kTerminal);
+  // kWriteFault is terminal by design: the buffered data is gone and the
+  // zone is degraded — recovery is a rewrite elsewhere, a caller decision.
+  EXPECT_EQ(Classify(nvme::Status::kWriteFault), ErrorClass::kTerminal);
+}
+
+TEST(ResilientStack, SuccessPassesThroughUntouched) {
+  sim::Simulator s;
+  ScriptedStack inner(s);
+  ResilientStack stack(s, inner);
+  nvme::TimedCompletion tc = RunOne(s, stack);
+  EXPECT_TRUE(tc.completion.ok());
+  EXPECT_EQ(inner.submits(), 1u);
+  EXPECT_EQ(stack.stats().commands, 1u);
+  EXPECT_EQ(stack.stats().attempts, 1u);
+  EXPECT_EQ(stack.stats().retries, 0u);
+  EXPECT_EQ(tc.latency(), inner.service_time);
+}
+
+TEST(ResilientStack, RetryableErrorIsRetriedUntilSuccess) {
+  sim::Simulator s;
+  ScriptedStack inner(s);
+  inner.script = {nvme::Status::kMediaReadError,
+                  nvme::Status::kMediaReadError, nvme::Status::kSuccess};
+  ResilientStack stack(s, inner, {.max_attempts = 4});
+  nvme::TimedCompletion tc = RunOne(s, stack);
+  EXPECT_TRUE(tc.completion.ok());
+  EXPECT_EQ(inner.submits(), 3u);
+  EXPECT_EQ(stack.stats().retries, 2u);
+  EXPECT_EQ(stack.stats().recovered, 1u);
+  EXPECT_EQ(stack.stats().retries_exhausted, 0u);
+}
+
+TEST(ResilientStack, BackoffGrowsExponentiallyInVirtualTime) {
+  sim::Simulator s;
+  ScriptedStack inner(s);
+  inner.service_time = Microseconds(10);
+  inner.script = {nvme::Status::kMediaReadError,
+                  nvme::Status::kMediaReadError, nvme::Status::kSuccess};
+  ResilientStack stack(s, inner,
+                       {.max_attempts = 4,
+                        .backoff = Microseconds(100),
+                        .backoff_multiplier = 2.0});
+  nvme::TimedCompletion tc = RunOne(s, stack);
+  // 3 attempts x 10us service + 100us + 200us backoff.
+  EXPECT_EQ(tc.latency(), Microseconds(3 * 10 + 100 + 200));
+}
+
+TEST(ResilientStack, TerminalErrorIsNotRetried) {
+  sim::Simulator s;
+  ScriptedStack inner(s);
+  inner.script = {nvme::Status::kZoneIsFull};
+  ResilientStack stack(s, inner, {.max_attempts = 8});
+  nvme::TimedCompletion tc = RunOne(s, stack);
+  EXPECT_EQ(tc.completion.status, nvme::Status::kZoneIsFull);
+  EXPECT_EQ(inner.submits(), 1u);
+  EXPECT_EQ(stack.stats().terminal_errors, 1u);
+  EXPECT_EQ(stack.stats().retries, 0u);
+}
+
+TEST(ResilientStack, ExhaustedBudgetSurfacesTheLastError) {
+  sim::Simulator s;
+  ScriptedStack inner(s);
+  inner.script = {nvme::Status::kMediaReadError};
+  ResilientStack stack(s, inner,
+                       {.max_attempts = 3, .backoff = Microseconds(1)});
+  nvme::TimedCompletion tc = RunOne(s, stack);
+  EXPECT_EQ(tc.completion.status, nvme::Status::kMediaReadError);
+  EXPECT_EQ(inner.submits(), 3u);
+  EXPECT_EQ(stack.stats().retries, 2u);
+  EXPECT_EQ(stack.stats().retries_exhausted, 1u);
+  EXPECT_EQ(stack.stats().recovered, 0u);
+}
+
+TEST(ResilientStack, SingleAttemptPolicyObservesRawErrors) {
+  sim::Simulator s;
+  ScriptedStack inner(s);
+  inner.script = {nvme::Status::kMediaReadError};
+  ResilientStack stack(s, inner, {.max_attempts = 1});
+  nvme::TimedCompletion tc = RunOne(s, stack);
+  EXPECT_EQ(tc.completion.status, nvme::Status::kMediaReadError);
+  EXPECT_EQ(inner.submits(), 1u);
+  EXPECT_EQ(stack.stats().retries, 0u);
+  EXPECT_EQ(stack.stats().retries_exhausted, 1u);
+}
+
+TEST(ResilientStack, SlowAttemptsTimeOutAndExhaustTheBudget) {
+  sim::Simulator s;
+  ScriptedStack inner(s);
+  // Every attempt takes 1ms against a 100us per-attempt timeout.
+  inner.service_time = sim::Milliseconds(1);
+  inner.script = {nvme::Status::kSuccess};
+  ResilientStack stack(s, inner,
+                       {.max_attempts = 2,
+                        .backoff = Microseconds(10),
+                        .timeout = Microseconds(100)});
+  nvme::TimedCompletion tc = RunOne(s, stack);
+  // Both attempts outlive the timeout: the caller sees kHostTimeout.
+  EXPECT_EQ(tc.completion.status, nvme::Status::kHostTimeout);
+  EXPECT_EQ(stack.stats().timeouts, 2u);
+  EXPECT_EQ(stack.stats().retries, 1u);
+  EXPECT_EQ(stack.stats().retries_exhausted, 1u);
+  // The timed-out attempts were NOT cancelled: the device still saw both.
+  EXPECT_EQ(inner.submits(), 2u);
+  // Caller-observed latency = 2 timeouts + 1 backoff, NOT device time.
+  EXPECT_EQ(tc.latency(), Microseconds(100 + 10 + 100));
+}
+
+TEST(ResilientStack, FastAttemptBeatsTheTimeout) {
+  sim::Simulator s;
+  ScriptedStack inner(s);
+  inner.service_time = Microseconds(10);
+  ResilientStack stack(s, inner,
+                       {.max_attempts = 4, .timeout = Microseconds(100)});
+  nvme::TimedCompletion tc = RunOne(s, stack);
+  EXPECT_TRUE(tc.completion.ok());
+  EXPECT_EQ(stack.stats().timeouts, 0u);
+  EXPECT_EQ(tc.latency(), Microseconds(10));
+}
+
+TEST(ResilientStack, CountsAccumulateAcrossCommands) {
+  sim::Simulator s;
+  ScriptedStack inner(s);
+  inner.script = {nvme::Status::kMediaReadError, nvme::Status::kSuccess,
+                  nvme::Status::kSuccess};
+  ResilientStack stack(s, inner,
+                       {.max_attempts = 2, .backoff = Microseconds(1)});
+  (void)RunOne(s, stack);  // fail then recover: 2 attempts
+  (void)RunOne(s, stack);  // clean: 1 attempt
+  EXPECT_EQ(stack.stats().commands, 2u);
+  EXPECT_EQ(stack.stats().attempts, 3u);
+  EXPECT_EQ(stack.stats().recovered, 1u);
+}
+
+}  // namespace
+}  // namespace zstor::hostif

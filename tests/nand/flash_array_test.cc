@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "fault/fault_plan.h"
 #include "sim/task.h"
 
 namespace zstor::nand {
@@ -200,6 +203,144 @@ TEST(FlashArray, AggregateStreamApproachesPeakBandwidth) {
   double bytes = static_cast<double>(arr.counters().bytes_programmed);
   double bw = bytes / sim::ToSeconds(s.now());
   EXPECT_GT(bw, 0.95 * arr.PeakProgramBandwidth());
+}
+
+// ---- fault injection (src/fault) ------------------------------------
+
+TEST(FlashArrayFaults, CorrectableReadPaysRetryLatency) {
+  sim::Simulator s;
+  Timing t;
+  FlashArray arr(s, SmallGeo(), t);
+  fault::FaultSpec spec;
+  spec.enabled = true;
+  spec.read_correctable_rate = 1.0;
+  spec.max_read_retries = 1;  // exactly one voltage step per read
+  spec.read_retry_penalty = sim::Microseconds(25);
+  fault::FaultPlan plan{spec};
+  arr.AttachFaultPlan(&plan);
+  sim::Time read_time = 0;
+  MediaStatus st = MediaStatus::kProgramFail;
+  auto body = [&]() -> sim::Task<> {
+    co_await arr.ProgramPage({0, 0, 0});
+    sim::Time start = s.now();
+    st = co_await arr.ReadPage({0, 0, 0}, 16 * 1024);
+    read_time = s.now() - start;
+  };
+  auto task = body();
+  s.Run();
+  // The read succeeds but the die was busy one extra retry step.
+  EXPECT_EQ(st, MediaStatus::kOk);
+  EXPECT_EQ(read_time,
+            t.read_page + sim::Microseconds(25) + t.bus_xfer_page);
+  EXPECT_EQ(arr.counters().read_retries, 1u);
+  EXPECT_EQ(arr.counters().read_errors, 0u);
+}
+
+TEST(FlashArrayFaults, UncorrectableReadErrorsAndTransfersNothing) {
+  sim::Simulator s;
+  Timing t;
+  FlashArray arr(s, SmallGeo(), t);
+  fault::FaultSpec spec;
+  spec.enabled = true;
+  spec.read_uncorrectable_rate = 1.0;
+  spec.max_read_retries = 4;
+  spec.read_retry_penalty = sim::Microseconds(25);
+  fault::FaultPlan plan{spec};
+  arr.AttachFaultPlan(&plan);
+  sim::Time read_time = 0;
+  MediaStatus st = MediaStatus::kOk;
+  std::uint64_t bytes_before = 0;
+  auto body = [&]() -> sim::Task<> {
+    co_await arr.ProgramPage({0, 0, 0});
+    bytes_before = arr.counters().bytes_read;
+    sim::Time start = s.now();
+    st = co_await arr.ReadPage({0, 0, 0}, 16 * 1024);
+    read_time = s.now() - start;
+  };
+  auto task = body();
+  s.Run();
+  EXPECT_EQ(st, MediaStatus::kReadError);
+  // The die stepped through the whole retry budget, then gave up: no
+  // channel transfer happens for a failed read.
+  EXPECT_EQ(read_time, t.read_page + 4 * sim::Microseconds(25));
+  EXPECT_EQ(arr.counters().read_errors, 1u);
+  EXPECT_EQ(arr.counters().bytes_read, bytes_before);
+}
+
+TEST(FlashArrayFaults, ScheduledProgramFailureRetiresTheBlock) {
+  sim::Simulator s;
+  FlashArray arr(s, SmallGeo(), Timing{});
+  fault::FaultSpec spec;
+  spec.enabled = true;
+  spec.scheduled.push_back({.at = 0,
+                            .kind = fault::FaultKind::kProgramFail,
+                            .die = 0,
+                            .block = 0});
+  fault::FaultPlan plan{spec};
+  arr.AttachFaultPlan(&plan);
+  std::vector<MediaStatus> results;
+  auto body = [&]() -> sim::Task<> {
+    results.push_back(co_await arr.ProgramPage({0, 0, 0}));  // fails
+    // The failed program still consumed the page slot.
+    EXPECT_EQ(arr.BlockWritePointer(0, 0), 1u);
+    EXPECT_TRUE(arr.MarkBlockRetired(0, 0));
+    results.push_back(co_await arr.ProgramPage({0, 0, 1}));  // fail-fast
+    results.push_back(co_await arr.ProgramPage({0, 1, 0}));  // other block ok
+  };
+  auto task = body();
+  s.Run();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0], MediaStatus::kProgramFail);
+  EXPECT_EQ(results[1], MediaStatus::kProgramFail);
+  EXPECT_EQ(results[2], MediaStatus::kOk);
+  EXPECT_EQ(arr.counters().program_failures, 2u);
+  EXPECT_EQ(arr.counters().blocks_retired, 1u);
+}
+
+TEST(FlashArrayFaults, RetiredBlockStaysReadableAndIsNeverRecycled) {
+  sim::Simulator s;
+  FlashArray arr(s, SmallGeo(), Timing{});
+  MediaStatus read_st = MediaStatus::kProgramFail;
+  auto body = [&]() -> sim::Task<> {
+    co_await arr.ProgramPage({0, 0, 0});
+    EXPECT_TRUE(arr.MarkBlockRetired(0, 0));
+    // Retiring twice charges spare accounting only once.
+    EXPECT_FALSE(arr.MarkBlockRetired(0, 0));
+    // Data programmed before retirement is still readable.
+    read_st = co_await arr.ReadPage({0, 0, 0}, 4096);
+  };
+  auto task = body();
+  s.Run();
+  EXPECT_EQ(read_st, MediaStatus::kOk);
+  EXPECT_TRUE(arr.BlockRetired(0, 0));
+  EXPECT_EQ(arr.counters().blocks_retired, 1u);
+  // The deferred-erase recycling path refuses retired blocks.
+  const std::uint32_t pe_before = arr.BlockPeCycles(0, 0);
+  arr.DeferredEraseBlock(0, 0);
+  EXPECT_EQ(arr.BlockPeCycles(0, 0), pe_before);
+  EXPECT_EQ(arr.BlockWritePointer(0, 0), 1u);  // wp not reset
+}
+
+TEST(FlashArrayFaults, DetachedPlanRestoresCleanOperation) {
+  sim::Simulator s;
+  FlashArray arr(s, SmallGeo(), Timing{});
+  fault::FaultSpec spec;
+  spec.enabled = true;
+  spec.read_uncorrectable_rate = 1.0;
+  fault::FaultPlan plan{spec};
+  arr.AttachFaultPlan(&plan);
+  std::vector<MediaStatus> results;
+  auto body = [&]() -> sim::Task<> {
+    co_await arr.ProgramPage({0, 0, 0});
+    results.push_back(co_await arr.ReadPage({0, 0, 0}, 4096));
+    arr.AttachFaultPlan(nullptr);
+    results.push_back(co_await arr.ReadPage({0, 0, 0}, 4096));
+  };
+  auto task = body();
+  s.Run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], MediaStatus::kReadError);
+  EXPECT_EQ(results[1], MediaStatus::kOk);
 }
 
 }  // namespace

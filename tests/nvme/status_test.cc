@@ -1,0 +1,67 @@
+// Status-code hygiene: every enumerator must print a real name (the trace
+// and log-page paths stringify statuses, and "Unknown" in a trace means a
+// status was added without updating ToString), and the media-error
+// classification must match the SMART split (media_errors vs host_rejects).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "nvme/types.h"
+
+namespace zstor::nvme {
+namespace {
+
+TEST(Status, ToStringCoversEveryEnumerator) {
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(kMaxStatus); ++i) {
+    const Status s = static_cast<Status>(i);
+    EXPECT_NE(ToString(s), "Unknown")
+        << "Status " << static_cast<int>(i) << " has no ToString arm";
+    EXPECT_FALSE(ToString(s).empty());
+  }
+}
+
+TEST(Status, NamesAreUnique) {
+  std::set<std::string> seen;
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(kMaxStatus); ++i) {
+    const std::string name{ToString(static_cast<Status>(i))};
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate ToString name: " << name;
+  }
+}
+
+TEST(Status, FaultStatusesSpellTheirNames) {
+  // The fault-injection statuses added for the robustness work.
+  EXPECT_EQ(ToString(Status::kMediaReadError), "MediaReadError");
+  EXPECT_EQ(ToString(Status::kWriteFault), "WriteFault");
+  EXPECT_EQ(ToString(Status::kInternalError), "InternalError");
+  EXPECT_EQ(ToString(Status::kHostTimeout), "HostTimeout");
+}
+
+TEST(Status, IsMediaErrorMatchesTheSmartSplit) {
+  // Exactly the device-fault statuses count as media errors; everything
+  // else a device returns is a host reject (caller bug, not a fault).
+  std::set<Status> media;
+  for (std::uint8_t i = 0; i <= static_cast<std::uint8_t>(kMaxStatus); ++i) {
+    const Status s = static_cast<Status>(i);
+    if (IsMediaError(s)) media.insert(s);
+  }
+  EXPECT_EQ(media, (std::set<Status>{Status::kMediaReadError,
+                                     Status::kWriteFault,
+                                     Status::kInternalError}));
+}
+
+TEST(Status, HostTimeoutIsNotADeviceMediaError) {
+  // kHostTimeout is synthesized by the host stack; devices never produce
+  // it, so it must not inflate the device's media-error accounting.
+  EXPECT_FALSE(IsMediaError(Status::kHostTimeout));
+}
+
+TEST(Status, SuccessIsNeitherRejectNorMediaError) {
+  EXPECT_FALSE(IsMediaError(Status::kSuccess));
+  EXPECT_EQ(ToString(Status::kSuccess), "Success");
+}
+
+}  // namespace
+}  // namespace zstor::nvme

@@ -10,8 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "ftl/conv_device.h"
 #include "hostif/kernel_stack.h"
+#include "hostif/resilient_stack.h"
 #include "nand/flash_array.h"
 #include "telemetry/metrics.h"
 #include "zns/zns_device.h"
@@ -20,16 +22,20 @@ namespace zstor {
 namespace {
 
 // Field-count drift guards: uint64 counters only, so sizeof is exact.
-static_assert(sizeof(zns::ZnsCounters) == 16 * sizeof(std::uint64_t),
+static_assert(sizeof(zns::ZnsCounters) == 23 * sizeof(std::uint64_t),
               "ZnsCounters changed: update Describe(), GetSmartLog() and "
               "this test");
-static_assert(sizeof(ftl::ConvCounters) == 11 * sizeof(std::uint64_t),
+static_assert(sizeof(ftl::ConvCounters) == 16 * sizeof(std::uint64_t),
               "ConvCounters changed: update Describe(), GetSmartLog() and "
               "this test");
-static_assert(sizeof(nand::FlashCounters) == 5 * sizeof(std::uint64_t),
+static_assert(sizeof(nand::FlashCounters) == 9 * sizeof(std::uint64_t),
               "FlashCounters changed: update Describe() and this test");
 static_assert(sizeof(hostif::SchedulerStats) == 3 * sizeof(std::uint64_t),
               "SchedulerStats changed: update Describe() and this test");
+static_assert(sizeof(fault::FaultCounters) == 6 * sizeof(std::uint64_t),
+              "FaultCounters changed: update Describe() and this test");
+static_assert(sizeof(hostif::ResilienceStats) == 7 * sizeof(std::uint64_t),
+              "ResilienceStats changed: update Describe() and this test");
 
 std::vector<std::string> SnapshotNames(
     const telemetry::MetricsRegistry& reg) {
@@ -50,38 +56,68 @@ TEST(CountersCoverage, ZnsDescribeExportsEveryField) {
   telemetry::MetricsRegistry reg;
   zns::ZnsCounters{}.Describe(reg);
   std::vector<std::string> names = SnapshotNames(reg);
-  EXPECT_EQ(names.size(), 16u);
+  EXPECT_EQ(names.size(), 23u);
   ExpectAll(names,
             {"zns.reads", "zns.writes", "zns.appends", "zns.flushes",
              "zns.zone_reports", "zns.zones_worn_offline",
              "zns.explicit_opens", "zns.implicit_opens",
              "zns.implicit_open_evictions", "zns.closes", "zns.finishes",
              "zns.resets", "zns.bytes_written", "zns.bytes_read",
-             "zns.io_errors", "zns.zone_transitions"});
+             "zns.host_rejects", "zns.media_errors", "zns.read_faults",
+             "zns.write_faults", "zns.retired_blocks",
+             "zns.zones_degraded_readonly", "zns.zones_failed_offline",
+             "zns.spare_blocks_used", "zns.zone_transitions"});
 }
 
 TEST(CountersCoverage, ConvDescribeExportsEveryFieldPlusWa) {
   telemetry::MetricsRegistry reg;
   ftl::ConvCounters{}.Describe(reg);
   std::vector<std::string> names = SnapshotNames(reg);
-  // 11 counters + the derived write_amplification gauge.
-  EXPECT_EQ(names.size(), 12u);
+  // 16 counters + the derived write_amplification gauge.
+  EXPECT_EQ(names.size(), 17u);
   ExpectAll(names,
             {"conv.reads", "conv.writes", "conv.deallocates",
              "conv.units_trimmed", "conv.bytes_read", "conv.bytes_written",
              "conv.host_units_programmed", "conv.gc_invocations",
              "conv.gc_units_migrated", "conv.gc_blocks_erased",
-             "conv.io_errors", "conv.write_amplification"});
+             "conv.host_rejects", "conv.media_errors", "conv.read_faults",
+             "conv.write_faults", "conv.retired_blocks",
+             "conv.program_retries", "conv.write_amplification"});
 }
 
 TEST(CountersCoverage, FlashDescribeExportsEveryField) {
   telemetry::MetricsRegistry reg;
   nand::FlashCounters{}.Describe(reg);
   std::vector<std::string> names = SnapshotNames(reg);
-  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.size(), 9u);
   ExpectAll(names, {"nand.page_reads", "nand.page_programs",
                     "nand.block_erases", "nand.bytes_read",
-                    "nand.bytes_programmed"});
+                    "nand.bytes_programmed", "nand.read_retries",
+                    "nand.read_errors", "nand.program_failures",
+                    "nand.blocks_retired"});
+}
+
+TEST(CountersCoverage, FaultDescribeExportsEveryField) {
+  telemetry::MetricsRegistry reg;
+  fault::FaultCounters{}.Describe(reg);
+  std::vector<std::string> names = SnapshotNames(reg);
+  EXPECT_EQ(names.size(), 6u);
+  ExpectAll(names,
+            {"fault.correctable_read_errors",
+             "fault.uncorrectable_read_errors", "fault.program_failures",
+             "fault.read_retry_steps", "fault.scheduled_fired",
+             "fault.wear_boosted_ops"});
+}
+
+TEST(CountersCoverage, ResilienceDescribeExportsEveryField) {
+  telemetry::MetricsRegistry reg;
+  hostif::ResilienceStats{}.Describe(reg);
+  std::vector<std::string> names = SnapshotNames(reg);
+  EXPECT_EQ(names.size(), 7u);
+  ExpectAll(names,
+            {"hostif.commands", "hostif.attempts", "hostif.retries",
+             "hostif.timeouts", "hostif.recovered",
+             "hostif.terminal_errors", "hostif.retries_exhausted"});
 }
 
 TEST(CountersCoverage, SchedulerDescribeExportsEveryFieldPlusFraction) {

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "harness/testbed.h"
 #include "sim/task.h"
 #include "ztrace/analysis.h"
@@ -132,6 +133,53 @@ TEST(Analysis, TailAttributionFindsDominantStage) {
   EXPECT_GT(tails[0].p95_ns, tails[0].p50_ns);
 }
 
+TEST(Analysis, RetrySpansAreCountedButNotDoubleCounted) {
+  // cmd 1: a failed first attempt (100ns nand.read overlaid by the
+  // host.retry span) and a clean second attempt. The retry span must
+  // count as a retry, not as extra latency.
+  std::vector<TraceRecord> recs = {
+      {0, 10, 1, "host", "host.submit", 0, 1},
+      {10, 100, 1, "nand", "nand.read", 0, 0},
+      {0, 110, 1, "host", "host.retry", 1, 20},  // overlays attempt 1
+      {110, 100, 1, "nand", "nand.read", 0, 0},
+      // cmd 2: times out twice, then every attempt is spent -> errored.
+      {500, 10, 2, "host", "host.submit", 0, 1},
+      {510, 0, 2, "host", "host.timeout", 1, 100},
+      {510, 100, 2, "host", "host.retry", 1, 23},
+      {610, 0, 2, "host", "host.timeout", 2, 100},
+      {610, 0, 2, "host", "host.error", 23, 2},
+  };
+  auto cmds = GroupByCommand(recs);
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[0].retries, 1u);
+  EXPECT_FALSE(cmds[0].errored);
+  // 10 submit + 2x100 nand: the 110ns retry span added nothing.
+  EXPECT_EQ(cmds[0].total_ns, 210u);
+  EXPECT_EQ(cmds[0].stage_ns.count("host.retry"), 0u);
+  EXPECT_EQ(cmds[1].retries, 1u);
+  EXPECT_EQ(cmds[1].timeouts, 2u);
+  EXPECT_TRUE(cmds[1].errored);
+
+  auto tails = AttributeTails(cmds);
+  ASSERT_EQ(tails.size(), 1u);
+  EXPECT_EQ(tails[0].op, "read");
+  EXPECT_EQ(tails[0].retries, 2u);
+  EXPECT_EQ(tails[0].timeouts, 2u);
+  EXPECT_EQ(tails[0].retried_commands, 2u);
+  EXPECT_EQ(tails[0].errored_commands, 1u);
+  EXPECT_DOUBLE_EQ(tails[0].error_rate(), 0.5);
+}
+
+TEST(Analysis, CleanTracesReportZeroResilienceActivity) {
+  auto tails = AttributeTails(GroupByCommand(SyntheticTwoCommands()));
+  for (const TailAttribution& t : tails) {
+    EXPECT_EQ(t.retries, 0u);
+    EXPECT_EQ(t.timeouts, 0u);
+    EXPECT_EQ(t.errored_commands, 0u);
+    EXPECT_DOUBLE_EQ(t.error_rate(), 0.0);
+  }
+}
+
 // ---- round trip through a real traced run ----------------------------
 
 std::string TempTracePath(const char* name) {
@@ -187,6 +235,55 @@ TEST(RoundTrip, Qd1SpanSumsMatchMeasuredLatencies) {
     EXPECT_EQ(found->total_ns, static_cast<std::uint64_t>(d.latency));
     EXPECT_EQ(found->op, nvme::ToString(d.op));
   }
+  std::remove(path.c_str());
+}
+
+TEST(RoundTrip, FaultedRunTracesItsRetryHistory) {
+  // One scheduled uncorrectable read against a retrying stack: the trace
+  // must carry the host.retry span and the analysis must report exactly
+  // one retried, recovered read — and no surfaced error.
+  std::string path = TempTracePath("ztrace_faulted.jsonl");
+  {
+    fault::FaultSpec spec;
+    spec.enabled = true;
+    spec.scheduled.push_back(
+        {.at = 0,
+         .kind = fault::FaultKind::kReadUncorrectable,
+         .die = fault::kAnySite,
+         .block = fault::kAnySite});
+    Testbed tb = TestbedBuilder()
+                     .WithZnsProfile(zns::TinyProfile())
+                     .WithFaults(spec)
+                     .WithRetryPolicy({.max_attempts = 4,
+                                       .backoff = sim::Microseconds(50)})
+                     .WithTelemetry({.trace_path = path})
+                     .Build();
+    auto body = [&]() -> sim::Task<> {
+      auto w = co_await tb.stack().Submit(
+          {.opcode = Opcode::kWrite, .slba = 0, .nlb = 4});
+      EXPECT_TRUE(w.completion.ok());
+      auto f = co_await tb.stack().Submit({.opcode = Opcode::kFlush});
+      EXPECT_TRUE(f.completion.ok());
+      auto r = co_await tb.stack().Submit(
+          {.opcode = Opcode::kRead, .slba = 0, .nlb = 4});
+      EXPECT_TRUE(r.completion.ok());
+    };
+    auto t = body();
+    tb.sim().Run();
+    tb.Finish();
+  }
+
+  LoadResult loaded = LoadJsonlFile(path);
+  EXPECT_EQ(loaded.bad_lines, 0u);
+  auto tails = AttributeTails(GroupByCommand(loaded.records));
+  const TailAttribution* read = nullptr;
+  for (const TailAttribution& t : tails) {
+    if (t.op == "read") read = &t;
+  }
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->retries, 1u);
+  EXPECT_EQ(read->retried_commands, 1u);
+  EXPECT_EQ(read->errored_commands, 0u);  // the retry recovered it
   std::remove(path.c_str());
 }
 

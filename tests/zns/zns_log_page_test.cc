@@ -117,7 +117,8 @@ TEST(SmartLog, CountsZoneManagementAndHostActivity) {
   EXPECT_EQ(s.zone_finishes, 1u);
   EXPECT_EQ(s.zone_resets, 1u);
   EXPECT_GE(s.zone_transitions, 4u);
-  EXPECT_EQ(s.io_errors, 0u);
+  EXPECT_EQ(s.host_rejects, 0u);
+  EXPECT_EQ(s.media_errors, 0u);
   // Host-managed placement: ZNS never programs more than the host wrote.
   EXPECT_DOUBLE_EQ(s.write_amplification, 1.0);
 

@@ -241,6 +241,87 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(p.param.seed);
     });
 
+// Degradation property: under random operations interleaved with random
+// zone degradations, degraded zones must never hold open/active slots,
+// must refuse all mutation, and the device's slot accounting must equal a
+// recount from the per-zone states after every step.
+TEST(ZnsDegradationProperty, DegradedZonesHoldNoSlotsAndStayDegraded) {
+  Harness h(QuietTiny());
+  sim::Rng rng(0xD15EA5E);
+  const std::uint32_t zones = h.dev.info().num_zones;
+
+  for (int step = 0; step < 600; ++step) {
+    auto z = static_cast<std::uint32_t>(rng.UniformU64(zones));
+    std::uint64_t kind = rng.UniformU64(100);
+    const ZoneState before = h.dev.GetZoneState(z);
+    const bool degraded =
+        before == ZoneState::kReadOnly || before == ZoneState::kOffline;
+    if (kind < 8 && !degraded) {
+      h.dev.DebugSetZoneState(z, rng.UniformU64(2) == 0
+                                     ? ZoneState::kReadOnly
+                                     : ZoneState::kOffline);
+    } else if (kind < 40) {
+      Status st = h.WriteAtWp(z, 1).status;
+      // Range validation runs before the state check, so a degraded zone
+      // that froze at full capacity reports the boundary error instead.
+      if (before == ZoneState::kReadOnly) {
+        ASSERT_TRUE(st == Status::kZoneIsReadOnly ||
+                    st == Status::kZoneBoundaryError)
+            << ToString(st);
+      } else if (before == ZoneState::kOffline) {
+        ASSERT_TRUE(st == Status::kZoneIsOffline ||
+                    st == Status::kZoneBoundaryError)
+            << ToString(st);
+      }
+    } else if (kind < 65) {
+      Status st = h.Append(z, 1).status;
+      if (before == ZoneState::kReadOnly) {
+        ASSERT_TRUE(st == Status::kZoneIsReadOnly ||
+                    st == Status::kZoneBoundaryError)
+            << ToString(st);
+      } else if (before == ZoneState::kOffline) {
+        ASSERT_TRUE(st == Status::kZoneIsOffline ||
+                    st == Status::kZoneBoundaryError)
+            << ToString(st);
+      }
+    } else if (kind < 75) {
+      Status st = h.Read(z, 0, 1).status;
+      if (before == ZoneState::kOffline) {
+        ASSERT_EQ(st, Status::kZoneIsOffline);
+      } else {
+        ASSERT_EQ(st, Status::kSuccess);
+      }
+    } else {
+      auto action = static_cast<nvme::ZoneAction>(
+          1 + rng.UniformU64(4));  // open/close/finish/reset
+      Status st = h.Mgmt(z, action).status;
+      if (degraded) {
+        ASSERT_EQ(st, Status::kZoneInvalidStateTransition)
+            << "action " << static_cast<int>(action) << " on degraded zone";
+      }
+    }
+
+    // Degraded zones never recover without device service.
+    if (degraded) {
+      ASSERT_EQ(h.dev.GetZoneState(z), before) << "step " << step;
+    }
+
+    // Slot accounting always equals a recount over zone states, and
+    // degraded zones contribute to neither pool.
+    std::uint32_t open = 0;
+    std::uint32_t active = 0;
+    for (std::uint32_t i = 0; i < zones; ++i) {
+      ZoneState st = h.dev.GetZoneState(i);
+      open += IsOpen(st) ? 1 : 0;
+      active += IsActive(st) ? 1 : 0;
+      ASSERT_FALSE(IsOpen(st) && (st == ZoneState::kReadOnly ||
+                                  st == ZoneState::kOffline));
+    }
+    ASSERT_EQ(h.dev.open_zone_count(), open) << "step " << step;
+    ASSERT_EQ(h.dev.active_zone_count(), active) << "step " << step;
+  }
+}
+
 // Conservation property: all bytes acknowledged as written are readable
 // and accounted; counters match.
 TEST(ZnsConservation, AcknowledgedBytesMatchWritePointers) {

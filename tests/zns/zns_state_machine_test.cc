@@ -295,7 +295,8 @@ TEST(ZnsStateMachine, ErrorCountsAreTracked) {
   Harness h(QuietTiny());
   EXPECT_EQ(h.Close(0).status, Status::kZoneInvalidStateTransition);
   EXPECT_EQ(h.Write(0, 5, 1).status, Status::kZoneInvalidWrite);
-  EXPECT_EQ(h.dev.counters().io_errors, 2u);
+  EXPECT_EQ(h.dev.counters().host_rejects, 2u);
+  EXPECT_EQ(h.dev.counters().media_errors, 0u);
 }
 
 TEST(ZnsStateMachine, DebugFillMatchesRealFillObservably) {
@@ -329,6 +330,63 @@ TEST(ZnsStateMachine, NamespaceInfoMatchesProfile) {
   EXPECT_EQ(i.max_open_zones, 3u);
   EXPECT_EQ(i.max_active_zones, 5u);
   EXPECT_EQ(i.capacity_lbas, i.zone_size_lbas * 16);
+}
+
+TEST(ZnsStateMachine, ReadOnlyZoneServesReadsButRejectsMutation) {
+  Harness h(QuietTiny());
+  EXPECT_TRUE(h.Write(0, 0, 4).ok());
+  h.dev.DebugSetZoneState(0, ZoneState::kReadOnly);
+  EXPECT_EQ(h.dev.GetZoneState(0), ZoneState::kReadOnly);
+  // Data written before degradation stays readable.
+  EXPECT_TRUE(h.Read(0, 0, 4).ok());
+  // All mutation is refused.
+  EXPECT_EQ(h.WriteAtWp(0, 1).status, Status::kZoneIsReadOnly);
+  EXPECT_EQ(h.Append(0, 1).status, Status::kZoneIsReadOnly);
+  EXPECT_EQ(h.Open(0).status, Status::kZoneInvalidStateTransition);
+  EXPECT_EQ(h.Close(0).status, Status::kZoneInvalidStateTransition);
+  EXPECT_EQ(h.Finish(0).status, Status::kZoneInvalidStateTransition);
+  EXPECT_EQ(h.Reset(0).status, Status::kZoneInvalidStateTransition);
+  EXPECT_EQ(h.dev.GetZoneState(0), ZoneState::kReadOnly);
+}
+
+TEST(ZnsStateMachine, OfflineZoneRejectsEvenReads) {
+  Harness h(QuietTiny());
+  EXPECT_TRUE(h.Write(0, 0, 4).ok());
+  h.dev.DebugSetZoneState(0, ZoneState::kOffline);
+  // Offline zones lost their data: nothing works, including reads.
+  EXPECT_EQ(h.Read(0, 0, 1).status, Status::kZoneIsOffline);
+  EXPECT_EQ(h.WriteAtWp(0, 1).status, Status::kZoneIsOffline);
+  EXPECT_EQ(h.Append(0, 1).status, Status::kZoneIsOffline);
+  EXPECT_EQ(h.Open(0).status, Status::kZoneInvalidStateTransition);
+  EXPECT_EQ(h.Close(0).status, Status::kZoneInvalidStateTransition);
+  EXPECT_EQ(h.Finish(0).status, Status::kZoneInvalidStateTransition);
+  EXPECT_EQ(h.Reset(0).status, Status::kZoneInvalidStateTransition);
+}
+
+TEST(ZnsStateMachine, DegradationReleasesOpenAndActiveSlots) {
+  Harness h(QuietTiny());
+  EXPECT_TRUE(h.Write(0, 0, 1).ok());  // implicitly opened
+  EXPECT_EQ(h.dev.open_zone_count(), 1u);
+  EXPECT_EQ(h.dev.active_zone_count(), 1u);
+  h.dev.DebugSetZoneState(0, ZoneState::kReadOnly);
+  // A degraded zone consumes no open/active resources: the slots return
+  // to the pool for healthy zones.
+  EXPECT_EQ(h.dev.open_zone_count(), 0u);
+  EXPECT_EQ(h.dev.active_zone_count(), 0u);
+  EXPECT_TRUE(h.Write(1, 0, 1).ok());
+  EXPECT_EQ(h.dev.open_zone_count(), 1u);
+}
+
+TEST(ZnsStateMachine, DegradedZonesShowInTheZoneReport) {
+  Harness h(QuietTiny());
+  EXPECT_TRUE(h.Write(0, 0, 2).ok());
+  h.dev.DebugSetZoneState(0, ZoneState::kReadOnly);
+  h.dev.DebugSetZoneState(1, ZoneState::kOffline);
+  nvme::ZoneReportLog log = h.dev.GetZoneReportLog();
+  EXPECT_EQ(log.read_only_zones, 1u);
+  EXPECT_EQ(log.offline_zones, 1u);
+  // The degradation edges count as zone-state-machine transitions.
+  EXPECT_GE(h.dev.counters().zone_transitions, 2u);
 }
 
 TEST(ZnsStateMachine, Lba512FormatScalesAddressing) {

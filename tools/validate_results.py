@@ -1,8 +1,16 @@
 #!/usr/bin/env python3
-"""Validates a bench --json results document against the DESIGN.md §7
-schema. Stdlib only; used by CI and by hand:
+"""Validates bench machine-readable output against the DESIGN.md §7
+schemas. Stdlib only; used by CI and by hand:
 
     ./tools/validate_results.py BENCH_fig2.json [more.json ...]
+
+Two document kinds are auto-detected by shape:
+
+  * --json results documents (top-level object with "bench"/"series")
+  * --logpages documents (top-level array of {label, logpages} entries;
+    each SMART page must carry the split host_rejects/media_errors
+    counters and the fault/health fields — the pre-split 'io_errors'
+    field is rejected)
 
 Exit status 0 when every document conforms, 1 otherwise (violations on
 stderr)."""
@@ -12,6 +20,19 @@ import sys
 
 POINT_NUMBER_FIELDS = ("x", "value")
 POINT_NULLABLE_FIELDS = ("mean_ns", "p50_ns", "p95_ns", "p99_ns")
+
+# Required SMART counters (nvme::SmartLog): activity, the host_rejects /
+# media_errors split, and the fault-model health fields.
+SMART_REQUIRED_FIELDS = (
+    "host_reads", "host_writes", "bytes_read", "bytes_written",
+    "host_rejects", "media_errors", "read_faults", "write_faults",
+    "retired_blocks", "spare_blocks_used", "spare_blocks_total",
+    "media_read_retries", "zones_degraded_readonly", "zones_failed_offline",
+)
+SMART_RETIRED_FIELDS = ("io_errors",)  # split into the two fields above
+ZONE_ENTRY_REQUIRED_FIELDS = (
+    "zone", "state", "write_pointer", "cap_bytes", "retired_blocks",
+)
 
 
 def fail(path, msg, errors):
@@ -86,6 +107,83 @@ def validate_document(path, doc, errors):
             validate_point(path, i, j, p, errors)
 
 
+def _counter(where, obj, key, errors):
+    """Fetches a required non-negative numeric counter; None on violation."""
+    v = obj.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+        fail(where, f"'{key}' must be a non-negative number, got {v!r}",
+             errors)
+        return None
+    return v
+
+
+def validate_smart(where, smart, errors):
+    if not isinstance(smart, dict):
+        return fail(where, "'smart' must be an object", errors)
+    for key in SMART_REQUIRED_FIELDS:
+        _counter(where, smart, key, errors)
+    for key in SMART_RETIRED_FIELDS:
+        if key in smart:
+            fail(where, f"retired field '{key}' present (split into "
+                        "host_rejects/media_errors)", errors)
+    used = smart.get("spare_blocks_used")
+    total = smart.get("spare_blocks_total")
+    if isinstance(used, (int, float)) and isinstance(total, (int, float)) \
+            and used > total:
+        fail(where, f"spare_blocks_used ({used}) exceeds spare_blocks_total "
+                    f"({total})", errors)
+
+
+def validate_zone_report(where, report, errors):
+    if not isinstance(report, dict):
+        return fail(where, "'zone_report' must be an object", errors)
+    zones = report.get("zones")
+    if not isinstance(zones, list):
+        return fail(where, "'zone_report.zones' must be an array", errors)
+    ro = 0
+    off = 0
+    for j, z in enumerate(zones):
+        zwhere = f"{where}.zones[{j}]"
+        if not isinstance(z, dict):
+            fail(zwhere, "not an object", errors)
+            continue
+        for key in ZONE_ENTRY_REQUIRED_FIELDS:
+            if key not in z:
+                fail(zwhere, f"missing '{key}'", errors)
+        state = z.get("state")
+        if state == "ReadOnly":
+            ro += 1
+        elif state == "Offline":
+            off += 1
+    for key, derived in (("read_only_zones", ro), ("offline_zones", off)):
+        v = _counter(where, report, key, errors)
+        if v is not None and v != derived:
+            fail(where, f"'{key}' is {v} but {derived} zone(s) carry that "
+                        "state", errors)
+
+
+def validate_logpages_document(path, doc, errors):
+    """--logpages output: [{label, logpages: {smart, zone_report?, ...}}]."""
+    for i, entry in enumerate(doc):
+        where = f"{path}: [{i}]"
+        if not isinstance(entry, dict):
+            fail(where, "not an object", errors)
+            continue
+        if not isinstance(entry.get("label"), str) or not entry["label"]:
+            fail(where, "'label' must be a non-empty string", errors)
+        pages = entry.get("logpages")
+        if not isinstance(pages, dict):
+            fail(where, "'logpages' must be an object", errors)
+            continue
+        if "smart" not in pages:
+            fail(where, "missing 'smart' log page", errors)
+        else:
+            validate_smart(f"{where}.smart", pages["smart"], errors)
+        if "zone_report" in pages:
+            validate_zone_report(f"{where}.zone_report",
+                                 pages["zone_report"], errors)
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
@@ -98,8 +196,14 @@ def main(argv):
         except (OSError, json.JSONDecodeError) as e:
             errors.append(f"{path}: {e}")
             continue
+        before = len(errors)
+        if isinstance(doc, list):
+            validate_logpages_document(path, doc, errors)
+            if len(errors) == before:
+                print(f"{path}: ok (log pages, {len(doc)} testbed(s))")
+            continue
         validate_document(path, doc, errors)
-        if not errors:
+        if len(errors) == before:
             n_series = len(doc.get("series", []))
             n_points = sum(len(s.get("points", []))
                            for s in doc.get("series", [])

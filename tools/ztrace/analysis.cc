@@ -105,6 +105,21 @@ std::vector<CommandTrace> GroupByCommand(
     CommandTrace& ct = out[it->second];
     ct.begin = std::min(ct.begin, r.ts);
     ct.end = std::max(ct.end, r.end());
+    // Resilience events are counted, not timed: a "host.retry" span
+    // overlays the failed attempt's own device spans, so adding its
+    // duration would double-count that attempt.
+    if (r.name == "host.retry") {
+      ct.retries++;
+      continue;
+    }
+    if (r.name == "host.timeout") {
+      ct.timeouts++;
+      continue;
+    }
+    if (r.name == "host.error") {
+      ct.errored = true;
+      continue;
+    }
     ct.total_ns += r.dur;
     ct.stage_ns[r.name] += r.dur;
     if (r.name == "host.submit" ||
@@ -132,6 +147,10 @@ std::vector<TailAttribution> AttributeTails(
     for (const CommandTrace* c : members) {
       totals.push_back(c->total_ns);
       sum += static_cast<double>(c->total_ns);
+      t.retries += c->retries;
+      t.timeouts += c->timeouts;
+      if (c->retries > 0) t.retried_commands++;
+      if (c->errored) t.errored_commands++;
     }
     std::sort(totals.begin(), totals.end());
     t.mean_ns = sum / static_cast<double>(totals.size());

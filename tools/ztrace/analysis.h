@@ -78,10 +78,18 @@ struct CommandTrace {
   std::uint64_t begin = 0;  // earliest span start
   std::uint64_t end = 0;    // latest span end
   /// Sum of span durations. By the span-tiling invariant this equals
-  /// end - begin (the measured latency) for QD=1 commands.
+  /// end - begin (the measured latency) for QD=1 commands. "host.retry"
+  /// spans are excluded: they overlay the failed attempt's own device
+  /// spans and would double-count its time.
   std::uint64_t total_ns = 0;
-  /// Per-stage service time, keyed by span name.
+  /// Per-stage service time, keyed by span name (same exclusion).
   std::map<std::string, std::uint64_t> stage_ns;
+  /// Resilience events (hostif::ResilientStack): failed-then-reissued
+  /// attempts, per-attempt timeouts, and whether an error ultimately
+  /// surfaced to the caller.
+  std::uint32_t retries = 0;   // "host.retry" spans
+  std::uint32_t timeouts = 0;  // "host.timeout" instants
+  bool errored = false;        // "host.error" instant present
 };
 
 /// Groups command-scoped records (cmd != 0) into per-command traces,
@@ -104,6 +112,19 @@ struct TailAttribution {
   /// argmax of the above: the stage the tail spends most time in.
   std::string p95_dominant;
   std::string p99_dominant;
+  /// Resilience rollup: host-layer retry/timeout totals and how many
+  /// commands surfaced an error despite them.
+  std::uint64_t retries = 0;
+  std::uint64_t timeouts = 0;
+  std::size_t retried_commands = 0;
+  std::size_t errored_commands = 0;
+
+  /// Caller-visible error fraction of this op class (0 when clean).
+  double error_rate() const {
+    return commands == 0 ? 0.0
+                         : static_cast<double>(errored_commands) /
+                               static_cast<double>(commands);
+  }
 };
 
 /// Per-op-class latency distribution and tail attribution, sorted by

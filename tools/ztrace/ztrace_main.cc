@@ -68,9 +68,9 @@ void PrintBreakdown(const std::vector<StageStat>& stages) {
 
 void PrintTails(const std::vector<TailAttribution>& tails) {
   std::printf("\nPer-op-class latency and tail attribution:\n");
-  std::printf("  %-14s %8s %10s %10s %10s %10s  %s\n", "op", "cmds",
-              "mean_us", "p50_us", "p95_us", "p99_us",
-              "tail dominated by");
+  std::printf("  %-14s %8s %10s %10s %10s %10s %8s %7s  %s\n", "op",
+              "cmds", "mean_us", "p50_us", "p95_us", "p99_us", "retries",
+              "err%", "tail dominated by");
   for (const TailAttribution& t : tails) {
     double p95_share = 0.0;
     if (auto it = t.p95_stage_ns.find(t.p95_dominant);
@@ -79,11 +79,27 @@ void PrintTails(const std::vector<TailAttribution>& tails) {
       for (const auto& [stage, ns] : t.p95_stage_ns) tail_total += ns;
       if (tail_total > 0) p95_share = 100.0 * it->second / tail_total;
     }
-    std::printf("  %-14s %8zu %10.2f %10.2f %10.2f %10.2f  "
+    std::printf("  %-14s %8zu %10.2f %10.2f %10.2f %10.2f %8llu %6.2f%%  "
                 "p95: %s (%.0f%%), p99: %s\n",
                 t.op.c_str(), t.commands, Us(t.mean_ns), Us(t.p50_ns),
-                Us(t.p95_ns), Us(t.p99_ns), t.p95_dominant.c_str(),
-                p95_share, t.p99_dominant.c_str());
+                Us(t.p95_ns), Us(t.p99_ns),
+                static_cast<unsigned long long>(t.retries),
+                100.0 * t.error_rate(), t.p95_dominant.c_str(), p95_share,
+                t.p99_dominant.c_str());
+  }
+  // Resilience rollup line: only when the trace has any retry activity.
+  std::uint64_t retries = 0, timeouts = 0;
+  std::size_t errored = 0;
+  for (const TailAttribution& t : tails) {
+    retries += t.retries;
+    timeouts += t.timeouts;
+    errored += t.errored_commands;
+  }
+  if (retries + timeouts + errored > 0) {
+    std::printf("  host resilience: %llu retried attempt(s), %llu "
+                "timeout(s), %zu command(s) surfaced an error\n",
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(timeouts), errored);
   }
 }
 
