@@ -7,11 +7,13 @@
 //  3. GC watermark hysteresis -> conventional write-throughput CV (Fig. 6a)
 //  4. Reset slice length      -> the Obs. 12 / Obs. 13 tradeoff
 #include <cstdio>
+#include <vector>
 
 #include "ftl/conv_device.h"
 #include "harness/bench_flags.h"
 #include "harness/experiments.h"
 #include "harness/gc_experiment.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "hostif/spdk_stack.h"
 #include "workload/runner.h"
@@ -106,15 +108,21 @@ SliceResult ResetSliceTradeoff(sim::Time slice) {
 int main(int argc, char** argv) {
   harness::InitBench(argc, argv);
   auto& results = harness::Results();
+  // Each ablation's sweep points are computed up front (possibly on
+  // --jobs threads) and recorded serially (see harness/parallel.h).
   harness::Banner(
       "Ablation 1 — ZNS write-back buffer size vs read tail under load");
   {
     harness::Table t({"buffer", "read p95 under full-rate appends"});
-    for (std::uint64_t mib : {16ull, 48ull, 96ull, 192ull}) {
-      double p95 = ReadP95UnderLoadMs(mib << 20);
+    const std::vector<std::uint64_t> mibs = {16, 48, 96, 192};
+    std::vector<double> sweep =
+        harness::ParallelSweep(mibs.size(), [&](std::size_t i) {
+          return ReadP95UnderLoadMs(mibs[i] << 20);
+        });
+    for (std::size_t i = 0; i < mibs.size(); ++i) {
       results.Series("ablation1_read_p95_vs_buffer", "ms")
-          .Add(static_cast<double>(mib), p95);
-      t.AddRow({std::to_string(mib) + "MiB", harness::FmtMs(p95)});
+          .Add(static_cast<double>(mibs[i]), sweep[i]);
+      t.AddRow({std::to_string(mibs[i]) + "MiB", harness::FmtMs(sweep[i])});
     }
     t.Print();
     std::printf(
@@ -126,10 +134,15 @@ int main(int argc, char** argv) {
       "Ablation 2 — FCP append cost vs the append saturation plateau");
   {
     harness::Table t({"fcp.append", "intra-zone append saturation"});
-    for (double us : {3.79, 7.58, 15.16}) {
-      double kiops = AppendSaturationKiops(sim::Microseconds(us));
-      results.Series("ablation2_append_saturation", "KIOPS").Add(us, kiops);
-      t.AddRow({harness::FmtUs(us), harness::FmtKiops(kiops)});
+    const std::vector<double> costs = {3.79, 7.58, 15.16};
+    std::vector<double> sweep =
+        harness::ParallelSweep(costs.size(), [&](std::size_t i) {
+          return AppendSaturationKiops(sim::Microseconds(costs[i]));
+        });
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+      results.Series("ablation2_append_saturation", "KIOPS")
+          .Add(costs[i], sweep[i]);
+      t.AddRow({harness::FmtUs(costs[i]), harness::FmtKiops(sweep[i])});
     }
     t.Print();
     std::printf(
@@ -142,12 +155,15 @@ int main(int argc, char** argv) {
   {
     harness::Table t(
         {"OP fraction", "write amplification", "sustained writes"});
-    for (double op : {0.07, 0.125, 0.25}) {
-      OpResult r = ConvOpSweep(op);
-      results.Series("ablation3_write_amplification", "").Add(op, r.wa);
+    const std::vector<double> ops = {0.07, 0.125, 0.25};
+    std::vector<OpResult> sweep = harness::ParallelSweep(
+        ops.size(), [&](std::size_t i) { return ConvOpSweep(ops[i]); });
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const OpResult& r = sweep[i];
+      results.Series("ablation3_write_amplification", "").Add(ops[i], r.wa);
       results.Series("ablation3_sustained_write", "MiB/s")
-          .Add(op, r.write_mibps);
-      t.AddRow({harness::Fmt(100 * op, 1) + "%", harness::Fmt(r.wa, 2),
+          .Add(ops[i], r.write_mibps);
+      t.AddRow({harness::Fmt(100 * ops[i], 1) + "%", harness::Fmt(r.wa, 2),
                 harness::FmtMibps(r.write_mibps)});
     }
     t.Print();
@@ -163,13 +179,18 @@ int main(int argc, char** argv) {
   {
     harness::Table t(
         {"slice", "concurrent 4KiB write mean", "reset p95"});
-    for (double us : {1.0, 16.0, 256.0}) {
-      SliceResult r = ResetSliceTradeoff(sim::Microseconds(us));
+    const std::vector<double> slices = {1.0, 16.0, 256.0};
+    std::vector<SliceResult> sweep =
+        harness::ParallelSweep(slices.size(), [&](std::size_t i) {
+          return ResetSliceTradeoff(sim::Microseconds(slices[i]));
+        });
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      const SliceResult& r = sweep[i];
       results.Series("ablation4_io_mean_vs_slice", "us")
-          .Add(us, r.io_mean_us);
+          .Add(slices[i], r.io_mean_us);
       results.Series("ablation4_reset_p95_vs_slice", "ms")
-          .Add(us, r.reset_p95_ms);
-      t.AddRow({harness::FmtUs(us), harness::FmtUs(r.io_mean_us),
+          .Add(slices[i], r.reset_p95_ms);
+      t.AddRow({harness::FmtUs(slices[i]), harness::FmtUs(r.io_mean_us),
                 harness::FmtMs(r.reset_p95_ms)});
     }
     t.Print();

@@ -11,9 +11,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "fault/fault_plan.h"
 #include "harness/bench_flags.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "harness/testbed.h"
 #include "workload/runner.h"
@@ -205,16 +207,27 @@ int main(int argc, char** argv) {
   results.Config("base_faults", fault::FormatFaultSpec(base));
   results.Config("retry_policy", "max_attempts=4,backoff_us=100");
 
+  // Each sweep's points are computed up front (possibly on --jobs
+  // threads; every point builds its own seeded Testbed) and recorded
+  // serially in index order (see harness/parallel.h).
+
   harness::Banner(
       "Fault sweep 1 — read tail latency vs media error rate (ZN540)");
   {
     harness::Table t({"fault rate", "read p50", "read p95", "read p99",
                       "read bw", "nand retries", "uncorrectable",
                       "recovered", "caller errors"});
-    for (double mult : {0.0, 1.0, 4.0, 16.0}) {
-      fault::FaultSpec spec = ScaleRates(base, mult);
+    const std::vector<double> mults = {0.0, 1.0, 4.0, 16.0};
+    std::vector<SweepResult> sweep =
+        harness::ParallelSweep(mults.size(), [&](std::size_t i) {
+          return ReadTailUnderFaults(
+              ScaleRates(base, mults[i]),
+              "rates-" + harness::Fmt(mults[i], 0) + "x");
+        });
+    for (std::size_t i = 0; i < mults.size(); ++i) {
+      double mult = mults[i];
       std::string label = harness::Fmt(mult, 0) + "x";
-      SweepResult r = ReadTailUnderFaults(spec, "rates-" + label);
+      const SweepResult& r = sweep[i];
       results.Series("read_p99_vs_fault_rate", "us")
           .AddLabeled(label, mult, r.read_p99_us, r.read_job.latency);
       results.Series("read_mibps_vs_fault_rate", "MiB/s")
@@ -244,8 +257,14 @@ int main(int argc, char** argv) {
   {
     harness::Table t({"max attempts", "errors / 100k ops", "read p99",
                       "retries", "recovered", "exhausted"});
-    for (std::uint32_t attempts : {1u, 2u, 4u}) {
-      RetryResult r = RetryBudgetSweep(attempts);
+    const std::vector<std::uint32_t> budgets = {1, 2, 4};
+    std::vector<RetryResult> sweep =
+        harness::ParallelSweep(budgets.size(), [&](std::size_t i) {
+          return RetryBudgetSweep(budgets[i]);
+        });
+    for (std::size_t i = 0; i < budgets.size(); ++i) {
+      std::uint32_t attempts = budgets[i];
+      const RetryResult& r = sweep[i];
       double x = attempts;
       results.Series("caller_error_rate_vs_retry_budget", "per 100k ops")
           .Add(x, r.errors_per_100k);
@@ -266,8 +285,12 @@ int main(int argc, char** argv) {
     harness::Table t({"wear slope", "wear-boosted ops", "retry steps",
                       "program fails", "retired blocks", "zones degraded",
                       "caller errors"});
-    for (double slope : {0.0, 1e-4, 4e-4}) {
-      WearResult r = WearOutSweep(slope);
+    const std::vector<double> slopes = {0.0, 1e-4, 4e-4};
+    std::vector<WearResult> sweep = harness::ParallelSweep(
+        slopes.size(), [&](std::size_t i) { return WearOutSweep(slopes[i]); });
+    for (std::size_t i = 0; i < slopes.size(); ++i) {
+      double slope = slopes[i];
+      const WearResult& r = sweep[i];
       results.Series("wear_retry_steps_vs_slope", "steps")
           .Add(slope, static_cast<double>(r.read_retry_steps));
       results.Series("wear_program_failures_vs_slope", "fails")

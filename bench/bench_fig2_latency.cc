@@ -9,15 +9,30 @@
 // slower (Observations #1, #2, #4).
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "harness/bench_flags.h"
 #include "harness/experiments.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "zns/profile.h"
 
 using namespace zstor;
 using harness::StackKind;
 using nvme::Opcode;
+
+namespace {
+
+struct Param {
+  StackKind kind;
+  std::uint32_t lba;
+};
+
+struct Measured {  // all QD1 latencies for one (stack, format) point
+  double write_lba = 0, append_lba = 0, write_4k = 0, append_8k = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   harness::InitBench(argc, argv);
@@ -26,25 +41,44 @@ int main(int argc, char** argv) {
   results.Config("profile", "ZN540");
   results.Config("qd", 1.0);
 
+  // Compute every sweep point (possibly on --jobs threads; each point
+  // builds its own testbed), then record serially in index order so the
+  // output is identical for any job count.
+  std::vector<Param> params;
+  for (StackKind kind : {StackKind::kSpdk, StackKind::kKernelNone,
+                         StackKind::kKernelMq}) {
+    for (std::uint32_t lba : {512u, 4096u}) params.push_back({kind, lba});
+  }
+  std::vector<Measured> sweep =
+      harness::ParallelSweep(params.size(), [&](std::size_t i) {
+        const Param& p = params[i];
+        Measured m;
+        m.write_lba = harness::Qd1LatencyUs(profile, p.kind, Opcode::kWrite,
+                                            p.lba, p.lba);
+        m.append_lba = harness::Qd1LatencyUs(profile, p.kind, Opcode::kAppend,
+                                             p.lba, p.lba);
+        m.write_4k = harness::Qd1LatencyUs(profile, p.kind, Opcode::kWrite,
+                                           4096, p.lba);
+        m.append_8k = harness::Qd1LatencyUs(profile, p.kind, Opcode::kAppend,
+                                            8192, p.lba);
+        return m;
+      });
+
   harness::Banner(
       "Figure 2a — QD1 latency, request size == LBA size (us)");
   {
     harness::Table t({"stack", "format", "write", "append"});
-    for (StackKind kind : {StackKind::kSpdk, StackKind::kKernelNone,
-                           StackKind::kKernelMq}) {
-      for (std::uint32_t lba : {512u, 4096u}) {
-        double w = harness::Qd1LatencyUs(profile, kind, Opcode::kWrite,
-                                         lba, lba);
-        double a = harness::Qd1LatencyUs(profile, kind, Opcode::kAppend,
-                                         lba, lba);
-        std::string label = std::string(harness::ToString(kind)) + "/" +
-                            (lba == 512 ? "512B" : "4KiB");
-        results.Series("fig2a_write_latency", "us").AddLabeled(label, lba, w);
-        results.Series("fig2a_append_latency", "us").AddLabeled(label, lba, a);
-        t.AddRow({harness::ToString(kind),
-                  lba == 512 ? "512B" : "4KiB", harness::FmtUs(w),
-                  harness::FmtUs(a)});
-      }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const Param& p = params[i];
+      const Measured& m = sweep[i];
+      std::string label = std::string(harness::ToString(p.kind)) + "/" +
+                          (p.lba == 512 ? "512B" : "4KiB");
+      results.Series("fig2a_write_latency", "us")
+          .AddLabeled(label, p.lba, m.write_lba);
+      results.Series("fig2a_append_latency", "us")
+          .AddLabeled(label, p.lba, m.append_lba);
+      t.AddRow({harness::ToString(p.kind), p.lba == 512 ? "512B" : "4KiB",
+                harness::FmtUs(m.write_lba), harness::FmtUs(m.append_lba)});
     }
     t.Print();
     std::printf(
@@ -57,22 +91,17 @@ int main(int argc, char** argv) {
   {
     harness::Table t(
         {"stack", "format", "write(4KiB)", "append(8KiB)"});
-    for (StackKind kind : {StackKind::kSpdk, StackKind::kKernelNone,
-                           StackKind::kKernelMq}) {
-      for (std::uint32_t lba : {512u, 4096u}) {
-        double w = harness::Qd1LatencyUs(profile, kind, Opcode::kWrite,
-                                         4096, lba);
-        double a = harness::Qd1LatencyUs(profile, kind, Opcode::kAppend,
-                                         8192, lba);
-        std::string label = std::string(harness::ToString(kind)) + "/" +
-                            (lba == 512 ? "512B" : "4KiB");
-        results.Series("fig2b_write4k_latency", "us").AddLabeled(label, lba, w);
-        results.Series("fig2b_append8k_latency", "us")
-            .AddLabeled(label, lba, a);
-        t.AddRow({harness::ToString(kind),
-                  lba == 512 ? "512B" : "4KiB", harness::FmtUs(w),
-                  harness::FmtUs(a)});
-      }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const Param& p = params[i];
+      const Measured& m = sweep[i];
+      std::string label = std::string(harness::ToString(p.kind)) + "/" +
+                          (p.lba == 512 ? "512B" : "4KiB");
+      results.Series("fig2b_write4k_latency", "us")
+          .AddLabeled(label, p.lba, m.write_4k);
+      results.Series("fig2b_append8k_latency", "us")
+          .AddLabeled(label, p.lba, m.append_8k);
+      t.AddRow({harness::ToString(p.kind), p.lba == 512 ? "512B" : "4KiB",
+                harness::FmtUs(m.write_4k), harness::FmtUs(m.append_8k)});
     }
     t.Print();
     std::printf(

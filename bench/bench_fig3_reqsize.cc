@@ -5,9 +5,11 @@
 // improve from 66 to 69 KIOPS when doubling 4 KiB to 8 KiB; bytes
 // throughput is highest for requests >= 32 KiB (Observation #3).
 #include <cstdio>
+#include <vector>
 
 #include "harness/bench_flags.h"
 #include "harness/experiments.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "zns/profile.h"
 
@@ -22,34 +24,45 @@ int main(int argc, char** argv) {
   results.Config("stack", "spdk");
   results.Config("qd", 1.0);
 
+  // One sweep point per (op, request size); computed possibly in
+  // parallel, recorded serially in index order (see harness/parallel.h).
+  const std::vector<std::uint64_t> reqs = {4096,  8192,  16384,
+                                           32768, 65536, 131072};
+  const std::vector<Opcode> ops = {Opcode::kWrite, Opcode::kAppend};
+  std::vector<double> kiops =
+      harness::ParallelSweep(ops.size() * reqs.size(), [&](std::size_t i) {
+        return harness::Qd1Kiops(profile, ops[i / reqs.size()],
+                                 reqs[i % reqs.size()]);
+      });
+
   harness::Banner("Figure 3a — write KIOPS vs request size (SPDK, QD1)");
   harness::Table tw({"request", "KIOPS", "MiB/s"});
-  for (std::uint64_t req :
-       {4096ull, 8192ull, 16384ull, 32768ull, 65536ull, 131072ull}) {
-    double kiops = harness::Qd1Kiops(profile, Opcode::kWrite, req);
-    double mibps = kiops * 1000.0 * static_cast<double>(req) / (1 << 20);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    std::uint64_t req = reqs[i];
+    double k = kiops[i];
+    double mibps = k * 1000.0 * static_cast<double>(req) / (1 << 20);
     results.Series("fig3a_write_kiops", "KIOPS")
-        .Add(static_cast<double>(req), kiops);
+        .Add(static_cast<double>(req), k);
     results.Series("fig3a_write_mibps", "MiB/s")
         .Add(static_cast<double>(req), mibps);
-    tw.AddRow({std::to_string(req / 1024) + "KiB",
-               harness::FmtKiops(kiops), harness::FmtMibps(mibps)});
+    tw.AddRow({std::to_string(req / 1024) + "KiB", harness::FmtKiops(k),
+               harness::FmtMibps(mibps)});
   }
   tw.Print();
   std::printf("  paper: ~85 KIOPS at 4 and 8 KiB; IOPS fall beyond 8 KiB\n");
 
   harness::Banner("Figure 3b — append KIOPS vs request size (SPDK, QD1)");
   harness::Table ta({"request", "KIOPS", "MiB/s"});
-  for (std::uint64_t req :
-       {4096ull, 8192ull, 16384ull, 32768ull, 65536ull, 131072ull}) {
-    double kiops = harness::Qd1Kiops(profile, Opcode::kAppend, req);
-    double mibps = kiops * 1000.0 * static_cast<double>(req) / (1 << 20);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    std::uint64_t req = reqs[i];
+    double k = kiops[reqs.size() + i];
+    double mibps = k * 1000.0 * static_cast<double>(req) / (1 << 20);
     results.Series("fig3b_append_kiops", "KIOPS")
-        .Add(static_cast<double>(req), kiops);
+        .Add(static_cast<double>(req), k);
     results.Series("fig3b_append_mibps", "MiB/s")
         .Add(static_cast<double>(req), mibps);
-    ta.AddRow({std::to_string(req / 1024) + "KiB",
-               harness::FmtKiops(kiops), harness::FmtMibps(mibps)});
+    ta.AddRow({std::to_string(req / 1024) + "KiB", harness::FmtKiops(k),
+               harness::FmtMibps(mibps)});
   }
   ta.Print();
   std::printf(

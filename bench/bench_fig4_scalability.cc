@@ -16,9 +16,11 @@
 // QD 128 (Obs. 7); >= 8 KiB requests reach the ~1155 MiB/s device limit
 // with 2-4 zones (Obs. 8).
 #include <cstdio>
+#include <vector>
 
 #include "harness/bench_flags.h"
 #include "harness/experiments.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "zns/profile.h"
 
@@ -31,22 +33,39 @@ int main(int argc, char** argv) {
   auto& results = harness::Results();
   results.Config("profile", "ZN540");
 
+  // Each section's sweep points are computed up front (possibly on
+  // --jobs threads) and recorded serially in index order, so output is
+  // byte-identical for any job count (see harness/parallel.h).
   harness::Banner("Figure 4a — intra-zone scalability, 4 KiB (KIOPS)");
   {
+    const std::vector<std::uint32_t> qds = {1, 2, 4, 8, 16, 32, 64, 128};
+    struct Point {
+      workload::JobResult read, write, append;
+      double merged = 0;
+    };
+    std::vector<Point> sweep =
+        harness::ParallelSweep(qds.size(), [&](std::size_t i) {
+          std::uint32_t qd = qds[i];
+          Point p;
+          p.read = harness::IntraZone(profile, Opcode::kRead, 4096, qd);
+          p.write =
+              harness::IntraZone(profile, Opcode::kWrite, 4096, qd, &p.merged);
+          p.append = harness::IntraZone(profile, Opcode::kAppend, 4096, qd);
+          return p;
+        });
     harness::Table t({"QD", "read(spdk)", "write(kernel-mq)",
                       "append(spdk)", "merged%"});
-    for (std::uint32_t qd : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
-      auto r = harness::IntraZone(profile, Opcode::kRead, 4096, qd);
-      double merged = 0;
-      auto w = harness::IntraZone(profile, Opcode::kWrite, 4096, qd, &merged);
-      auto a = harness::IntraZone(profile, Opcode::kAppend, 4096, qd);
-      results.Series("fig4a_read_kiops", "KIOPS").Add(qd, r.Kiops());
-      results.Series("fig4a_write_kiops", "KIOPS").Add(qd, w.Kiops());
-      results.Series("fig4a_append_kiops", "KIOPS").Add(qd, a.Kiops());
-      results.Series("fig4a_write_merged", "%").Add(qd, 100 * merged);
-      t.AddRow({std::to_string(qd), harness::FmtKiops(r.Kiops()),
-                harness::FmtKiops(w.Kiops()), harness::FmtKiops(a.Kiops()),
-                harness::Fmt(100 * merged, 1)});
+    for (std::size_t i = 0; i < qds.size(); ++i) {
+      std::uint32_t qd = qds[i];
+      const Point& p = sweep[i];
+      results.Series("fig4a_read_kiops", "KIOPS").Add(qd, p.read.Kiops());
+      results.Series("fig4a_write_kiops", "KIOPS").Add(qd, p.write.Kiops());
+      results.Series("fig4a_append_kiops", "KIOPS").Add(qd, p.append.Kiops());
+      results.Series("fig4a_write_merged", "%").Add(qd, 100 * p.merged);
+      t.AddRow({std::to_string(qd), harness::FmtKiops(p.read.Kiops()),
+                harness::FmtKiops(p.write.Kiops()),
+                harness::FmtKiops(p.append.Kiops()),
+                harness::Fmt(100 * p.merged, 1)});
     }
     t.Print();
     std::printf(
@@ -56,16 +75,29 @@ int main(int argc, char** argv) {
 
   harness::Banner("Figure 4b — inter-zone scalability, 4 KiB QD1 (KIOPS)");
   {
+    const std::vector<std::uint32_t> zones = {1, 2, 4, 8, 14};
+    struct Point {
+      workload::JobResult read, write, append;
+    };
+    std::vector<Point> sweep =
+        harness::ParallelSweep(zones.size(), [&](std::size_t i) {
+          std::uint32_t z = zones[i];
+          Point p;
+          p.read = harness::InterZone(profile, Opcode::kRead, 4096, z);
+          p.write = harness::InterZone(profile, Opcode::kWrite, 4096, z);
+          p.append = harness::InterZone(profile, Opcode::kAppend, 4096, z);
+          return p;
+        });
     harness::Table t({"zones", "read", "write", "append"});
-    for (std::uint32_t z : {1u, 2u, 4u, 8u, 14u}) {
-      auto r = harness::InterZone(profile, Opcode::kRead, 4096, z);
-      auto w = harness::InterZone(profile, Opcode::kWrite, 4096, z);
-      auto a = harness::InterZone(profile, Opcode::kAppend, 4096, z);
-      results.Series("fig4b_read_kiops", "KIOPS").Add(z, r.Kiops());
-      results.Series("fig4b_write_kiops", "KIOPS").Add(z, w.Kiops());
-      results.Series("fig4b_append_kiops", "KIOPS").Add(z, a.Kiops());
-      t.AddRow({std::to_string(z), harness::FmtKiops(r.Kiops()),
-                harness::FmtKiops(w.Kiops()), harness::FmtKiops(a.Kiops())});
+    for (std::size_t i = 0; i < zones.size(); ++i) {
+      std::uint32_t z = zones[i];
+      const Point& p = sweep[i];
+      results.Series("fig4b_read_kiops", "KIOPS").Add(z, p.read.Kiops());
+      results.Series("fig4b_write_kiops", "KIOPS").Add(z, p.write.Kiops());
+      results.Series("fig4b_append_kiops", "KIOPS").Add(z, p.append.Kiops());
+      t.AddRow({std::to_string(z), harness::FmtKiops(p.read.Kiops()),
+                harness::FmtKiops(p.write.Kiops()),
+                harness::FmtKiops(p.append.Kiops())});
     }
     t.Print();
     std::printf(
@@ -76,20 +108,36 @@ int main(int argc, char** argv) {
   harness::Banner(
       "Figure 4c — bandwidth: intra-zone append vs inter-zone write");
   {
+    const std::vector<std::uint32_t> concs = {1, 2, 4, 8};
+    const std::vector<std::uint64_t> reqs = {4096, 8192, 16384};
+    struct Point {
+      workload::JobResult append, write;
+    };
+    std::vector<Point> sweep = harness::ParallelSweep(
+        concs.size() * reqs.size(), [&](std::size_t i) {
+          std::uint32_t c = concs[i / reqs.size()];
+          std::uint64_t req = reqs[i % reqs.size()];
+          Point p;
+          p.append = harness::IntraZone(profile, Opcode::kAppend, req, c);
+          p.write = harness::InterZone(profile, Opcode::kWrite, req, c);
+          return p;
+        });
     harness::Table t({"concurrency", "op", "4KiB", "8KiB", "16KiB"});
-    for (std::uint32_t c : {1u, 2u, 4u, 8u}) {
+    for (std::size_t ci = 0; ci < concs.size(); ++ci) {
+      std::uint32_t c = concs[ci];
       std::vector<std::string> arow = {std::to_string(c), "append(intra)"};
       std::vector<std::string> wrow = {std::to_string(c), "write(inter)"};
-      for (std::uint64_t req : {4096ull, 8192ull, 16384ull}) {
-        auto a = harness::IntraZone(profile, Opcode::kAppend, req, c);
-        auto w = harness::InterZone(profile, Opcode::kWrite, req, c);
-        std::string kib = std::to_string(req / 1024) + "KiB";
+      for (std::size_t ri = 0; ri < reqs.size(); ++ri) {
+        const Point& p = sweep[ci * reqs.size() + ri];
+        std::string kib = std::to_string(reqs[ri] / 1024) + "KiB";
         results.Series("fig4c_append_intra_mibps", "MiB/s")
-            .AddLabeled(kib + "/c" + std::to_string(c), c, a.MibPerSec());
+            .AddLabeled(kib + "/c" + std::to_string(c), c,
+                        p.append.MibPerSec());
         results.Series("fig4c_write_inter_mibps", "MiB/s")
-            .AddLabeled(kib + "/c" + std::to_string(c), c, w.MibPerSec());
-        arow.push_back(harness::FmtMibps(a.MibPerSec()));
-        wrow.push_back(harness::FmtMibps(w.MibPerSec()));
+            .AddLabeled(kib + "/c" + std::to_string(c), c,
+                        p.write.MibPerSec());
+        arow.push_back(harness::FmtMibps(p.append.MibPerSec()));
+        wrow.push_back(harness::FmtMibps(p.write.MibPerSec()));
       }
       t.AddRow(arow);
       t.AddRow(wrow);

@@ -8,9 +8,11 @@
 // linearly from 907.51 ms (<0.1% occupancy) to 3.07 ms (~100%), a ~295x
 // span (Observation #10).
 #include <cstdio>
+#include <vector>
 
 #include "harness/bench_flags.h"
 #include "harness/experiments.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "zns/profile.h"
 
@@ -22,21 +24,36 @@ int main(int argc, char** argv) {
   auto& results = harness::Results();
   results.Config("profile", "ZN540");
 
+  // Sweep points computed up front (possibly on --jobs threads), then
+  // recorded serially in index order (see harness/parallel.h).
   harness::Banner("Figure 5a — reset latency vs zone occupancy");
   {
+    const std::vector<double> occs = {0.0, 0.0625, 0.125, 0.25, 0.5, 1.0};
+    struct Point {
+      double plain = 0, fin = 0;
+    };
+    std::vector<Point> sweep =
+        harness::ParallelSweep(occs.size(), [&](std::size_t i) {
+          double occ = occs[i];
+          Point p;
+          p.plain = harness::ResetLatencyMs(profile, occ, false);
+          p.fin = occ > 0 ? harness::ResetLatencyMs(profile, occ, true)
+                          : p.plain;
+          return p;
+        });
     harness::Table t({"occupancy", "reset", "finish-then-reset"});
-    for (double occ : {0.0, 0.0625, 0.125, 0.25, 0.5, 1.0}) {
-      double plain = harness::ResetLatencyMs(profile, occ, false);
-      double fin = occ > 0 ? harness::ResetLatencyMs(profile, occ, true)
-                           : plain;
-      results.Series("fig5a_reset_latency", "ms").Add(occ, plain);
+    for (std::size_t i = 0; i < occs.size(); ++i) {
+      double occ = occs[i];
+      const Point& p = sweep[i];
+      results.Series("fig5a_reset_latency", "ms").Add(occ, p.plain);
       if (occ > 0) {
-        results.Series("fig5a_finish_then_reset_latency", "ms").Add(occ, fin);
+        results.Series("fig5a_finish_then_reset_latency", "ms")
+            .Add(occ, p.fin);
       }
       char label[16];
       std::snprintf(label, sizeof label, "%.2f%%", occ * 100);
-      t.AddRow({occ == 0 ? "empty" : label, harness::FmtMs(plain),
-                occ == 0 ? "-" : harness::FmtMs(fin)});
+      t.AddRow({occ == 0 ? "empty" : label, harness::FmtMs(p.plain),
+                occ == 0 ? "-" : harness::FmtMs(p.fin)});
     }
     t.Print();
     std::printf(
@@ -46,14 +63,20 @@ int main(int argc, char** argv) {
 
   harness::Banner("Figure 5b — finish latency vs zone occupancy");
   {
+    const std::vector<double> occs = {0.0, 0.0625, 0.125, 0.25,
+                                      0.5, 0.75,   1.0};
+    std::vector<double> sweep =
+        harness::ParallelSweep(occs.size(), [&](std::size_t i) {
+          return harness::FinishLatencyMs(profile, occs[i], 4);
+        });
     harness::Table t({"occupancy", "finish"});
-    for (double occ : {0.0, 0.0625, 0.125, 0.25, 0.5, 0.75, 1.0}) {
-      double ms = harness::FinishLatencyMs(profile, occ, 4);
-      results.Series("fig5b_finish_latency", "ms").Add(occ, ms);
+    for (std::size_t i = 0; i < occs.size(); ++i) {
+      double occ = occs[i];
+      results.Series("fig5b_finish_latency", "ms").Add(occ, sweep[i]);
       char label[16];
       std::snprintf(label, sizeof label, "%.2f%%", occ * 100);
       t.AddRow({occ == 0 ? "<0.1%" : (occ == 1.0 ? "~100%" : label),
-                harness::FmtMs(ms)});
+                harness::FmtMs(sweep[i])});
     }
     t.Print();
     std::printf(

@@ -9,10 +9,13 @@
 // MiB/s and ~1200 MiB/s (6a); its reads collapse to <= 3 MiB/s (6b); ZNS
 // is stable at every rate limit. Read p95 under full-rate writes:
 // 299.89 ms conventional vs 98.04 ms ZNS; read-only p95 is 81.41 us.
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "harness/bench_flags.h"
 #include "harness/gc_experiment.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 
 using namespace zstor;
@@ -22,10 +25,18 @@ int main(int argc, char** argv) {
   const sim::Time kDuration = sim::Seconds(10);
 
   harness::Banner("Figure 6 — throughput over time (1 s bins, MiB/s)");
-  harness::GcExperimentResult conv =
-      harness::RunConvGcExperiment(0, kDuration, 2);
-  harness::GcExperimentResult zns =
-      harness::RunZnsGcExperiment(0, kDuration, 2);
+  // All six experiments are independent; run them concurrently under
+  // --jobs and record serially below (see harness/parallel.h).
+  harness::GcExperimentResult conv, zns, rate250, rate750;
+  double zns_p95 = 0, conv_p95 = 0;
+  harness::ParallelTasks({
+      [&] { conv = harness::RunConvGcExperiment(0, kDuration, 2); },
+      [&] { zns = harness::RunZnsGcExperiment(0, kDuration, 2); },
+      [&] { rate250 = harness::RunZnsGcExperiment(250.0, sim::Seconds(6), 2); },
+      [&] { rate750 = harness::RunZnsGcExperiment(750.0, sim::Seconds(6), 2); },
+      [&] { zns_p95 = harness::ReadOnlyP95Us(true); },
+      [&] { conv_p95 = harness::ReadOnlyP95Us(false); },
+  });
   auto& results = harness::Results();
   results.Config("duration_s", 10.0);
   results.Config("read_qd", 32.0);
@@ -86,15 +97,16 @@ int main(int argc, char** argv) {
   harness::Banner("Rate-limited ZNS stability (paper: stable at all rates)");
   {
     harness::Table t({"rate limit", "achieved MiB/s", "write CV"});
-    for (double rate : {250.0, 750.0}) {
-      auto r = harness::RunZnsGcExperiment(rate, sim::Seconds(6), 2);
+    const std::pair<double, const harness::GcExperimentResult*> rates[] = {
+        {250.0, &rate250}, {750.0, &rate750}};
+    for (const auto& [rate, r] : rates) {
       results.Series("fig6_zns_rate_limited_mibps", "MiB/s")
-          .Add(rate, r.write_mibps_mean);
+          .Add(rate, r->write_mibps_mean);
       results.Series("fig6_zns_rate_limited_cv", "")
-          .Add(rate, r.write_cv);
+          .Add(rate, r->write_cv);
       t.AddRow({harness::FmtMibps(rate),
-                harness::Fmt(r.write_mibps_mean, 1),
-                harness::Fmt(r.write_cv, 3)});
+                harness::Fmt(r->write_mibps_mean, 1),
+                harness::Fmt(r->write_cv, 3)});
     }
     t.Print();
   }
@@ -102,8 +114,6 @@ int main(int argc, char** argv) {
   harness::Banner("Read-only baseline p95 (paper: 81.41 us both devices)");
   {
     harness::Table t({"device", "read-only p95"});
-    double zns_p95 = harness::ReadOnlyP95Us(true);
-    double conv_p95 = harness::ReadOnlyP95Us(false);
     results.Series("fig6_readonly_p95", "us")
         .AddLabeled("zns", 0, zns_p95)
         .AddLabeled("conv", 1, conv_p95);

@@ -10,6 +10,7 @@
 
 #include "harness/bench_flags.h"
 #include "harness/experiments.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "zns/profile.h"
 
@@ -21,10 +22,20 @@ int main(int argc, char** argv) {
   zns::ZnsProfile profile = zns::Zn540Profile();
 
   harness::Banner("Figure 7 — p95 reset latency under concurrent I/O");
-  auto none = harness::ResetInterference(profile, Opcode::kFlush);
-  auto read = harness::ResetInterference(profile, Opcode::kRead);
-  auto write = harness::ResetInterference(profile, Opcode::kWrite);
-  auto append = harness::ResetInterference(profile, Opcode::kAppend);
+  // All five measurements are independent; compute them concurrently
+  // under --jobs and record serially below (see harness/parallel.h).
+  harness::ResetInterferenceResult none, read, write, append;
+  double write_alone = 0;
+  harness::ParallelTasks({
+      [&] { none = harness::ResetInterference(profile, Opcode::kFlush); },
+      [&] { read = harness::ResetInterference(profile, Opcode::kRead); },
+      [&] { write = harness::ResetInterference(profile, Opcode::kWrite); },
+      [&] { append = harness::ResetInterference(profile, Opcode::kAppend); },
+      [&] {
+        write_alone = harness::Qd1LatencyUs(
+            profile, harness::StackKind::kSpdk, Opcode::kWrite, 4096, 4096);
+      },
+  });
 
   auto& results = harness::Results();
   results.Config("profile", "ZN540");
@@ -50,8 +61,6 @@ int main(int argc, char** argv) {
   t.Print();
 
   harness::Banner("Observation #12 — I/O latency is reset-agnostic");
-  double write_alone = harness::Qd1LatencyUs(
-      profile, harness::StackKind::kSpdk, Opcode::kWrite, 4096, 4096);
   results.Series("fig7_write_mean", "us")
       .AddLabeled("with_resets", 0, write.io_mean_us)
       .AddLabeled("no_resets", 1, write_alone);

@@ -7,9 +7,11 @@
 // issued at low QD for latency, and intra-zone appends beat writes on
 // latency.
 #include <cstdio>
+#include <vector>
 
 #include "harness/bench_flags.h"
 #include "harness/experiments.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "zns/profile.h"
 
@@ -22,6 +24,23 @@ int main(int argc, char** argv) {
   results.Config("profile", "ZN540");
   const char* sizes[] = {"4KiB", "16KiB", "32KiB"};
   const std::uint64_t reqs[] = {4096, 16384, 32768};
+  const std::vector<std::uint32_t> qds = {1, 2, 4, 8, 16, 32, 64};
+
+  // 3 sizes x 7 queue depths, computed up front (possibly on --jobs
+  // threads) and recorded serially in index order (harness/parallel.h).
+  struct Point {
+    harness::QdPoint append, write;
+  };
+  std::vector<Point> sweep =
+      harness::ParallelSweep(3 * qds.size(), [&](std::size_t i) {
+        Point p;
+        p.append =
+            harness::AppendQdPoint(profile, reqs[i / qds.size()],
+                                   qds[i % qds.size()]);
+        p.write = harness::WriteQdPoint(profile, reqs[i / qds.size()],
+                                        qds[i % qds.size()]);
+        return p;
+      });
 
   for (int s = 0; s < 3; ++s) {
     harness::Banner(std::string("Figure 8 — ") + sizes[s] +
@@ -29,9 +48,10 @@ int main(int argc, char** argv) {
     harness::Table t({"QD", "append KIOPS", "append mean", "append p95",
                       "write KIOPS", "write mean", "write p95"});
     std::string sz = sizes[s];
-    for (std::uint32_t qd : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-      auto a = harness::AppendQdPoint(profile, reqs[s], qd);
-      auto w = harness::WriteQdPoint(profile, reqs[s], qd);
+    for (std::size_t qi = 0; qi < qds.size(); ++qi) {
+      std::uint32_t qd = qds[qi];
+      const harness::QdPoint& a = sweep[s * qds.size() + qi].append;
+      const harness::QdPoint& w = sweep[s * qds.size() + qi].write;
       results.Series("fig8_append_kiops_" + sz, "KIOPS").Add(qd, a.kiops);
       results.Series("fig8_append_mean_" + sz, "us")
           .Add(qd, a.mean_latency_us);

@@ -13,9 +13,11 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "harness/bench_flags.h"
 #include "harness/experiments.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "zns/profile.h"
 
@@ -81,9 +83,16 @@ int main(int argc, char** argv) {
   harness::InitBench(argc, argv);
   harness::Banner(
       "Section IV — which observations each emulator model reproduces");
-  Probe zn = RunProbes(zns::Zn540Profile());
-  Probe femu = RunProbes(zns::FemuLikeProfile());
-  Probe nvv = RunProbes(zns::NvmeVirtLikeProfile());
+  // One probe battery per device model, computed possibly in parallel
+  // and recorded serially in index order (see harness/parallel.h).
+  const std::vector<zns::ZnsProfile> profiles = {
+      zns::Zn540Profile(), zns::FemuLikeProfile(),
+      zns::NvmeVirtLikeProfile()};
+  std::vector<Probe> probes = harness::ParallelSweep(
+      profiles.size(), [&](std::size_t i) { return RunProbes(profiles[i]); });
+  const Probe& zn = probes[0];
+  const Probe& femu = probes[1];
+  const Probe& nvv = probes[2];
 
   auto& results = harness::Results();
   auto record = [&results](const char* model, const Probe& p) {

@@ -5,6 +5,7 @@
 #include "harness/bench_flags.h"
 #include "harness/experiments.h"
 #include "harness/gc_experiment.h"
+#include "harness/parallel.h"
 #include "harness/table.h"
 #include "zns/profile.h"
 
@@ -18,31 +19,45 @@ int main(int argc, char** argv) {
 
   harness::Banner("Table I — overview of the key insights (measured)");
 
-  // Append vs write.
-  double w = harness::Qd1LatencyUs(profile, StackKind::kSpdk,
-                                   Opcode::kWrite, 4096, 4096);
-  double a = harness::Qd1LatencyUs(profile, StackKind::kSpdk,
-                                   Opcode::kAppend, 8192, 4096);
+  // Every headline is an independent experiment; compute them all
+  // concurrently under --jobs and record serially (harness/parallel.h).
+  double w = 0, a = 0, finish_empty = 0, merged = 0;
+  workload::JobResult intra_read, intra_write, inter_write;
+  harness::ResetInterferenceResult reset_alone, reset_write;
+  harness::GcExperimentResult conv, zns;
+  harness::ParallelTasks({
+      [&] {
+        w = harness::Qd1LatencyUs(profile, StackKind::kSpdk, Opcode::kWrite,
+                                  4096, 4096);
+      },
+      [&] {
+        a = harness::Qd1LatencyUs(profile, StackKind::kSpdk, Opcode::kAppend,
+                                  8192, 4096);
+      },
+      [&] {
+        intra_read = harness::IntraZone(profile, Opcode::kRead, 4096, 128);
+      },
+      [&] {
+        intra_write =
+            harness::IntraZone(profile, Opcode::kWrite, 4096, 32, &merged);
+      },
+      [&] {
+        inter_write = harness::InterZone(profile, Opcode::kWrite, 4096, 14);
+      },
+      [&] { finish_empty = harness::FinishLatencyMs(profile, 0.0, 3); },
+      [&] {
+        reset_alone = harness::ResetInterference(profile, Opcode::kFlush);
+      },
+      [&] {
+        reset_write = harness::ResetInterference(profile, Opcode::kWrite);
+      },
+      [&] { conv = harness::RunConvGcExperiment(0, sim::Seconds(6), 2); },
+      [&] { zns = harness::RunZnsGcExperiment(0, sim::Seconds(6), 2); },
+  });
   double gap_pct = 100.0 * (a - w) / a;
-
-  // Scalability.
-  auto intra_read = harness::IntraZone(profile, Opcode::kRead, 4096, 128);
-  double merged = 0;
-  auto intra_write =
-      harness::IntraZone(profile, Opcode::kWrite, 4096, 32, &merged);
-  auto inter_write = harness::InterZone(profile, Opcode::kWrite, 4096, 14);
-
-  // Zone transitions.
-  double finish_empty = harness::FinishLatencyMs(profile, 0.0, 3);
-
-  // I/O & GC interference.
-  auto reset_alone = harness::ResetInterference(profile, Opcode::kFlush);
-  auto reset_write = harness::ResetInterference(profile, Opcode::kWrite);
   double reset_inc = 100.0 * (reset_write.reset_p95_ms /
                                   reset_alone.reset_p95_ms -
                               1.0);
-  auto conv = harness::RunConvGcExperiment(0, sim::Seconds(6), 2);
-  auto zns = harness::RunZnsGcExperiment(0, sim::Seconds(6), 2);
 
   auto& results = harness::Results();
   results.Config("profile", "ZN540 + SN640");

@@ -135,6 +135,14 @@ void InitBench(int& argc, char** argv) {
                      error.c_str());
         std::exit(2);
       }
+    } else if (const char* jb = MatchFlag(argv[i], "--jobs")) {
+      char* end = nullptr;
+      long n = std::strtol(jb, &end, 10);
+      if (end == jb || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "error: bad --jobs value: %s\n", jb);
+        std::exit(2);
+      }
+      env.jobs_ = static_cast<int>(n);
     } else {
       argv[out++] = argv[i];
     }

@@ -15,6 +15,12 @@
 //   --faults=SPEC    inject media faults into every testbed the bench
 //                    builds (grammar in fault/fault_plan.h; e.g.
 //                    "seed=7,read_uc=1e-4,prog=1e-3")
+//   --jobs=N         run independent sweep points on N worker threads
+//                    (0 = one per hardware thread; default 1). Output is
+//                    byte-identical for every N — see harness/parallel.h.
+//                    Ignored (forced to 1, with a warning) when a
+//                    telemetry flag is active, because testbeds then
+//                    funnel snapshots into this process-wide singleton.
 //
 // and leaves the rest of argv untouched for the bench's own parsing.
 // Testbeds built without an explicit TelemetryConfig pick these up
@@ -61,6 +67,9 @@ class BenchEnv {
   /// fault spec (builder-level WithFaults overrides it per testbed).
   bool faults_requested() const { return fault_spec_.enabled; }
   const fault::FaultSpec& fault_spec() const { return fault_spec_; }
+  /// The raw --jobs value (0 = auto-detect). Use harness::SweepJobs()
+  /// (parallel.h), which resolves auto-detect and the telemetry clamp.
+  int jobs_requested() const { return jobs_; }
   /// The shared JSONL sink (opened lazily); null when --trace is absent.
   telemetry::TraceSink* shared_sink();
   const std::string& metrics_path() const { return metrics_path_; }
@@ -87,6 +96,7 @@ class BenchEnv {
   std::string json_path_;
   std::string logpages_path_;
   fault::FaultSpec fault_spec_;  // enabled=false until --faults parses
+  int jobs_ = 1;
   std::unique_ptr<telemetry::JsonlFileSink> sink_;
   std::vector<std::pair<std::string, telemetry::Snapshot>> snapshots_;
   std::vector<std::pair<std::string, std::string>> logpages_;

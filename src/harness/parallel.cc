@@ -1,0 +1,62 @@
+#include "harness/parallel.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "harness/bench_flags.h"
+
+namespace zstor::harness {
+
+int SweepJobs() {
+  BenchEnv& env = BenchEnv::Get();
+  int jobs = env.jobs_requested();
+  if (jobs == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (jobs > 1 && env.telemetry_requested()) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "warning: --jobs reduced to 1: telemetry flags route all "
+                   "testbeds through one sink\n");
+    }
+    jobs = 1;
+  }
+  return jobs;
+}
+
+namespace detail {
+
+void RunIndexed(std::size_t n,
+                const std::function<void(std::size_t)>& body) {
+  std::size_t jobs = static_cast<std::size_t>(SweepJobs());
+  if (jobs > n) jobs = n;
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs - 1);
+  for (std::size_t t = 0; t + 1 < jobs; ++t) pool.emplace_back(worker);
+  worker();  // the calling thread is the last worker
+  for (auto& th : pool) th.join();
+}
+
+}  // namespace detail
+
+void ParallelTasks(std::vector<std::function<void()>> tasks) {
+  detail::RunIndexed(tasks.size(), [&](std::size_t i) { tasks[i](); });
+}
+
+}  // namespace zstor::harness

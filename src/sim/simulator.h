@@ -1,18 +1,48 @@
-// Discrete-event simulation core: a virtual clock and an event heap.
+// Discrete-event simulation core: a virtual clock, a same-time ready
+// queue, and a 4-ary timed-event heap.
 //
 // Everything in the repository — NAND dies, NVMe queues, the ZNS firmware,
 // host stacks and workload generators — runs as coroutines (see task.h)
 // driven by one Simulator instance. Events scheduled for the same instant
 // fire in FIFO order, which keeps runs fully deterministic.
+//
+// Performance model (DESIGN.md §1, "performance of the simulator
+// itself"):
+//
+//  * Events carry an EventFn (event_fn.h): small-buffer storage, trivial
+//    relocation, zero allocations for coroutine resumes and small
+//    lambdas.
+//  * Zero-delay events — ResumeSoon and ScheduleIn(0), the backbone of
+//    sync.h wakeups and resource.h slot hand-offs — go to a plain FIFO
+//    ring buffer and never touch the heap.
+//  * Timed events live in a 4-ary implicit heap, split
+//    structure-of-arrays: the (time, seq) ordering keys are packed into
+//    one 128-bit integer each in their own array, so a sift level
+//    compares four neighboring 16-byte keys instead of four 48-byte
+//    structs — most sift work stays in one or two cache lines. The heap
+//    owns raw storage and relocates events with memcpy (EventFn is
+//    trivially relocatable by contract), so sifts and growth never run
+//    move constructors or destroy checks per element. Pops extract by
+//    move (no const_cast out of a priority_queue top, which was
+//    UB-prone) and repair the heap bottom-up: the hole walks to a leaf
+//    on min-child comparisons alone, then the former last element
+//    bubbles up, saving one comparison per level on the common path.
+//
+// Ordering guarantee: every scheduled event gets a global sequence
+// number; execution order is (time, seq) lexicographic no matter which
+// container held the event. The ready queue is consulted first only when
+// the heap has no event due at the same instant with a smaller seq, so
+// mixing ScheduleAt(now) with ScheduleIn(0) preserves exact FIFO.
 #pragma once
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <cstring>
+#include <memory>
+#include <new>
 
 #include "sim/check.h"
+#include "sim/event_fn.h"
 #include "sim/time.h"
 
 namespace zstor::sim {
@@ -22,34 +52,60 @@ class Simulator {
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator() {
+    // Both containers are raw storage; destroy what is still engaged.
+    for (std::size_t i = 0; i < heap_size_; ++i) fns_[i].~EventFn();
+    for (std::size_t i = 0; i < ready_count_; ++i) {
+      ready_[(ready_head_ + i) & (ready_cap_ - 1)].fn.~EventFn();
+    }
+  }
 
   /// Current virtual time.
   Time now() const { return now_; }
 
-  /// Schedules `fn` to run at absolute virtual time `when` (>= now()).
-  void ScheduleAt(Time when, std::function<void()> fn) {
+  /// Schedules `fn` (anything an EventFn can wrap: a lambda, a coroutine
+  /// handle, an EventFn rvalue) to run at absolute virtual time `when`
+  /// (>= now()). Templated so the EventFn is constructed directly in its
+  /// container slot — no temporary materialized and block-copied.
+  /// The check is always on (also in release benches): continuing past a
+  /// backwards schedule would silently corrupt every later timestamp,
+  /// and one predictable branch per event is noise next to the sift.
+  template <typename F>
+  void ScheduleAt(Time when, F&& fn) {
     ZSTOR_CHECK_MSG(when >= now_, "scheduling into the past");
-    heap_.push(Event{when, next_seq_++, std::move(fn)});
+    if (when == now_) {
+      ReadyPush(next_seq_++, std::forward<F>(fn));
+    } else {
+      HeapPush(when, next_seq_++, std::forward<F>(fn));
+    }
   }
 
   /// Schedules `fn` to run `delay` nanoseconds from now.
-  void ScheduleIn(Time delay, std::function<void()> fn) {
-    ScheduleAt(now_ + delay, std::move(fn));
+  template <typename F>
+  void ScheduleIn(Time delay, F&& fn) {
+    ScheduleAt(now_ + delay, std::forward<F>(fn));
   }
 
   /// Resumes `h` at now() + delay. The common way coroutines sleep.
+  /// EventFn's coroutine-handle constructor makes this allocation-free.
   void ResumeIn(Time delay, std::coroutine_handle<> h) {
-    ScheduleIn(delay, [h] { h.resume(); });
+    Time when = now_ + delay;
+    ZSTOR_CHECK_MSG(when >= now_, "scheduling into the past");
+    if (delay == 0) {
+      ReadyPush(next_seq_++, h);
+    } else {
+      HeapPush(when, next_seq_++, h);
+    }
   }
 
   /// Resumes `h` as a fresh event at the current time (trampolines resume
-  /// through the event loop, keeping native stacks shallow).
-  void ResumeSoon(std::coroutine_handle<> h) {
-    ScheduleIn(0, [h] { h.resume(); });
-  }
+  /// through the event loop, keeping native stacks shallow). Fast path:
+  /// straight into the ready ring, bypassing the heap.
+  void ResumeSoon(std::coroutine_handle<> h) { ReadyPush(next_seq_++, h); }
 
   /// Awaitable that suspends the calling coroutine for `delay` ns.
-  /// Always suspends (even for delay 0) so same-time events keep FIFO order.
+  /// Always suspends (even for delay 0) so same-time events keep FIFO
+  /// order.
   auto Delay(Time delay) {
     struct Awaiter {
       Simulator& s;
@@ -61,21 +117,22 @@ class Simulator {
     return Awaiter{*this, delay};
   }
 
-  /// Runs events until the heap is empty. Returns the number processed.
+  /// Runs events until none remain. Returns the number processed.
   std::uint64_t Run() {
     std::uint64_t n = 0;
-    while (!heap_.empty()) {
+    while (ready_count_ != 0 || heap_size_ != 0) {
       Step();
       ++n;
     }
     return n;
   }
 
-  /// Runs events with timestamp <= `until`, then sets now() = until.
-  /// Returns the number of events processed.
+  /// Runs events with timestamp <= `until` (boundary inclusive), then
+  /// sets now() = until. Returns the number of events processed.
   std::uint64_t RunUntil(Time until) {
     std::uint64_t n = 0;
-    while (!heap_.empty() && heap_.top().when <= until) {
+    while ((ready_count_ != 0 && now_ <= until) ||
+           (heap_size_ != 0 && KeyTime(keys_[0]) <= until)) {
       Step();
       ++n;
     }
@@ -83,30 +140,179 @@ class Simulator {
     return n;
   }
 
-  bool idle() const { return heap_.empty(); }
-  std::size_t pending_events() const { return heap_.size(); }
+  bool idle() const { return ready_count_ == 0 && heap_size_ == 0; }
+  std::size_t pending_events() const { return ready_count_ + heap_size_; }
 
  private:
-  struct Event {
-    Time when;
-    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      return when != o.when ? when > o.when : seq > o.seq;
-    }
+  // Heap ordering key: virtual time in the high 64 bits, the global
+  // sequence number in the low 64. One unsigned 128-bit compare is
+  // exactly (time, seq) lexicographic order.
+  using Key = unsigned __int128;
+  static Key MakeKey(Time when, std::uint64_t seq) {
+    return (static_cast<Key>(when) << 64) | seq;
+  }
+  static Time KeyTime(Key k) { return static_cast<Time>(k >> 64); }
+  static std::uint64_t KeySeq(Key k) { return static_cast<std::uint64_t>(k); }
+
+  struct ReadyEvent {  // due exactly at now_ by construction
+    std::uint64_t seq;
+    EventFn fn;
   };
 
+  /// Runs the globally next event: the ready queue's front, unless a
+  /// heap event due at the same instant was scheduled earlier.
+  ///
+  /// Invocation consumes the event in place (EventFn's protocol: thunks
+  /// copy their state before user code runs), so the only case that
+  /// copies the event out first is a heap pop that must sift — the
+  /// repair relocates another event into slot 0 before the callback can
+  /// run.
   void Step() {
-    // Move the event out before running: the callback may schedule more.
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    now_ = ev.when;
-    ev.fn();
+    if (ready_count_ != 0) {
+      ReadyEvent& front = ready_[ready_head_];
+      // Heap min is always >= now_, so a different time means later.
+      if (heap_size_ == 0 || keys_[0] > MakeKey(now_, front.seq)) {
+        ready_head_ = (ready_head_ + 1) & (ready_cap_ - 1);
+        --ready_count_;
+        front.fn();  // consumed; the slot is dead storage from here on
+        return;
+      }
+    }
+    now_ = KeyTime(keys_[0]);
+    std::size_t n = --heap_size_;
+    if (n == 0) {
+      fns_[0]();  // nothing to repair; consume straight from the slot
+      return;
+    }
+    alignas(EventFn) unsigned char raw[sizeof(EventFn)];
+    std::memcpy(raw, &fns_[0], sizeof(EventFn));  // slot 0 becomes the hole
+    SiftLastIntoRoot(n);
+    (*std::launder(reinterpret_cast<EventFn*>(raw)))();
+  }
+
+  // ---- ready ring (FIFO, power-of-two capacity) -----------------------
+  //
+  // Same raw-storage discipline as the heap: slots between head and
+  // head+count are engaged, everything else is dead bytes; relocation is
+  // memcpy.
+
+  template <typename F>
+  void ReadyPush(std::uint64_t seq, F&& fn) {
+    if (ready_count_ == ready_cap_) [[unlikely]] GrowReady();
+    std::size_t i = (ready_head_ + ready_count_) & (ready_cap_ - 1);
+    ready_[i].seq = seq;
+    ::new (static_cast<void*>(&ready_[i].fn)) EventFn(std::forward<F>(fn));
+    ++ready_count_;
+  }
+
+  void GrowReady() {
+    std::size_t cap = ready_cap_ == 0 ? 16 : ready_cap_ * 2;
+    auto mem = std::make_unique_for_overwrite<unsigned char[]>(
+        cap * sizeof(ReadyEvent));
+    auto* bigger = reinterpret_cast<ReadyEvent*>(mem.get());
+    for (std::size_t i = 0; i < ready_count_; ++i) {
+      std::memcpy(static_cast<void*>(&bigger[i]),
+                  &ready_[(ready_head_ + i) & (ready_cap_ - 1)],
+                  sizeof(ReadyEvent));
+    }
+    ready_mem_ = std::move(mem);
+    ready_ = bigger;
+    ready_cap_ = cap;
+    ready_head_ = 0;
+  }
+
+  // ---- 4-ary timed-event heap ----------------------------------------
+  //
+  // keys_ and fns_ are parallel arrays over manually managed raw storage
+  // (heap_size_ engaged slots, heap_cap_ allocated). Sift relocations
+  // and growth use memcpy: EventFn guarantees trivial relocatability
+  // (pointers plus an inline byte buffer, nothing self-referential), so
+  // copying its bytes into a hole slot and abandoning the source IS the
+  // move. Holes are always filled before control leaves the heap
+  // routines, and only engaged slots are ever destroyed.
+
+  static void Relocate(EventFn* dst, const EventFn* src) {
+    std::memcpy(static_cast<void*>(dst), static_cast<const void*>(src),
+                sizeof(EventFn));
+  }
+
+  template <typename F>
+  void HeapPush(Time when, std::uint64_t seq, F&& fn) {
+    if (heap_size_ == heap_cap_) [[unlikely]] GrowHeap();
+    Key key = MakeKey(when, seq);
+    std::size_t i = heap_size_++;
+    while (i > 0) {
+      std::size_t parent = (i - 1) >> 2;
+      if (keys_[parent] < key) break;
+      keys_[i] = keys_[parent];
+      Relocate(&fns_[i], &fns_[parent]);
+      i = parent;
+    }
+    keys_[i] = key;
+    ::new (static_cast<void*>(&fns_[i])) EventFn(std::forward<F>(fn));
+  }
+
+  /// Repairs the heap after slot 0 was copied out and heap_size_ already
+  /// decremented to `n` (> 0). Bottom-up variant: the hole walks to a
+  /// leaf on min-child comparisons only, then the former last element
+  /// bubbles up from the leaf — usually zero or one step, since it came
+  /// from leaf depth itself.
+  void SiftLastIntoRoot(std::size_t n) {
+    Key key = keys_[n];
+    std::size_t i = 0;
+    for (;;) {
+      std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      std::size_t end = first + 4 < n ? first + 4 : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (keys_[c] < keys_[best]) best = c;
+      }
+      keys_[i] = keys_[best];
+      Relocate(&fns_[i], &fns_[best]);
+      i = best;
+    }
+    while (i > 0) {
+      std::size_t parent = (i - 1) >> 2;
+      if (keys_[parent] <= key) break;
+      keys_[i] = keys_[parent];
+      Relocate(&fns_[i], &fns_[parent]);
+      i = parent;
+    }
+    keys_[i] = key;
+    Relocate(&fns_[i], &fns_[n]);  // former last slot becomes dead storage
+  }
+
+  void GrowHeap() {
+    std::size_t cap = heap_cap_ == 0 ? 64 : heap_cap_ * 2;
+    auto keys = std::make_unique_for_overwrite<unsigned char[]>(
+        cap * sizeof(Key));
+    auto fns = std::make_unique_for_overwrite<unsigned char[]>(
+        cap * sizeof(EventFn));
+    if (heap_size_ != 0) {
+      std::memcpy(keys.get(), key_mem_.get(), heap_size_ * sizeof(Key));
+      std::memcpy(fns.get(), fn_mem_.get(), heap_size_ * sizeof(EventFn));
+    }
+    key_mem_ = std::move(keys);
+    fn_mem_ = std::move(fns);
+    keys_ = reinterpret_cast<Key*>(key_mem_.get());
+    fns_ = reinterpret_cast<EventFn*>(fn_mem_.get());
+    heap_cap_ = cap;
   }
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::unique_ptr<unsigned char[]> key_mem_;
+  std::unique_ptr<unsigned char[]> fn_mem_;
+  Key* keys_ = nullptr;
+  EventFn* fns_ = nullptr;
+  std::size_t heap_size_ = 0;
+  std::size_t heap_cap_ = 0;
+  std::unique_ptr<unsigned char[]> ready_mem_;
+  ReadyEvent* ready_ = nullptr;
+  std::size_t ready_cap_ = 0;  // always a power of two (or zero)
+  std::size_t ready_head_ = 0;
+  std::size_t ready_count_ = 0;
 };
 
 }  // namespace zstor::sim

@@ -1,0 +1,74 @@
+#include "harness/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "harness/bench_flags.h"
+
+namespace zstor::harness {
+namespace {
+
+// InitBench is process-global; run it once with a jobs count > 1 so
+// ParallelSweep actually exercises its thread pool here.
+struct InitOnce {
+  InitOnce() {
+    const char* argv[] = {"parallel_test", "--jobs=4"};
+    int argc = 2;
+    InitBench(argc, const_cast<char**>(argv));
+  }
+};
+
+TEST(ParallelSweep, ResultsArriveInIndexOrder) {
+  static InitOnce init;
+  ASSERT_EQ(SweepJobs(), 4);
+  std::vector<int> out = ParallelSweep(100, [](std::size_t i) {
+    if (i % 7 == 0) std::this_thread::yield();  // perturb completion order
+    return static_cast<int>(i * i);
+  });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelSweep, EveryIndexRunsExactlyOnce) {
+  static InitOnce init;
+  std::vector<std::atomic<int>> hits(257);
+  ParallelSweep(hits.size(), [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelSweep, SinglePointStillWorks) {
+  static InitOnce init;
+  std::vector<double> out =
+      ParallelSweep(1, [](std::size_t) { return 42.0; });
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0], 42.0);
+}
+
+TEST(ParallelTasks, AllTasksComplete) {
+  static InitOnce init;
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 1; i <= 10; ++i) {
+    tasks.push_back([&sum, i] { sum.fetch_add(i); });
+  }
+  ParallelTasks(std::move(tasks));
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(ParallelTasks, EmptyListIsANoOp) {
+  static InitOnce init;
+  ParallelTasks({});
+}
+
+}  // namespace
+}  // namespace zstor::harness

@@ -1,0 +1,130 @@
+#include "sim/event_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace zstor::sim {
+namespace {
+
+TEST(EventFn, DefaultConstructedIsDisengaged) {
+  EventFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(EventFn, SmallCallableIsStoredInline) {
+  // The shapes the simulator actually schedules: captureless, one
+  // pointer, pointer + word. All must take the no-allocation path.
+  static_assert(EventFn::kStoredInline<void (*)()>);
+  int x = 0;
+  auto one_ptr = [&x] { ++x; };
+  static_assert(EventFn::kStoredInline<decltype(one_ptr)>);
+  std::uint64_t w = 7;
+  auto ptr_and_word = [&x, w] { x += static_cast<int>(w); };
+  static_assert(EventFn::kStoredInline<decltype(ptr_and_word)>);
+
+  EventFn fn(one_ptr);
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(EventFn, LargeCallableFallsBackToHeapAndStillRuns) {
+  std::string s = "payload that certainly does not fit in two pointers";
+  std::string seen;
+  auto big = [s, &seen] { seen = s; };
+  static_assert(!EventFn::kStoredInline<decltype(big)>);
+  EventFn fn(big);
+  fn();  // consumes: frees the owned copy itself
+  EXPECT_EQ(seen, s);
+}
+
+TEST(EventFn, NonTriviallyCopyableCallableUsesHeapAndDestructs) {
+  // A shared_ptr capture is pointer-sized but not trivially copyable,
+  // so it must go to the heap — and an EventFn that is destroyed
+  // without ever running must still release the payload.
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> weak = token;
+  {
+    auto cb = [token] { (void)*token; };
+    static_assert(!EventFn::kStoredInline<decltype(cb)>);
+    EventFn fn(cb);
+    token.reset();
+    EXPECT_FALSE(weak.expired());  // alive inside the pending event
+  }
+  EXPECT_TRUE(weak.expired());  // destructor released it
+}
+
+TEST(EventFn, InvocationConsumesHeapPayload) {
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> weak = token;
+  EventFn fn([token] {});
+  token.reset();
+  EXPECT_FALSE(weak.expired());
+  fn();  // the thunk deletes the payload after the call
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(EventFn, MoveTransfersTheCallable) {
+  int runs = 0;
+  EventFn a([&runs] { ++runs; });
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(EventFn, MoveAssignmentReleasesThePreviousPayload) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = token;
+  EventFn a([token] {});
+  token.reset();
+  int runs = 0;
+  a = EventFn([&runs] { ++runs; });
+  EXPECT_TRUE(weak.expired());  // old heap payload freed by assignment
+  a();
+  EXPECT_EQ(runs, 1);
+}
+
+std::coroutine_handle<> g_handle;
+
+struct MiniTask {
+  struct promise_type {
+    MiniTask get_return_object() { return {}; }
+    std::suspend_never initial_suspend() { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() {}
+  };
+};
+
+struct Capture {
+  bool await_ready() { return false; }
+  void await_suspend(std::coroutine_handle<> h) { g_handle = h; }
+  void await_resume() {}
+};
+
+TEST(EventFn, CoroutineHandleConstructorResumes) {
+  int after = 0;
+  auto body = [&]() -> MiniTask {
+    co_await Capture{};
+    after = 1;
+  };
+  body();
+  ASSERT_TRUE(g_handle);
+  EventFn fn(g_handle);
+  EXPECT_TRUE(static_cast<bool>(fn));
+  EXPECT_EQ(after, 0);
+  fn();
+  EXPECT_EQ(after, 1);
+  g_handle.destroy();
+  g_handle = nullptr;
+}
+
+}  // namespace
+}  // namespace zstor::sim

@@ -79,6 +79,54 @@ TEST(Simulator, ZeroDelayEventRunsAtCurrentTime) {
   EXPECT_EQ(seen, 50u);
 }
 
+// Same-timestamp events stay FIFO even when they land in different
+// containers: events scheduled for a future time wait in the timed heap,
+// while zero-delay events scheduled *at* that time go through the ready
+// ring. The global sequence number must still order them.
+TEST(Simulator, FifoHoldsAcrossReadyRingAndHeap) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleIn(100, [&] {
+    order.push_back(0);
+    s.ScheduleIn(0, [&] { order.push_back(2); });    // ready ring
+    s.ScheduleAt(100, [&] { order.push_back(3); });  // ring (at now)
+    s.ScheduleIn(0, [&] {
+      order.push_back(4);
+      s.ScheduleIn(0, [&] { order.push_back(5); });
+    });
+  });
+  s.ScheduleIn(100, [&] { order.push_back(1); });  // heap, earlier seq
+  s.Run();
+  // The heap-resident [1] must run before the ready-ring [2..] pushed
+  // after it, even though the ring normally bypasses the heap.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(Simulator, FifoSurvivesReadyRingGrowth) {
+  Simulator s;
+  std::vector<int> order;
+  s.ScheduleIn(5, [&] {
+    // Far more zero-delay events than the ring's initial capacity, so
+    // it grows (and relocates pending events) mid-burst.
+    for (int i = 0; i < 100; ++i) {
+      s.ScheduleIn(0, [&, i] { order.push_back(i); });
+    }
+  });
+  s.Run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, RunUntilFiresEventExactlyAtBoundary) {
+  Simulator s;
+  bool fired = false;
+  s.ScheduleAt(20, [&] { fired = true; });
+  s.RunUntil(20);  // when == until is inclusive
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), 20u);
+}
+
 TEST(SimulatorDeathTest, SchedulingIntoThePastAborts) {
   Simulator s;
   s.ScheduleIn(100, [&] {

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Verifies the ParallelSweep determinism contract (harness/parallel.h):
+# a figure bench must produce byte-identical stdout and --json output
+# for any --jobs value. Usage:
+#
+#     check_jobs_identity.sh <bench-binary> [jobs_a] [jobs_b]
+#
+# Exit 0 when stdout and JSON match byte-for-byte, 1 otherwise.
+set -eu
+
+bench="$1"
+jobs_a="${2:-1}"
+jobs_b="${3:-4}"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+"$bench" --jobs="$jobs_a" --json="$tmpdir/a.json" > "$tmpdir/a.txt"
+"$bench" --jobs="$jobs_b" --json="$tmpdir/b.json" > "$tmpdir/b.txt"
+
+fail=0
+if ! cmp -s "$tmpdir/a.json" "$tmpdir/b.json"; then
+  echo "FAIL: --json differs between --jobs=$jobs_a and --jobs=$jobs_b" >&2
+  fail=1
+fi
+if ! cmp -s "$tmpdir/a.txt" "$tmpdir/b.txt"; then
+  echo "FAIL: stdout differs between --jobs=$jobs_a and --jobs=$jobs_b" >&2
+  fail=1
+fi
+if [ "$fail" -eq 0 ]; then
+  echo "ok: $(basename "$bench") byte-identical at --jobs=$jobs_a/$jobs_b"
+fi
+exit "$fail"

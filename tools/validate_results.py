@@ -21,6 +21,19 @@ import sys
 POINT_NUMBER_FIELDS = ("x", "value")
 POINT_NULLABLE_FIELDS = ("mean_ns", "p50_ns", "p95_ns", "p99_ns")
 
+# bench_simcore's --json doubles as the engine's perf-regression
+# baseline (EXPERIMENTS.md): these series/labels and config keys must be
+# present, with strictly positive events/sec.
+SIMCORE_REQUIRED_SERIES = {
+    "simcore_events_per_sec": ("event_scheduling", "coroutine_pingpong"),
+    "simcore_allocs_per_event": ("event_scheduling", "coroutine_pingpong"),
+}
+SIMCORE_REQUIRED_CONFIG = (
+    "counter_min_time_s",
+    "seed_event_scheduling_meps",
+    "seed_coroutine_pingpong_meps",
+)
+
 # Required SMART counters (nvme::SmartLog): activity, the host_rejects /
 # media_errors split, and the fault-model health fields.
 SMART_REQUIRED_FIELDS = (
@@ -105,6 +118,37 @@ def validate_document(path, doc, errors):
             continue
         for j, p in enumerate(points):
             validate_point(path, i, j, p, errors)
+    if doc.get("bench") == "bench_simcore":
+        validate_simcore(path, doc, errors)
+
+
+def validate_simcore(path, doc, errors):
+    """bench_simcore documents carry the engine perf baseline."""
+    config = doc.get("config")
+    if isinstance(config, dict):
+        for key in SIMCORE_REQUIRED_CONFIG:
+            if key not in config:
+                fail(path, f"simcore: missing config['{key}']", errors)
+    by_name = {s.get("name"): s for s in doc.get("series", [])
+               if isinstance(s, dict)}
+    for name, labels in SIMCORE_REQUIRED_SERIES.items():
+        s = by_name.get(name)
+        if s is None:
+            fail(path, f"simcore: missing series '{name}'", errors)
+            continue
+        points = {p.get("label"): p for p in s.get("points", [])
+                  if isinstance(p, dict)}
+        for label in labels:
+            p = points.get(label)
+            if p is None:
+                fail(path, f"simcore: series '{name}' missing point "
+                           f"'{label}'", errors)
+                continue
+            v = p.get("value")
+            if name == "simcore_events_per_sec" and \
+                    isinstance(v, (int, float)) and v <= 0:
+                fail(path, f"simcore: {name}/{label} must be > 0, got {v!r}",
+                     errors)
 
 
 def _counter(where, obj, key, errors):
