@@ -15,9 +15,8 @@
 #include <cstdio>
 #include <deque>
 
-#include "hostif/spdk_stack.h"
+#include "harness/testbed.h"
 #include "sim/rng.h"
-#include "sim/simulator.h"
 #include "sim/stats.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -32,7 +31,7 @@ namespace {
 // zones are reset for reuse.
 class AppendLog {
  public:
-  AppendLog(sim::Simulator& s, hostif::SpdkStack& stack,
+  AppendLog(sim::Simulator& s, hostif::Stack& stack,
             zns::ZnsDevice& dev)
       : sim_(s), stack_(stack), dev_(dev) {
     for (std::uint32_t z = 0; z < 8; ++z) free_zones_.push_back(z);
@@ -97,7 +96,7 @@ class AppendLog {
   }
 
   sim::Simulator& sim_;
-  hostif::SpdkStack& stack_;
+  hostif::Stack& stack_;
   zns::ZnsDevice& dev_;
   std::uint32_t active_;
   std::deque<std::uint32_t> free_zones_;
@@ -110,10 +109,13 @@ class AppendLog {
 }  // namespace
 
 int main() {
-  sim::Simulator simulator;
-  zns::ZnsDevice dev(simulator, zns::Zn540Profile());
-  hostif::SpdkStack stack(simulator, dev);
-  AppendLog log(simulator, stack, dev);
+  Testbed tb = TestbedBuilder()
+                   .WithZnsProfile(zns::Zn540Profile())
+                   .WithStack(StackChoice::kSpdk)
+                   .Build();
+  sim::Simulator& simulator = tb.sim();
+  zns::ZnsDevice& dev = *tb.zns();
+  AppendLog log(simulator, tb.stack(), dev);
 
   const std::uint32_t kRecordLbas = 4;  // 16 KiB records (R2: >= 8 KiB)
   const int kWriters = 4;               // QD 4 appends (R2)

@@ -10,12 +10,10 @@
 // With no arguments it runs a demonstration job.
 #include <cstdio>
 #include <cstring>
-#include <memory>
 #include <string>
 
 #include "ftl/conv_device.h"
-#include "hostif/spdk_stack.h"
-#include "workload/runner.h"
+#include "harness/testbed.h"
 #include "workload/spec_parser.h"
 #include "zns/zns_device.h"
 
@@ -40,47 +38,39 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  sim::Simulator simulator;
-  std::unique_ptr<nvme::Controller> device;
+  TestbedBuilder builder;
+  builder.WithStack(StackChoice::kSpdk);
   if (conventional) {
-    auto conv =
-        std::make_unique<ftl::ConvDevice>(simulator, ftl::Sn640Profile());
-    conv->DebugPrefill();  // aged drive, like the paper's
-    device = std::move(conv);
+    builder.WithConvProfile(ftl::Sn640Profile());
   } else {
-    auto z = std::make_unique<zns::ZnsDevice>(simulator,
-                                              zns::Zn540Profile());
+    builder.WithZnsProfile(zns::Zn540Profile());
+  }
+  Testbed tb = builder.Build();
+  if (conventional) {
+    tb.conv()->DebugPrefill();  // aged drive, like the paper's
+  } else {
     if (parsed.spec.op == nvme::Opcode::kRead) {
       // Random reads need data underneath them.
-      auto zones = parsed.spec.zones;
-      if (zones.empty()) {
-        for (std::uint32_t i = 0; i < 4; ++i) zones.push_back(i);
-        parsed.spec.zones = zones;
-      }
-      for (std::uint32_t zone : zones) {
-        z->DebugFillZone(zone, z->profile().zone_cap_bytes);
+      if (parsed.spec.zones.empty()) {
+        for (std::uint32_t i = 0; i < 4; ++i) parsed.spec.zones.push_back(i);
       }
     }
-    if (parsed.spec.op == nvme::Opcode::kZoneMgmtSend &&
-        parsed.spec.zone_action == nvme::ZoneAction::kReset) {
-      for (std::uint32_t zone : parsed.spec.zones) {
-        z->DebugFillZone(zone, z->profile().zone_cap_bytes);
-      }
+    if (parsed.spec.op == nvme::Opcode::kRead ||
+        (parsed.spec.op == nvme::Opcode::kZoneMgmtSend &&
+         parsed.spec.zone_action == nvme::ZoneAction::kReset)) {
+      for (std::uint32_t zone : parsed.spec.zones) tb.FillZones(zone, 1);
     }
-    device = std::move(z);
   }
-  hostif::SpdkStack stack(simulator, *device);
 
   std::printf("zbench: %s device, job: %s\n",
               conventional ? "conventional (SN640 model)"
                            : "ZNS (ZN540 model)",
               spec_text.c_str());
-  workload::JobResult r =
-      workload::RunJob(simulator, stack, parsed.spec);
+  workload::JobResult r = tb.RunJob(parsed.spec);
 
   std::printf("\nresults over %.3f s measured (of %.3f s simulated):\n",
               sim::ToSeconds(r.measured_span),
-              sim::ToSeconds(simulator.now()));
+              sim::ToSeconds(tb.sim().now()));
   std::printf("  ops      %llu (%.1f KIOPS), errors %llu\n",
               static_cast<unsigned long long>(r.ops), r.Kiops(),
               static_cast<unsigned long long>(r.errors));

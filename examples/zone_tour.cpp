@@ -6,8 +6,7 @@
 //   $ ./zone_tour
 #include <cstdio>
 
-#include "hostif/spdk_stack.h"
-#include "sim/simulator.h"
+#include "harness/testbed.h"
 #include "sim/task.h"
 #include "zns/zns_device.h"
 
@@ -22,9 +21,13 @@ const char* St(zns::ZnsDevice& d, std::uint32_t z) {
 }  // namespace
 
 int main() {
-  sim::Simulator simulator;
-  zns::ZnsDevice dev(simulator, zns::Zn540Profile());
-  hostif::SpdkStack stack(simulator, dev);
+  Testbed tb = TestbedBuilder()
+                   .WithZnsProfile(zns::Zn540Profile())
+                   .WithStack(StackChoice::kSpdk)
+                   .Build();
+  sim::Simulator& simulator = tb.sim();
+  zns::ZnsDevice& dev = *tb.zns();
+  hostif::Stack& stack = tb.stack();
 
   auto mgmt = [&](std::uint32_t zone,
                   nvme::ZoneAction action) -> sim::Task<nvme::TimedCompletion> {

@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <limits>
+#include <utility>
 
+#include "sim/check.h"
 #include "telemetry/json.h"
 
 namespace zstor::harness {
@@ -51,6 +53,12 @@ ResultSeries& ResultSeries::AddLabeled(std::string label, double x,
   return *this;
 }
 
+ResultSeries& ResultSeries::WithParts(std::vector<double> parts) {
+  ZSTOR_CHECK_MSG(!points_.empty(), "WithParts needs a point to attach to");
+  points_.back().parts = std::move(parts);
+  return *this;
+}
+
 void ResultWriter::Config(const std::string& key, const std::string& value) {
   std::string rendered = telemetry::JsonQuoted(value);
   for (auto& [k, v] : config_) {
@@ -88,7 +96,7 @@ std::string ResultWriter::ToJson() const {
   using telemetry::AppendJsonString;
   std::string out = "{\"bench\":";
   AppendJsonString(out, bench_);
-  out += ",\"schema_version\":1,\"config\":{";
+  out += ",\"schema_version\":2,\"config\":{";
   for (std::size_t i = 0; i < config_.size(); ++i) {
     if (i > 0) out += ",";
     AppendJsonString(out, config_[i].first);
@@ -126,6 +134,14 @@ std::string ResultWriter::ToJson() const {
       AppendJsonNumber(out, p.p95_ns);
       out += ",\"p99_ns\":";
       AppendJsonNumber(out, p.p99_ns);
+      if (!p.parts.empty()) {
+        out += ",\"parts\":[";
+        for (std::size_t k = 0; k < p.parts.size(); ++k) {
+          if (k > 0) out += ",";
+          AppendJsonNumber(out, p.parts[k]);
+        }
+        out += "]";
+      }
       out += "}";
     }
     out += "]}";

@@ -6,16 +6,17 @@
 //
 //   {
 //     "bench": "bench_fig2_latency",
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "config": {"device": "zn540", "runtime_s": 2},
 //     "series": [
 //       {"name": "randread-qd1", "unit": "us",
 //        "points": [
 //          {"x": 4096, "label": "4KiB", "value": 13.2,
 //           "samples": 50000, "mean_ns": 13200.0, "p50_ns": ...,
-//           "p95_ns": ..., "p99_ns": ...}]}
-//     ]
-//   }
+//           "p95_ns": ..., "p99_ns": ...,
+//           "parts": [6.6, 6.6]}]}       // optional (v2): per-component
+//     ]                                   // breakdown of `value`, e.g.
+//   }                                     // per-device throughput
 //
 // Latency fields are null when a point has no histogram attached (or the
 // histogram is empty): absent data must never read as zero latency.
@@ -39,6 +40,9 @@ struct ResultPoint {
   double value = 0.0;
   std::uint64_t samples = 0;
   double mean_ns, p50_ns, p95_ns, p99_ns;  // NaN when no histogram
+  /// Optional per-component breakdown of `value` (schema v2) — e.g. one
+  /// entry per striped device. Emitted only when non-empty.
+  std::vector<double> parts;
 
   ResultPoint();
 };
@@ -57,6 +61,9 @@ class ResultSeries {
   ResultSeries& AddLabeled(std::string label, double x, double value);
   ResultSeries& AddLabeled(std::string label, double x, double value,
                            const sim::LatencyHistogram& h);
+  /// Attaches a per-component breakdown to the most recently added point
+  /// (requires one; checked).
+  ResultSeries& WithParts(std::vector<double> parts);
 
   const std::string& name() const { return name_; }
   const std::string& unit() const { return unit_; }

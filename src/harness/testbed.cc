@@ -1,35 +1,119 @@
 #include "harness/testbed.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
 #include "harness/bench_flags.h"
-#include "hostif/spdk_stack.h"
 #include "sim/check.h"
 #include "workload/runner.h"
 
 namespace zstor {
 
-const char* ToString(StackChoice k) {
-  switch (k) {
-    case StackChoice::kSpdk: return "spdk";
-    case StackChoice::kKernelNone: return "kernel-none";
-    case StackChoice::kKernelMq: return "kernel-mq-deadline";
+namespace {
+
+/// Field-wise sum of every device's command counters, for the aggregated
+/// snapshot of a striped testbed.
+zns::ZnsCounters SumCounters(
+    const std::vector<std::unique_ptr<zns::ZnsDevice>>& devs) {
+  zns::ZnsCounters t;
+  for (const auto& d : devs) {
+    const zns::ZnsCounters& c = d->counters();
+    t.reads += c.reads;
+    t.flushes += c.flushes;
+    t.zone_reports += c.zone_reports;
+    t.zones_worn_offline += c.zones_worn_offline;
+    t.writes += c.writes;
+    t.appends += c.appends;
+    t.explicit_opens += c.explicit_opens;
+    t.implicit_opens += c.implicit_opens;
+    t.implicit_open_evictions += c.implicit_open_evictions;
+    t.closes += c.closes;
+    t.finishes += c.finishes;
+    t.resets += c.resets;
+    t.bytes_written += c.bytes_written;
+    t.bytes_read += c.bytes_read;
+    t.host_rejects += c.host_rejects;
+    t.media_errors += c.media_errors;
+    t.read_faults += c.read_faults;
+    t.write_faults += c.write_faults;
+    t.retired_blocks += c.retired_blocks;
+    t.zones_degraded_readonly += c.zones_degraded_readonly;
+    t.zones_failed_offline += c.zones_failed_offline;
+    t.spare_blocks_used += c.spare_blocks_used;
+    t.zone_transitions += c.zone_transitions;
   }
-  return "?";
+  return t;
 }
+
+nand::FlashCounters SumFlashCounters(
+    const std::vector<std::unique_ptr<zns::ZnsDevice>>& devs) {
+  nand::FlashCounters t;
+  for (const auto& d : devs) {
+    if (d->flash() == nullptr) continue;
+    const nand::FlashCounters& c = d->flash()->counters();
+    t.page_reads += c.page_reads;
+    t.page_programs += c.page_programs;
+    t.block_erases += c.block_erases;
+    t.bytes_read += c.bytes_read;
+    t.bytes_programmed += c.bytes_programmed;
+    t.read_retries += c.read_retries;
+    t.read_errors += c.read_errors;
+    t.program_failures += c.program_failures;
+    t.blocks_retired += c.blocks_retired;
+  }
+  return t;
+}
+
+/// Adds `b`'s activity into `a` (the SMART union of a striped set).
+void AccumulateSmart(nvme::SmartLog& a, const nvme::SmartLog& b) {
+  a.host_reads += b.host_reads;
+  a.host_writes += b.host_writes;
+  a.bytes_read += b.bytes_read;
+  a.bytes_written += b.bytes_written;
+  a.host_rejects += b.host_rejects;
+  a.media_errors += b.media_errors;
+  a.read_faults += b.read_faults;
+  a.write_faults += b.write_faults;
+  a.retired_blocks += b.retired_blocks;
+  a.spare_blocks_used += b.spare_blocks_used;
+  a.spare_blocks_total += b.spare_blocks_total;
+  a.media_read_retries += b.media_read_retries;
+  a.media_page_reads += b.media_page_reads;
+  a.media_page_programs += b.media_page_programs;
+  a.media_block_erases += b.media_block_erases;
+  a.media_bytes_read += b.media_bytes_read;
+  a.media_bytes_programmed += b.media_bytes_programmed;
+  a.zone_resets += b.zone_resets;
+  a.zone_finishes += b.zone_finishes;
+  a.zone_explicit_opens += b.zone_explicit_opens;
+  a.zone_implicit_opens += b.zone_implicit_opens;
+  a.zone_closes += b.zone_closes;
+  a.zone_transitions += b.zone_transitions;
+  a.zones_worn_offline += b.zones_worn_offline;
+  a.zones_degraded_readonly += b.zones_degraded_readonly;
+  a.zones_failed_offline += b.zones_failed_offline;
+  a.gc_invocations += b.gc_invocations;
+  a.gc_units_migrated += b.gc_units_migrated;
+  a.gc_blocks_erased += b.gc_blocks_erased;
+}
+
+}  // namespace
 
 Testbed::~Testbed() { Finish(); }
 
 nvme::Controller& Testbed::controller() {
-  if (zns_ != nullptr) return *zns_;
+  if (!zns_devs_.empty()) return *zns_devs_.front();
   return *conv_;
 }
 
 void Testbed::FillZones(std::uint32_t first, std::uint32_t count) {
-  ZSTOR_CHECK_MSG(zns_ != nullptr, "FillZones needs a ZNS testbed");
+  ZSTOR_CHECK_MSG(!zns_devs_.empty(), "FillZones needs a ZNS testbed");
+  const auto n = static_cast<std::uint32_t>(zns_devs_.size());
   for (std::uint32_t z = first; z < first + count; ++z) {
-    zns_->DebugFillZone(z, zns_->profile().zone_cap_bytes);
+    // Same map as the stripe: logical zone z lives on device z % n.
+    zns::ZnsDevice& dev = *zns_devs_[z % n];
+    dev.DebugFillZone(z / n, dev.profile().zone_cap_bytes);
   }
 }
 
@@ -65,39 +149,92 @@ telemetry::Snapshot Testbed::TakeSnapshot() {
                   "TakeSnapshot requires telemetry (WithTelemetry or "
                   "--trace/--metrics)");
   telemetry::MetricsRegistry& m = telem_->metrics();
-  if (zns_ != nullptr) {
-    zns_->counters().Describe(m);
-    if (zns_->flash() != nullptr) zns_->flash()->counters().Describe(m);
+  if (!zns_devs_.empty()) {
+    // One device exports its counters directly; a striped set exports the
+    // field-wise sums (still under the usual "zns."/"nand." names).
+    SumCounters(zns_devs_).Describe(m);
+    SumFlashCounters(zns_devs_).Describe(m);
   }
   if (conv_ != nullptr) {
     conv_->counters().Describe(m);
     conv_->flash().counters().Describe(m);
   }
   if (kernel_ != nullptr) kernel_->scheduler_stats().Describe(m);
+  if (striped_ != nullptr) striped_->stats().Describe(m);
   if (faults_ != nullptr) faults_->counters().Describe(m);
   if (resilient_ != nullptr) resilient_->stats().Describe(m);
   return m.TakeSnapshot();
 }
 
 nvme::SmartLog Testbed::Smart() const {
-  if (zns_ != nullptr) return zns_->GetSmartLog();
-  return conv_->GetSmartLog();
+  if (zns_devs_.empty()) return conv_->GetSmartLog();
+  nvme::SmartLog agg = zns_devs_.front()->GetSmartLog();
+  for (std::size_t d = 1; d < zns_devs_.size(); ++d) {
+    AccumulateSmart(agg, zns_devs_[d]->GetSmartLog());
+  }
+  // ZNS write amplification is identically 1.0 per device, so the union
+  // keeps device 0's value; recompute anyway in case a future model
+  // diverges.
+  if (agg.bytes_written > 0 && agg.media_bytes_programmed > 0) {
+    agg.write_amplification =
+        static_cast<double>(agg.media_bytes_programmed) /
+        static_cast<double>(agg.bytes_written);
+  }
+  return agg;
 }
 
 nvme::ZoneReportLog Testbed::ZoneReport() const {
-  ZSTOR_CHECK_MSG(zns_ != nullptr, "ZoneReport needs a ZNS testbed");
-  return zns_->GetZoneReportLog();
+  ZSTOR_CHECK_MSG(!zns_devs_.empty(), "ZoneReport needs a ZNS testbed");
+  if (zns_devs_.size() == 1) return zns_devs_.front()->GetZoneReportLog();
+  const auto n = static_cast<std::uint32_t>(zns_devs_.size());
+  const std::uint64_t zone_size_lbas =
+      zns_devs_.front()->info().zone_size_lbas;
+  std::vector<nvme::ZoneReportLog> per_dev;
+  per_dev.reserve(n);
+  nvme::ZoneReportLog agg;
+  for (const auto& dev : zns_devs_) {
+    per_dev.push_back(dev->GetZoneReportLog());
+    const nvme::ZoneReportLog& r = per_dev.back();
+    agg.num_zones += r.num_zones;
+    agg.open_zones += r.open_zones;
+    agg.active_zones += r.active_zones;
+    agg.max_open += r.max_open;
+    agg.max_active += r.max_active;
+    agg.read_only_zones += r.read_only_zones;
+    agg.offline_zones += r.offline_zones;
+  }
+  agg.zones.reserve(agg.num_zones);
+  for (std::uint32_t lz = 0; lz < agg.num_zones; ++lz) {
+    nvme::ZoneReportEntry e = per_dev[lz % n].zones[lz / n];
+    const std::uint64_t dev_zslba = e.zslba;
+    e.zone = lz;
+    e.zslba = static_cast<std::uint64_t>(lz) * zone_size_lbas;
+    e.write_pointer = e.zslba + (e.write_pointer - dev_zslba);
+    agg.zones.push_back(std::move(e));
+  }
+  return agg;
 }
 
 nvme::DieUtilLog Testbed::DieUtil() const {
-  if (zns_ != nullptr) return zns_->GetDieUtilLog();
-  return conv_->GetDieUtilLog();
+  if (zns_devs_.empty()) return conv_->GetDieUtilLog();
+  nvme::DieUtilLog agg;
+  std::uint32_t die_base = 0;
+  for (const auto& dev : zns_devs_) {
+    nvme::DieUtilLog one = dev->GetDieUtilLog();
+    agg.elapsed_ns = std::max(agg.elapsed_ns, one.elapsed_ns);
+    for (nvme::DieUtilEntry& e : one.dies) {
+      e.die += die_base;
+      agg.dies.push_back(e);
+    }
+    die_base += static_cast<std::uint32_t>(one.dies.size());
+  }
+  return agg;
 }
 
 std::string Testbed::LogPagesJson() const {
   std::string out = "{\"smart\":" + Smart().ToJson();
   out += ",\"die_util\":" + DieUtil().ToJson();
-  if (zns_ != nullptr) out += ",\"zone_report\":" + ZoneReport().ToJson();
+  if (!zns_devs_.empty()) out += ",\"zone_report\":" + ZoneReport().ToJson();
   out += "}";
   return out;
 }
@@ -117,7 +254,7 @@ bool Testbed::WriteLogPages(const std::string& path) const {
 void Testbed::Finish() {
   if (finished_ || telem_ == nullptr) return;
   finished_ = true;
-  if (logpages_to_env_ && (zns_ != nullptr || conv_ != nullptr)) {
+  if (logpages_to_env_ && (!zns_devs_.empty() || conv_ != nullptr)) {
     harness::BenchEnv::Get().AddLogPages(label_, LogPagesJson());
   }
   telemetry::Snapshot snap = TakeSnapshot();
@@ -149,8 +286,19 @@ TestbedBuilder& TestbedBuilder::WithConvProfile(const ftl::ConvProfile& p) {
   return *this;
 }
 
+TestbedBuilder& TestbedBuilder::WithDevices(std::uint32_t n) {
+  num_devices_ = n;
+  return *this;
+}
+
 TestbedBuilder& TestbedBuilder::WithStack(StackChoice s) {
   stack_ = s;
+  return *this;
+}
+
+TestbedBuilder& TestbedBuilder::WithStackOptions(
+    const hostif::StackOptions& opts) {
+  stack_opts_ = opts;
   return *this;
 }
 
@@ -160,7 +308,7 @@ TestbedBuilder& TestbedBuilder::WithLbaBytes(std::uint32_t lba_bytes) {
 }
 
 TestbedBuilder& TestbedBuilder::WithQueueDepth(std::uint32_t qp_depth) {
-  qp_depth_ = qp_depth;
+  stack_opts_.qp_depth = qp_depth;
   return *this;
 }
 
@@ -186,45 +334,57 @@ TestbedBuilder& TestbedBuilder::WithRetryPolicy(
 }
 
 Testbed TestbedBuilder::Build() {
+  ZSTOR_CHECK_MSG(num_devices_ >= 1, "WithDevices needs n >= 1");
+  ZSTOR_CHECK_MSG(num_devices_ == 1 || !conv_profile_.has_value(),
+                  "multi-device testbeds stripe ZNS devices only");
   Testbed tb;
   tb.sim_ = std::make_unique<sim::Simulator>();
 
-  // Device.
+  // Devices.
   if (conv_profile_.has_value()) {
     tb.conv_ = std::make_unique<ftl::ConvDevice>(*tb.sim_, *conv_profile_);
   } else {
-    tb.zns_ = std::make_unique<zns::ZnsDevice>(
-        *tb.sim_, zns_profile_.value_or(zns::Zn540Profile()), lba_bytes_);
+    const zns::ZnsProfile base = zns_profile_.value_or(zns::Zn540Profile());
+    for (std::uint32_t d = 0; d < num_devices_; ++d) {
+      zns::ZnsProfile p = base;
+      // Distinct per-device noise streams; devices are otherwise twins.
+      p.seed = base.seed + 0x9E3779B97F4A7C15ull * d;
+      tb.zns_devs_.push_back(
+          std::make_unique<zns::ZnsDevice>(*tb.sim_, p, lba_bytes_));
+    }
   }
-  nvme::Controller& dev = tb.controller();
 
   // Faults: explicit builder spec wins; otherwise the --faults flag
-  // applies to every testbed the bench builds.
+  // applies to every testbed the bench builds. One plan covers the whole
+  // device set (its counters then report set-wide fault activity).
   harness::BenchEnv& envf = harness::BenchEnv::Get();
   fault::FaultSpec fspec =
       fault_spec_.value_or(envf.faults_requested() ? envf.fault_spec()
                                                    : fault::FaultSpec{});
   if (fspec.enabled) {
     tb.faults_ = std::make_unique<fault::FaultPlan>(fspec);
-    if (tb.zns_ != nullptr) tb.zns_->AttachFaultPlan(tb.faults_.get());
+    for (auto& dev : tb.zns_devs_) dev->AttachFaultPlan(tb.faults_.get());
     if (tb.conv_ != nullptr) tb.conv_->AttachFaultPlan(tb.faults_.get());
   }
 
-  // Host stack.
-  switch (stack_) {
-    case StackChoice::kSpdk:
-      tb.stack_ =
-          std::make_unique<hostif::SpdkStack>(*tb.sim_, dev, qp_depth_);
-      break;
-    case StackChoice::kKernelNone:
-      tb.stack_ = std::make_unique<hostif::KernelStack>(
-          *tb.sim_, dev, hostif::Scheduler::kNone, qp_depth_);
-      break;
-    case StackChoice::kKernelMq:
-      tb.kernel_ = new hostif::KernelStack(
-          *tb.sim_, dev, hostif::Scheduler::kMqDeadline, qp_depth_);
-      tb.stack_.reset(tb.kernel_);
-      break;
+  // Host stack(s): one lane per device via the shared factory; the lanes
+  // of a multi-device set are striped into one logical namespace.
+  if (tb.zns_devs_.size() > 1) {
+    std::vector<std::unique_ptr<hostif::Stack>> lanes;
+    lanes.reserve(tb.zns_devs_.size());
+    for (auto& dev : tb.zns_devs_) {
+      lanes.push_back(
+          hostif::MakeStack(stack_, *tb.sim_, *dev, stack_opts_).stack);
+    }
+    auto striped =
+        std::make_unique<hostif::StripedStack>(*tb.sim_, std::move(lanes));
+    tb.striped_ = striped.get();
+    tb.stack_ = std::move(striped);
+  } else {
+    hostif::MadeStack made =
+        hostif::MakeStack(stack_, *tb.sim_, tb.controller(), stack_opts_);
+    tb.kernel_ = made.kernel;
+    tb.stack_ = std::move(made.stack);
   }
 
   // Host resilience: wrap the stack when a policy was given, or by
@@ -264,7 +424,7 @@ Testbed TestbedBuilder::Build() {
   }
   if (tb.telem_ != nullptr) {
     tb.label_ = label_.empty() ? env.NextLabel() : label_;
-    if (tb.zns_ != nullptr) tb.zns_->AttachTelemetry(tb.telem_.get());
+    for (auto& dev : tb.zns_devs_) dev->AttachTelemetry(tb.telem_.get());
     if (tb.conv_ != nullptr) tb.conv_->AttachTelemetry(tb.telem_.get());
     tb.stack_->AttachTelemetry(tb.telem_.get());
   }

@@ -1,7 +1,7 @@
-// The one-stop experiment facade: a Testbed owns a simulator, a device
-// (ZNS or conventional), a host stack and — optionally — a telemetry
-// bundle, wired together so benches and tests stop copy-pasting the same
-// construction boilerplate.
+// The one-stop experiment facade: a Testbed owns a simulator, one or
+// more devices (ZNS, possibly striped; or conventional), a host stack
+// and — optionally — a telemetry bundle, wired together so benches and
+// tests stop copy-pasting the same construction boilerplate.
 //
 //   auto tb = zstor::TestbedBuilder()
 //                 .WithZnsProfile(zns::Zn540Profile())
@@ -10,6 +10,11 @@
 //                 .Build();
 //   auto r = tb.RunJob(spec);        // described into tb's metrics
 //   tb.Finish();                     // flush trace, write metrics JSON
+//
+// Multi-device: .WithDevices(n) builds n identical ZNS devices, each with
+// its own host-stack lane, striped into one logical namespace by
+// hostif::StripedStack (logical zone z -> device z % n). Log pages and
+// FillZones aggregate/route across devices transparently.
 //
 // When no explicit telemetry config is given, Build() consults the
 // process-wide BenchEnv (see bench_flags.h): a bench invoked with
@@ -28,8 +33,10 @@
 #include "ftl/conv_device.h"
 #include "hostif/kernel_stack.h"
 #include "hostif/resilient_stack.h"
-#include "nvme/log_page.h"
 #include "hostif/stack.h"
+#include "hostif/stack_factory.h"
+#include "hostif/striped_stack.h"
+#include "nvme/log_page.h"
 #include "sim/simulator.h"
 #include "telemetry/telemetry.h"
 #include "workload/job.h"
@@ -38,10 +45,11 @@
 
 namespace zstor {
 
-/// Which host software stack services submissions (§III-A).
-enum class StackChoice { kSpdk, kKernelNone, kKernelMq };
-
-const char* ToString(StackChoice k);
+/// Which host software stack services submissions (§III-A). The enum and
+/// its ToString live with the stacks (hostif/stack.h) and are re-exported
+/// here for the many call sites that spell them zstor::StackChoice.
+using StackChoice = hostif::StackChoice;
+using hostif::ToString;
 
 /// How a testbed's telemetry is surfaced. All fields optional; an
 /// all-default config still enables metrics collection (no trace sink).
@@ -68,13 +76,21 @@ class Testbed {
 
   sim::Simulator& sim() { return *sim_; }
   hostif::Stack& stack() { return *stack_; }
-  /// The device as its generic NVMe face.
+  /// Device 0 as its generic NVMe face (the only device unless
+  /// WithDevices(n > 1) was used).
   nvme::Controller& controller();
   /// Concrete device accessors; null when the testbed holds the other
-  /// kind (a testbed has exactly one device).
-  zns::ZnsDevice* zns() { return zns_.get(); }
+  /// kind. zns() is device 0; zns(d) indexes the striped set.
+  zns::ZnsDevice* zns() { return zns_devs_.empty() ? nullptr : zns_devs_.front().get(); }
+  zns::ZnsDevice* zns(std::size_t d) { return zns_devs_[d].get(); }
+  std::size_t num_devices() const {
+    return conv_ != nullptr ? 1 : zns_devs_.size();
+  }
   ftl::ConvDevice* conv() { return conv_.get(); }
-  /// Non-null only for StackChoice::kKernelMq (scheduler stats live here).
+  /// The zone-striping layer; non-null only when WithDevices(n > 1).
+  hostif::StripedStack* striped() { return striped_; }
+  /// Non-null only for StackChoice::kKernelMq on a single device
+  /// (scheduler stats live here).
   hostif::KernelStack* kernel() { return kernel_; }
   /// Null when telemetry is disabled.
   telemetry::Telemetry* telemetry() { return telem_.get(); }
@@ -87,7 +103,9 @@ class Testbed {
   telemetry::RingBufferSink* ring() { return ring_; }
 
   // ---- experiment conveniences ---------------------------------------
-  /// DebugFillZone over [first, first+count) (ZNS testbeds only).
+  /// DebugFillZone over logical zones [first, first+count) (ZNS testbeds
+  /// only). Multi-device: each logical zone is filled on the device the
+  /// stripe maps it to.
   void FillZones(std::uint32_t first, std::uint32_t count);
   std::vector<std::uint32_t> ZoneList(std::uint32_t first,
                                       std::uint32_t count) const;
@@ -97,13 +115,18 @@ class Testbed {
   std::vector<workload::JobResult> RunJobs(
       const std::vector<workload::JobSpec>& specs);
 
-  /// Batch-exports every layer's counters (device, NAND, scheduler) into
-  /// the registry and freezes it. Requires telemetry.
+  /// Batch-exports every layer's counters (device, NAND, scheduler,
+  /// stripe) into the registry and freezes it. Multi-device testbeds
+  /// export device/NAND counters summed across devices. Requires
+  /// telemetry.
   telemetry::Snapshot TakeSnapshot();
 
   // ---- NVMe-style log pages (nvme/log_page.h) ------------------------
   // Live device introspection: free (no virtual time, no counters), works
-  // with or without telemetry.
+  // with or without telemetry. Multi-device testbeds serve the aggregated
+  // view: SMART counters summed, zone report in logical zone order with
+  // stripe-translated addresses, die utilization concatenated with die
+  // indices offset per device.
   /// The device's SMART-like log (either device kind).
   nvme::SmartLog Smart() const;
   /// Per-zone state + occupancy (ZNS testbeds only; checked).
@@ -127,7 +150,9 @@ class Testbed {
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<telemetry::Telemetry> telem_;
   std::unique_ptr<fault::FaultPlan> faults_;
-  std::unique_ptr<zns::ZnsDevice> zns_;
+  /// The ZNS device set: exactly one unless built WithDevices(n > 1);
+  /// empty for conventional testbeds.
+  std::vector<std::unique_ptr<zns::ZnsDevice>> zns_devs_;
   std::unique_ptr<ftl::ConvDevice> conv_;
   /// The raw stack when a ResilientStack wraps it (stack_ is the wrapper
   /// then); empty otherwise.
@@ -135,6 +160,7 @@ class Testbed {
   std::unique_ptr<hostif::Stack> stack_;
   hostif::ResilientStack* resilient_ = nullptr;
   hostif::KernelStack* kernel_ = nullptr;
+  hostif::StripedStack* striped_ = nullptr;  // owned via stack_/inner_stack_
   telemetry::RingBufferSink* ring_ = nullptr;  // owned by telem_
   std::string label_;
   std::string metrics_path_;
@@ -149,10 +175,19 @@ class TestbedBuilder {
   TestbedBuilder& WithZnsProfile(const zns::ZnsProfile& p);
   /// Selects the conventional (device-side GC) device instead.
   TestbedBuilder& WithConvProfile(const ftl::ConvProfile& p);
+  /// Builds n identical ZNS devices behind a hostif::StripedStack (n = 1,
+  /// the default, keeps the classic single-device wiring). Each device
+  /// gets its own host-stack lane and a distinct noise seed. Incompatible
+  /// with WithConvProfile.
+  TestbedBuilder& WithDevices(std::uint32_t n);
   TestbedBuilder& WithStack(StackChoice s);
+  /// Host-stack construction options (per-device queue depth, host costs,
+  /// scheduler tuning). Applied to every lane in a multi-device testbed.
+  TestbedBuilder& WithStackOptions(const hostif::StackOptions& opts);
   /// Namespace LBA format (ZNS only; the conventional model is 4 KiB).
   TestbedBuilder& WithLbaBytes(std::uint32_t lba_bytes);
-  /// Queue-pair depth (device-visible in-flight bound).
+  /// Queue-pair depth (device-visible in-flight bound, per device);
+  /// shorthand for the StackOptions field.
   TestbedBuilder& WithQueueDepth(std::uint32_t qp_depth);
   /// Explicitly enables telemetry with this config (otherwise Build()
   /// consults the BenchEnv --trace/--metrics flags).
@@ -173,9 +208,10 @@ class TestbedBuilder {
  private:
   std::optional<zns::ZnsProfile> zns_profile_;
   std::optional<ftl::ConvProfile> conv_profile_;
+  std::uint32_t num_devices_ = 1;
   StackChoice stack_ = StackChoice::kSpdk;
+  hostif::StackOptions stack_opts_;
   std::uint32_t lba_bytes_ = 4096;
-  std::uint32_t qp_depth_ = 4096;
   std::optional<TelemetryConfig> telem_cfg_;
   std::optional<fault::FaultSpec> fault_spec_;
   std::optional<hostif::RetryPolicy> retry_policy_;

@@ -49,10 +49,11 @@ struct SchedulerStats {
 
 class KernelStack : public Stack {
  public:
+  static constexpr HostCosts kDefaultCosts = {
+      .submit = sim::Microseconds(1.2), .complete = sim::Microseconds(1.07)};
+
   KernelStack(sim::Simulator& s, nvme::Controller& ctrl, Scheduler sched,
-              std::uint32_t qp_depth = 4096,
-              HostCosts costs = {.submit = sim::Microseconds(1.2),
-                                 .complete = sim::Microseconds(1.07)},
+              std::uint32_t qp_depth = 4096, HostCosts costs = kDefaultCosts,
               sim::Time scheduler_cost = sim::Microseconds(1.85),
               std::uint64_t max_merge_bytes = 128 * 1024)
       : sim_(s),
@@ -62,6 +63,14 @@ class KernelStack : public Stack {
         costs_(costs),
         scheduler_cost_(scheduler_cost),
         max_merge_bytes_(max_merge_bytes) {}
+
+  KernelStack(sim::Simulator& s, nvme::Controller& ctrl, Scheduler sched,
+              const StackOptions& o)
+      : KernelStack(s, ctrl, sched, o.qp_depth,
+                    o.costs.value_or(kDefaultCosts), o.scheduler_cost,
+                    o.max_merge_bytes) {
+    if (o.telemetry != nullptr) AttachTelemetry(o.telemetry);
+  }
 
   sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
     telemetry::Tracer* tr = trace();

@@ -17,11 +17,17 @@ namespace zstor::hostif {
 
 class PsyncStack : public Stack {
  public:
+  static constexpr HostCosts kDefaultCosts = {
+      .submit = sim::Microseconds(2.6), .complete = sim::Microseconds(2.3)};
+
   PsyncStack(sim::Simulator& s, nvme::Controller& ctrl,
-             std::uint32_t qp_depth = 4096,
-             HostCosts costs = {.submit = sim::Microseconds(2.6),
-                                .complete = sim::Microseconds(2.3)})
+             std::uint32_t qp_depth = 4096, HostCosts costs = kDefaultCosts)
       : sim_(s), qp_(s, ctrl, qp_depth), costs_(costs), ctrl_(ctrl) {}
+
+  PsyncStack(sim::Simulator& s, nvme::Controller& ctrl, const StackOptions& o)
+      : PsyncStack(s, ctrl, o.qp_depth, o.costs.value_or(kDefaultCosts)) {
+    if (o.telemetry != nullptr) AttachTelemetry(o.telemetry);
+  }
 
   sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
     telemetry::Tracer* tr = trace();

@@ -14,13 +14,19 @@ namespace zstor::hostif {
 
 class SpdkStack : public Stack {
  public:
+  static constexpr HostCosts kDefaultCosts = {
+      .submit = sim::Microseconds(0.6), .complete = sim::Microseconds(0.41)};
+
   /// `qp_depth` bounds device-visible in-flight commands; workloads
   /// normally control concurrency themselves, so the default is generous.
   SpdkStack(sim::Simulator& s, nvme::Controller& ctrl,
-            std::uint32_t qp_depth = 4096,
-            HostCosts costs = {.submit = sim::Microseconds(0.6),
-                               .complete = sim::Microseconds(0.41)})
+            std::uint32_t qp_depth = 4096, HostCosts costs = kDefaultCosts)
       : sim_(s), qp_(s, ctrl, qp_depth), costs_(costs), ctrl_(ctrl) {}
+
+  SpdkStack(sim::Simulator& s, nvme::Controller& ctrl, const StackOptions& o)
+      : SpdkStack(s, ctrl, o.qp_depth, o.costs.value_or(kDefaultCosts)) {
+    if (o.telemetry != nullptr) AttachTelemetry(o.telemetry);
+  }
 
   sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
     telemetry::Tracer* tr = trace();

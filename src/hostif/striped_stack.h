@@ -1,0 +1,309 @@
+// StripedStack: one logical zoned namespace over N independently
+// simulated devices — RAID-0 at zone granularity.
+//
+// Each backing device keeps its own full host stack (queue pair, host
+// costs, firmware, NAND array), so per-device queue-depth bounds and
+// FCP serialization still apply lane-by-lane; the striping layer itself
+// charges no virtual time. The address map is round-robin by zone:
+//
+//   logical zone z  ->  device z % N, device zone z / N
+//
+// so a workload touching K consecutive logical zones spreads across
+// min(K, N) devices, and throughput scales with N until the host-side
+// workload (not the devices) is the bottleneck. This mirrors how zoned
+// RAID-0 proposals stripe at zone (not LBA) granularity to keep the
+// sequential-write rule intact per device: a logical zone IS a physical
+// zone, just relocated.
+//
+// Cross-device semantics:
+//   * I/O and per-zone management commands route to exactly one lane;
+//     an I/O crossing a logical zone boundary is rejected host-side with
+//     kZoneBoundaryError (it would otherwise silently span devices).
+//   * Flush and select_all zone management broadcast to every lane and
+//     complete when the slowest lane does; the first non-success status
+//     (in lane order) is surfaced.
+//   * Zone reports are gathered from every lane and re-interleaved in
+//     logical zone order with zslba/write_pointer translated back into
+//     the logical address space.
+//
+// What real zoned RAID would add that this deliberately does not: parity
+// or mirroring (a lane failure here is surfaced, not repaired), write
+// pointer resynchronization after crashes, and per-device capacity
+// heterogeneity. See DESIGN.md §9.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "hostif/stack.h"
+#include "nvme/types.h"
+#include "sim/check.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "telemetry/telemetry.h"
+
+namespace zstor::hostif {
+
+/// Per-lane (per-device) traffic accounting, kept by the striping layer
+/// itself so it works identically over any lane stack type.
+struct LaneStats {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;        // completions with !ok()
+  std::uint64_t in_flight = 0;     // instantaneous
+  std::uint64_t max_in_flight = 0; // high-water mark
+};
+
+struct StripeStats {
+  std::vector<LaneStats> lanes;
+  /// I/O rejected host-side for crossing a logical zone boundary.
+  std::uint64_t boundary_rejects = 0;
+
+  /// Exports per-lane counters under the "stripe." prefix (the shared
+  /// Describe protocol; see telemetry/metrics.h).
+  void Describe(telemetry::MetricsRegistry& m) const {
+    m.GetCounter("stripe.devices").Set(lanes.size());
+    m.GetCounter("stripe.boundary_rejects").Set(boundary_rejects);
+    for (std::size_t d = 0; d < lanes.size(); ++d) {
+      const std::string p = "stripe.dev" + std::to_string(d) + ".";
+      m.GetCounter(p + "issued").Set(lanes[d].issued);
+      m.GetCounter(p + "completed").Set(lanes[d].completed);
+      m.GetCounter(p + "errors").Set(lanes[d].errors);
+      m.GetCounter(p + "max_in_flight").Set(lanes[d].max_in_flight);
+    }
+  }
+};
+
+namespace detail {
+
+/// One lane's leg of a broadcast. A free coroutine (not a lambda) so the
+/// frame owns its parameters; `out` and `wg` live in the caller's frame,
+/// which stays suspended on the WaitGroup until every leg calls Done().
+inline sim::Task<> RunBroadcastLane(Stack* lane, nvme::Command cmd,
+                                    nvme::TimedCompletion* out,
+                                    sim::WaitGroup* wg) {
+  *out = co_await lane->Submit(cmd);
+  wg->Done();
+}
+
+}  // namespace detail
+
+class StripedStack : public Stack {
+ public:
+  /// Takes ownership of one fully built stack per device. All lanes must
+  /// expose identical zoned geometry (same zone size/cap and LBA format);
+  /// capacity and open/active budgets are summed into the merged view.
+  StripedStack(sim::Simulator& s,
+               std::vector<std::unique_ptr<Stack>> lanes)
+      : sim_(s), lanes_(std::move(lanes)) {
+    ZSTOR_CHECK_MSG(!lanes_.empty(), "StripedStack needs >= 1 device");
+    const nvme::NamespaceInfo& first = lanes_.front()->info();
+    ZSTOR_CHECK_MSG(first.zoned, "StripedStack stripes zoned namespaces");
+    info_ = first;
+    for (std::size_t d = 1; d < lanes_.size(); ++d) {
+      const nvme::NamespaceInfo& ni = lanes_[d]->info();
+      ZSTOR_CHECK_MSG(ni.zoned && ni.zone_size_lbas == first.zone_size_lbas &&
+                          ni.zone_cap_lbas == first.zone_cap_lbas &&
+                          ni.num_zones == first.num_zones &&
+                          ni.format.lba_bytes == first.format.lba_bytes,
+                      "striped lanes must have identical zoned geometry");
+      info_.capacity_lbas += ni.capacity_lbas;
+      info_.num_zones += ni.num_zones;
+      info_.max_open_zones += ni.max_open_zones;
+      info_.max_active_zones += ni.max_active_zones;
+    }
+    stats_.lanes.resize(lanes_.size());
+  }
+
+  sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
+    telemetry::Tracer* tr = trace();
+    if (tr != nullptr && cmd.trace_id == 0) {
+      cmd.trace_id = telemetry::Tracer::NextCmdId();
+    }
+    switch (cmd.opcode) {
+      case nvme::Opcode::kFlush:
+        co_return co_await Broadcast(cmd);
+      case nvme::Opcode::kZoneMgmtSend:
+        if (cmd.select_all) co_return co_await Broadcast(cmd);
+        co_return co_await RouteOne(cmd, tr);
+      case nvme::Opcode::kZoneMgmtRecv:
+        co_return co_await GatherReport(cmd);
+      default:
+        co_return co_await RouteOne(cmd, tr);
+    }
+  }
+
+  const nvme::NamespaceInfo& info() const override { return info_; }
+
+  void AttachTelemetry(telemetry::Telemetry* t) override {
+    telem_ = t;
+    for (auto& lane : lanes_) lane->AttachTelemetry(t);
+  }
+
+  std::size_t num_lanes() const { return lanes_.size(); }
+  Stack& lane(std::size_t d) { return *lanes_[d]; }
+  const Stack& lane(std::size_t d) const { return *lanes_[d]; }
+  const StripeStats& stats() const { return stats_; }
+
+  // --- the address map, exposed for tests and the Testbed ---
+
+  std::uint32_t LogicalZoneOf(nvme::Lba lba) const {
+    return static_cast<std::uint32_t>(lba / info_.zone_size_lbas);
+  }
+  /// Device index serving logical zone `lz`.
+  std::uint32_t DeviceOf(std::uint32_t lz) const {
+    return lz % static_cast<std::uint32_t>(lanes_.size());
+  }
+  /// The zone index `lz` maps to on its device.
+  std::uint32_t DeviceZoneOf(std::uint32_t lz) const {
+    return lz / static_cast<std::uint32_t>(lanes_.size());
+  }
+  /// Logical LBA -> LBA in DeviceOf(zone)'s address space.
+  nvme::Lba ToDeviceLba(nvme::Lba logical) const {
+    const std::uint32_t lz = LogicalZoneOf(logical);
+    const nvme::Lba offset = logical - nvme::Lba{lz} * info_.zone_size_lbas;
+    return nvme::Lba{DeviceZoneOf(lz)} * info_.zone_size_lbas + offset;
+  }
+  /// Device-space LBA on device `d` -> logical LBA (inverse of the above;
+  /// used to translate append result LBAs and report entries back).
+  nvme::Lba ToLogicalLba(std::uint32_t d, nvme::Lba device_lba) const {
+    const std::uint32_t dz =
+        static_cast<std::uint32_t>(device_lba / info_.zone_size_lbas);
+    const nvme::Lba offset = device_lba - nvme::Lba{dz} * info_.zone_size_lbas;
+    const std::uint32_t lz =
+        dz * static_cast<std::uint32_t>(lanes_.size()) + d;
+    return nvme::Lba{lz} * info_.zone_size_lbas + offset;
+  }
+
+ private:
+  sim::Task<nvme::TimedCompletion> RouteOne(nvme::Command cmd,
+                                            telemetry::Tracer* tr) {
+    const std::uint32_t lz = LogicalZoneOf(cmd.slba);
+    const nvme::Lba offset = cmd.slba - nvme::Lba{lz} * info_.zone_size_lbas;
+    nvme::TimedCompletion tc;
+    if (offset + cmd.nlb > info_.zone_size_lbas) {
+      // In a single-device namespace this I/O would reach the controller
+      // and fail there; striped, the tail would land on a different
+      // device, so reject before any lane sees it.
+      stats_.boundary_rejects++;
+      tc.completion.status = nvme::Status::kZoneBoundaryError;
+      tc.trace_id = cmd.trace_id;
+      tc.submitted = sim_.now();
+      tc.completed = sim_.now();
+      co_return tc;
+    }
+    const std::uint32_t d = DeviceOf(lz);
+    if (tr != nullptr) {
+      tr->Instant(sim_.now(), cmd.trace_id, telemetry::Layer::kHost,
+                  "stripe.route", static_cast<std::int64_t>(d),
+                  static_cast<std::int64_t>(lz));
+    }
+    nvme::Command routed = cmd;
+    routed.slba = ToDeviceLba(cmd.slba);
+    LaneStats& ls = stats_.lanes[d];
+    ls.issued++;
+    ls.in_flight++;
+    ls.max_in_flight = std::max(ls.max_in_flight, ls.in_flight);
+    tc = co_await lanes_[d]->Submit(routed);
+    ls.in_flight--;
+    ls.completed++;
+    if (!tc.completion.ok()) ls.errors++;
+    if (cmd.opcode == nvme::Opcode::kAppend && tc.completion.ok()) {
+      tc.completion.result_lba = ToLogicalLba(d, tc.completion.result_lba);
+    }
+    co_return tc;
+  }
+
+  /// Fans `cmd` out to every lane, joins on the slowest, surfaces the
+  /// first non-success status in lane order.
+  sim::Task<nvme::TimedCompletion> Broadcast(nvme::Command cmd) {
+    const sim::Time start = sim_.now();
+    std::vector<nvme::TimedCompletion> legs(lanes_.size());
+    sim::WaitGroup wg(sim_);
+    for (std::size_t d = 0; d < lanes_.size(); ++d) {
+      LaneStats& ls = stats_.lanes[d];
+      ls.issued++;
+      ls.in_flight++;
+      ls.max_in_flight = std::max(ls.max_in_flight, ls.in_flight);
+      wg.Add();
+      sim::Spawn(
+          detail::RunBroadcastLane(lanes_[d].get(), cmd, &legs[d], &wg));
+    }
+    co_await wg.Wait();
+    nvme::TimedCompletion tc;
+    tc.trace_id = cmd.trace_id;
+    for (std::size_t d = 0; d < lanes_.size(); ++d) {
+      LaneStats& ls = stats_.lanes[d];
+      ls.in_flight--;
+      ls.completed++;
+      if (!legs[d].completion.ok()) {
+        ls.errors++;
+        if (tc.completion.ok()) tc.completion.status = legs[d].completion.status;
+      }
+    }
+    tc.submitted = start;
+    tc.completed = sim_.now();
+    co_return tc;
+  }
+
+  /// Full-report gather: every lane reports all of its zones (so legs are
+  /// issued concurrently and join on the slowest), then descriptors are
+  /// re-interleaved in logical zone order with addresses translated back.
+  /// `cmd.slba`'s zone and `report_max` are applied to the logical view,
+  /// matching single-device Zone Management Receive semantics.
+  sim::Task<nvme::TimedCompletion> GatherReport(nvme::Command cmd) {
+    const sim::Time start = sim_.now();
+    nvme::Command full = cmd;
+    full.slba = 0;
+    full.report_max = 0;
+    std::vector<nvme::TimedCompletion> legs(lanes_.size());
+    sim::WaitGroup wg(sim_);
+    for (std::size_t d = 0; d < lanes_.size(); ++d) {
+      stats_.lanes[d].issued++;
+      wg.Add();
+      sim::Spawn(
+          detail::RunBroadcastLane(lanes_[d].get(), full, &legs[d], &wg));
+    }
+    co_await wg.Wait();
+    nvme::TimedCompletion tc;
+    tc.trace_id = cmd.trace_id;
+    for (std::size_t d = 0; d < lanes_.size(); ++d) {
+      stats_.lanes[d].completed++;
+      if (!legs[d].completion.ok()) {
+        stats_.lanes[d].errors++;
+        if (tc.completion.ok()) tc.completion.status = legs[d].completion.status;
+      }
+    }
+    if (tc.completion.ok()) {
+      const std::uint32_t first_lz = LogicalZoneOf(cmd.slba);
+      for (std::uint32_t lz = first_lz; lz < info_.num_zones; ++lz) {
+        if (cmd.report_max != 0 &&
+            tc.completion.report.size() >= cmd.report_max) {
+          break;
+        }
+        const std::uint32_t d = DeviceOf(lz);
+        const std::uint32_t dz = DeviceZoneOf(lz);
+        ZSTOR_CHECK(dz < legs[d].completion.report.size());
+        nvme::ZoneDescriptor desc = legs[d].completion.report[dz];
+        const nvme::Lba dev_zslba = desc.zslba;
+        desc.zslba = nvme::Lba{lz} * info_.zone_size_lbas;
+        desc.write_pointer = desc.zslba + (desc.write_pointer - dev_zslba);
+        tc.completion.report.push_back(desc);
+      }
+    }
+    tc.submitted = start;
+    tc.completed = sim_.now();
+    co_return tc;
+  }
+
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Stack>> lanes_;
+  nvme::NamespaceInfo info_;
+  StripeStats stats_;
+};
+
+}  // namespace zstor::hostif

@@ -26,7 +26,7 @@ TEST(ResultWriter, EmitsTheDocumentedSchema) {
   auto v = JsonValue::Parse(w.ToJson());
   ASSERT_TRUE(v.has_value()) << w.ToJson();
   EXPECT_EQ(v->StringOr("bench", ""), "my_bench");
-  EXPECT_DOUBLE_EQ(v->NumberOr("schema_version", 0), 1.0);
+  EXPECT_DOUBLE_EQ(v->NumberOr("schema_version", 0), 2.0);
 
   const JsonValue* config = v->Find("config");
   ASSERT_NE(config, nullptr);
@@ -80,6 +80,26 @@ TEST(ResultWriter, HistogramFillsThePercentileFields) {
   const JsonValue& p2 =
       v->Find("series")->array()[0].Find("points")->array()[1];
   EXPECT_TRUE(p2.Find("mean_ns")->is_null());
+}
+
+TEST(ResultWriter, PartsAreEmittedOnlyWhenAttached) {
+  ResultWriter w;
+  w.Series("kiops", "KIOPS")
+      .Add(1, 130.0)
+      .Add(2, 260.0)
+      .WithParts({130.0, 130.0});
+  auto v = JsonValue::Parse(w.ToJson());
+  ASSERT_TRUE(v.has_value()) << w.ToJson();
+  const auto& pts = v->Find("series")->array()[0].Find("points")->array();
+  ASSERT_EQ(pts.size(), 2u);
+  // The plain point has no "parts" key at all (v1 consumers unaffected).
+  EXPECT_EQ(pts[0].Find("parts"), nullptr);
+  const JsonValue* parts = pts[1].Find("parts");
+  ASSERT_NE(parts, nullptr);
+  ASSERT_TRUE(parts->is_array());
+  ASSERT_EQ(parts->array().size(), 2u);
+  EXPECT_DOUBLE_EQ(parts->array()[0].number(), 130.0);
+  EXPECT_DOUBLE_EQ(parts->array()[1].number(), 130.0);
 }
 
 TEST(ResultWriter, SeriesIsGetOrCreateAndConfigLastWriteWins) {

@@ -1,0 +1,141 @@
+// Multi-device Testbed tests: WithDevices wiring, FillZones routing
+// through the stripe map, and the aggregated log pages (SMART summed,
+// zone report in logical order, die utilization concatenated).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/testbed.h"
+#include "nvme/log_page.h"
+#include "zns/zns_device.h"
+
+namespace zstor {
+namespace {
+
+zns::ZnsProfile QuietTiny() {
+  zns::ZnsProfile p = zns::TinyProfile();
+  p.io_sigma = 0;
+  p.reset.sigma = 0;
+  p.finish.sigma = 0;
+  return p;
+}
+
+Testbed MakeBed(std::uint32_t ndev,
+                StackChoice stack = StackChoice::kSpdk) {
+  return TestbedBuilder()
+      .WithZnsProfile(QuietTiny())
+      .WithDevices(ndev)
+      .WithStack(stack)
+      .Build();
+}
+
+TEST(TestbedMultiDev, WithDevicesBuildsStripedWiring) {
+  Testbed tb = MakeBed(4);
+  EXPECT_EQ(tb.num_devices(), 4u);
+  ASSERT_NE(tb.striped(), nullptr);
+  EXPECT_EQ(tb.striped()->num_lanes(), 4u);
+  EXPECT_EQ(&tb.stack(), tb.striped());  // the stripe IS the host stack
+  std::set<zns::ZnsDevice*> distinct;
+  for (std::size_t d = 0; d < 4; ++d) {
+    ASSERT_NE(tb.zns(d), nullptr);
+    distinct.insert(tb.zns(d));
+  }
+  EXPECT_EQ(distinct.size(), 4u);
+  EXPECT_EQ(tb.zns(), tb.zns(0));
+  // The merged namespace spans all four devices.
+  EXPECT_EQ(tb.stack().info().num_zones, 4 * tb.zns()->info().num_zones);
+}
+
+TEST(TestbedMultiDev, SingleDeviceKeepsClassicWiring) {
+  Testbed tb = MakeBed(1, StackChoice::kKernelMq);
+  EXPECT_EQ(tb.num_devices(), 1u);
+  EXPECT_EQ(tb.striped(), nullptr);
+  EXPECT_NE(tb.kernel(), nullptr);  // scheduler stats still reachable
+}
+
+TEST(TestbedMultiDev, FillZonesRoutesThroughTheStripeMap) {
+  Testbed tb = MakeBed(4);
+  const std::uint64_t cap = tb.zns()->profile().zone_cap_bytes;
+  // Logical zones 0..7 map one-per-device twice around: each device must
+  // end up with its zones 0 and 1 full and nothing else touched.
+  tb.FillZones(0, 8);
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(tb.zns(d)->ZoneWrittenBytes(0), cap) << "d=" << d;
+    EXPECT_EQ(tb.zns(d)->ZoneWrittenBytes(1), cap) << "d=" << d;
+    EXPECT_EQ(tb.zns(d)->ZoneWrittenBytes(2), 0u) << "d=" << d;
+  }
+}
+
+TEST(TestbedMultiDev, SmartSumsCountersAcrossDevices) {
+  Testbed tb = MakeBed(2);
+  workload::JobSpec spec;
+  spec.op = nvme::Opcode::kAppend;
+  spec.zones = tb.ZoneList(0, 4);  // two logical zones per device
+  spec.queue_depth = 2;
+  spec.request_bytes = 8 * 1024;
+  spec.duration = sim::Milliseconds(20);
+  workload::JobResult r = tb.RunJob(spec);
+  ASSERT_GT(r.ops, 0u);
+  ASSERT_EQ(r.errors, 0u);
+
+  std::uint64_t appends = 0, bytes = 0;
+  for (std::size_t d = 0; d < 2; ++d) {
+    EXPECT_GT(tb.zns(d)->counters().appends, 0u) << "d=" << d;
+    appends += tb.zns(d)->counters().appends;
+    bytes += tb.zns(d)->counters().bytes_written;
+  }
+  nvme::SmartLog smart = tb.Smart();
+  EXPECT_EQ(smart.device, "zns");
+  EXPECT_EQ(smart.host_writes, appends);
+  EXPECT_EQ(smart.bytes_written, bytes);
+}
+
+TEST(TestbedMultiDev, ZoneReportIsInLogicalOrderWithSummedBudgets) {
+  Testbed tb = MakeBed(3);
+  const zns::ZnsProfile& p = tb.zns()->profile();
+  tb.FillZones(0, 5);
+  nvme::ZoneReportLog report = tb.ZoneReport();
+  EXPECT_EQ(report.num_zones, 3 * p.num_zones);
+  EXPECT_EQ(report.max_open, 3 * p.max_open_zones);
+  EXPECT_EQ(report.max_active, 3 * p.max_active_zones);
+  ASSERT_EQ(report.zones.size(), report.num_zones);
+  const std::uint64_t zsz_lbas = tb.stack().info().zone_size_lbas;
+  for (std::uint32_t lz = 0; lz < report.num_zones; ++lz) {
+    EXPECT_EQ(report.zones[lz].zone, lz);
+    EXPECT_EQ(report.zones[lz].zslba, lz * zsz_lbas);
+    EXPECT_EQ(report.zones[lz].state, lz < 5 ? "Full" : "Empty");
+    EXPECT_EQ(report.zones[lz].written_bytes,
+              lz < 5 ? p.zone_cap_bytes : 0u);
+  }
+}
+
+TEST(TestbedMultiDev, DieUtilConcatenatesWithOffsetDieIndices) {
+  Testbed tb = MakeBed(2);
+  tb.FillZones(0, 2);  // touch both devices so dies report activity
+  nvme::DieUtilLog log = tb.DieUtil();
+  const std::uint32_t per_dev = tb.zns()->profile().nand_geometry.total_dies();
+  ASSERT_EQ(log.dies.size(), 2u * per_dev);
+  for (std::uint32_t i = 0; i < log.dies.size(); ++i) {
+    EXPECT_EQ(log.dies[i].die, i);  // strictly increasing, device-offset
+  }
+}
+
+TEST(TestbedMultiDev, ReadJobSpansAllDevicesCleanly) {
+  Testbed tb = MakeBed(4);
+  tb.FillZones(0, 8);
+  workload::JobSpec spec;
+  spec.op = nvme::Opcode::kRead;
+  spec.random = true;
+  spec.zones = tb.ZoneList(0, 8);
+  spec.queue_depth = 8;
+  spec.duration = sim::Milliseconds(20);
+  workload::JobResult r = tb.RunJob(spec);
+  EXPECT_GT(r.ops, 100u);
+  EXPECT_EQ(r.errors, 0u);
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_GT(tb.zns(d)->counters().reads, 0u) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace zstor

@@ -7,16 +7,14 @@
 #include <memory>
 
 #include "ftl/conv_device.h"
-#include "hostif/kernel_stack.h"
-#include "hostif/psync_stack.h"
-#include "hostif/spdk_stack.h"
+#include "hostif/stack_factory.h"
 #include "workload/runner.h"
 #include "zns/zns_device.h"
 
 namespace zstor {
 namespace {
 
-enum class StackId { kSpdk, kKernelNone, kKernelMq, kPsync };
+using StackId = hostif::StackChoice;
 enum class DeviceId { kZns, kConv };
 
 struct Param {
@@ -51,22 +49,7 @@ class FullStackTest : public ::testing::TestWithParam<Param> {
       d->DebugPrefill();
       dev_ = std::move(d);
     }
-    switch (GetParam().stack) {
-      case StackId::kSpdk:
-        stack_ = std::make_unique<hostif::SpdkStack>(sim_, *dev_);
-        break;
-      case StackId::kKernelNone:
-        stack_ = std::make_unique<hostif::KernelStack>(
-            sim_, *dev_, hostif::Scheduler::kNone);
-        break;
-      case StackId::kKernelMq:
-        stack_ = std::make_unique<hostif::KernelStack>(
-            sim_, *dev_, hostif::Scheduler::kMqDeadline);
-        break;
-      case StackId::kPsync:
-        stack_ = std::make_unique<hostif::PsyncStack>(sim_, *dev_);
-        break;
-    }
+    stack_ = hostif::MakeStack(GetParam().stack, sim_, *dev_).stack;
   }
 
   sim::Simulator sim_;
@@ -150,23 +133,7 @@ TEST(StackOrdering, OverheadsFollowThePaper) {
     zns::ZnsProfile p = zns::TinyProfile();
     p.io_sigma = 0;
     zns::ZnsDevice dev(s, p);
-    std::unique_ptr<hostif::Stack> st;
-    switch (id) {
-      case StackId::kSpdk:
-        st = std::make_unique<hostif::SpdkStack>(s, dev);
-        break;
-      case StackId::kKernelNone:
-        st = std::make_unique<hostif::KernelStack>(
-            s, dev, hostif::Scheduler::kNone);
-        break;
-      case StackId::kKernelMq:
-        st = std::make_unique<hostif::KernelStack>(
-            s, dev, hostif::Scheduler::kMqDeadline);
-        break;
-      case StackId::kPsync:
-        st = std::make_unique<hostif::PsyncStack>(s, dev);
-        break;
-    }
+    std::unique_ptr<hostif::Stack> st = hostif::MakeStack(id, s, dev).stack;
     sim::Time lat = 0;
     auto body = [&]() -> sim::Task<> {
       (void)co_await st->Submit(

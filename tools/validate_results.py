@@ -34,6 +34,22 @@ SIMCORE_REQUIRED_CONFIG = (
     "seed_coroutine_pingpong_meps",
 )
 
+# bench_multidev's --json carries the multi-device scaling acceptance
+# numbers: the striped stack must scale appends near-linearly with the
+# device count at fixed per-device queue depth, and each throughput point
+# must break down into one `parts` entry per device (schema v2).
+MULTIDEV_REQUIRED_SERIES = (
+    "multidev_append_kiops",
+    "multidev_read_kiops",
+    "multidev_append_scaling",
+    "multidev_read_scaling",
+    "multidev_qd_append_kiops",
+)
+MULTIDEV_REQUIRED_CONFIG = ("profile", "stack", "request_bytes",
+                            "append_per_device_qd", "read_per_device_qd")
+# device count -> minimum append scaling ratio vs one device.
+MULTIDEV_MIN_APPEND_SCALING = {2: 1.8, 4: 3.2}
+
 # Required SMART counters (nvme::SmartLog): activity, the host_rejects /
 # media_errors split, and the fault-model health fields.
 SMART_REQUIRED_FIELDS = (
@@ -52,10 +68,23 @@ def fail(path, msg, errors):
     errors.append(f"{path}: {msg}")
 
 
-def validate_point(path, i, j, point, errors):
+def validate_point(path, i, j, point, errors, schema_version=1):
     where = f"{path}: series[{i}].points[{j}]"
     if not isinstance(point, dict):
         return fail(where, "not an object", errors)
+    if "parts" in point:
+        if schema_version < 2:
+            fail(where, "'parts' requires schema_version >= 2", errors)
+        parts = point["parts"]
+        if not isinstance(parts, list) or not parts:
+            fail(where, f"'parts' must be a non-empty array, got {parts!r}",
+                 errors)
+        else:
+            for k, v in enumerate(parts):
+                if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                        or not math.isfinite(v):
+                    fail(where, f"parts[{k}] must be a finite number, "
+                                f"got {v!r}", errors)
     for key in POINT_NUMBER_FIELDS:
         v = point.get(key)
         if not isinstance(v, (int, float)) or isinstance(v, bool):
@@ -85,9 +114,11 @@ def validate_document(path, doc, errors):
         return fail(path, "top level is not an object", errors)
     if not isinstance(doc.get("bench"), str) or not doc["bench"]:
         fail(path, "'bench' must be a non-empty string", errors)
-    if doc.get("schema_version") != 1:
-        fail(path, f"'schema_version' must be 1, got "
-                   f"{doc.get('schema_version')!r}", errors)
+    schema_version = doc.get("schema_version")
+    if schema_version not in (1, 2):
+        fail(path, f"'schema_version' must be 1 or 2, got "
+                   f"{schema_version!r}", errors)
+        schema_version = 1
     config = doc.get("config")
     if not isinstance(config, dict):
         fail(path, "'config' must be an object", errors)
@@ -117,9 +148,11 @@ def validate_document(path, doc, errors):
             fail(path, f"series[{i}].points must be an array", errors)
             continue
         for j, p in enumerate(points):
-            validate_point(path, i, j, p, errors)
+            validate_point(path, i, j, p, errors, schema_version)
     if doc.get("bench") == "bench_simcore":
         validate_simcore(path, doc, errors)
+    if doc.get("bench") == "bench_multidev":
+        validate_multidev(path, doc, errors)
 
 
 def validate_simcore(path, doc, errors):
@@ -149,6 +182,48 @@ def validate_simcore(path, doc, errors):
                     isinstance(v, (int, float)) and v <= 0:
                 fail(path, f"simcore: {name}/{label} must be > 0, got {v!r}",
                      errors)
+
+
+def validate_multidev(path, doc, errors):
+    """bench_multidev documents carry the striping acceptance numbers."""
+    config = doc.get("config")
+    if isinstance(config, dict):
+        for key in MULTIDEV_REQUIRED_CONFIG:
+            if key not in config:
+                fail(path, f"multidev: missing config['{key}']", errors)
+    by_name = {s.get("name"): s for s in doc.get("series", [])
+               if isinstance(s, dict)}
+    for name in MULTIDEV_REQUIRED_SERIES:
+        if name not in by_name:
+            fail(path, f"multidev: missing series '{name}'", errors)
+    # Throughput points break down per device: len(parts) == device count.
+    for name in ("multidev_append_kiops", "multidev_read_kiops"):
+        s = by_name.get(name)
+        if s is None:
+            continue
+        for p in s.get("points", []):
+            if not isinstance(p, dict):
+                continue
+            x, parts = p.get("x"), p.get("parts")
+            if not isinstance(parts, list):
+                fail(path, f"multidev: {name} x={x!r} missing 'parts'",
+                     errors)
+            elif isinstance(x, (int, float)) and len(parts) != int(x):
+                fail(path, f"multidev: {name} x={x!r} has {len(parts)} "
+                           "parts (expected one per device)", errors)
+    # The point of the exercise: near-linear append scaling.
+    s = by_name.get("multidev_append_scaling")
+    if s is not None:
+        ratios = {p.get("x"): p.get("value") for p in s.get("points", [])
+                  if isinstance(p, dict)}
+        for ndev, minimum in MULTIDEV_MIN_APPEND_SCALING.items():
+            v = ratios.get(ndev)
+            if v is None:
+                fail(path, f"multidev: no scaling point for {ndev} devices",
+                     errors)
+            elif isinstance(v, (int, float)) and v < minimum:
+                fail(path, f"multidev: append scaling at {ndev} devices is "
+                           f"{v} (< {minimum})", errors)
 
 
 def _counter(where, obj, key, errors):
