@@ -419,6 +419,12 @@ sim::Task<> ConvDevice::MigrateAndErase(std::uint32_t victim) {
              "gc.migrate", static_cast<std::int64_t>(victim),
              static_cast<std::int64_t>(survivors.size()));
   }
+  if (telemetry::TimelineWriter* tl = timeline(); tl != nullptr) {
+    tl->Window(migrate_begin, sim_.now() - migrate_begin,
+               telem_->timeline_label(), /*lane=*/0, "gc.migrate",
+               static_cast<std::int64_t>(victim),
+               static_cast<std::int64_t>(survivors.size()));
+  }
 
   // All surviving units moved; any remaining valid bits belong to host
   // overwrites that raced ahead (they already re-invalidated). Erase.
@@ -427,6 +433,11 @@ sim::Task<> ConvDevice::MigrateAndErase(std::uint32_t victim) {
   if (tr != nullptr) {
     tr->Span(erase_begin, sim_.now(), /*cmd=*/0, Layer::kFtl, "gc.erase",
              static_cast<std::int64_t>(victim));
+  }
+  if (telemetry::TimelineWriter* tl = timeline(); tl != nullptr) {
+    tl->Window(erase_begin, sim_.now() - erase_begin,
+               telem_->timeline_label(), /*lane=*/0, "gc.erase",
+               static_cast<std::int64_t>(victim));
   }
   ZSTOR_CHECK(vb.valid == 0);
   std::fill(vb.valid_bitmap.begin(), vb.valid_bitmap.end(), 0);

@@ -181,6 +181,11 @@ class ConvDevice : public nvme::Controller {
   telemetry::Tracer* trace() const {
     return telem_ != nullptr ? &telem_->tracer() : nullptr;
   }
+  /// Same guard for timeline records (GC activity windows). A conv
+  /// device is never striped, so its lane is always 0.
+  telemetry::TimelineWriter* timeline() const {
+    return telem_ != nullptr ? telem_->timeline() : nullptr;
+  }
 
   telemetry::Telemetry* telem_ = nullptr;
   sim::Simulator& sim_;

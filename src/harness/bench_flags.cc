@@ -24,6 +24,28 @@ std::string Basename(const char* argv0) {
   return slash != nullptr ? slash + 1 : argv0;
 }
 
+/// Parses "100ms" / "2s" / "500us" / "1500ns"; a bare number means
+/// milliseconds. Returns false on garbage or a non-positive duration.
+bool ParseDuration(const char* s, sim::Time* out) {
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == s || v <= 0) return false;
+  double scale;
+  if (std::strcmp(end, "ns") == 0) {
+    scale = 1.0;
+  } else if (std::strcmp(end, "us") == 0) {
+    scale = 1e3;
+  } else if (std::strcmp(end, "ms") == 0 || *end == '\0') {
+    scale = 1e6;
+  } else if (std::strcmp(end, "s") == 0) {
+    scale = 1e9;
+  } else {
+    return false;
+  }
+  *out = static_cast<sim::Time>(v * scale);
+  return *out > 0;
+}
+
 }  // namespace
 
 BenchEnv& BenchEnv::Get() {
@@ -45,6 +67,16 @@ telemetry::TraceSink* BenchEnv::shared_sink() {
   return sink_.get();
 }
 
+telemetry::TimelineWriter* BenchEnv::shared_timeline() {
+  if (timeline_path_.empty()) return nullptr;
+  if (timeline_ == nullptr) {
+    timeline_ = std::make_unique<telemetry::TimelineWriter>(timeline_path_);
+    timeline_->set_die_merge_gap_ns(
+        telemetry::TimelineWriter::DefaultMergeGap(sample_interval_));
+  }
+  return timeline_.get();
+}
+
 void BenchEnv::AddSnapshot(std::string label, telemetry::Snapshot snap) {
   snapshots_.emplace_back(std::move(label), std::move(snap));
 }
@@ -55,6 +87,11 @@ void BenchEnv::AddLogPages(std::string label, std::string logpages_json) {
 
 std::string BenchEnv::NextLabel() {
   return "testbed-" + std::to_string(label_seq_++);
+}
+
+std::string BenchEnv::UniqueTimelineLabel(const std::string& base) {
+  int n = ++timeline_label_uses_[base];
+  return n == 1 ? base : base + "#" + std::to_string(n);
 }
 
 void BenchEnv::Finish() {
@@ -100,6 +137,7 @@ void BenchEnv::Finish() {
     results_.WriteFile(json_path_);
   }
   if (sink_ != nullptr) sink_->Flush();
+  if (timeline_ != nullptr) timeline_->Flush();
 }
 
 void FinishBench() { BenchEnv::Get().Finish(); }
@@ -128,6 +166,13 @@ void InitBench(int& argc, char** argv) {
       env.json_path_ = j;
     } else if (const char* lp = MatchFlag(argv[i], "--logpages")) {
       env.logpages_path_ = lp;
+    } else if (const char* tl = MatchFlag(argv[i], "--timeline")) {
+      env.timeline_path_ = tl;
+    } else if (const char* si = MatchFlag(argv[i], "--sample-interval")) {
+      if (!ParseDuration(si, &env.sample_interval_)) {
+        std::fprintf(stderr, "error: bad --sample-interval value: %s\n", si);
+        std::exit(2);
+      }
     } else if (const char* fs = MatchFlag(argv[i], "--faults")) {
       std::string error;
       if (!fault::ParseFaultSpec(fs, &env.fault_spec_, &error)) {

@@ -15,6 +15,14 @@
 //   --faults=SPEC    inject media faults into every testbed the bench
 //                    builds (grammar in fault/fault_plan.h; e.g.
 //                    "seed=7,read_uc=1e-4,prog=1e-3")
+//   --timeline=FILE  append every testbed's timeline records to FILE
+//                    (JSONL: periodic metric samples, zone state
+//                    changes, die-busy and GC/reset/fault windows;
+//                    schema in DESIGN.md §10 — analyze with tools/zmon)
+//   --sample-interval=DUR
+//                    virtual-time cadence of the timeline's periodic
+//                    samples (suffix ns/us/ms/s; a bare number means
+//                    milliseconds; default 100ms)
 //   --jobs=N         run independent sweep points on N worker threads
 //                    (0 = one per hardware thread; default 1). Output is
 //                    byte-identical for every N — see harness/parallel.h.
@@ -28,6 +36,7 @@
 // traces every experiment the bench runs with zero per-bench code.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -58,8 +67,16 @@ class BenchEnv {
   /// not force telemetry: results are recorded by the bench itself.)
   bool telemetry_requested() const {
     return !trace_path_.empty() || !metrics_path_.empty() ||
-           !logpages_path_.empty();
+           !logpages_path_.empty() || !timeline_path_.empty();
   }
+  /// True when --timeline was given: freshly built testbeds stream
+  /// timeline records into the shared writer and run a MetricSampler.
+  bool timeline_requested() const { return !timeline_path_.empty(); }
+  /// The --sample-interval value (virtual ns; default 100 ms).
+  sim::Time sample_interval() const { return sample_interval_; }
+  /// The shared timeline writer (opened lazily); null when --timeline is
+  /// absent.
+  telemetry::TimelineWriter* shared_timeline();
   /// True when --logpages was given: testbeds dump their device log pages
   /// here on Finish().
   bool logpages_requested() const { return !logpages_path_.empty(); }
@@ -86,6 +103,13 @@ class BenchEnv {
   /// A default label for the next unlabeled testbed ("testbed-N").
   std::string NextLabel();
 
+  /// Disambiguates repeated testbed labels for the shared timeline: a
+  /// bench that rebuilds same-labeled testbeds across sweep points (each
+  /// restarting virtual time at 0) would otherwise merge them into one
+  /// ambiguous record group. First use returns `base`, repeats get
+  /// "base#2", "base#3", ...
+  std::string UniqueTimelineLabel(const std::string& base);
+
   void Finish();
 
  private:
@@ -95,12 +119,16 @@ class BenchEnv {
   std::string metrics_path_;
   std::string json_path_;
   std::string logpages_path_;
+  std::string timeline_path_;
+  sim::Time sample_interval_ = sim::Milliseconds(100);
   fault::FaultSpec fault_spec_;  // enabled=false until --faults parses
   int jobs_ = 1;
   std::unique_ptr<telemetry::JsonlFileSink> sink_;
+  std::unique_ptr<telemetry::TimelineWriter> timeline_;
   std::vector<std::pair<std::string, telemetry::Snapshot>> snapshots_;
   std::vector<std::pair<std::string, std::string>> logpages_;
   ResultWriter results_;
+  std::map<std::string, int> timeline_label_uses_;
   int label_seq_ = 0;
   bool finished_ = false;
 };

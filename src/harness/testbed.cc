@@ -14,10 +14,9 @@ namespace {
 
 /// Field-wise sum of every device's command counters, for the aggregated
 /// snapshot of a striped testbed.
-zns::ZnsCounters SumCounters(
-    const std::vector<std::unique_ptr<zns::ZnsDevice>>& devs) {
+zns::ZnsCounters SumCounters(const std::vector<zns::ZnsDevice*>& devs) {
   zns::ZnsCounters t;
-  for (const auto& d : devs) {
+  for (const auto* d : devs) {
     const zns::ZnsCounters& c = d->counters();
     t.reads += c.reads;
     t.flushes += c.flushes;
@@ -46,10 +45,9 @@ zns::ZnsCounters SumCounters(
   return t;
 }
 
-nand::FlashCounters SumFlashCounters(
-    const std::vector<std::unique_ptr<zns::ZnsDevice>>& devs) {
+nand::FlashCounters SumFlashCounters(const std::vector<zns::ZnsDevice*>& devs) {
   nand::FlashCounters t;
-  for (const auto& d : devs) {
+  for (auto* d : devs) {
     if (d->flash() == nullptr) continue;
     const nand::FlashCounters& c = d->flash()->counters();
     t.page_reads += c.page_reads;
@@ -98,6 +96,52 @@ void AccumulateSmart(nvme::SmartLog& a, const nvme::SmartLog& b) {
   a.gc_blocks_erased += b.gc_blocks_erased;
 }
 
+/// Raw pointers to every counter-bearing layer. The layers are all
+/// heap-allocated, so these stay valid across Testbed moves — which is
+/// why the sampler's refresh closure captures a copy of this struct and
+/// never `this` (a moved-from Testbed would dangle).
+struct LayerPtrs {
+  std::vector<zns::ZnsDevice*> zns;
+  ftl::ConvDevice* conv = nullptr;
+  hostif::KernelStack* kernel = nullptr;
+  hostif::StripedStack* striped = nullptr;
+  fault::FaultPlan* faults = nullptr;
+  hostif::ResilientStack* resilient = nullptr;
+};
+
+/// Batch-exports every layer's counters into the registry. With
+/// `per_lane` (a timeline on a striped testbed), additionally exports
+/// `laneN.zns.*` counters so timeline samples can attribute throughput
+/// to individual stripe lanes; plain --metrics snapshots keep the
+/// aggregate-only view.
+void DescribeLayers(const LayerPtrs& l, telemetry::MetricsRegistry& m,
+                    bool per_lane) {
+  if (!l.zns.empty()) {
+    // One device exports its counters directly; a striped set exports the
+    // field-wise sums (still under the usual "zns."/"nand." names).
+    SumCounters(l.zns).Describe(m);
+    SumFlashCounters(l.zns).Describe(m);
+    if (per_lane && l.zns.size() > 1) {
+      for (std::size_t d = 0; d < l.zns.size(); ++d) {
+        const zns::ZnsCounters& c = l.zns[d]->counters();
+        const std::string p = "lane" + std::to_string(d) + ".zns.";
+        m.GetCounter(p + "bytes_written").Set(c.bytes_written);
+        m.GetCounter(p + "bytes_read").Set(c.bytes_read);
+        m.GetCounter(p + "appends").Set(c.appends);
+        m.GetCounter(p + "resets").Set(c.resets);
+      }
+    }
+  }
+  if (l.conv != nullptr) {
+    l.conv->counters().Describe(m);
+    l.conv->flash().counters().Describe(m);
+  }
+  if (l.kernel != nullptr) l.kernel->scheduler_stats().Describe(m);
+  if (l.striped != nullptr) l.striped->stats().Describe(m);
+  if (l.faults != nullptr) l.faults->counters().Describe(m);
+  if (l.resilient != nullptr) l.resilient->stats().Describe(m);
+}
+
 }  // namespace
 
 Testbed::~Testbed() { Finish(); }
@@ -126,6 +170,7 @@ std::vector<std::uint32_t> Testbed::ZoneList(std::uint32_t first,
 }
 
 workload::JobResult Testbed::RunJob(const workload::JobSpec& spec) {
+  if (sampler_ != nullptr) sampler_->EnsureRunning();
   workload::JobResult r = workload::RunJob(*sim_, *stack_, spec);
   if (telem_ != nullptr) r.Describe(telem_->metrics());
   return r;
@@ -133,6 +178,7 @@ workload::JobResult Testbed::RunJob(const workload::JobSpec& spec) {
 
 std::vector<workload::JobResult> Testbed::RunJobs(
     const std::vector<workload::JobSpec>& specs) {
+  if (sampler_ != nullptr) sampler_->EnsureRunning();
   std::vector<std::pair<hostif::Stack*, workload::JobSpec>> jobs;
   jobs.reserve(specs.size());
   for (const auto& spec : specs) jobs.emplace_back(stack_.get(), spec);
@@ -149,20 +195,18 @@ telemetry::Snapshot Testbed::TakeSnapshot() {
                   "TakeSnapshot requires telemetry (WithTelemetry or "
                   "--trace/--metrics)");
   telemetry::MetricsRegistry& m = telem_->metrics();
-  if (!zns_devs_.empty()) {
-    // One device exports its counters directly; a striped set exports the
-    // field-wise sums (still under the usual "zns."/"nand." names).
-    SumCounters(zns_devs_).Describe(m);
-    SumFlashCounters(zns_devs_).Describe(m);
-  }
-  if (conv_ != nullptr) {
-    conv_->counters().Describe(m);
-    conv_->flash().counters().Describe(m);
-  }
-  if (kernel_ != nullptr) kernel_->scheduler_stats().Describe(m);
-  if (striped_ != nullptr) striped_->stats().Describe(m);
-  if (faults_ != nullptr) faults_->counters().Describe(m);
-  if (resilient_ != nullptr) resilient_->stats().Describe(m);
+  LayerPtrs layers;
+  layers.zns.reserve(zns_devs_.size());
+  for (const auto& dev : zns_devs_) layers.zns.push_back(dev.get());
+  layers.conv = conv_.get();
+  layers.kernel = kernel_;
+  layers.striped = striped_;
+  layers.faults = faults_.get();
+  layers.resilient = resilient_;
+  // Keep lane counters out of snapshots unless a timeline already
+  // introduced them (the sampler's refresh uses per-lane mode, and mixing
+  // per-lane presence across snapshots of one run would be confusing).
+  DescribeLayers(layers, m, /*per_lane=*/sampler_ != nullptr);
   return m.TakeSnapshot();
 }
 
@@ -254,6 +298,16 @@ bool Testbed::WriteLogPages(const std::string& path) const {
 void Testbed::Finish() {
   if (finished_ || telem_ == nullptr) return;
   finished_ = true;
+  if (sampler_ != nullptr) {
+    // Close out the timeline: emit die-busy windows still open at end of
+    // run, then a final partial-interval sample so no activity after the
+    // last tick is lost.
+    for (auto& dev : zns_devs_) {
+      if (dev->flash() != nullptr) dev->flash()->FlushDieWindows();
+    }
+    if (conv_ != nullptr) conv_->flash().FlushDieWindows();
+    sampler_->SampleFinal();
+  }
   if (logpages_to_env_ && (!zns_devs_.empty() || conv_ != nullptr)) {
     harness::BenchEnv::Get().AddLogPages(label_, LogPagesJson());
   }
@@ -402,6 +456,7 @@ Testbed TestbedBuilder::Build() {
 
   // Telemetry: explicit config wins; otherwise the bench flags decide.
   harness::BenchEnv& env = harness::BenchEnv::Get();
+  sim::Time sample_interval = sim::Milliseconds(100);
   if (telem_cfg_.has_value()) {
     tb.telem_ = std::make_unique<telemetry::Telemetry>();
     if (telem_cfg_->ring_capacity > 0) {
@@ -414,19 +469,65 @@ Testbed TestbedBuilder::Build() {
           std::make_unique<telemetry::JsonlFileSink>(telem_cfg_->trace_path));
     }
     tb.metrics_path_ = telem_cfg_->metrics_path;
+    sample_interval = telem_cfg_->sample_interval;
+    if (telem_cfg_->timeline_capture != nullptr ||
+        !telem_cfg_->timeline_path.empty()) {
+      auto writer =
+          telem_cfg_->timeline_capture != nullptr
+              ? std::make_unique<telemetry::TimelineWriter>(
+                    telem_cfg_->timeline_capture)
+              : std::make_unique<telemetry::TimelineWriter>(
+                    telem_cfg_->timeline_path);
+      writer->set_die_merge_gap_ns(
+          telemetry::TimelineWriter::DefaultMergeGap(sample_interval));
+      tb.telem_->SetTimeline(std::move(writer));
+    }
   } else if (env.telemetry_requested()) {
     tb.telem_ = std::make_unique<telemetry::Telemetry>();
     if (telemetry::TraceSink* sink = env.shared_sink(); sink != nullptr) {
       tb.telem_->SetExternalSink(sink);
+    }
+    if (env.timeline_requested()) {
+      tb.telem_->SetExternalTimeline(env.shared_timeline());
+      sample_interval = env.sample_interval();
     }
     tb.report_to_env_ = true;
     tb.logpages_to_env_ = env.logpages_requested();
   }
   if (tb.telem_ != nullptr) {
     tb.label_ = label_.empty() ? env.NextLabel() : label_;
-    for (auto& dev : tb.zns_devs_) dev->AttachTelemetry(tb.telem_.get());
+    // Sweep benches rebuild same-labeled testbeds per point, each
+    // restarting virtual time at 0 — in the shared timeline file those
+    // must stay distinct record groups ("gc-conv", "gc-conv#2", ...).
+    tb.telem_->set_timeline_label(
+        telem_cfg_.has_value() ? tb.label_
+                               : env.UniqueTimelineLabel(tb.label_));
+    for (std::size_t d = 0; d < tb.zns_devs_.size(); ++d) {
+      tb.zns_devs_[d]->AttachTelemetry(tb.telem_.get(),
+                                       static_cast<std::uint32_t>(d));
+    }
     if (tb.conv_ != nullptr) tb.conv_->AttachTelemetry(tb.telem_.get());
     tb.stack_->AttachTelemetry(tb.telem_.get());
+    if (tb.telem_->timeline() != nullptr) {
+      tb.sampler_ = std::make_unique<telemetry::MetricSampler>(
+          *tb.sim_, tb.telem_->metrics(), *tb.telem_->timeline(),
+          sample_interval, tb.telem_->timeline_label());
+      // The refresh hook re-exports batch counters before each sample so
+      // deltas reflect live device state, not the last TakeSnapshot().
+      // Captures raw layer pointers (stable), never &tb (Testbed moves).
+      LayerPtrs layers;
+      layers.zns.reserve(tb.zns_devs_.size());
+      for (const auto& dev : tb.zns_devs_) layers.zns.push_back(dev.get());
+      layers.conv = tb.conv_.get();
+      layers.kernel = tb.kernel_;
+      layers.striped = tb.striped_;
+      layers.faults = tb.faults_.get();
+      layers.resilient = tb.resilient_;
+      telemetry::MetricsRegistry* m = &tb.telem_->metrics();
+      tb.sampler_->SetRefresh([layers, m] {
+        DescribeLayers(layers, *m, /*per_lane=*/true);
+      });
+    }
   }
   return tb;
 }

@@ -38,6 +38,7 @@
 #include "hostif/striped_stack.h"
 #include "nvme/log_page.h"
 #include "sim/simulator.h"
+#include "telemetry/sampler.h"
 #include "telemetry/telemetry.h"
 #include "workload/job.h"
 #include "zns/profile.h"
@@ -61,6 +62,14 @@ struct TelemetryConfig {
   std::size_t ring_capacity = 0;
   /// Write a metrics-snapshot JSON object here on Finish().
   std::string metrics_path;
+  /// Append timeline records (DESIGN.md §10) to this JSONL file and run
+  /// a telemetry::MetricSampler at `sample_interval` ("" = no timeline).
+  std::string timeline_path;
+  /// Capture timeline records into this string instead of a file (tests;
+  /// takes precedence over timeline_path). Non-owning.
+  std::string* timeline_capture = nullptr;
+  /// Virtual-time cadence of the timeline's periodic metric samples.
+  sim::Time sample_interval = sim::Milliseconds(100);
 };
 
 class TestbedBuilder;
@@ -94,6 +103,9 @@ class Testbed {
   hostif::KernelStack* kernel() { return kernel_; }
   /// Null when telemetry is disabled.
   telemetry::Telemetry* telemetry() { return telem_.get(); }
+  /// The periodic timeline sampler; null unless a timeline is configured
+  /// (TelemetryConfig::timeline_* or the --timeline flag).
+  telemetry::MetricSampler* sampler() { return sampler_.get(); }
   /// The injected fault plan; null when faults are disabled.
   fault::FaultPlan* faults() { return faults_.get(); }
   /// The host retry layer; null unless faults or WithRetryPolicy enabled
@@ -149,6 +161,7 @@ class Testbed {
 
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<telemetry::Telemetry> telem_;
+  std::unique_ptr<telemetry::MetricSampler> sampler_;
   std::unique_ptr<fault::FaultPlan> faults_;
   /// The ZNS device set: exactly one unless built WithDevices(n > 1);
   /// empty for conventional testbeds.

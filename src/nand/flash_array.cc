@@ -30,6 +30,45 @@ FlashArray::FlashArray(sim::Simulator& s, const Geometry& geo,
   }
   blocks_.resize(geo_.total_dies() * static_cast<std::size_t>(geo_.blocks_per_die));
   die_stats_.resize(geo_.total_dies());
+  die_windows_.resize(geo_.total_dies());
+}
+
+void FlashArray::NoteDieService(std::uint32_t die, sim::Time begin,
+                                sim::Time end) {
+  telemetry::TimelineWriter* tl = timeline();
+  if (tl == nullptr) return;
+  DieWindow& w = die_windows_[die];
+  if (w.open && begin - w.end <= tl->die_merge_gap_ns()) {
+    w.end = end;
+    w.busy += end - begin;
+    w.ops++;
+    return;
+  }
+  if (w.open) {
+    tl->DieBusy(w.begin, w.end - w.begin, telem_->timeline_label(), lane_,
+                die, w.ops, w.busy);
+  }
+  w = DieWindow{begin, end, end - begin, 1, true};
+}
+
+void FlashArray::FlushDieWindows() {
+  telemetry::TimelineWriter* tl = timeline();
+  if (tl == nullptr) return;
+  for (std::uint32_t die = 0; die < die_windows_.size(); ++die) {
+    DieWindow& w = die_windows_[die];
+    if (!w.open) continue;
+    tl->DieBusy(w.begin, w.end - w.begin, telem_->timeline_label(), lane_,
+                die, w.ops, w.busy);
+    w = DieWindow{};
+  }
+}
+
+void FlashArray::EmitMediaError(std::uint32_t die, std::uint32_t block) {
+  if (telemetry::TimelineWriter* tl = timeline(); tl != nullptr) {
+    tl->Window(sim_.now(), /*dur=*/0, telem_->timeline_label(), lane_,
+               "media.error", static_cast<std::int64_t>(die),
+               static_cast<std::int64_t>(block));
+  }
 }
 
 FlashArray::BlockState& FlashArray::Block(std::uint32_t die,
@@ -63,6 +102,7 @@ sim::Task<MediaStatus> FlashArray::ReadPage(PageAddr addr,
   sim::Time t0 = sim_.now();
   {
     auto die = co_await dies_[addr.die]->Acquire();
+    sim::Time svc_begin = sim_.now();
     sim::Time t_read = NoisyRead();
     if (verdict.retry_steps > 0) {
       // Read-retry: the die re-senses with stepped voltages; every step
@@ -80,6 +120,7 @@ sim::Task<MediaStatus> FlashArray::ReadPage(PageAddr addr,
     co_await sim_.Delay(t_read);
     die_stats_[addr.die].reads++;
     die_stats_[addr.die].busy_ns += t_read;
+    NoteDieService(addr.die, svc_begin, sim_.now());
   }
   if (verdict.uncorrectable) {
     // ECC exhausted: nothing to transfer to the host.
@@ -88,6 +129,7 @@ sim::Task<MediaStatus> FlashArray::ReadPage(PageAddr addr,
                   static_cast<std::int64_t>(addr.die),
                   static_cast<std::int64_t>(addr.block));
     }
+    EmitMediaError(addr.die, addr.block);
     counters_.page_reads++;
     counters_.read_errors++;
     co_return MediaStatus::kReadError;
@@ -134,10 +176,12 @@ sim::Task<MediaStatus> FlashArray::ProgramPage(PageAddr addr) {
   }
   {
     auto die = co_await dies_[addr.die]->Acquire();
+    sim::Time svc_begin = sim_.now();
     sim::Time t_prog = NoisyProgram();
     co_await sim_.Delay(t_prog);
     die_stats_[addr.die].programs++;
     die_stats_[addr.die].busy_ns += t_prog;
+    NoteDieService(addr.die, svc_begin, sim_.now());
   }
   if (verdict.fail) {
     // The program-verify pass failed after the full tPROG was spent.
@@ -146,6 +190,7 @@ sim::Task<MediaStatus> FlashArray::ProgramPage(PageAddr addr) {
                   static_cast<std::int64_t>(addr.die),
                   static_cast<std::int64_t>(addr.block));
     }
+    EmitMediaError(addr.die, addr.block);
     counters_.page_programs++;
     counters_.program_failures++;
     co_return MediaStatus::kProgramFail;
@@ -167,9 +212,11 @@ sim::Task<> FlashArray::EraseBlock(std::uint32_t die, std::uint32_t block) {
   sim::Time t0 = sim_.now();
   {
     auto g = co_await dies_[die]->Acquire();
+    sim::Time svc_begin = sim_.now();
     co_await sim_.Delay(timing_.erase_block);
     die_stats_[die].erases++;
     die_stats_[die].busy_ns += timing_.erase_block;
+    NoteDieService(die, svc_begin, sim_.now());
   }
   if (tr != nullptr) {
     tr->Span(t0, sim_.now(), /*cmd=*/0, Layer::kNand, "die.erase",

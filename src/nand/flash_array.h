@@ -71,8 +71,16 @@ class FlashArray {
 
   /// Enables die/channel-level tracing (non-owning; null disables). Die
   /// spans carry no command id — cell service is decoupled from commands
-  /// by the write-back buffer; `a` holds the die index instead.
-  void AttachTelemetry(telemetry::Telemetry* t) { telem_ = t; }
+  /// by the write-back buffer; `a` holds the die index instead. `lane`
+  /// tags this array's timeline records in striped multi-device runs.
+  void AttachTelemetry(telemetry::Telemetry* t, std::uint32_t lane = 0) {
+    telem_ = t;
+    lane_ = lane;
+  }
+
+  /// Emits any still-open die_busy timeline windows. Called by the
+  /// testbed at Finish(); a no-op without an attached timeline.
+  void FlushDieWindows();
 
   /// Injects media faults into subsequent cell operations (non-owning;
   /// null disables — the default, under which every operation is kOk and
@@ -147,8 +155,29 @@ class FlashArray {
   telemetry::Tracer* trace() const {
     return telem_ != nullptr ? &telem_->tracer() : nullptr;
   }
+  telemetry::TimelineWriter* timeline() const {
+    return telem_ != nullptr ? telem_->timeline() : nullptr;
+  }
+  /// Folds one die-held service interval [begin, end] into that die's
+  /// pending die_busy window: extend it when the idle gap is below the
+  /// writer's merge threshold, otherwise emit it and start a new one.
+  void NoteDieService(std::uint32_t die, sim::Time begin, sim::Time end);
+  void EmitMediaError(std::uint32_t die, std::uint32_t block);
+
+  /// A pending (not yet emitted) die_busy window; `busy` sums the actual
+  /// service time inside [begin, end] so utilization stays exact even
+  /// though the window spans merged idle gaps.
+  struct DieWindow {
+    sim::Time begin = 0;
+    sim::Time end = 0;
+    sim::Time busy = 0;
+    std::uint64_t ops = 0;
+    bool open = false;
+  };
 
   telemetry::Telemetry* telem_ = nullptr;
+  std::uint32_t lane_ = 0;
+  std::vector<DieWindow> die_windows_;
   fault::FaultPlan* faults_ = nullptr;
   sim::Simulator& sim_;
   Geometry geo_;

@@ -61,6 +61,8 @@ class QueuePair {
       tr->Instant(out.submitted, cmd.trace_id, telemetry::Layer::kQueue,
                   "qp.doorbell", static_cast<std::int64_t>(cmd.opcode),
                   static_cast<std::int64_t>(cmd.nlb));
+      telem_->metrics().GetGauge("qp.inflight").Set(
+          static_cast<double>(in_flight()));
     }
     out.completion = co_await ctrl_.Execute(cmd);
     out.completed = sim_.now();
@@ -69,6 +71,8 @@ class QueuePair {
                   "qp.cqe",
                   static_cast<std::int64_t>(out.completion.status));
       telem_->metrics().GetCounter("qp.completions").Add();
+      telem_->metrics().GetGauge("qp.inflight").Set(
+          static_cast<double>(in_flight()) - 1.0);
     }
     slots_.Release();
     ++completed_;

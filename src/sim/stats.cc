@@ -92,6 +92,43 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
 void LatencyHistogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   moments_ = Welford{};
+  interval_base_.clear();
+  interval_base_count_ = 0;
+}
+
+LatencyHistogram::IntervalStats LatencyHistogram::TakeInterval() {
+  IntervalStats s;
+  s.count = moments_.count() - interval_base_count_;
+  if (s.count > 0) {
+    auto rank = [&](double q) {
+      auto r = static_cast<std::uint64_t>(
+          std::ceil(q * static_cast<double>(s.count)));
+      return r == 0 ? 1 : r;
+    };
+    const std::uint64_t r50 = rank(0.50), r95 = rank(0.95), r99 = rank(0.99);
+    double sum = 0.0;
+    std::uint64_t seen = 0;
+    int last_nonzero = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      std::uint64_t base =
+          interval_base_.empty() ? 0
+                                 : interval_base_[static_cast<std::size_t>(i)];
+      std::uint64_t d = buckets_[static_cast<std::size_t>(i)] - base;
+      if (d == 0) continue;
+      double mid = BucketMidpoint(i);
+      sum += mid * static_cast<double>(d);
+      if (seen < r50 && seen + d >= r50) s.p50_ns = mid;
+      if (seen < r95 && seen + d >= r95) s.p95_ns = mid;
+      if (seen < r99 && seen + d >= r99) s.p99_ns = mid;
+      seen += d;
+      last_nonzero = i;
+    }
+    s.mean_ns = sum / static_cast<double>(s.count);
+    s.max_ns = BucketMidpoint(last_nonzero);
+  }
+  interval_base_ = buckets_;
+  interval_base_count_ = moments_.count();
+  return s;
 }
 
 namespace {

@@ -66,6 +66,26 @@ class LatencyHistogram {
   void Merge(const LatencyHistogram& other);
   void Reset();
 
+  /// Distribution of the samples recorded since the previous
+  /// TakeInterval() (or since construction/Reset). Same NaN-when-empty
+  /// convention as the cumulative accessors.
+  struct IntervalStats {
+    std::uint64_t count = 0;
+    double mean_ns = std::numeric_limits<double>::quiet_NaN();
+    double p50_ns = std::numeric_limits<double>::quiet_NaN();
+    double p95_ns = std::numeric_limits<double>::quiet_NaN();
+    double p99_ns = std::numeric_limits<double>::quiet_NaN();
+    double max_ns = std::numeric_limits<double>::quiet_NaN();
+  };
+
+  /// Computes IntervalStats from bucket deltas against a baseline copy,
+  /// then advances the baseline (snapshot-and-clear for the *interval*
+  /// view only). Cumulative count/mean/quantiles are untouched, and the
+  /// Record() hot path never pays for intervals nobody takes: the
+  /// baseline is allocated lazily on the first call. Interval values are
+  /// bucket midpoints (<= 1.6% error), including mean and max.
+  IntervalStats TakeInterval();
+
   /// "mean=12.3us p50=… p95=…" — for logs and bench output.
   std::string Summary() const;
 
@@ -80,6 +100,10 @@ class LatencyHistogram {
 
   std::vector<std::uint64_t> buckets_;
   Welford moments_;
+  /// Bucket counts at the last TakeInterval(); empty (= all zeros) until
+  /// the first call, so cumulative-only users never pay the copy.
+  std::vector<std::uint64_t> interval_base_;
+  std::uint64_t interval_base_count_ = 0;
 };
 
 /// Accumulates an amount (bytes, ops) into fixed-width virtual-time bins;

@@ -71,6 +71,40 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   return snap;
 }
 
+MetricsRegistry::Snapshot MetricsRegistry::TakeIntervalSnapshot() {
+  Snapshot snap;
+  snap.metrics.reserve(entries_.size());
+  for (auto& [name, e] : entries_) {
+    Snapshot::Metric m;
+    m.name = name;
+    switch (e.kind) {
+      case Kind::kCounter:
+        m.kind = "counter";
+        m.value = static_cast<double>(e.counter->value());
+        break;
+      case Kind::kGauge:
+        m.kind = "gauge";
+        m.value = e.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        sim::LatencyHistogram::IntervalStats s = e.histogram->TakeInterval();
+        m.kind = "histogram";
+        m.value = static_cast<double>(s.count);
+        if (s.count > 0) {
+          m.mean = s.mean_ns;
+          m.p50 = s.p50_ns;
+          m.p95 = s.p95_ns;
+          m.p99 = s.p99_ns;
+          m.max = s.max_ns;
+        }
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
 const Snapshot::Metric* Snapshot::Find(const std::string& name) const {
   for (const auto& m : metrics) {
     if (m.name == name) return &m;

@@ -51,6 +51,13 @@ class MetricsRegistry {
 
   struct Snapshot;
   Snapshot TakeSnapshot() const;
+  /// Like TakeSnapshot(), but histogram entries carry *interval* stats —
+  /// the samples recorded since the previous TakeIntervalSnapshot() —
+  /// via sim::LatencyHistogram::TakeInterval(). Counters and gauges are
+  /// reported cumulatively as usual (the sampler diffs counters itself).
+  /// Cumulative histogram stats, and thus --metrics output, are
+  /// undisturbed.
+  Snapshot TakeIntervalSnapshot();
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };

@@ -1,0 +1,77 @@
+#include "telemetry/sampler.h"
+
+#include <utility>
+
+#include "sim/check.h"
+
+namespace zstor::telemetry {
+
+MetricSampler::MetricSampler(sim::Simulator& sim, MetricsRegistry& metrics,
+                             TimelineWriter& writer, sim::Time interval,
+                             std::string tb)
+    : sim_(sim),
+      metrics_(metrics),
+      writer_(writer),
+      interval_(interval),
+      tb_(std::move(tb)) {
+  ZSTOR_CHECK_MSG(interval_ > 0, "sample interval must be positive");
+}
+
+void MetricSampler::EnsureRunning() {
+  if (scheduled_) return;
+  scheduled_ = true;
+  sim::Time next = (sim_.now() / interval_ + 1) * interval_;
+  sim_.ScheduleAt(next, [this] { Tick(); });
+}
+
+void MetricSampler::Tick() {
+  scheduled_ = false;
+  EmitSample(sim_.now());
+  // Re-arm only while the run is still producing events: this tick has
+  // already been popped, so pending_events() == 0 means the sampler is
+  // the only thing left alive and must park for Run() to return.
+  if (sim_.pending_events() > 0) {
+    scheduled_ = true;
+    sim_.ScheduleIn(interval_, [this] { Tick(); });
+  }
+}
+
+void MetricSampler::SampleFinal() {
+  // Nothing new since the last tick (or nothing ever ran): no record.
+  if (sim_.now() <= last_sample_t_) return;
+  EmitSample(sim_.now());
+}
+
+void MetricSampler::EmitSample(sim::Time t) {
+  if (refresh_) refresh_();
+  std::vector<std::pair<std::string, double>> deltas;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<TimelineHist> hists;
+  Snapshot snap = metrics_.TakeIntervalSnapshot();
+  for (const Snapshot::Metric& m : snap.metrics) {
+    if (m.kind == "counter") {
+      double& prev = prev_counters_[m.name];
+      double delta = m.value - prev;
+      prev = m.value;
+      // Zero deltas are omitted; readers treat a missing counter as 0.
+      if (delta != 0.0) deltas.emplace_back(m.name, delta);
+    } else if (m.kind == "gauge") {
+      gauges.emplace_back(m.name, m.value);
+    } else if (m.kind == "histogram" && m.value > 0) {
+      TimelineHist h;
+      h.name = m.name;
+      h.count = static_cast<std::uint64_t>(m.value);
+      h.mean_ns = m.mean;
+      h.p50_ns = m.p50;
+      h.p95_ns = m.p95;
+      h.p99_ns = m.p99;
+      h.max_ns = m.max;
+      hists.push_back(std::move(h));
+    }
+  }
+  writer_.Sample(t, tb_, t - last_sample_t_, deltas, gauges, hists);
+  last_sample_t_ = t;
+  ++samples_;
+}
+
+}  // namespace zstor::telemetry

@@ -1,0 +1,71 @@
+// Periodic metric sampling on the simulator's virtual clock: every
+// `interval` ns of virtual time, snapshot the registry and emit one
+// "sample" timeline record with counter deltas, gauge levels, and
+// interval histogram quantiles (sim::LatencyHistogram::TakeInterval).
+//
+// Termination: a naively self-rescheduling tick would keep
+// Simulator::Run() from ever draining. Instead, a tick reschedules only
+// while other events are pending; when the sim goes quiet the sampler
+// parks, and the testbed re-arms it (EnsureRunning) before the next
+// workload run. Ticks land exactly on multiples of the interval, so
+// timelines are byte-identical across re-runs and --jobs counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/simulator.h"
+#include "telemetry/metrics.h"
+#include "telemetry/timeline.h"
+
+namespace zstor::telemetry {
+
+class MetricSampler {
+ public:
+  /// Samples `metrics` into `writer` every `interval` ns, tagging records
+  /// with testbed label `tb`. All references are non-owning and must
+  /// outlive the sampler.
+  MetricSampler(sim::Simulator& sim, MetricsRegistry& metrics,
+                TimelineWriter& writer, sim::Time interval, std::string tb);
+
+  /// Layers that batch-export counters (the Describe protocol) are stale
+  /// between snapshots; the refresh hook re-exports them before each
+  /// sample. Set once, by the owning testbed.
+  void SetRefresh(std::function<void()> refresh) {
+    refresh_ = std::move(refresh);
+  }
+
+  /// Arms the next tick (the first multiple of the interval strictly
+  /// after now()) unless one is already scheduled. Call before every
+  /// workload run: the sampler parks whenever the simulator drains.
+  void EnsureRunning();
+
+  /// Emits one final partial sample covering [last tick, now()] — the
+  /// tail of a run that ended between ticks. No-op when now() is already
+  /// sampled.
+  void SampleFinal();
+
+  sim::Time interval() const { return interval_; }
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  void Tick();
+  void EmitSample(sim::Time t);
+
+  sim::Simulator& sim_;
+  MetricsRegistry& metrics_;
+  TimelineWriter& writer_;
+  sim::Time interval_;
+  std::string tb_;
+  std::function<void()> refresh_;
+  /// Previous cumulative counter values, for delta computation. Ordered,
+  /// so sample records list counters deterministically.
+  std::map<std::string, double> prev_counters_;
+  sim::Time last_sample_t_ = 0;
+  bool scheduled_ = false;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace zstor::telemetry

@@ -5,8 +5,11 @@
 #pragma once
 
 #include <memory>
+#include <string>
+#include <utility>
 
 #include "telemetry/metrics.h"
+#include "telemetry/timeline.h"
 #include "telemetry/trace.h"
 
 namespace zstor::telemetry {
@@ -33,14 +36,38 @@ class Telemetry {
     tracer_.SetSink(sink);
   }
 
+  /// The timeline stream for state-change records (zone lifecycle, die
+  /// busy windows, GC/reset/fault windows); null means "no timeline" and
+  /// costs emit sites one branch, like a disabled tracer.
+  TimelineWriter* timeline() { return timeline_; }
+  /// The testbed label stamped into this bundle's timeline records.
+  const std::string& timeline_label() const { return timeline_label_; }
+  void set_timeline_label(std::string label) {
+    timeline_label_ = std::move(label);
+  }
+  void SetTimeline(std::unique_ptr<TimelineWriter> writer) {
+    owned_timeline_ = std::move(writer);
+    timeline_ = owned_timeline_.get();
+  }
+  /// Points at a writer owned elsewhere (the process-wide --timeline
+  /// file shared by every testbed a bench builds).
+  void SetExternalTimeline(TimelineWriter* writer) {
+    owned_timeline_.reset();
+    timeline_ = writer;
+  }
+
   void Flush() {
     if (tracer_.sink() != nullptr) tracer_.sink()->Flush();
+    if (timeline_ != nullptr) timeline_->Flush();
   }
 
  private:
   Tracer tracer_;
   MetricsRegistry metrics_;
   std::unique_ptr<TraceSink> owned_sink_;
+  std::unique_ptr<TimelineWriter> owned_timeline_;
+  TimelineWriter* timeline_ = nullptr;
+  std::string timeline_label_;
 };
 
 }  // namespace zstor::telemetry

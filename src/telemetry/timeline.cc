@@ -1,0 +1,164 @@
+#include "telemetry/timeline.h"
+
+#include <algorithm>
+
+#include "telemetry/json.h"
+
+namespace zstor::telemetry {
+
+TimelineWriter::TimelineWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "warning: cannot open timeline file %s\n",
+                 path.c_str());
+  }
+}
+
+TimelineWriter::TimelineWriter(std::string* capture) : capture_(capture) {}
+
+TimelineWriter::~TimelineWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TimelineWriter::Flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+sim::Time TimelineWriter::DefaultMergeGap(sim::Time sample_interval) {
+  return std::clamp<sim::Time>(sample_interval / 20, sim::Microseconds(2),
+                               sim::Milliseconds(5));
+}
+
+void TimelineWriter::WriteLine(const std::string& line) {
+  if (capture_ != nullptr) {
+    *capture_ += line;
+    *capture_ += '\n';
+  } else if (file_ != nullptr) {
+    std::fprintf(file_, "%s\n", line.c_str());
+  } else {
+    return;
+  }
+  ++written_;
+}
+
+namespace {
+
+void AppendHeader(std::string& out, const char* type, sim::Time t,
+                  const std::string& tb) {
+  out += "{\"type\":\"";
+  out += type;
+  out += "\",\"t\":";
+  out += std::to_string(t);
+  out += ",\"tb\":";
+  AppendJsonString(out, tb);
+}
+
+}  // namespace
+
+void TimelineWriter::Sample(
+    sim::Time t, const std::string& tb, sim::Time interval_ns,
+    const std::vector<std::pair<std::string, double>>& deltas,
+    const std::vector<std::pair<std::string, double>>& gauges,
+    const std::vector<TimelineHist>& hists) {
+  std::string out;
+  AppendHeader(out, "sample", t, tb);
+  out += ",\"interval_ns\":";
+  out += std::to_string(interval_ns);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, delta] : deltas) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(out, name);
+    out += ":";
+    AppendJsonNumber(out, delta);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(out, name);
+    out += ":";
+    AppendJsonNumber(out, value);
+  }
+  out += "},\"hist\":{";
+  first = true;
+  for (const TimelineHist& h : hists) {
+    if (!first) out += ",";
+    first = false;
+    AppendJsonString(out, h.name);
+    out += ":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"mean_ns\":";
+    AppendJsonNumber(out, h.mean_ns);
+    out += ",\"p50_ns\":";
+    AppendJsonNumber(out, h.p50_ns);
+    out += ",\"p95_ns\":";
+    AppendJsonNumber(out, h.p95_ns);
+    out += ",\"p99_ns\":";
+    AppendJsonNumber(out, h.p99_ns);
+    out += ",\"max_ns\":";
+    AppendJsonNumber(out, h.max_ns);
+    out += "}";
+  }
+  out += "}}";
+  WriteLine(out);
+}
+
+void TimelineWriter::ZoneState(sim::Time t, const std::string& tb,
+                               std::uint32_t lane, std::uint32_t zone,
+                               std::string_view from, std::string_view to) {
+  std::string out;
+  AppendHeader(out, "zone_state", t, tb);
+  out += ",\"lane\":";
+  out += std::to_string(lane);
+  out += ",\"zone\":";
+  out += std::to_string(zone);
+  out += ",\"from\":";
+  AppendJsonString(out, from);
+  out += ",\"to\":";
+  AppendJsonString(out, to);
+  out += "}";
+  WriteLine(out);
+}
+
+void TimelineWriter::DieBusy(sim::Time t, sim::Time dur, const std::string& tb,
+                             std::uint32_t lane, std::uint32_t die,
+                             std::uint64_t ops, sim::Time busy_ns) {
+  std::string out;
+  AppendHeader(out, "die_busy", t, tb);
+  out += ",\"dur\":";
+  out += std::to_string(dur);
+  out += ",\"lane\":";
+  out += std::to_string(lane);
+  out += ",\"die\":";
+  out += std::to_string(die);
+  out += ",\"ops\":";
+  out += std::to_string(ops);
+  out += ",\"busy_ns\":";
+  out += std::to_string(busy_ns);
+  out += "}";
+  WriteLine(out);
+}
+
+void TimelineWriter::Window(sim::Time t, sim::Time dur, const std::string& tb,
+                            std::uint32_t lane, const char* kind,
+                            std::int64_t a, std::int64_t b) {
+  std::string out;
+  AppendHeader(out, "window", t, tb);
+  out += ",\"dur\":";
+  out += std::to_string(dur);
+  out += ",\"lane\":";
+  out += std::to_string(lane);
+  out += ",\"kind\":";
+  AppendJsonString(out, kind);
+  out += ",\"a\":";
+  out += std::to_string(a);
+  out += ",\"b\":";
+  out += std::to_string(b);
+  out += "}";
+  WriteLine(out);
+}
+
+}  // namespace zstor::telemetry

@@ -1,0 +1,98 @@
+// The timeline stream: virtual-time observability records (JSONL) that
+// replay a run as "what was the device doing at t=X" — the time-varying
+// counterpart of the end-of-run metrics snapshot. Four record types, each
+// one JSON object per line (schemas in DESIGN.md §10):
+//
+//   {"type":"sample", "t":..., "tb":"...", "interval_ns":..., ...}
+//       periodic counter deltas / gauge levels / interval histogram
+//       quantiles, emitted by telemetry::MetricSampler (sampler.h)
+//   {"type":"zone_state", "t":..., "zone":N, "from":"...", "to":"..."}
+//       a zone-lifecycle transition (zns::ZnsDevice::SetZoneState)
+//   {"type":"die_busy", "t":..., "dur":..., "die":N, "ops":..,
+//    "busy_ns":..}
+//       a coalesced window of die cell-service activity (nand::FlashArray
+//       merges per-op service intervals whose gaps are below
+//       die_merge_gap_ns, so a saturated die yields one long window
+//       instead of one record per page op)
+//   {"type":"window", "t":..., "dur":..., "kind":"gc.migrate"|...}
+//       an activity window that can interfere with host I/O: FTL GC
+//       phases, zone resets, media errors (dur 0)
+//
+// Every record carries the emitting testbed's label ("tb") and — for
+// device-scoped records — the striped-stack lane index, so multi-device
+// runs stay attributable per device. All timestamps are virtual
+// nanoseconds; the stream is deterministic for a fixed seed because every
+// emit is driven by simulator events.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace zstor::telemetry {
+
+/// Interval histogram stats destined for a "sample" record (mirrors
+/// sim::LatencyHistogram::IntervalStats plus the instrument name).
+struct TimelineHist {
+  std::string name;
+  std::uint64_t count = 0;
+  double mean_ns = 0.0, p50_ns = 0.0, p95_ns = 0.0, p99_ns = 0.0,
+         max_ns = 0.0;
+};
+
+/// Appends timeline records to a file, or captures them into a caller's
+/// string (tests; also what makes byte-identity assertions cheap).
+class TimelineWriter {
+ public:
+  /// File mode; ok() reports whether the open succeeded.
+  explicit TimelineWriter(const std::string& path);
+  /// Capture mode: records append to *capture (non-owning).
+  explicit TimelineWriter(std::string* capture);
+  ~TimelineWriter();
+  TimelineWriter(const TimelineWriter&) = delete;
+  TimelineWriter& operator=(const TimelineWriter&) = delete;
+
+  bool ok() const { return capture_ != nullptr || file_ != nullptr; }
+  std::uint64_t written() const { return written_; }
+  void Flush();
+
+  /// The largest idle gap (ns) FlashArray still merges into one die_busy
+  /// window. Derived from the sample interval by default: fine enough to
+  /// localize activity within a sample, coarse enough that a moderately
+  /// busy die emits one window per burst instead of one per op.
+  sim::Time die_merge_gap_ns() const { return die_merge_gap_ns_; }
+  void set_die_merge_gap_ns(sim::Time gap) { die_merge_gap_ns_ = gap; }
+  static sim::Time DefaultMergeGap(sim::Time sample_interval);
+
+  /// One periodic sample: counter deltas over the interval (zero deltas
+  /// omitted — readers treat a missing counter as 0), current gauge
+  /// levels, and interval histogram quantiles (empty histograms omitted).
+  void Sample(sim::Time t, const std::string& tb, sim::Time interval_ns,
+              const std::vector<std::pair<std::string, double>>& deltas,
+              const std::vector<std::pair<std::string, double>>& gauges,
+              const std::vector<TimelineHist>& hists);
+  void ZoneState(sim::Time t, const std::string& tb, std::uint32_t lane,
+                 std::uint32_t zone, std::string_view from,
+                 std::string_view to);
+  void DieBusy(sim::Time t, sim::Time dur, const std::string& tb,
+               std::uint32_t lane, std::uint32_t die, std::uint64_t ops,
+               sim::Time busy_ns);
+  void Window(sim::Time t, sim::Time dur, const std::string& tb,
+              std::uint32_t lane, const char* kind, std::int64_t a = 0,
+              std::int64_t b = 0);
+
+ private:
+  void WriteLine(const std::string& line);
+
+  std::FILE* file_ = nullptr;
+  std::string* capture_ = nullptr;
+  std::uint64_t written_ = 0;
+  sim::Time die_merge_gap_ns_ = 0;
+};
+
+}  // namespace zstor::telemetry

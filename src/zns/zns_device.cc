@@ -92,9 +92,10 @@ ZnsDevice::ZnsDevice(sim::Simulator& s, ZnsProfile profile,
   info_.max_active_zones = profile_.max_active_zones;
 }
 
-void ZnsDevice::AttachTelemetry(telemetry::Telemetry* t) {
+void ZnsDevice::AttachTelemetry(telemetry::Telemetry* t, std::uint32_t lane) {
   telem_ = t;
-  if (flash_) flash_->AttachTelemetry(t);
+  lane_ = lane;
+  if (flash_) flash_->AttachTelemetry(t, lane);
 }
 
 void ZnsDevice::AttachFaultPlan(fault::FaultPlan* p) {
@@ -305,6 +306,10 @@ void ZnsDevice::SetZoneState(std::uint32_t zone, ZoneState next) {
                 static_cast<std::int64_t>(zone),
                 (static_cast<std::int64_t>(prev) << 8) |
                     static_cast<std::int64_t>(next));
+  }
+  if (telemetry::TimelineWriter* tl = timeline(); tl != nullptr) {
+    tl->ZoneState(sim_.now(), telem_->timeline_label(), lane_, zone,
+                  ToString(prev), ToString(next));
   }
   if (IsOpen(prev) && !IsOpen(next)) {
     ZSTOR_CHECK(open_count_ > 0);
@@ -1022,6 +1027,13 @@ sim::Task<Completion> ZnsDevice::DoReset(std::uint32_t zone,
     SetZoneState(zone, ZoneState::kEmpty);
   }
   counters_.resets++;
+  if (telemetry::TimelineWriter* tl = timeline(); tl != nullptr) {
+    // The whole reset service window, quiesce included: the interval
+    // during which this reset could stretch concurrent host I/O.
+    tl->Window(quiesce_begin, sim_.now() - quiesce_begin,
+               telem_->timeline_label(), lane_, "zone.reset",
+               static_cast<std::int64_t>(zone));
+  }
   co_return Completion{.status = Status::kSuccess};
 }
 

@@ -88,7 +88,8 @@ class ZnsDevice : public nvme::Controller {
 
   /// Enables device-side tracing/metrics (non-owning; null disables).
   /// Also attaches the NAND array so die-level service is visible.
-  void AttachTelemetry(telemetry::Telemetry* t);
+  /// `lane` tags this device's timeline records in striped runs.
+  void AttachTelemetry(telemetry::Telemetry* t, std::uint32_t lane = 0);
 
   /// Injects media faults into the NAND backend (non-owning; null
   /// disables). No-op for profiles without a NAND backend.
@@ -232,8 +233,13 @@ class ZnsDevice : public nvme::Controller {
   telemetry::Tracer* trace() const {
     return telem_ != nullptr ? &telem_->tracer() : nullptr;
   }
+  /// Same guard for timeline records (zone lifecycle, reset windows).
+  telemetry::TimelineWriter* timeline() const {
+    return telem_ != nullptr ? telem_->timeline() : nullptr;
+  }
 
   telemetry::Telemetry* telem_ = nullptr;
+  std::uint32_t lane_ = 0;
   /// Set by any program failure, cleared by the next flush: flush reports
   /// buffered-data loss even when the host never rewrites the zone.
   bool flush_fault_pending_ = false;

@@ -172,6 +172,56 @@ TEST(TimeSeries, RateMomentsSkipWarmup) {
   EXPECT_NEAR(w.cv(), 0.0, 1e-9);
 }
 
+TEST(LatencyHistogramInterval, ReportsOnlySamplesSinceLastTake) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  LatencyHistogram::IntervalStats first = h.TakeInterval();
+  EXPECT_EQ(first.count, 100u);
+  EXPECT_NEAR(first.p50_ns, 1000.0, 1000.0 * 0.02);
+  // A second interval sees only what was recorded after the first take —
+  // even though the cumulative histogram now mixes both populations.
+  for (int i = 0; i < 50; ++i) h.Record(8000);
+  LatencyHistogram::IntervalStats second = h.TakeInterval();
+  EXPECT_EQ(second.count, 50u);
+  EXPECT_NEAR(second.p50_ns, 8000.0, 8000.0 * 0.02);
+  EXPECT_NEAR(second.max_ns, 8000.0, 8000.0 * 0.02);
+}
+
+TEST(LatencyHistogramInterval, CumulativeStatsUndisturbed) {
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  h.TakeInterval();
+  for (int i = 0; i < 100; ++i) h.Record(8000);
+  h.TakeInterval();
+  // --metrics consumers still see the whole run.
+  EXPECT_EQ(h.count(), 200u);
+  EXPECT_NEAR(h.p95_ns(), 8000.0, 8000.0 * 0.02);
+  EXPECT_NEAR(h.p50_ns(), 1000.0, 1000.0 * 0.02);
+}
+
+TEST(LatencyHistogramInterval, EmptyIntervalHasNanStats) {
+  LatencyHistogram h;
+  h.Record(500);
+  h.TakeInterval();
+  LatencyHistogram::IntervalStats empty = h.TakeInterval();
+  EXPECT_EQ(empty.count, 0u);
+  // An idle interval must not look like a real zero-latency sample.
+  EXPECT_TRUE(std::isnan(empty.mean_ns));
+  EXPECT_TRUE(std::isnan(empty.p50_ns));
+  EXPECT_TRUE(std::isnan(empty.max_ns));
+}
+
+TEST(LatencyHistogramInterval, ResetClearsBaseline) {
+  LatencyHistogram h;
+  h.Record(1000);
+  h.TakeInterval();
+  h.Reset();
+  h.Record(2000);
+  LatencyHistogram::IntervalStats s = h.TakeInterval();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_NEAR(s.p50_ns, 2000.0, 2000.0 * 0.02);
+}
+
 // The discriminator used for Obs. 11: a fluctuating (GC-ridden) series has
 // high CV; a stable (ZNS) one has low CV.
 TEST(TimeSeries, CvSeparatesStableFromFluctuating) {

@@ -1,0 +1,122 @@
+// zmon timeline-analysis tests: golden parsing of the DESIGN.md §10
+// record types, interval-row derivation, throughput-dip attribution, and
+// tolerance of mixed/foreign record streams.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "zmon/timeline_analysis.h"
+
+namespace zstor::zmon {
+namespace {
+
+LoadResult Load(const std::string& text) {
+  std::istringstream in(text);
+  return LoadTimeline(in);
+}
+
+// A two-interval run: full-speed first interval, then a GC-ridden one at
+// a tenth the throughput. 100 ms sample cadence, 4 dies.
+const char kGolden[] =
+    R"({"type":"sample","t":100000000,"tb":"run","interval_ns":100000000,"counters":{"zns.bytes_written":104857600,"qp.completions":800},"gauges":{"qp.inflight":8},"hist":{"host.latency_ns":{"count":800,"mean_ns":1000,"p50_ns":900,"p95_ns":2000,"p99_ns":3000,"max_ns":4000}}}
+{"type":"zone_state","t":120000000,"tb":"run","lane":0,"zone":5,"from":"Empty","to":"ImplicitlyOpened"}
+{"type":"window","t":110000000,"tb":"run","dur":80000000,"lane":0,"kind":"gc.migrate","a":7,"b":64}
+{"type":"die_busy","t":100000000,"tb":"run","dur":50000000,"lane":0,"die":0,"ops":100,"busy_ns":40000000}
+{"type":"sample","t":200000000,"tb":"run","interval_ns":100000000,"counters":{"zns.bytes_written":10485760,"qp.completions":80},"gauges":{"qp.inflight":8},"hist":{}}
+{"type":"sample","t":300000000,"tb":"run","interval_ns":100000000,"counters":{"zns.bytes_written":104857600,"qp.completions":800},"gauges":{"qp.inflight":8},"hist":{}}
+{"type":"sample","t":400000000,"tb":"run","interval_ns":100000000,"counters":{"zns.bytes_written":104857600,"qp.completions":800},"gauges":{"qp.inflight":8},"hist":{}}
+)";
+
+TEST(ZmonLoad, ParsesAllRecordTypesGroupedByTestbed) {
+  LoadResult r = Load(kGolden);
+  EXPECT_EQ(r.bad_lines, 0u);
+  EXPECT_EQ(r.skipped_records, 0u);
+  ASSERT_EQ(r.tbs.size(), 1u);
+  const TbTimeline& tl = r.tbs[0];
+  EXPECT_EQ(tl.tb, "run");
+  ASSERT_EQ(tl.samples.size(), 4u);
+  EXPECT_EQ(tl.samples[0].t, 100000000u);
+  EXPECT_EQ(tl.samples[0].counters.at("zns.bytes_written"), 104857600.0);
+  EXPECT_EQ(tl.samples[0].gauges.at("qp.inflight"), 8.0);
+  ASSERT_EQ(tl.samples[0].hists.count("host.latency_ns"), 1u);
+  EXPECT_EQ(tl.samples[0].hists.at("host.latency_ns").count, 800u);
+  ASSERT_EQ(tl.zone_events.size(), 1u);
+  EXPECT_EQ(tl.zone_events[0].zone, 5u);
+  EXPECT_EQ(tl.zone_events[0].to, "ImplicitlyOpened");
+  ASSERT_EQ(tl.windows.size(), 1u);
+  EXPECT_EQ(tl.windows[0].kind, "gc.migrate");
+  ASSERT_EQ(tl.die_busy.size(), 1u);
+  EXPECT_EQ(tl.die_busy[0].busy_ns, 40000000u);
+}
+
+TEST(ZmonLoad, SkipsForeignRecordsInsteadOfFailing) {
+  // A mixed file: trace spans (no "type") and a future record type must
+  // not break loading — mirror of ztrace's skip policy.
+  LoadResult r = Load(
+      "{\"ts\":5,\"dur\":2,\"layer\":\"nand\",\"name\":\"die.service\"}\n"
+      "{\"type\":\"hologram\",\"t\":1,\"tb\":\"x\"}\n"
+      "not json at all\n"
+      "{\"type\":\"zone_state\",\"t\":1,\"tb\":\"x\",\"lane\":0,"
+      "\"zone\":1,\"from\":\"Empty\",\"to\":\"Full\"}\n");
+  EXPECT_EQ(r.skipped_records, 2u);
+  EXPECT_EQ(r.bad_lines, 1u);
+  // Only the real zone_state record creates a testbed group.
+  ASSERT_EQ(r.tbs.size(), 1u);
+  EXPECT_EQ(r.tbs[0].zone_events.size(), 1u);
+}
+
+TEST(ZmonIntervals, DerivesThroughputQdAndOverlaps) {
+  LoadResult r = Load(kGolden);
+  ASSERT_EQ(r.tbs.size(), 1u);
+  std::vector<IntervalRow> rows = BuildIntervals(r.tbs[0], /*num_dies=*/4);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_NEAR(rows[0].write_mibps, 1000.0, 1e-6);  // 100 MiB in 0.1 s
+  EXPECT_NEAR(rows[1].write_mibps, 100.0, 1e-6);
+  EXPECT_NEAR(rows[0].iops, 8000.0, 1e-6);
+  EXPECT_EQ(rows[0].qd, 8.0);
+  EXPECT_EQ(rows[0].zone_transitions, 0u);  // event at t=120ms: interval 2
+  EXPECT_EQ(rows[1].zone_transitions, 1u);
+  // gc.migrate [110ms, 190ms) lies fully inside the second interval.
+  EXPECT_EQ(rows[0].overlap("gc.migrate"), 0u);
+  EXPECT_EQ(rows[1].overlap("gc.migrate"), 80000000u);
+  // Die busy [100ms, 150ms): 40 ms of service across 4 dies lands in the
+  // second interval.
+  EXPECT_NEAR(rows[0].die_util, 0.0, 1e-9);
+  EXPECT_NEAR(rows[1].die_util, 0.1, 1e-9);
+}
+
+TEST(ZmonDips, AttributesTheDipToTheOverlappingGcWindow) {
+  LoadResult r = Load(kGolden);
+  std::vector<IntervalRow> rows = BuildIntervals(r.tbs[0], 4);
+  std::vector<Dip> dips = FindDips(rows, /*threshold_frac=*/0.5);
+  ASSERT_EQ(dips.size(), 1u);
+  EXPECT_EQ(dips[0].row.begin, 100000000u);
+  EXPECT_NEAR(dips[0].throughput_mibps, 100.0, 1e-6);
+  EXPECT_EQ(dips[0].dominant(), "gc.migrate");
+}
+
+TEST(ZmonDips, ShortRunsAndIdleTailsAreNotDips) {
+  // Two samples only: not enough intervals to establish a median.
+  LoadResult two = Load(
+      R"({"type":"sample","t":100,"tb":"a","interval_ns":100,"counters":{"zns.bytes_written":1000},"gauges":{},"hist":{}}
+{"type":"sample","t":200,"tb":"a","interval_ns":100,"counters":{"zns.bytes_written":10},"gauges":{},"hist":{}}
+)");
+  EXPECT_TRUE(FindDips(BuildIntervals(two.tbs[0])).empty());
+}
+
+TEST(ZmonChrome, ExportCarriesCounterTracksAndWindows) {
+  LoadResult r = Load(kGolden);
+  std::vector<IntervalRow> rows = BuildIntervals(r.tbs[0], 4);
+  std::string json = ToChromeTrace(r.tbs[0], rows);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("throughput_MiBps"), std::string::npos);
+  EXPECT_NE(json.find("queue_depth"), std::string::npos);
+  EXPECT_NE(json.find("die_util"), std::string::npos);
+  EXPECT_NE(json.find("\"gc.migrate\""), std::string::npos);
+  // Chrome's ph "X" complete event with microsecond times.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zstor::zmon

@@ -76,6 +76,24 @@ TEST(LoadJsonl, SkipsBadLinesAndKeepsGoodOnes) {
   EXPECT_EQ(r.records[1].end(), 22u);
 }
 
+TEST(LoadJsonl, SkipsTimelineRecordsInMixedFiles) {
+  // A file carrying both --trace spans and --timeline records (same
+  // shared path): typed records are counted and skipped, not mis-parsed
+  // as zero-duration trace spans.
+  std::istringstream in(
+      "{\"ts\":10,\"dur\":5,\"cmd\":1,\"layer\":\"host\","
+      "\"name\":\"host.submit\"}\n"
+      "{\"type\":\"sample\",\"t\":100,\"tb\":\"x\",\"interval_ns\":100,"
+      "\"counters\":{},\"gauges\":{},\"hist\":{}}\n"
+      "{\"type\":\"zone_state\",\"t\":5,\"tb\":\"x\",\"lane\":0,"
+      "\"zone\":1,\"from\":\"Empty\",\"to\":\"Full\"}\n");
+  LoadResult r = LoadJsonl(in);
+  EXPECT_EQ(r.bad_lines, 0u);
+  EXPECT_EQ(r.skipped_records, 2u);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].name, "host.submit");
+}
+
 // ---- synthetic analysis ----------------------------------------------
 
 std::vector<TraceRecord> SyntheticTwoCommands() {

@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
-"""Validates bench machine-readable output against the DESIGN.md §7
+"""Validates bench machine-readable output against the DESIGN.md §7/§10
 schemas. Stdlib only; used by CI and by hand:
 
-    ./tools/validate_results.py BENCH_fig2.json [more.json ...]
+    ./tools/validate_results.py BENCH_fig2.json run.jsonl [more ...]
 
-Two document kinds are auto-detected by shape:
+Three document kinds are auto-detected by shape:
 
   * --json results documents (top-level object with "bench"/"series")
   * --logpages documents (top-level array of {label, logpages} entries;
     each SMART page must carry the split host_rejects/media_errors
     counters and the fault/health fields — the pre-split 'io_errors'
     field is rejected)
+  * --timeline JSONL streams (first line is an object with a "type"
+    member; every line must be a timeline record — sample / zone_state /
+    die_busy / window — conforming to DESIGN.md §10)
 
 Exit status 0 when every document conforms, 1 otherwise (violations on
 stderr)."""
@@ -303,6 +306,97 @@ def validate_logpages_document(path, doc, errors):
                                  pages["zone_report"], errors)
 
 
+# Timeline records (DESIGN.md §10): type -> required numeric fields.
+# Every record additionally carries "t" (virtual ns) and "tb" (testbed
+# label, string).
+TIMELINE_REQUIRED_NUMBERS = {
+    "sample": ("interval_ns",),
+    "zone_state": ("lane", "zone"),
+    "die_busy": ("dur", "lane", "die", "ops", "busy_ns"),
+    "window": ("dur", "lane"),
+}
+TIMELINE_HIST_FIELDS = ("count", "mean_ns", "p50_ns", "p95_ns", "p99_ns",
+                        "max_ns")
+ZONE_STATES = ("Empty", "ImplicitlyOpened", "ExplicitlyOpened", "Closed",
+               "Full", "ReadOnly", "Offline")
+
+
+def validate_timeline_record(where, rec, errors):
+    rtype = rec.get("type")
+    if rtype not in TIMELINE_REQUIRED_NUMBERS:
+        return fail(where, f"unknown timeline record type {rtype!r}", errors)
+    _counter(where, rec, "t", errors)
+    if not isinstance(rec.get("tb"), str):
+        fail(where, f"'tb' must be a string, got {rec.get('tb')!r}", errors)
+    for key in TIMELINE_REQUIRED_NUMBERS[rtype]:
+        _counter(where, rec, key, errors)
+    if rtype == "sample":
+        for key in ("counters", "gauges"):
+            m = rec.get(key)
+            if not isinstance(m, dict):
+                fail(where, f"'{key}' must be an object", errors)
+                continue
+            for k, v in m.items():
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    fail(where, f"{key}['{k}'] must be a number", errors)
+        hists = rec.get("hist")
+        if not isinstance(hists, dict):
+            fail(where, "'hist' must be an object", errors)
+        else:
+            for name, h in hists.items():
+                hwhere = f"{where}: hist['{name}']"
+                if not isinstance(h, dict):
+                    fail(hwhere, "not an object", errors)
+                    continue
+                for key in TIMELINE_HIST_FIELDS:
+                    _counter(hwhere, h, key, errors)
+    elif rtype == "zone_state":
+        for key in ("from", "to"):
+            if rec.get(key) not in ZONE_STATES:
+                fail(where, f"'{key}' must be a zone state name, got "
+                            f"{rec.get(key)!r}", errors)
+    elif rtype == "window":
+        if not isinstance(rec.get("kind"), str) or not rec["kind"]:
+            fail(where, "'kind' must be a non-empty string", errors)
+
+
+def validate_timeline_file(path, lines, errors):
+    """--timeline output: one §10 record per line."""
+    records = 0
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        where = f"{path}:{lineno}"
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as e:
+            fail(where, str(e), errors)
+            continue
+        if not isinstance(rec, dict):
+            fail(where, "not an object", errors)
+            continue
+        records += 1
+        validate_timeline_record(where, rec, errors)
+    if records == 0:
+        fail(path, "no timeline records", errors)
+    return records
+
+
+def looks_like_timeline(text):
+    """JSONL whose first non-blank line is an object with a "type" key."""
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            first = json.loads(line)
+        except json.JSONDecodeError:
+            return False
+        return isinstance(first, dict) and "type" in first
+    return False
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
@@ -311,8 +405,19 @@ def main(argv):
     for path in argv[1:]:
         try:
             with open(path) as f:
-                doc = json.load(f)
-        except (OSError, json.JSONDecodeError) as e:
+                text = f.read()
+        except OSError as e:
+            errors.append(f"{path}: {e}")
+            continue
+        if looks_like_timeline(text):
+            before = len(errors)
+            n = validate_timeline_file(path, text.splitlines(), errors)
+            if len(errors) == before:
+                print(f"{path}: ok (timeline, {n} record(s))")
+            continue
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as e:
             errors.append(f"{path}: {e}")
             continue
         before = len(errors)

@@ -1,0 +1,274 @@
+#include "zmon/timeline_analysis.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+#include "ztrace/json_value.h"
+
+namespace zstor::zmon {
+
+namespace {
+
+using ztrace::JsonValue;
+
+/// Overlap in ns of [a0, a1) with [b0, b1).
+std::uint64_t OverlapNs(std::uint64_t a0, std::uint64_t a1, std::uint64_t b0,
+                        std::uint64_t b1) {
+  std::uint64_t lo = std::max(a0, b0);
+  std::uint64_t hi = std::min(a1, b1);
+  return hi > lo ? hi - lo : 0;
+}
+
+TbTimeline& TbFor(LoadResult& out, const std::string& tb) {
+  for (auto& t : out.tbs) {
+    if (t.tb == tb) return t;
+  }
+  out.tbs.push_back(TbTimeline{});
+  out.tbs.back().tb = tb;
+  return out.tbs.back();
+}
+
+void ParseNumberMap(const JsonValue* obj, std::map<std::string, double>* out) {
+  if (obj == nullptr || !obj->is_object()) return;
+  for (const auto& [k, v] : obj->object()) {
+    if (v.is_number()) (*out)[k] = v.number();
+  }
+}
+
+double MiBps(double bytes, double interval_ns) {
+  if (interval_ns <= 0) return 0.0;
+  return bytes / (1024.0 * 1024.0) / (interval_ns / 1e9);
+}
+
+double CounterOr(const Sample& s, const std::string& name) {
+  auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0.0 : it->second;
+}
+
+}  // namespace
+
+LoadResult LoadTimeline(std::istream& in) {
+  LoadResult out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::optional<JsonValue> v = JsonValue::Parse(line);
+    if (!v.has_value() || !v->is_object()) {
+      ++out.bad_lines;
+      continue;
+    }
+    const std::string type = v->StringOr("type", "");
+    if (type != "sample" && type != "zone_state" && type != "die_busy" &&
+        type != "window") {
+      // A trace span (untyped), or a future record type from a newer
+      // writer: skip, don't fail (mirrors ztrace's policy).
+      ++out.skipped_records;
+      continue;
+    }
+    TbTimeline& tb = TbFor(out, v->StringOr("tb", ""));
+    if (type == "sample") {
+      Sample s;
+      s.t = static_cast<std::uint64_t>(v->NumberOr("t", 0));
+      s.interval_ns =
+          static_cast<std::uint64_t>(v->NumberOr("interval_ns", 0));
+      ParseNumberMap(v->Find("counters"), &s.counters);
+      ParseNumberMap(v->Find("gauges"), &s.gauges);
+      if (const JsonValue* h = v->Find("hist");
+          h != nullptr && h->is_object()) {
+        for (const auto& [name, hv] : h->object()) {
+          if (!hv.is_object()) continue;
+          Sample::Hist hs;
+          hs.count = static_cast<std::uint64_t>(hv.NumberOr("count", 0));
+          hs.mean_ns = hv.NumberOr("mean_ns", 0);
+          hs.p50_ns = hv.NumberOr("p50_ns", 0);
+          hs.p95_ns = hv.NumberOr("p95_ns", 0);
+          hs.p99_ns = hv.NumberOr("p99_ns", 0);
+          hs.max_ns = hv.NumberOr("max_ns", 0);
+          s.hists[name] = hs;
+        }
+      }
+      tb.samples.push_back(std::move(s));
+    } else if (type == "zone_state") {
+      ZoneEvent e;
+      e.t = static_cast<std::uint64_t>(v->NumberOr("t", 0));
+      e.lane = static_cast<std::uint32_t>(v->NumberOr("lane", 0));
+      e.zone = static_cast<std::uint32_t>(v->NumberOr("zone", 0));
+      e.from = v->StringOr("from", "");
+      e.to = v->StringOr("to", "");
+      tb.zone_events.push_back(std::move(e));
+    } else if (type == "die_busy") {
+      DieBusy d;
+      d.t = static_cast<std::uint64_t>(v->NumberOr("t", 0));
+      d.dur = static_cast<std::uint64_t>(v->NumberOr("dur", 0));
+      d.lane = static_cast<std::uint32_t>(v->NumberOr("lane", 0));
+      d.die = static_cast<std::uint32_t>(v->NumberOr("die", 0));
+      d.ops = static_cast<std::uint64_t>(v->NumberOr("ops", 0));
+      d.busy_ns = static_cast<std::uint64_t>(v->NumberOr("busy_ns", 0));
+      tb.die_busy.push_back(d);
+    } else if (type == "window") {
+      Window w;
+      w.t = static_cast<std::uint64_t>(v->NumberOr("t", 0));
+      w.dur = static_cast<std::uint64_t>(v->NumberOr("dur", 0));
+      w.lane = static_cast<std::uint32_t>(v->NumberOr("lane", 0));
+      w.kind = v->StringOr("kind", "");
+      w.a = static_cast<std::int64_t>(v->NumberOr("a", 0));
+      w.b = static_cast<std::int64_t>(v->NumberOr("b", 0));
+      tb.windows.push_back(std::move(w));
+    }
+  }
+  return out;
+}
+
+LoadResult LoadTimelineFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "zmon: cannot open %s\n", path.c_str());
+    return {};
+  }
+  return LoadTimeline(in);
+}
+
+std::vector<IntervalRow> BuildIntervals(const TbTimeline& tl,
+                                        std::uint32_t num_dies) {
+  if (num_dies == 0) {
+    // Distinct (lane, die) pairs: a striped testbed repeats die indices
+    // across lanes, and lumping them would overstate utilization.
+    std::vector<std::uint64_t> seen;
+    for (const DieBusy& d : tl.die_busy) {
+      std::uint64_t key =
+          (static_cast<std::uint64_t>(d.lane) << 32) | d.die;
+      if (std::find(seen.begin(), seen.end(), key) == seen.end()) {
+        seen.push_back(key);
+      }
+    }
+    num_dies = static_cast<std::uint32_t>(seen.size());
+  }
+  std::vector<IntervalRow> rows;
+  rows.reserve(tl.samples.size());
+  for (const Sample& s : tl.samples) {
+    if (s.interval_ns == 0) continue;  // degenerate final sample
+    IntervalRow r;
+    r.begin = s.begin();
+    r.end = s.t;
+    // Host-visible data rate: device-level byte counters only. nand.*
+    // would double-count GC-amplified media traffic and laneN.* the
+    // per-lane split of the same bytes.
+    r.write_mibps = MiBps(CounterOr(s, "zns.bytes_written") +
+                              CounterOr(s, "conv.bytes_written"),
+                          r.interval_ns());
+    r.read_mibps = MiBps(
+        CounterOr(s, "zns.bytes_read") + CounterOr(s, "conv.bytes_read"),
+        r.interval_ns());
+    r.iops = CounterOr(s, "qp.completions") / (r.interval_ns() / 1e9);
+    if (auto it = s.gauges.find("qp.inflight"); it != s.gauges.end()) {
+      r.qd = it->second;
+    }
+    if (num_dies > 0) {
+      // busy_ns is exact per window; clip each window to the interval
+      // proportionally to its overlap.
+      double busy = 0;
+      for (const DieBusy& d : tl.die_busy) {
+        std::uint64_t ov = OverlapNs(r.begin, r.end, d.t, d.end());
+        if (ov == 0) continue;
+        busy += d.dur == 0 ? static_cast<double>(d.busy_ns)
+                           : static_cast<double>(d.busy_ns) *
+                                 (static_cast<double>(ov) /
+                                  static_cast<double>(d.dur));
+      }
+      r.die_util = busy / (static_cast<double>(num_dies) * r.interval_ns());
+    }
+    for (const ZoneEvent& e : tl.zone_events) {
+      if (e.t >= r.begin && e.t < r.end) ++r.zone_transitions;
+    }
+    for (const Window& w : tl.windows) {
+      // Zero-duration windows (media.error) count as point events inside
+      // the interval; give them 1 ns so they register as a cause.
+      std::uint64_t ov =
+          w.dur == 0 ? ((w.t >= r.begin && w.t < r.end) ? 1 : 0)
+                     : OverlapNs(r.begin, r.end, w.t, w.end());
+      if (ov > 0) r.window_ns[w.kind] += ov;
+    }
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<Dip> FindDips(const std::vector<IntervalRow>& rows,
+                          double threshold_frac) {
+  std::vector<double> rates;
+  for (const IntervalRow& r : rows) {
+    double tp = r.write_mibps + r.read_mibps;
+    if (tp > 0) rates.push_back(tp);
+  }
+  std::vector<Dip> dips;
+  if (rates.size() < 3) return dips;  // too short a run to call a dip
+  std::sort(rates.begin(), rates.end());
+  double median = rates[rates.size() / 2];
+  double threshold = threshold_frac * median;
+  for (const IntervalRow& r : rows) {
+    double tp = r.write_mibps + r.read_mibps;
+    if (tp >= threshold) continue;
+    if (tp == 0 && r.window_ns.empty()) continue;  // idle, not a dip
+    Dip d;
+    d.row = r;
+    d.throughput_mibps = tp;
+    d.median_mibps = median;
+    d.causes.assign(r.window_ns.begin(), r.window_ns.end());
+    std::sort(d.causes.begin(), d.causes.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second > b.second
+                                            : a.first < b.first;
+              });
+    dips.push_back(std::move(d));
+  }
+  return dips;
+}
+
+std::string ToChromeTrace(const TbTimeline& tl,
+                          const std::vector<IntervalRow>& rows) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&out, &first](const std::string& ev) {
+    if (!first) out += ",";
+    first = false;
+    out += ev;
+  };
+  char buf[256];
+  for (const IntervalRow& r : rows) {
+    // One counter event per track at the interval's start; Chrome's ts is
+    // microseconds.
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"throughput_MiBps\",\"ph\":\"C\",\"pid\":1,"
+                  "\"ts\":%.3f,\"args\":{\"write\":%.3f,\"read\":%.3f}}",
+                  static_cast<double>(r.begin) / 1e3, r.write_mibps,
+                  r.read_mibps);
+    emit(buf);
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"queue_depth\",\"ph\":\"C\",\"pid\":1,"
+                  "\"ts\":%.3f,\"args\":{\"qd\":%.1f}}",
+                  static_cast<double>(r.begin) / 1e3, r.qd);
+    emit(buf);
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"die_util\",\"ph\":\"C\",\"pid\":1,"
+                  "\"ts\":%.3f,\"args\":{\"util\":%.4f}}",
+                  static_cast<double>(r.begin) / 1e3, r.die_util);
+    emit(buf);
+  }
+  for (const Window& w : tl.windows) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":\"%s\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"a\":%lld,"
+                  "\"b\":%lld}}",
+                  w.kind.c_str(), w.kind.c_str(),
+                  static_cast<double>(w.t) / 1e3,
+                  static_cast<double>(w.dur) / 1e3,
+                  static_cast<long long>(w.a), static_cast<long long>(w.b));
+    emit(buf);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+}  // namespace zstor::zmon

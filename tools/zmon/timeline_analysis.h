@@ -1,0 +1,164 @@
+// Timeline analysis behind the zmon CLI: loads the JSONL timeline
+// streams benches emit under --timeline (telemetry::TimelineWriter;
+// schema in DESIGN.md §10) and answers "what was the device doing at
+// t=X" —
+//
+//   * per-interval activity rows: write/read throughput, IOPS, queue
+//     depth, die utilization and zone-transition counts per sample
+//     interval;
+//   * throughput-dip attribution: intervals whose throughput falls below
+//     a fraction of the run's median, annotated with the GC / zone-reset
+//     / media-error windows that overlap them;
+//   * Chrome trace-event export: throughput counter tracks plus one
+//     span track per window kind, loadable in Perfetto.
+//
+// Everything here is plain post-processing over parsed record vectors,
+// so tests drive it directly against in-memory timelines.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zstor::zmon {
+
+// ---- parsed timeline records -------------------------------------------
+
+/// One "sample" record: counter deltas, gauge levels and interval
+/// histogram stats for the sample interval ending at `t`.
+struct Sample {
+  std::uint64_t t = 0;
+  std::uint64_t interval_ns = 0;
+  std::map<std::string, double> counters;  // deltas over the interval
+  std::map<std::string, double> gauges;
+  struct Hist {
+    std::uint64_t count = 0;
+    double mean_ns = 0, p50_ns = 0, p95_ns = 0, p99_ns = 0, max_ns = 0;
+  };
+  std::map<std::string, Hist> hists;
+
+  std::uint64_t begin() const { return t - interval_ns; }
+};
+
+/// One "zone_state" record: a zone's lifecycle transition.
+struct ZoneEvent {
+  std::uint64_t t = 0;
+  std::uint32_t lane = 0;
+  std::uint32_t zone = 0;
+  std::string from;
+  std::string to;
+};
+
+/// One "die_busy" record: a coalesced window in which a die serviced
+/// back-to-back media ops. busy_ns is the exact sum of service time (the
+/// window itself may span short idle gaps the writer merged).
+struct DieBusy {
+  std::uint64_t t = 0;
+  std::uint64_t dur = 0;
+  std::uint32_t lane = 0;
+  std::uint32_t die = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t busy_ns = 0;
+
+  std::uint64_t end() const { return t + dur; }
+};
+
+/// One "window" record: a named background activity (gc.migrate,
+/// gc.erase, zone.reset, media.error).
+struct Window {
+  std::uint64_t t = 0;
+  std::uint64_t dur = 0;
+  std::uint32_t lane = 0;
+  std::string kind;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+
+  std::uint64_t end() const { return t + dur; }
+};
+
+/// All records of one testbed (one "tb" label), in file order.
+struct TbTimeline {
+  std::string tb;
+  std::vector<Sample> samples;
+  std::vector<ZoneEvent> zone_events;
+  std::vector<DieBusy> die_busy;
+  std::vector<Window> windows;
+};
+
+struct LoadResult {
+  /// Per-testbed timelines, ordered by first appearance in the file.
+  std::vector<TbTimeline> tbs;
+  std::size_t bad_lines = 0;        // unparsable lines (skipped)
+  std::size_t skipped_records = 0;  // JSON objects that aren't timeline
+                                    // records (e.g. mixed-in trace spans)
+};
+
+/// Parses timeline JSONL from a stream; blank lines are ignored, foreign
+/// records (trace spans and unknown "type"s) are counted and skipped.
+LoadResult LoadTimeline(std::istream& in);
+/// Opens `path` and LoadTimeline()s it. Empty result if unopenable.
+LoadResult LoadTimelineFile(const std::string& path);
+
+// ---- per-interval activity ---------------------------------------------
+
+/// One sample interval's activity, derived from a Sample plus the
+/// windows/events overlapping [begin, end).
+struct IntervalRow {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  double write_mibps = 0;  // zns.bytes_written + conv.bytes_written
+  double read_mibps = 0;   // zns.bytes_read + conv.bytes_read
+  double iops = 0;         // qp.completions delta / interval
+  double qd = 0;           // qp.inflight gauge at sample time
+  double die_util = 0;     // mean busy fraction across dies (0..1)
+  std::uint32_t zone_transitions = 0;
+  /// Overlap of background windows with this interval, ns per kind.
+  std::map<std::string, std::uint64_t> window_ns;
+
+  double interval_ns() const { return static_cast<double>(end - begin); }
+  std::uint64_t overlap(const std::string& kind) const {
+    auto it = window_ns.find(kind);
+    return it == window_ns.end() ? 0 : it->second;
+  }
+};
+
+/// Builds per-interval rows from one testbed's timeline. `num_dies` for
+/// the utilization denominator is inferred (max die index + 1) when 0.
+std::vector<IntervalRow> BuildIntervals(const TbTimeline& tl,
+                                        std::uint32_t num_dies = 0);
+
+// ---- throughput-dip attribution ----------------------------------------
+
+/// One below-threshold throughput interval and what overlapped it.
+struct Dip {
+  IntervalRow row;
+  double throughput_mibps = 0;  // write + read
+  double median_mibps = 0;      // run median the threshold derives from
+  /// Background-window overlap inside the dip, largest first.
+  std::vector<std::pair<std::string, std::uint64_t>> causes;
+
+  /// The dominant overlapping window kind ("" when nothing overlapped —
+  /// an unexplained dip).
+  std::string dominant() const {
+    return causes.empty() ? std::string() : causes.front().first;
+  }
+};
+
+/// Finds intervals whose total throughput is below `threshold_frac` of
+/// the run's median (computed over intervals with any throughput) and
+/// attributes each to the background windows overlapping it. Warm-up and
+/// idle intervals (zero throughput and no window overlap) are ignored.
+std::vector<Dip> FindDips(const std::vector<IntervalRow>& rows,
+                          double threshold_frac = 0.7);
+
+// ---- Chrome trace-event export -----------------------------------------
+
+/// Renders one testbed's timeline as a Chrome trace-event JSON document:
+/// counter tracks for write/read throughput, QD and die utilization,
+/// plus complete events per background window on one track per kind.
+std::string ToChromeTrace(const TbTimeline& tl,
+                          const std::vector<IntervalRow>& rows);
+
+}  // namespace zstor::zmon

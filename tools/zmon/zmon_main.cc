@@ -1,0 +1,213 @@
+// zmon: timeline-analysis CLI for the simulator's JSONL telemetry
+// timelines (schema: DESIGN.md section 10).
+//
+//   zmon run.jsonl                    # per-interval activity + dip report
+//   zmon run.jsonl --tb=gc-conv      # one testbed only
+//   zmon run.jsonl --chrome=out.json  # Perfetto counter-track export
+//   zmon run.jsonl --require-dip      # exit 1 unless a dip is attributed
+//                                     # to a background window (CI gate)
+//
+// Produce a timeline with any bench binary:
+//   ./bench/bench_fig6_gc_interference --timeline=run.jsonl
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "zmon/timeline_analysis.h"
+
+namespace {
+
+using zstor::zmon::BuildIntervals;
+using zstor::zmon::Dip;
+using zstor::zmon::FindDips;
+using zstor::zmon::IntervalRow;
+using zstor::zmon::LoadResult;
+using zstor::zmon::LoadTimelineFile;
+using zstor::zmon::TbTimeline;
+using zstor::zmon::ToChromeTrace;
+
+const char* MatchFlag(const char* arg, const char* name) {
+  std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: zmon TIMELINE.jsonl [--tb=LABEL] [--threshold=FRAC]\n"
+      "            [--chrome=FILE] [--require-dip]\n"
+      "\n"
+      "Analyzes a JSONL telemetry timeline produced with --timeline=FILE\n"
+      "on any bench binary (schema: DESIGN.md section 10).\n"
+      "\n"
+      "  --tb=LABEL       analyze only this testbed's records\n"
+      "  --threshold=FRAC call intervals below FRAC x median throughput\n"
+      "                   a dip (default 0.7)\n"
+      "  --chrome=FILE    write a Chrome trace-event export (counter\n"
+      "                   tracks + background-window spans)\n"
+      "  --require-dip    exit 1 unless at least one dip is attributed\n"
+      "                   to an overlapping background window\n");
+}
+
+double Ms(double ns) { return ns / 1e6; }
+
+void PrintIntervals(const TbTimeline& tl,
+                    const std::vector<IntervalRow>& rows) {
+  std::printf("Testbed %s: %zu sample(s), %zu zone event(s), %zu die "
+              "window(s), %zu background window(s)\n",
+              tl.tb.c_str(), tl.samples.size(), tl.zone_events.size(),
+              tl.die_busy.size(), tl.windows.size());
+  std::printf("  %-18s %10s %10s %10s %6s %6s %6s %10s %10s\n",
+              "interval_ms", "W_MiBps", "R_MiBps", "IOPS", "QD", "util%",
+              "zones", "gc_ms", "reset_ms");
+  for (const IntervalRow& r : rows) {
+    double gc_ms =
+        Ms(static_cast<double>(r.overlap("gc.migrate") +
+                               r.overlap("gc.erase")));
+    double reset_ms = Ms(static_cast<double>(r.overlap("zone.reset")));
+    char span[32];
+    std::snprintf(span, sizeof span, "[%.0f,%.0f)",
+                  Ms(static_cast<double>(r.begin)),
+                  Ms(static_cast<double>(r.end)));
+    std::printf("  %-18s %10.1f %10.1f %10.0f %6.0f %5.1f%% %6u %10.2f "
+                "%10.2f\n",
+                span, r.write_mibps, r.read_mibps, r.iops, r.qd,
+                100.0 * r.die_util, r.zone_transitions, gc_ms, reset_ms);
+  }
+}
+
+/// Prints the dip report; returns how many dips have an attributed cause.
+std::size_t PrintDips(const std::vector<Dip>& dips) {
+  std::size_t attributed = 0;
+  if (dips.empty()) {
+    std::printf("  no throughput dips below threshold\n");
+    return attributed;
+  }
+  std::printf("  throughput dips (median %.1f MiB/s):\n",
+              dips.front().median_mibps);
+  for (const Dip& d : dips) {
+    std::printf("    [%.0f,%.0f) ms: %.1f MiB/s",
+                Ms(static_cast<double>(d.row.begin)),
+                Ms(static_cast<double>(d.row.end)), d.throughput_mibps);
+    if (d.causes.empty()) {
+      std::printf(" — unexplained (no overlapping window)\n");
+      continue;
+    }
+    ++attributed;
+    std::printf(" — overlapping:");
+    for (const auto& [kind, ns] : d.causes) {
+      std::printf(" %s %.2fms", kind.c_str(),
+                  Ms(static_cast<double>(ns)));
+    }
+    std::printf("\n");
+  }
+  return attributed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string timeline_path;
+  std::string tb_filter;
+  std::string chrome_path;
+  double threshold = 0.7;
+  bool require_dip = false;
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = MatchFlag(argv[i], "--tb")) {
+      tb_filter = v;
+    } else if (const char* c = MatchFlag(argv[i], "--chrome")) {
+      chrome_path = c;
+    } else if (const char* t = MatchFlag(argv[i], "--threshold")) {
+      threshold = std::atof(t);
+      if (threshold <= 0 || threshold >= 1) {
+        std::fprintf(stderr, "zmon: --threshold must be in (0, 1)\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--require-dip") == 0) {
+      require_dip = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage();
+      return 0;
+    } else if (timeline_path.empty() && argv[i][0] != '-') {
+      timeline_path = argv[i];
+    } else {
+      std::fprintf(stderr, "zmon: unrecognized argument '%s'\n", argv[i]);
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (timeline_path.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  LoadResult loaded = LoadTimelineFile(timeline_path);
+  if (loaded.tbs.empty()) {
+    std::fprintf(stderr, "zmon: no timeline records in %s\n",
+                 timeline_path.c_str());
+    return 1;
+  }
+  if (loaded.bad_lines > 0) {
+    std::fprintf(stderr, "zmon: skipped %zu unparsable line(s)\n",
+                 loaded.bad_lines);
+  }
+  if (loaded.skipped_records > 0) {
+    std::fprintf(stderr,
+                 "zmon: skipped %zu non-timeline record(s) (trace "
+                 "stream? analyze those with ztrace)\n",
+                 loaded.skipped_records);
+  }
+
+  std::size_t attributed = 0;
+  bool tb_seen = false;
+  bool first = true;
+  for (const TbTimeline& tl : loaded.tbs) {
+    if (!tb_filter.empty() && tl.tb != tb_filter) continue;
+    tb_seen = true;
+    if (!first) std::printf("\n");
+    first = false;
+    std::vector<IntervalRow> rows = BuildIntervals(tl);
+    PrintIntervals(tl, rows);
+    attributed += PrintDips(FindDips(rows, threshold));
+    if (!chrome_path.empty()) {
+      // With several testbeds, suffix the file per label so exports
+      // don't clobber each other.
+      std::string path = chrome_path;
+      if (loaded.tbs.size() > 1 && tb_filter.empty()) {
+        std::size_t dot = path.rfind('.');
+        std::string suffix = "-" + tl.tb;
+        if (dot == std::string::npos) {
+          path += suffix;
+        } else {
+          path.insert(dot, suffix);
+        }
+      }
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "zmon: cannot open %s\n", path.c_str());
+      } else {
+        std::string json = ToChromeTrace(tl, rows);
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("  wrote Chrome trace export: %s\n", path.c_str());
+      }
+    }
+  }
+  if (!tb_seen) {
+    std::fprintf(stderr, "zmon: no testbed labeled '%s' in %s\n",
+                 tb_filter.c_str(), timeline_path.c_str());
+    return 1;
+  }
+  if (require_dip && attributed == 0) {
+    std::fprintf(stderr,
+                 "zmon: --require-dip: no throughput dip attributed to a "
+                 "background window\n");
+    return 1;
+  }
+  return 0;
+}

@@ -46,6 +46,12 @@ LoadResult LoadJsonl(std::istream& in) {
       ++out.bad_lines;
       continue;
     }
+    if (v->Find("type") != nullptr) {
+      // A typed record from another stream (timeline samples, zone/die
+      // state changes) — not a trace span; skip, don't fail.
+      ++out.skipped_records;
+      continue;
+    }
     TraceRecord r;
     r.ts = static_cast<std::uint64_t>(v->NumberOr("ts", 0));
     r.dur = static_cast<std::uint64_t>(v->NumberOr("dur", 0));

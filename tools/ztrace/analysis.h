@@ -40,6 +40,11 @@ struct TraceRecord {
 struct LoadResult {
   std::vector<TraceRecord> records;
   std::size_t bad_lines = 0;  // lines that failed to parse (skipped)
+  /// Well-formed JSON objects that are not trace records — they carry a
+  /// "type" member, the timeline-record discriminator (DESIGN.md §10).
+  /// Skipped so a file mixing --trace and --timeline streams still loads;
+  /// point tools/zmon at it for the timeline half.
+  std::size_t skipped_records = 0;
 };
 
 /// Parses JSONL trace lines from a stream; blank lines are ignored.

@@ -154,6 +154,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ztrace: skipped %zu unparsable line(s)\n",
                  loaded.bad_lines);
   }
+  if (loaded.skipped_records > 0) {
+    std::fprintf(stderr,
+                 "ztrace: skipped %zu non-trace record(s) (timeline "
+                 "stream? analyze those with zmon)\n",
+                 loaded.skipped_records);
+  }
 
   std::vector<CommandTrace> cmds = GroupByCommand(loaded.records);
   std::uint64_t t_min = loaded.records.front().ts, t_max = 0;
