@@ -141,10 +141,19 @@ bool ParseFaultSpec(std::string_view text, FaultSpec* out,
       } else {
         spec.scheduled.push_back(sf);
       }
+    } else if (key == "crash") {
+      if (!ParseDouble(val, &d) || d < 0.0) {
+        fail(kv, "crash must be a non-negative virtual time (microseconds)");
+      } else {
+        spec.crashes.push_back(sim::Microseconds(d));
+      }
     } else {
       fail(kv, "unknown key");
     }
   });
+  // Devices arm crashes in order; keep the canonical form sorted so the
+  // spec string round-trips regardless of how the user ordered the keys.
+  std::sort(spec.crashes.begin(), spec.crashes.end());
   if (ok) *out = spec;
   return ok;
 }
@@ -175,6 +184,10 @@ std::string FormatFaultSpec(const FaultSpec& spec) {
     };
     site(sf.die);
     site(sf.block);
+  }
+  for (sim::Time t : spec.crashes) {
+    std::snprintf(buf, sizeof(buf), ",crash=%g", sim::ToMicroseconds(t));
+    out += buf;
   }
   return out;
 }

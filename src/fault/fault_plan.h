@@ -83,6 +83,14 @@ struct FaultSpec {
   std::uint64_t seed = 0xFA17'5EED'0000'0003ull;
 
   std::vector<ScheduledFault> scheduled;
+
+  /// Scheduled power-loss instants (virtual time, sorted by the parser).
+  /// At each instant every attached device freezes, applies its loss
+  /// semantics (torn in-flight programs, volatile mapping/write-pointer
+  /// state dropped) and runs its latency-modeled recovery procedure. The
+  /// devices arm these themselves in AttachFaultPlan — unlike the cell-op
+  /// faults above, a crash fires at its instant even on an idle device.
+  std::vector<sim::Time> crashes;
 };
 
 /// Parses a `--faults=` spec string into *out. Grammar: comma-separated
@@ -100,6 +108,9 @@ struct FaultSpec {
 ///                     one-shot fault at virtual time US microseconds;
 ///                     KIND in {read_c, read_uc, prog}; DIE/BLOCK numeric
 ///                     or '*' for any site; repeatable
+///   crash=US          power loss at virtual time US microseconds; every
+///                     attached device freezes, loses volatile state and
+///                     recovers; repeatable
 ///
 /// Example: --faults=seed=7,read_uc=0.001,prog=0.0005,sched=1000:prog:0:*
 ///

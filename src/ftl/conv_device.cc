@@ -28,6 +28,17 @@ void ConvCounters::Describe(telemetry::MetricsRegistry& m) const {
   m.GetCounter("conv.write_faults").Set(write_faults);
   m.GetCounter("conv.retired_blocks").Set(retired_blocks);
   m.GetCounter("conv.program_retries").Set(program_retries);
+  m.GetCounter("conv.flushes").Set(flushes);
+  m.GetCounter("conv.journal_syncs").Set(journal_syncs);
+  m.GetCounter("conv.checkpoints").Set(checkpoints);
+  m.GetCounter("conv.journal_units_written").Set(journal_units_written);
+  m.GetCounter("conv.crashes").Set(crashes);
+  m.GetCounter("conv.recoveries").Set(recoveries);
+  m.GetCounter("conv.crash_lost_units").Set(crash_lost_units);
+  m.GetCounter("conv.journal_reverted_entries").Set(journal_reverted_entries);
+  m.GetCounter("conv.recovery_replay_entries").Set(recovery_replay_entries);
+  m.GetCounter("conv.recovery_ns_total").Set(recovery_ns_total);
+  m.GetCounter("conv.reset_drops").Set(reset_drops);
   m.GetGauge("conv.write_amplification").Set(WriteAmplification());
 }
 
@@ -37,7 +48,13 @@ void ConvDevice::AttachTelemetry(telemetry::Telemetry* t) {
 }
 
 void ConvDevice::AttachFaultPlan(fault::FaultPlan* p) {
+  faults_ = p;
   flash_->AttachFaultPlan(p);
+  if (p != nullptr && p->enabled() && !p->spec().crashes.empty() &&
+      !crash_driver_armed_) {
+    crash_driver_armed_ = true;
+    sim::Spawn(CrashDriver(p->spec().crashes));
+  }
 }
 
 nvme::SmartLog ConvDevice::GetSmartLog() const {
@@ -195,6 +212,11 @@ sim::Task<std::uint32_t> ConvDevice::AcquireFreeBlock(
     std::uint32_t preferred_die) {
   if (free_total_ == 0) MaybeWakeGc();  // we are about to block on it
   co_await free_sem_->Acquire();
+  if (crashed_) {
+    // Woken by CrashNow's drain (power is out, GC will not replenish the
+    // pool): consume the spurious permit and let the caller abort.
+    co_return kUnmapped;
+  }
   std::uint32_t dies = profile_.nand_geometry.total_dies();
   for (std::uint32_t i = 0; i < dies; ++i) {
     std::uint32_t die = (preferred_die + i) % dies;
@@ -273,10 +295,18 @@ std::uint32_t ConvDevice::PickVictim() {
 sim::Task<> ConvDevice::GcProgramPage(
     std::uint32_t block_id, std::uint32_t page,
     std::vector<std::pair<std::uint32_t, std::uint32_t>> batch,
-    sim::WaitGroup* wg) {
+    sim::WaitGroup* wg, std::uint64_t epoch) {
   for (;;) {
     const nand::MediaStatus st = co_await flash_->ProgramPage(
         {DieOfBlockId(block_id), BlockOfBlockId(block_id), page});
+    if (power_epoch_ != epoch) {
+      // Power loss mid-migration: skip the remap — the victim copy is
+      // still physically intact (the erase never runs on a stale pass)
+      // and the mapping rollback already points there.
+      blocks_[block_id].inflight--;
+      wg->Done();
+      co_return;
+    }
     if (st == nand::MediaStatus::kOk) break;
     // Program failure: retire the output block and restage this batch
     // into a fresh GC block — survivors are still held in controller
@@ -297,7 +327,11 @@ sim::Task<> ConvDevice::GcProgramPage(
   for (auto [logical, old_phys] : batch) {
     // Skip units the host overwrote while we migrated them.
     if (l2p_[logical] == old_phys) {
-      MapUnit(logical, PhysUnit(block_id, base + slot));
+      std::uint32_t phys = PhysUnit(block_id, base + slot);
+      MapUnit(logical, phys);
+      JournalAppend(logical, old_phys, phys);
+      // The payload tag travels with the data.
+      if (!tags_by_phys_.empty()) tags_by_phys_[phys] = tags_by_phys_[old_phys];
       counters_.gc_units_migrated++;
     }
     ++slot;
@@ -363,6 +397,7 @@ sim::Task<> ConvDevice::MigrateAndErase(std::uint32_t victim) {
   const std::uint32_t die = DieOfBlockId(victim);
   const std::uint32_t blk = BlockOfBlockId(victim);
   const std::uint32_t upp = profile_.units_per_page();
+  const std::uint64_t epoch0 = power_epoch_;
   telemetry::Tracer* tr = trace();
   sim::Time migrate_begin = sim_.now();
 
@@ -408,10 +443,21 @@ sim::Task<> ConvDevice::MigrateAndErase(std::uint32_t victim) {
       ob.write_ptr_units += upp;
       ob.inflight++;
       pwg.Add();
-      sim::Spawn(GcProgramPage(open, page, std::move(batch), &pwg));
+      sim::Spawn(GcProgramPage(open, page, std::move(batch), &pwg, epoch0));
     }
     if (open != kUnmapped) ReturnGcOpenBlock(open);
     co_await pwg.Wait();
+  }
+
+  if (power_epoch_ != epoch0) {
+    // Power loss during migration: abort without erasing. Whatever was
+    // remapped before the cut was reverted by the journal rollback, so
+    // the victim's valid units are intact and it stays GC-eligible for
+    // the next pass. Pages consumed in the output block are dead space.
+    vb.gc_busy = false;
+    --gc_running_;
+    MaybeWakeGc();
+    co_return;
   }
 
   if (tr != nullptr) {
@@ -428,6 +474,14 @@ sim::Task<> ConvDevice::MigrateAndErase(std::uint32_t victim) {
 
   // All surviving units moved; any remaining valid bits belong to host
   // overwrites that raced ahead (they already re-invalidated). Erase.
+  // The erase destroys the old physical copies, so every unsynced journal
+  // entry and buffered-write rollback origin must stop referencing this
+  // block first: sync makes the migration mappings durable, and buffered
+  // origins inside the victim degrade to kUnmapped (a crash between here
+  // and the buffered program landing loses those units — they were
+  // unflushed, so that is within the device's contract).
+  SyncJournal();
+  ForgetBufferedOldInBlock(victim);
   sim::Time erase_begin = sim_.now();
   co_await flash_->EraseBlock(die, blk);
   if (tr != nullptr) {
@@ -460,6 +514,13 @@ Time ConvDevice::Noise(Time t) {
 sim::Task<Completion> ConvDevice::Execute(const Command& cmd) {
   if (!layout_done_) FinalizeLayout();
   Completion c;
+  if (crashed_) {
+    // Power is out (or recovery is replaying the journal): fail fast and
+    // let the host re-drive once the controller answers again.
+    counters_.reset_drops++;
+    c.status = Status::kDeviceReset;
+    co_return c;
+  }
   switch (cmd.opcode) {
     case Opcode::kRead:
       c = co_await DoRead(cmd);
@@ -470,12 +531,17 @@ sim::Task<Completion> ConvDevice::Execute(const Command& cmd) {
     case Opcode::kDeallocate:
       c = co_await DoDeallocate(cmd);
       break;
+    case Opcode::kFlush:
+      c = co_await DoFlush(cmd);
+      break;
     default:
       c.status = Status::kInvalidOpcode;
       break;
   }
   if (!c.ok()) {
-    if (nvme::IsMediaError(c.status)) {
+    if (c.status == Status::kDeviceReset) {
+      counters_.reset_drops++;  // lost to a power cut mid-flight
+    } else if (nvme::IsMediaError(c.status)) {
       counters_.media_errors++;
     } else {
       counters_.host_rejects++;
@@ -491,6 +557,7 @@ sim::Task<Completion> ConvDevice::DoRead(Command cmd) {
   }
   const std::uint64_t bytes =
       static_cast<std::uint64_t>(cmd.nlb) * profile_.lba_bytes;
+  const std::uint64_t epoch0 = power_epoch_;
   telemetry::Tracer* tr = trace();
   sim::Time t0 = sim_.now();
   {
@@ -504,6 +571,9 @@ sim::Task<Completion> ConvDevice::DoRead(Command cmd) {
       tr->Span(t1, sim_.now(), cmd.trace_id, Layer::kFcp, "fcp.service",
                static_cast<std::int64_t>(bytes));
     }
+  }
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
   }
   sim::Time nand_begin = sim_.now();
   // Fetch each mapped unit's physical page; distinct pages in parallel.
@@ -545,9 +615,23 @@ sim::Task<Completion> ConvDevice::DoRead(Command cmd) {
     tr->Span(post_begin, sim_.now(), cmd.trace_id, Layer::kPost, "post",
              static_cast<std::int64_t>(bytes));
   }
+  if (power_epoch_ != epoch0) {
+    // Power cut during the host DMA: the transfer is torn.
+    co_return Completion{.status = Status::kDeviceReset};
+  }
   counters_.reads++;
   counters_.bytes_read += bytes;
-  co_return Completion{.status = Status::kSuccess};
+  Completion done{.status = Status::kSuccess};
+  if (cmd.payload_tag != 0) {
+    // Integrity-check readback: what the mapping resolves to at
+    // completion time (unmapped/trimmed units read as tag 0).
+    done.payload_tags.resize(cmd.nlb);
+    for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
+      done.payload_tags[i] =
+          TagOfLogical(static_cast<std::uint32_t>(cmd.slba + i));
+    }
+  }
+  co_return done;
 }
 
 sim::Task<> ConvDevice::ReadPhysPage(std::uint64_t page_id,
@@ -571,6 +655,7 @@ sim::Task<Completion> ConvDevice::DoWrite(Command cmd) {
   }
   const std::uint64_t bytes =
       static_cast<std::uint64_t>(cmd.nlb) * profile_.lba_bytes;
+  const std::uint64_t epoch0 = power_epoch_;
   telemetry::Tracer* tr = trace();
   sim::Time t0 = sim_.now();
   {
@@ -584,10 +669,21 @@ sim::Task<Completion> ConvDevice::DoWrite(Command cmd) {
       tr->Span(t1, sim_.now(), cmd.trace_id, Layer::kFcp, "fcp.service",
                static_cast<std::int64_t>(bytes));
     }
-    // Overwrites invalidate the previous physical locations now.
+    if (power_epoch_ != epoch0) {
+      // Crashed before any state mutation: fail clean, nothing admitted.
+      co_return Completion{.status = Status::kDeviceReset};
+    }
+    // Overwrites invalidate the previous physical locations now. The
+    // pre-buffer mapping is remembered so a power loss before the
+    // buffered data reaches flash can roll each unit back to its last
+    // durable copy (emplace: a double-buffered unit keeps the *original*
+    // durable phys, not the intermediate kInBuffer).
     for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
-      InvalidateUnit(cmd.slba + i);
-      l2p_[cmd.slba + i] = kInBuffer;
+      std::uint32_t u = static_cast<std::uint32_t>(cmd.slba + i);
+      if (l2p_[u] != kInBuffer) buffered_old_.emplace(u, l2p_[u]);
+      InvalidateUnit(u);
+      l2p_[u] = kInBuffer;
+      if (cmd.payload_tag != 0) pending_tags_[u] = cmd.payload_tag + i;
     }
   }
   sim::Time post_begin = sim_.now();
@@ -601,13 +697,17 @@ sim::Task<Completion> ConvDevice::DoWrite(Command cmd) {
              static_cast<std::int64_t>(bytes));
   }
   for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
-    co_await AdmitUnit(static_cast<std::uint32_t>(cmd.slba + i));
+    if (power_epoch_ != epoch0) break;  // crash rolled the rest back
+    co_await AdmitUnit(static_cast<std::uint32_t>(cmd.slba + i), epoch0);
   }
   if (tr != nullptr) {
     // Non-zero when the write-back buffer is full or the device stalls
     // waiting for GC to free a block (the Fig. 6a collapse mechanism).
     tr->Span(admit_begin, sim_.now(), cmd.trace_id, Layer::kBuffer,
              "buffer.admit");
+  }
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
   }
   counters_.writes++;
   counters_.bytes_written += bytes;
@@ -619,13 +719,31 @@ sim::Task<Completion> ConvDevice::DoDeallocate(Command cmd) {
   if (cmd.slba + cmd.nlb > info_.capacity_lbas) {
     co_return Completion{.status = Status::kLbaOutOfRange};
   }
+  const std::uint64_t epoch0 = power_epoch_;
   {
     auto g = co_await fcp_.Acquire(0);
     co_await sim_.Delay(
         Noise(profile_.trim_fixed + profile_.trim_per_unit * cmd.nlb));
+    if (power_epoch_ != epoch0) {
+      co_return Completion{.status = Status::kDeviceReset};
+    }
     for (std::uint32_t i = 0; i < cmd.nlb; ++i) {
       std::uint32_t u = static_cast<std::uint32_t>(cmd.slba + i);
       if (l2p_[u] == kUnmapped) continue;
+      // A trim is a mapping delta like any other: durable only once the
+      // journal entry syncs. For an in-buffer unit, the delta supersedes
+      // the buffered write, so its rollback origin transfers into the
+      // journal entry and the buffered state is forgotten.
+      if (l2p_[u] == kInBuffer) {
+        auto it = buffered_old_.find(u);
+        std::uint32_t origin = it != buffered_old_.end() ? it->second
+                                                         : kUnmapped;
+        if (it != buffered_old_.end()) buffered_old_.erase(it);
+        pending_tags_.erase(u);
+        JournalAppend(u, origin, kUnmapped);
+      } else {
+        JournalAppend(u, l2p_[u], kUnmapped);
+      }
       InvalidateUnit(u);
       l2p_[u] = kUnmapped;  // also forgets in-buffer data
       counters_.units_trimmed++;
@@ -635,8 +753,49 @@ sim::Task<Completion> ConvDevice::DoDeallocate(Command cmd) {
   co_return Completion{.status = Status::kSuccess};
 }
 
-sim::Task<> ConvDevice::AdmitUnit(std::uint32_t logical_unit) {
+sim::Task<Completion> ConvDevice::DoFlush(Command cmd) {
+  // Flush: force the write-back buffer to flash (padding a partial NAND
+  // page if needed) and sync the mapping journal — after completion a
+  // power loss can no longer roll the flushed LBAs back.
+  const std::uint64_t epoch0 = power_epoch_;
+  telemetry::Tracer* tr = trace();
+  sim::Time t0 = sim_.now();
+  {
+    auto g = co_await fcp_.Acquire(0);
+    co_await sim_.Delay(Noise(profile_.fcp.write));
+    if (tr != nullptr) {
+      tr->Span(t0, sim_.now(), cmd.trace_id, Layer::kFcp, "fcp.service");
+    }
+  }
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
+  }
+  if (!pending_units_.empty()) {
+    std::vector<std::uint32_t> batch(pending_units_.begin(),
+                                     pending_units_.end());
+    pending_units_.clear();
+    inflight_programs_.Add();
+    sim::Spawn(ProgramHostPage(std::move(batch), epoch0));
+  }
+  co_await inflight_programs_.Wait();
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
+  }
+  SyncJournal();
+  counters_.flushes++;
+  co_return Completion{.status = Status::kSuccess};
+}
+
+sim::Task<> ConvDevice::AdmitUnit(std::uint32_t logical_unit,
+                                  std::uint64_t epoch) {
   co_await buffer_slots_.Acquire();
+  if (power_epoch_ != epoch) {
+    // Crashed while waiting for a buffer slot: the write's buffered state
+    // was already rolled back, so admitting now would resurrect lost
+    // data. Give the slot straight back.
+    buffer_slots_.Release();
+    co_return;
+  }
   pending_units_.push_back(logical_unit);
   if (pending_units_.size() >= profile_.units_per_page()) {
     std::vector<std::uint32_t> batch(
@@ -645,15 +804,17 @@ sim::Task<> ConvDevice::AdmitUnit(std::uint32_t logical_unit) {
     pending_units_.erase(pending_units_.begin(),
                          pending_units_.begin() + profile_.units_per_page());
     inflight_programs_.Add();
-    sim::Spawn(ProgramHostPage(std::move(batch)));
+    sim::Spawn(ProgramHostPage(std::move(batch), epoch));
   }
 }
 
-sim::Task<> ConvDevice::ProgramHostPage(std::vector<std::uint32_t> units) {
+sim::Task<> ConvDevice::ProgramHostPage(std::vector<std::uint32_t> units,
+                                        std::uint64_t epoch) {
   const std::uint32_t dies = profile_.nand_geometry.total_dies();
   const std::uint32_t stream = next_die_rr_++ % dies;
   std::uint32_t block_id;
   std::uint32_t page;
+  bool stale = false;
   for (;;) {
     {
       // Per-stream allocation lock: block lookup + page reservation is
@@ -661,26 +822,46 @@ sim::Task<> ConvDevice::ProgramHostPage(std::vector<std::uint32_t> units) {
       // stream's block usually lives on the same-numbered die but may
       // come from another die under pressure.)
       auto g = co_await die_alloc_[stream]->Acquire();
-      block_id = host_open_block_[stream];
-      if (block_id == kUnmapped ||
-          blocks_[block_id].write_ptr_units == units_per_block()) {
-        if (block_id != kUnmapped) blocks_[block_id].open = false;
-        block_id = co_await AcquireFreeBlock(stream);
-        host_open_block_[stream] = block_id;
-        blocks_[block_id].open = true;
-      }
-      Block& b = blocks_[block_id];
-      page = b.write_ptr_units / profile_.units_per_page();
-      b.write_ptr_units += profile_.units_per_page();
-      b.inflight++;
-      if (b.write_ptr_units == units_per_block()) {
-        b.open = false;
-        host_open_block_[stream] = kUnmapped;
+      if (power_epoch_ != epoch) {
+        stale = true;  // crashed while queued behind the allocator
+      } else {
+        block_id = host_open_block_[stream];
+        if (block_id == kUnmapped ||
+            blocks_[block_id].write_ptr_units == units_per_block()) {
+          if (block_id != kUnmapped) blocks_[block_id].open = false;
+          block_id = co_await AcquireFreeBlock(stream);
+          if (block_id == kUnmapped) {
+            stale = true;  // crash drained the free-block waiters
+          } else {
+            host_open_block_[stream] = block_id;
+            blocks_[block_id].open = true;
+          }
+        }
+        if (!stale) {
+          Block& b = blocks_[block_id];
+          page = b.write_ptr_units / profile_.units_per_page();
+          b.write_ptr_units += profile_.units_per_page();
+          b.inflight++;
+          if (b.write_ptr_units == units_per_block()) {
+            b.open = false;
+            host_open_block_[stream] = kUnmapped;
+          }
+        }
       }
     }
+    if (stale) break;
     const nand::MediaStatus st = co_await flash_->ProgramPage(
         {DieOfBlockId(block_id), BlockOfBlockId(block_id), page});
     blocks_[block_id].inflight--;
+    if (power_epoch_ != epoch) {
+      // The program raced a power loss. Whether the page physically
+      // completed or tore is moot: it was never mapped, so the crash
+      // rollback already reverted these units to their durable copies.
+      // The reserved page stays consumed (dead space — crash-induced
+      // write amplification).
+      stale = true;
+      break;
+    }
     if (st == nand::MediaStatus::kOk) break;
     // Program failure: the units are still buffered, so retire the bad
     // block and re-drive the page into a fresh allocation — the fault is
@@ -688,18 +869,191 @@ sim::Task<> ConvDevice::ProgramHostPage(std::vector<std::uint32_t> units) {
     RetireBlock(block_id);
     counters_.program_retries++;
   }
+  if (stale) {
+    for (std::size_t i = 0; i < units.size(); ++i) buffer_slots_.Release();
+    inflight_programs_.Done();
+    co_return;
+  }
   std::uint32_t base = page * profile_.units_per_page();
   for (std::uint32_t i = 0; i < units.size(); ++i) {
     std::uint32_t u = units[i];
     // Map only if this unit is still waiting on this buffered write (the
     // host may have overwritten it again while it sat in the buffer).
     if (l2p_[u] == kInBuffer) {
-      MapUnit(u, PhysUnit(block_id, base + i));
+      std::uint32_t phys = PhysUnit(block_id, base + i);
+      std::uint32_t origin = kUnmapped;
+      if (auto it = buffered_old_.find(u); it != buffered_old_.end()) {
+        origin = it->second;
+        buffered_old_.erase(it);
+      }
+      MapUnit(u, phys);
+      JournalAppend(u, origin, phys);
+      if (auto it = pending_tags_.find(u); it != pending_tags_.end()) {
+        CommitTag(phys, it->second);
+        pending_tags_.erase(it);
+      }
     }
     buffer_slots_.Release();
     counters_.host_units_programmed++;
   }
   inflight_programs_.Done();
+}
+
+// ------------------------------------- mapping journal & crash recovery
+
+void ConvDevice::JournalAppend(std::uint32_t unit, std::uint32_t old_phys,
+                               std::uint32_t new_phys) {
+  journal_tail_.push_back({unit, old_phys, new_phys});
+  if (journal_tail_.size() >= profile_.journal_sync_interval) SyncJournal();
+}
+
+void ConvDevice::SyncJournal() {
+  if (journal_tail_.empty()) return;
+  // Journal programs are charged as write amplification only — they ride
+  // along host/GC programs on otherwise idle planes, so they are not
+  // simulated as NAND occupancy (keeping non-crash timing identical to
+  // the journal-less model this repo's calibration targets were fit on).
+  const std::uint64_t units =
+      (journal_tail_.size() + profile_.journal_entries_per_unit - 1) /
+      profile_.journal_entries_per_unit;
+  counters_.journal_units_written += units;
+  counters_.journal_syncs++;
+  journal_entries_since_checkpoint_ += journal_tail_.size();
+  journal_tail_.clear();
+  if (++journal_syncs_since_checkpoint_ >=
+      profile_.journal_checkpoint_syncs) {
+    counters_.journal_units_written += profile_.checkpoint_units;
+    counters_.checkpoints++;
+    journal_syncs_since_checkpoint_ = 0;
+    journal_entries_since_checkpoint_ = 0;
+  }
+}
+
+void ConvDevice::ForgetBufferedOldInBlock(std::uint32_t block_id) {
+  const std::uint32_t lo = block_id * units_per_block();
+  const std::uint32_t hi = lo + units_per_block();
+  for (auto& [u, phys] : buffered_old_) {
+    if (phys != kUnmapped && phys != kInBuffer && phys >= lo && phys < hi) {
+      // The pre-buffer copy is about to be erased: if power fails before
+      // the buffered rewrite lands, this unit has no durable copy left.
+      phys = kUnmapped;
+    }
+  }
+}
+
+void ConvDevice::CommitTag(std::uint32_t phys_unit, std::uint64_t tag) {
+  if (tags_by_phys_.empty()) tags_by_phys_.assign(p2l_.size(), 0);
+  tags_by_phys_[phys_unit] = tag;
+}
+
+std::uint64_t ConvDevice::TagOfLogical(std::uint32_t logical_unit) const {
+  const std::uint32_t phys = l2p_[logical_unit];
+  if (phys == kUnmapped) return 0;
+  if (phys == kInBuffer) {
+    auto it = pending_tags_.find(logical_unit);
+    return it != pending_tags_.end() ? it->second : 0;
+  }
+  return tags_by_phys_.empty() ? 0 : tags_by_phys_[phys];
+}
+
+sim::Task<> ConvDevice::CrashDriver(std::vector<sim::Time> at) {
+  for (sim::Time t : at) {
+    if (t > sim_.now()) co_await sim_.Delay(t - sim_.now());
+    if (crashed_) continue;  // landed inside the previous outage: coalesce
+    co_await CrashNow();
+  }
+}
+
+sim::Task<> ConvDevice::CrashNow() {
+  ZSTOR_CHECK_MSG(!crashed_, "nested crash");
+  if (!layout_done_) FinalizeLayout();
+  const sim::Time crash_time = sim_.now();
+  crashed_ = true;
+  ++power_epoch_;
+  counters_.crashes++;
+  telemetry::Tracer* tr = trace();
+  if (tr != nullptr) {
+    tr->Instant(crash_time, /*cmd=*/0, Layer::kFtl, "crash.power_loss",
+                static_cast<std::int64_t>(power_epoch_));
+  }
+  // Host programs parked on the free-block semaphore would deadlock the
+  // quiesce below (GC aborts on power loss, so nothing will replenish the
+  // pool): wake them so they can observe the crash and bail out.
+  if (free_sem_ != nullptr) {
+    while (free_sem_->waiting() > 0) free_sem_->Release();
+  }
+  // Drain in-flight page programs in simulated time. The stale power
+  // epoch stops each one from mapping anything; draining (rather than
+  // tearing coroutines down) keeps buffer-slot and block accounting
+  // exact, and the interval is folded into the outage window.
+  co_await inflight_programs_.Wait();
+
+  // --- volatile-state loss ------------------------------------------
+  // 1. Buffered (unflushed) host writes: each kInBuffer unit reverts to
+  //    its last durable pre-write mapping (or to unmapped if GC erased
+  //    that copy while the rewrite sat in the buffer).
+  std::uint64_t lost = 0;
+  for (const auto& [u, origin] : buffered_old_) {
+    if (l2p_[u] != kInBuffer) continue;
+    ++lost;
+    if (origin == kUnmapped) {
+      l2p_[u] = kUnmapped;
+    } else {
+      MapUnit(u, origin);  // re-validates the old physical copy
+    }
+  }
+  buffered_old_.clear();
+  pending_tags_.clear();
+  counters_.crash_lost_units += lost;
+  for (std::size_t i = 0; i < pending_units_.size(); ++i) {
+    buffer_slots_.Release();
+  }
+  pending_units_.clear();
+  // 2. Unsynced journal tail: mapping deltas that never reached flash
+  //    unwind in reverse, restoring the pre-delta chain (this runs after
+  //    the buffered restore so a unit's kInBuffer -> P1 -> P0 history
+  //    unwinds link by link).
+  for (auto it = journal_tail_.rbegin(); it != journal_tail_.rend(); ++it) {
+    ZSTOR_CHECK_MSG(l2p_[it->unit] == it->new_phys,
+                    "journal chain out of order");
+    if (it->new_phys != kUnmapped) {
+      InvalidateUnit(it->unit);  // clears new_phys's valid bit and p2l
+    }
+    if (it->old_phys == kUnmapped) {
+      l2p_[it->unit] = kUnmapped;
+    } else {
+      l2p_[it->unit] = it->old_phys;
+      p2l_[it->old_phys] = it->unit;
+      Block& b = blocks_[it->old_phys / units_per_block()];
+      SetValid(b, it->old_phys % units_per_block(), true);
+      b.valid++;
+    }
+  }
+  counters_.journal_reverted_entries += journal_tail_.size();
+  journal_tail_.clear();
+
+  // --- recovery: boot + replay the synced tail since the checkpoint ---
+  co_await sim_.Delay(profile_.recovery_boot_cost +
+                      profile_.recovery_per_entry *
+                          journal_entries_since_checkpoint_);
+  counters_.recovery_replay_entries += journal_entries_since_checkpoint_;
+  counters_.recoveries++;
+  last_recovery_ns_ = sim_.now() - crash_time;
+  counters_.recovery_ns_total += static_cast<std::uint64_t>(last_recovery_ns_);
+  crashed_ = false;
+  if (tr != nullptr) {
+    tr->Instant(sim_.now(), /*cmd=*/0, Layer::kFtl, "recovery.done",
+                static_cast<std::int64_t>(journal_entries_since_checkpoint_),
+                static_cast<std::int64_t>(lost));
+  }
+  if (telemetry::TimelineWriter* tl = timeline(); tl != nullptr) {
+    tl->Window(crash_time, 0, telem_->timeline_label(), /*lane=*/0,
+               "crash.power_loss", static_cast<std::int64_t>(power_epoch_));
+    tl->Window(crash_time, sim_.now() - crash_time, telem_->timeline_label(),
+               /*lane=*/0, "recovery.replay",
+               static_cast<std::int64_t>(journal_entries_since_checkpoint_),
+               static_cast<std::int64_t>(lost));
+  }
 }
 
 // ----------------------------------------------------------------- debug

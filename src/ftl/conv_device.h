@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "ftl/conv_profile.h"
@@ -49,12 +50,29 @@ struct ConvCounters {
   /// Page programs re-driven into a fresh block after a failure (host
   /// and GC paths; the FTL heals write faults transparently).
   std::uint64_t program_retries = 0;
+  std::uint64_t flushes = 0;
+  // Mapping journal (DESIGN.md §11). Journal/checkpoint programs are
+  // charged as write-amplification units only — metadata programs ride
+  // idle die bandwidth, so non-crash timing is unchanged.
+  std::uint64_t journal_syncs = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t journal_units_written = 0;  // journal + checkpoint units
+  // Power-loss crash/recovery (zero without injected crashes).
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t crash_lost_units = 0;    // buffered units rolled back
+  std::uint64_t journal_reverted_entries = 0;  // unsynced deltas undone
+  std::uint64_t recovery_replay_entries = 0;   // journal tail replayed
+  std::uint64_t recovery_ns_total = 0;
+  std::uint64_t reset_drops = 0;  // commands failed with kDeviceReset
 
-  /// Write amplification: NAND unit programs per host unit write.
+  /// Write amplification: NAND unit programs (host data + GC migration +
+  /// mapping journal/checkpoints) per host unit write.
   double WriteAmplification() const {
     return host_units_programmed == 0
                ? 1.0
-               : 1.0 + static_cast<double>(gc_units_migrated) /
+               : 1.0 + (static_cast<double>(gc_units_migrated) +
+                        static_cast<double>(journal_units_written)) /
                            static_cast<double>(host_units_programmed);
   }
 
@@ -75,11 +93,22 @@ class ConvDevice : public nvme::Controller {
   void AttachTelemetry(telemetry::Telemetry* t);
 
   /// Injects media faults into the NAND backend (non-owning; null
-  /// disables).
+  /// disables) and arms any scheduled power losses (`crash=US`).
   void AttachFaultPlan(fault::FaultPlan* p);
+
+  /// Injects a power loss right now, then runs the modeled recovery.
+  /// Loss semantics (DESIGN.md §11): buffered (un-programmed) host units
+  /// roll back to their pre-write mapping, unsynced journal deltas are
+  /// reverted, in-flight commands complete with kDeviceReset, and the
+  /// recovery replays the journal tail since the last checkpoint —
+  /// recovery time scales with journal_sync_interval.
+  sim::Task<> CrashNow();
 
   const ConvProfile& profile() const { return profile_; }
   const ConvCounters& counters() const { return counters_; }
+  /// Bumped by every power loss; see ZnsDevice::power_epoch().
+  std::uint64_t power_epoch() const { return power_epoch_; }
+  sim::Time last_recovery_ns() const { return last_recovery_ns_; }
   nand::FlashArray& flash() { return *flash_; }
   std::uint32_t free_blocks() const { return free_total_; }
   bool gc_active() const { return gc_running_ > 0; }
@@ -144,14 +173,45 @@ class ConvDevice : public nvme::Controller {
   sim::Task<nvme::Completion> DoRead(nvme::Command cmd);
   sim::Task<nvme::Completion> DoWrite(nvme::Command cmd);
   sim::Task<nvme::Completion> DoDeallocate(nvme::Command cmd);
+  /// Durability barrier: drains the write buffer (padding any partial
+  /// page out to NAND) and force-syncs the mapping journal.
+  sim::Task<nvme::Completion> DoFlush(nvme::Command cmd);
   /// `failed` (nullable) is set when the page read comes back bad — a
   /// fan-out read reports the command-level worst case through it.
   sim::Task<> ReadPhysPage(std::uint64_t page_id, sim::WaitGroup* wg,
                            nand::MediaStatus* failed);
   /// Admits one logical unit into the buffer and schedules programs.
-  sim::Task<> AdmitUnit(std::uint32_t logical_unit);
-  /// Programs one NAND page holding `units` pending logical units.
-  sim::Task<> ProgramHostPage(std::vector<std::uint32_t> units);
+  /// `epoch` is the power epoch of the issuing command; admission after a
+  /// crash is a no-op (the command is failing with kDeviceReset anyway).
+  sim::Task<> AdmitUnit(std::uint32_t logical_unit, std::uint64_t epoch);
+  /// Programs one NAND page holding `units` pending logical units. A
+  /// stale-epoch completion releases its resources without mapping —
+  /// the crash already rolled those units back.
+  sim::Task<> ProgramHostPage(std::vector<std::uint32_t> units,
+                              std::uint64_t epoch);
+
+  // ---- mapping journal & crash path (DESIGN.md §11) -------------------
+  struct JournalEntry {
+    std::uint32_t unit;
+    std::uint32_t old_phys;  // kUnmapped when the unit was fresh
+    std::uint32_t new_phys;  // kUnmapped for a trim
+  };
+  /// Records one L2P delta; auto-syncs every journal_sync_interval.
+  void JournalAppend(std::uint32_t unit, std::uint32_t old_phys,
+                     std::uint32_t new_phys);
+  /// Makes all pending deltas durable, charging journal (and possibly
+  /// checkpoint) write-amplification units.
+  void SyncJournal();
+  /// Drops stale pre-buffer references into a block about to be erased —
+  /// once erased, the old copy cannot back a crash rollback.
+  void ForgetBufferedOldInBlock(std::uint32_t block_id);
+  sim::Task<> CrashDriver(std::vector<sim::Time> at);
+
+  // Payload-tag store (integrity model; tag follows the data: committed
+  // per physical unit at program time, copied by GC, reverted with the
+  // journal). Allocated lazily on the first tagged write.
+  void CommitTag(std::uint32_t phys_unit, std::uint64_t tag);
+  std::uint64_t TagOfLogical(std::uint32_t logical_unit) const;
   /// Pops a free block (suspends while the pool is empty — this is the
   /// host-write stall that produces the Fig. 6a throughput collapses).
   sim::Task<std::uint32_t> AcquireFreeBlock(std::uint32_t preferred_die);
@@ -175,7 +235,7 @@ class ConvDevice : public nvme::Controller {
   sim::Task<> GcProgramPage(
       std::uint32_t block_id, std::uint32_t page,
       std::vector<std::pair<std::uint32_t, std::uint32_t>> batch,
-      sim::WaitGroup* wg);
+      sim::WaitGroup* wg, std::uint64_t epoch);
 
   sim::Time Noise(sim::Time t);
   telemetry::Tracer* trace() const {
@@ -219,6 +279,27 @@ class ConvDevice : public nvme::Controller {
   bool gc_target_active_ = false;
   ConvCounters counters_;
   sim::WaitGroup inflight_programs_;
+
+  // ---- mapping journal & crash state (DESIGN.md §11) ------------------
+  /// Unsynced L2P deltas: reverted (in reverse) by a power loss, made
+  /// durable by SyncJournal. A GC erase force-syncs first, so no entry
+  /// here ever references an erased block.
+  std::vector<JournalEntry> journal_tail_;
+  /// Synced entries since the last checkpoint — the recovery replay tail.
+  std::uint64_t journal_entries_since_checkpoint_ = 0;
+  std::uint32_t journal_syncs_since_checkpoint_ = 0;
+  /// Pre-write mapping of every unit currently in the volatile buffer
+  /// (l2p == kInBuffer): what a power loss rolls the unit back to.
+  std::unordered_map<std::uint32_t, std::uint32_t> buffered_old_;
+  /// Payload tags for buffered units, keyed by logical unit.
+  std::unordered_map<std::uint32_t, std::uint64_t> pending_tags_;
+  /// Payload tags by physical unit; empty until the first tagged write.
+  std::vector<std::uint64_t> tags_by_phys_;
+  fault::FaultPlan* faults_ = nullptr;
+  bool crash_driver_armed_ = false;
+  bool crashed_ = false;
+  std::uint64_t power_epoch_ = 0;
+  sim::Time last_recovery_ns_ = 0;
 };
 
 }  // namespace zstor::ftl

@@ -64,6 +64,28 @@ struct ConvProfile {
   std::uint32_t gc_high_blocks = 240;
   std::uint32_t gc_workers = 24;
 
+  /// Mapping-journal sync interval (DESIGN.md §11): volatile L2P deltas
+  /// are buffered and flushed to flash every this many entries. Small
+  /// values shrink the power-loss data-loss window and the recovery
+  /// replay tail at the price of extra journal programs (write
+  /// amplification); large values do the opposite. A GC block erase
+  /// always forces a sync first — unsynced entries must never reference
+  /// an erased block.
+  std::uint32_t journal_sync_interval = 1024;
+  /// Journal entries that fit one flash-programmed journal unit; each
+  /// sync charges ceil(pending/entries) units of journal WA.
+  std::uint32_t journal_entries_per_unit = 256;
+  /// A full mapping-table checkpoint is written every this many journal
+  /// syncs; recovery replays only the journal tail since the last
+  /// checkpoint. Each checkpoint charges `checkpoint_units` of WA.
+  std::uint32_t journal_checkpoint_syncs = 32;
+  std::uint32_t checkpoint_units = 32;
+  /// Fixed controller-boot cost after a power loss, before journal replay.
+  sim::Time recovery_boot_cost = sim::Milliseconds(2.0);
+  /// Replay cost per journal-tail entry (mapping rebuild is a metadata
+  /// walk in controller SRAM fed by sequential journal reads).
+  sim::Time recovery_per_entry = sim::Nanoseconds(250);
+
   std::uint64_t seed = 0xC0DE'2023'5E40'0001ull;
 
   std::uint64_t physical_bytes() const {

@@ -41,6 +41,13 @@ zns::ZnsCounters SumCounters(const std::vector<zns::ZnsDevice*>& devs) {
     t.zones_failed_offline += c.zones_failed_offline;
     t.spare_blocks_used += c.spare_blocks_used;
     t.zone_transitions += c.zone_transitions;
+    t.crashes += c.crashes;
+    t.recoveries += c.recoveries;
+    t.torn_pages += c.torn_pages;
+    t.crash_lost_bytes += c.crash_lost_bytes;
+    t.recovery_zone_scans += c.recovery_zone_scans;
+    t.recovery_ns_total += c.recovery_ns_total;
+    t.reset_drops += c.reset_drops;
   }
   return t;
 }
@@ -59,6 +66,8 @@ nand::FlashCounters SumFlashCounters(const std::vector<zns::ZnsDevice*>& devs) {
     t.read_errors += c.read_errors;
     t.program_failures += c.program_failures;
     t.blocks_retired += c.blocks_retired;
+    t.recovery_probes += c.recovery_probes;
+    t.crash_discarded_pages += c.crash_discarded_pages;
   }
   return t;
 }

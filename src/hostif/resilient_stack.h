@@ -20,6 +20,17 @@
 //     either); its eventual completion is dropped, and the retry can
 //     therefore duplicate device work — exactly the hazard real timeout
 //     handling has.
+//   * controller-reset replay (DESIGN.md §11) — kDeviceReset means a
+//     power loss interrupted the command and the device recovered with
+//     some prefix of its effects durable. For zone appends the blind
+//     re-issue would be wrong twice over: if the append actually landed
+//     before the cut, retrying duplicates it. The stack therefore keeps a
+//     per-zone expected-write-pointer cache (valid under the one
+//     in-flight-append-per-zone discipline zobj and the bench harness
+//     follow) and, before retrying, re-reads the zone's recovered write
+//     pointer: if it already advanced past the append, the attempt is
+//     settled as a success at the remembered LBA (`replayed_dupes`)
+//     instead of being re-driven.
 //
 // All attempts share one trace id, so a traced command shows its full
 // retry history: per-failed-attempt "host.retry" spans, "host.timeout"
@@ -31,6 +42,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <unordered_map>
 
 #include "hostif/stack.h"
 #include "nvme/queue_pair.h"
@@ -73,6 +86,7 @@ constexpr ErrorClass Classify(nvme::Status s) {
     case nvme::Status::kMediaReadError:
     case nvme::Status::kInternalError:
     case nvme::Status::kHostTimeout:
+    case nvme::Status::kDeviceReset:  // power-loss outage: device comes back
       return ErrorClass::kRetryable;
     default:
       return ErrorClass::kTerminal;
@@ -87,6 +101,8 @@ struct ResilienceStats {
   std::uint64_t recovered = 0;        // commands that failed, then succeeded
   std::uint64_t terminal_errors = 0;  // gave up: terminal status
   std::uint64_t retries_exhausted = 0;  // gave up: attempt budget spent
+  std::uint64_t device_resets_seen = 0;  // kDeviceReset completions observed
+  std::uint64_t replayed_dupes = 0;   // appends settled by wp re-validation
 
   /// Exports every counter into the registry under the "hostif." prefix
   /// (the shared Describe protocol; see telemetry/metrics.h).
@@ -98,6 +114,8 @@ struct ResilienceStats {
     m.GetCounter("hostif.recovered").Set(recovered);
     m.GetCounter("hostif.terminal_errors").Set(terminal_errors);
     m.GetCounter("hostif.retries_exhausted").Set(retries_exhausted);
+    m.GetCounter("hostif.device_resets_seen").Set(device_resets_seen);
+    m.GetCounter("hostif.replayed_dupes").Set(replayed_dupes);
   }
 };
 
@@ -174,6 +192,31 @@ class ResilientStack : public Stack {
         stats_.terminal_errors++;
         break;
       }
+      if (tc.completion.status == nvme::Status::kDeviceReset) {
+        stats_.device_resets_seen++;
+        if (tr != nullptr) {
+          tr->Instant(sim_.now(), cmd.trace_id, telemetry::Layer::kHost,
+                      "host.reset", static_cast<std::int64_t>(attempt));
+        }
+        if (cmd.opcode == nvme::Opcode::kAppend) {
+          std::optional<nvme::Lba> landed = co_await TryAppendReplay(cmd);
+          if (landed.has_value()) {
+            // The lost append is already durable at the expected LBA:
+            // settle it instead of re-driving a duplicate.
+            stats_.replayed_dupes++;
+            stats_.recovered++;
+            tc.completion.status = nvme::Status::kSuccess;
+            tc.completion.result_lba = *landed;
+            if (tr != nullptr) {
+              tr->Instant(sim_.now(), cmd.trace_id, telemetry::Layer::kHost,
+                          "host.replay_dupe",
+                          static_cast<std::int64_t>(*landed),
+                          static_cast<std::int64_t>(cmd.nlb));
+            }
+            break;
+          }
+        }
+      }
       if (attempt >= policy_.max_attempts) {
         stats_.retries_exhausted++;
         break;
@@ -201,6 +244,7 @@ class ResilientStack : public Stack {
                   static_cast<std::int64_t>(tc.completion.status),
                   static_cast<std::int64_t>(attempt));
     }
+    if (tc.completion.ok()) NoteSuccess(cmd, tc.completion);
     // The caller-observed window covers every attempt and backoff.
     tc.trace_id = cmd.trace_id;
     tc.submitted = start;
@@ -242,10 +286,62 @@ class ResilientStack : public Stack {
     co_return out;
   }
 
+  /// Keeps the per-zone expected write pointer current. Appends teach it
+  /// the next landing LBA; resets re-seed it at the zone start; finishes
+  /// drop it (a finished zone takes no appends to dedupe).
+  void NoteSuccess(const nvme::Command& cmd, const nvme::Completion& c) {
+    const nvme::NamespaceInfo& ni = inner_.info();
+    if (!ni.zoned || ni.zone_size_lbas == 0) return;
+    if (cmd.opcode == nvme::Opcode::kAppend) {
+      zone_wp_cache_[cmd.slba / ni.zone_size_lbas] =
+          c.result_lba + cmd.nlb;
+    } else if (cmd.opcode == nvme::Opcode::kZoneMgmtSend) {
+      if (cmd.select_all) {
+        zone_wp_cache_.clear();
+      } else if (cmd.zone_action == nvme::ZoneAction::kReset) {
+        zone_wp_cache_[cmd.slba / ni.zone_size_lbas] = cmd.slba;
+      } else if (cmd.zone_action == nvme::ZoneAction::kFinish) {
+        zone_wp_cache_.erase(cmd.slba / ni.zone_size_lbas);
+      }
+    }
+  }
+
+  /// After a kDeviceReset on an append: asks the recovered device for the
+  /// zone's write pointer. Returns the landing LBA if the lost append is
+  /// provably durable (wp advanced exactly past it), nullopt otherwise.
+  /// Sound only while the caller keeps at most one append in flight per
+  /// zone — the discipline zobj and the crash benches follow.
+  sim::Task<std::optional<nvme::Lba>> TryAppendReplay(nvme::Command cmd) {
+    const nvme::NamespaceInfo& ni = inner_.info();
+    if (!ni.zoned || ni.zone_size_lbas == 0) co_return std::nullopt;
+    auto it = zone_wp_cache_.find(cmd.slba / ni.zone_size_lbas);
+    if (it == zone_wp_cache_.end()) co_return std::nullopt;
+    const nvme::Lba expect = it->second;
+    nvme::Command q;
+    q.opcode = nvme::Opcode::kZoneMgmtRecv;
+    q.slba = cmd.slba;
+    q.report_max = 1;
+    q.trace_id = cmd.trace_id;
+    for (std::uint32_t i = 0; i < policy_.max_attempts; ++i) {
+      nvme::TimedCompletion rtc = co_await inner_.Submit(q);
+      if (rtc.completion.ok() && !rtc.completion.report.empty()) {
+        const nvme::Lba wp = rtc.completion.report[0].write_pointer;
+        it->second = wp;  // resync to the recovered truth
+        if (wp == expect + cmd.nlb) co_return expect;
+        co_return std::nullopt;  // lost (or torn): safe to re-drive
+      }
+      if (Classify(rtc.completion.status) == ErrorClass::kTerminal) break;
+      if (policy_.backoff > 0) co_await sim_.Delay(policy_.backoff);
+    }
+    co_return std::nullopt;
+  }
+
   sim::Simulator& sim_;
   Stack& inner_;
   RetryPolicy policy_;
   ResilienceStats stats_;
+  /// Zone index -> expected write pointer after the last settled append.
+  std::unordered_map<std::uint64_t, nvme::Lba> zone_wp_cache_;
 };
 
 }  // namespace zstor::hostif

@@ -14,6 +14,8 @@ void FlashCounters::Describe(telemetry::MetricsRegistry& m) const {
   m.GetCounter("nand.read_errors").Set(read_errors);
   m.GetCounter("nand.program_failures").Set(program_failures);
   m.GetCounter("nand.blocks_retired").Set(blocks_retired);
+  m.GetCounter("nand.recovery_probes").Set(recovery_probes);
+  m.GetCounter("nand.crash_discarded_pages").Set(crash_discarded_pages);
 }
 
 FlashArray::FlashArray(sim::Simulator& s, const Geometry& geo,
@@ -203,6 +205,35 @@ sim::Task<MediaStatus> FlashArray::ProgramPage(PageAddr addr) {
   counters_.page_programs++;
   counters_.bytes_programmed += geo_.page_bytes;
   co_return MediaStatus::kOk;
+}
+
+sim::Task<bool> FlashArray::ProbePage(PageAddr addr) {
+  ZSTOR_CHECK(addr.page < geo_.pages_per_block);
+  sim::Time t0 = sim_.now();
+  {
+    auto die = co_await dies_[addr.die]->Acquire();
+    sim::Time svc_begin = sim_.now();
+    co_await sim_.Delay(timing_.read_page);
+    die_stats_[addr.die].reads++;
+    die_stats_[addr.die].busy_ns += timing_.read_page;
+    NoteDieService(addr.die, svc_begin, sim_.now());
+  }
+  if (telemetry::Tracer* tr = trace(); tr != nullptr) {
+    tr->Span(t0, sim_.now(), /*cmd=*/0, Layer::kNand, "die.probe",
+             static_cast<std::int64_t>(addr.die),
+             static_cast<std::int64_t>(addr.page));
+  }
+  counters_.recovery_probes++;
+  co_return addr.page < Block(addr.die, addr.block).write_ptr;
+}
+
+void FlashArray::CrashDiscardTail(std::uint32_t die, std::uint32_t block,
+                                  std::uint32_t new_write_ptr) {
+  BlockState& blk = Block(die, block);
+  if (blk.retired) return;
+  if (new_write_ptr >= blk.write_ptr) return;
+  counters_.crash_discarded_pages += blk.write_ptr - new_write_ptr;
+  blk.write_ptr = new_write_ptr;
 }
 
 sim::Task<> FlashArray::EraseBlock(std::uint32_t die, std::uint32_t block) {

@@ -45,6 +45,9 @@ struct FlashCounters {
   std::uint64_t read_errors = 0;        // uncorrectable reads surfaced
   std::uint64_t program_failures = 0;   // failed page programs
   std::uint64_t blocks_retired = 0;     // blocks taken out of service
+  // Crash/recovery activity (zero unless a power loss was injected).
+  std::uint64_t recovery_probes = 0;    // ProbePage scans
+  std::uint64_t crash_discarded_pages = 0;  // tail pages dropped at boot
 
   /// Exports every counter into the registry under the "nand." prefix
   /// (the shared Describe protocol; see telemetry/metrics.h).
@@ -102,6 +105,22 @@ class FlashArray {
 
   /// Erases a block: die busy for tBERS; resets the block write pointer.
   sim::Task<> EraseBlock(std::uint32_t die, std::uint32_t block);
+
+  /// Recovery probe: senses whether `addr` holds programmed data, costing
+  /// a full tR of die time (no channel transfer — the controller only
+  /// inspects the ECC/meta region). Unlike ReadPage it is legal on
+  /// unprogrammed pages; write-pointer rediscovery scans after a power
+  /// loss are built from these. Returns true if the page is programmed.
+  sim::Task<bool> ProbePage(PageAddr addr);
+
+  /// Power-loss tail discard: drops pages [new_write_ptr, write_ptr) of a
+  /// block — programs that were in flight (or torn) when power cut and
+  /// that the controller's recovery scan refuses to trust. Models the
+  /// controller remapping the partially-programmed word lines away; no
+  /// die time, no P/E cycle. Never raises the write pointer; no-op on
+  /// retired blocks.
+  void CrashDiscardTail(std::uint32_t die, std::uint32_t block,
+                        std::uint32_t new_write_ptr);
 
   /// Marks pages [0, upto_page) of a block as programmed without simulating
   /// the programs (no virtual time, no counters). Test/bench acceleration

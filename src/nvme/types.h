@@ -56,11 +56,17 @@ enum class Status : std::uint8_t {
   /// per-attempt timeout. Never produced by a device — synthesized by
   /// hostif::ResilientStack, and classified as retryable.
   kHostTimeout,
+  /// The controller lost power (or is rebooting/recovering from a power
+  /// loss): the command was dropped without executing, or its completion
+  /// was lost in the crash. Retryable — the host re-drives the command
+  /// once the controller is back (idempotency is the host's problem; see
+  /// hostif::ResilientStack's append replay validation).
+  kDeviceReset,
 };
 
 /// The highest Status enumerator. Tests iterate [0, kMaxStatus] to assert
 /// ToString covers every value — keep in sync when extending the enum.
-inline constexpr Status kMaxStatus = Status::kHostTimeout;
+inline constexpr Status kMaxStatus = Status::kDeviceReset;
 
 constexpr std::string_view ToString(Status s) {
   switch (s) {
@@ -83,6 +89,7 @@ constexpr std::string_view ToString(Status s) {
     case Status::kWriteFault: return "WriteFault";
     case Status::kInternalError: return "InternalError";
     case Status::kHostTimeout: return "HostTimeout";
+    case Status::kDeviceReset: return "DeviceReset";
   }
   return "Unknown";
 }
@@ -133,6 +140,15 @@ struct Command {
   /// trace spans. 0 = unassigned; the queue pair assigns one on issue if
   /// the host stack hasn't already (telemetry::Tracer::NextCmdId()).
   std::uint64_t trace_id = 0;
+  /// End-to-end data-integrity tag (0 = untagged, the default: zero
+  /// overhead). On writes/appends, LBA i of the command stores tag
+  /// `payload_tag + i` — self-describing, so append callers that learn
+  /// their LBA only from the completion can still reconstruct what each
+  /// block must hold. On reads, any nonzero value requests tag readback
+  /// via Completion::payload_tags. The tag stands in for the payload the
+  /// simulator does not carry; crash/recovery tests verify that recovered
+  /// devices return exactly the tags that were durably written.
+  std::uint64_t payload_tag = 0;
 };
 
 /// One entry of a zone report (Zone Management Receive).
@@ -151,6 +167,10 @@ struct Completion {
   /// For zone management receive: the returned zone descriptors (stands
   /// in for the report buffer DMA'd to the host).
   std::vector<ZoneDescriptor> report;
+  /// For reads issued with a nonzero Command::payload_tag: the stored tag
+  /// of every LBA in the range (0 for never-written/discarded blocks).
+  /// Empty unless tag readback was requested.
+  std::vector<std::uint64_t> payload_tags;
 
   bool ok() const { return status == Status::kSuccess; }
 };

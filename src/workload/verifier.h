@@ -1,0 +1,144 @@
+// IntegrityVerifier: end-to-end data-integrity checking for crash
+// experiments (DESIGN.md §11).
+//
+// The simulator carries no payload bytes, so integrity rides on the
+// payload-tag channel (nvme::Command::payload_tag): every write/append
+// stamps each of its LBAs with a unique, self-describing tag, and a
+// readback with a nonzero tag requests the stored tags back. The
+// verifier keeps a host-side ledger of what each LBA must hold and — in
+// particular after a power-loss crash and device recovery — re-reads
+// everything and classifies each LBA:
+//
+//   exact            the newest acknowledged write survived;
+//   lost (tag 0)     an unflushed write the crash legitimately dropped;
+//   stale            an unflushed overwrite rolled back to an older
+//                    acknowledged version (conv journal revert);
+//   SILENT CORRUPTION anything else — including any mismatch on an LBA
+//                    that a successful flush made durable. This is the
+//                    failure the crash tests exist to catch.
+//
+// Durability model: a write acknowledgment alone promises nothing across
+// power loss (both device models buffer write-back). A successful flush
+// promises durability for every write acknowledged before it — unless a
+// crash happened in between, which is why the verifier samples the
+// optional `crash_epoch` probe at write- and flush-completion time and
+// only upgrades entries whose epoch did not change.
+//
+// Determinism: all randomness comes from sim::Rng seeded by the caller;
+// two runs with the same seed and fault plan produce identical ledgers
+// and identical reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "hostif/stack.h"
+#include "nvme/types.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace zstor::workload {
+
+class IntegrityVerifier {
+ public:
+  struct Options {
+    /// Blocks per write/append/read command. For ZNS keep this a multiple
+    /// of the NAND page (page_bytes / lba_bytes): the device's durable
+    /// prefix is page-granular, so sub-page flushed tails would be
+    /// misreported as corruption.
+    std::uint32_t lbas_per_io = 4;
+    /// Concurrent worker coroutines per phase. Workers own disjoint LBA
+    /// slices (conventional) / zone subsets (zoned), preserving the
+    /// single-writer discipline the ledger and append-replay need.
+    std::uint32_t concurrency = 4;
+    /// Seed for all verifier randomness (overwrite offsets).
+    std::uint64_t seed = 0x5EED'0F'1E55ull;
+    /// Returns the device's crash count (or power epoch). Sampled at
+    /// write- and flush-completion; a flush only certifies entries whose
+    /// sample matches. Leave unset when no crashes are injected.
+    std::function<std::uint64_t()> crash_epoch;
+  };
+
+  struct Report {
+    std::uint64_t lbas_checked = 0;
+    std::uint64_t bytes_verified = 0;    // bytes re-read and compared
+    std::uint64_t exact = 0;             // newest acknowledged tag
+    std::uint64_t lost_unflushed = 0;    // tag 0, write never flushed
+    std::uint64_t stale_unflushed = 0;   // older acknowledged, unflushed
+    std::uint64_t silent_corruptions = 0;
+    std::uint64_t read_errors = 0;       // reads that failed outright
+    bool ok() const { return silent_corruptions == 0 && read_errors == 0; }
+  };
+
+  struct WriteStats {
+    std::uint64_t writes_acked = 0;
+    std::uint64_t write_failures = 0;   // surfaced errors (budget spent)
+    std::uint64_t flushes_acked = 0;
+    std::uint64_t flush_failures = 0;
+  };
+
+  IntegrityVerifier(sim::Simulator& s, hostif::Stack& stack, Options opt);
+
+  /// Zoned phase: appends into zones [first_zone, first_zone+count) until
+  /// each holds `utilization` of its capacity. Workers rotate through
+  /// disjoint zone subsets with at most one append in flight per zone.
+  sim::Task<> FillZones(std::uint32_t first_zone, std::uint32_t zone_count,
+                        double utilization);
+
+  /// Conventional phase: `io_count` writes at random io-aligned offsets
+  /// inside [first_lba, first_lba + lba_span), each worker in its own
+  /// slice. Overwrites arise naturally once a slice has been covered.
+  sim::Task<> WriteRegion(nvme::Lba first_lba, std::uint64_t lba_span,
+                          std::uint64_t io_count);
+
+  /// Issues a device flush; on success upgrades every ledger entry whose
+  /// write completed in the same crash epoch to "durable".
+  sim::Task<bool> Flush();
+
+  /// Re-reads every ledger entry and classifies it (see file comment).
+  sim::Task<Report> VerifyAll();
+
+  const WriteStats& write_stats() const { return wstats_; }
+  std::size_t ledger_size() const { return ledger_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t expected = 0;   // newest acknowledged tag
+    /// Older acknowledged tags a crash may legally roll back to (cleared
+    /// when a flush certifies `expected`).
+    std::vector<std::uint64_t> history;
+    bool flushed = false;
+    std::uint64_t epoch = 0;      // crash_epoch() at acknowledgment
+  };
+
+  std::uint64_t Epoch() const {
+    return opt_.crash_epoch ? opt_.crash_epoch() : 0;
+  }
+  std::uint64_t TakeTagBase(std::uint32_t nlb) {
+    std::uint64_t t = next_tag_;
+    next_tag_ += nlb;
+    return t;
+  }
+  void RecordWrite(nvme::Lba lba, std::uint32_t nlb, std::uint64_t tag_base);
+  // Phase workers (spawned; they signal `wg` when done — free coroutine
+  // frames own their parameters, per the capture rules in DESIGN.md).
+  sim::Task<> FillWorker(std::vector<std::uint32_t> zones,
+                         std::uint64_t bytes_per_zone, sim::WaitGroup* wg);
+  sim::Task<> WriteWorker(nvme::Lba slice_first, std::uint64_t slice_ios,
+                          std::uint64_t io_count, std::uint64_t seed,
+                          sim::WaitGroup* wg);
+
+  sim::Simulator& sim_;
+  hostif::Stack& stack_;
+  Options opt_;
+  std::uint32_t lba_bytes_;
+  std::uint64_t next_tag_ = 1;  // 0 means "untagged" on the wire
+  /// Ordered so VerifyAll coalesces contiguous LBAs into ranged reads.
+  std::map<nvme::Lba, Entry> ledger_;
+  WriteStats wstats_;
+};
+
+}  // namespace zstor::workload

@@ -154,6 +154,16 @@ struct ZnsProfile {
   sim::Time report_fixed = sim::Microseconds(6.0);
   sim::Time report_per_zone = sim::Nanoseconds(45);
 
+  // ---- power-loss recovery (DESIGN.md §11) ----------------------------
+  /// Fixed controller-boot cost after a power loss (firmware reload,
+  /// metadata superblock read) before zone scanning starts.
+  sim::Time recovery_boot_cost = sim::Milliseconds(2.0);
+  /// Per-zone metadata inspection during recovery — charged for every
+  /// zone; zones whose durable metadata already pins the write pointer
+  /// (Empty, Full, Offline) cost only this, active zones additionally
+  /// pay a binary-search ProbePage scan on the NAND array.
+  sim::Time recovery_per_zone = sim::Microseconds(2.0);
+
   // ---- derived --------------------------------------------------------
   std::uint64_t stripe_unit_bytes() const {
     return nand_geometry.page_bytes;

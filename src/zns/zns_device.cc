@@ -38,6 +38,13 @@ void ZnsCounters::Describe(telemetry::MetricsRegistry& m) const {
   m.GetCounter("zns.zones_failed_offline").Set(zones_failed_offline);
   m.GetCounter("zns.spare_blocks_used").Set(spare_blocks_used);
   m.GetCounter("zns.zone_transitions").Set(zone_transitions);
+  m.GetCounter("zns.crashes").Set(crashes);
+  m.GetCounter("zns.recoveries").Set(recoveries);
+  m.GetCounter("zns.torn_pages").Set(torn_pages);
+  m.GetCounter("zns.crash_lost_bytes").Set(crash_lost_bytes);
+  m.GetCounter("zns.recovery_zone_scans").Set(recovery_zone_scans);
+  m.GetCounter("zns.recovery_ns_total").Set(recovery_ns_total);
+  m.GetCounter("zns.reset_drops").Set(reset_drops);
 }
 
 ZnsDevice::ZnsDevice(sim::Simulator& s, ZnsProfile profile,
@@ -77,6 +84,9 @@ ZnsDevice::ZnsDevice(sim::Simulator& s, ZnsProfile profile,
 
   zones_.resize(profile_.num_zones);
   next_program_page_.resize(profile_.num_zones, 0);
+  settled_prefix_pages_.resize(profile_.num_zones, 0);
+  settled_oo_pages_.resize(profile_.num_zones);
+  zone_tags_.resize(profile_.num_zones);
   program_wg_.reserve(profile_.num_zones);
   for (std::uint32_t i = 0; i < profile_.num_zones; ++i) {
     program_wg_.push_back(std::make_unique<sim::WaitGroup>(s));
@@ -99,7 +109,13 @@ void ZnsDevice::AttachTelemetry(telemetry::Telemetry* t, std::uint32_t lane) {
 }
 
 void ZnsDevice::AttachFaultPlan(fault::FaultPlan* p) {
+  faults_ = p;
   if (flash_) flash_->AttachFaultPlan(p);
+  if (p != nullptr && p->enabled() && !p->spec().crashes.empty() &&
+      !crash_driver_armed_) {
+    crash_driver_armed_ = true;
+    sim::Spawn(CrashDriver(p->spec().crashes));
+  }
 }
 
 // ---------------------------------------------------------------- helpers
@@ -397,20 +413,47 @@ void ZnsDevice::TransitionToFullLocked(std::uint32_t zone, bool via_finish) {
 // ------------------------------------------------------------- NAND path
 
 sim::Task<> ZnsDevice::ProgramZonePage(std::uint32_t zone,
-                                       std::uint64_t page_idx) {
+                                       std::uint64_t page_idx,
+                                       std::uint64_t epoch) {
   const nand::PageAddr addr = AddrOfZonePage(zone, page_idx);
   const nand::MediaStatus st = co_await flash_->ProgramPage(addr);
   buffer_slots_.Release();
   Zone& z = zones_[zone];
-  // The page slot is consumed even on failure (the write pointer already
-  // advanced and follow-on pages were admitted behind it); the data loss
-  // is reported to the host via kWriteFault, not by shrinking the zone.
-  z.programmed_bytes += profile_.nand_geometry.page_bytes;
-  if (st == nand::MediaStatus::kProgramFail) HandleProgramFailure(zone, addr);
+  if (epoch == power_epoch_) {
+    // The page slot is consumed even on failure (the write pointer already
+    // advanced and follow-on pages were admitted behind it); the data loss
+    // is reported to the host via kWriteFault, not by shrinking the zone.
+    z.programmed_bytes += profile_.nand_geometry.page_bytes;
+    NoteProgramSettled(zone, page_idx);
+    if (st == nand::MediaStatus::kProgramFail) {
+      HandleProgramFailure(zone, addr);
+    }
+  }
+  // A program settling after a power loss (stale epoch) only returns its
+  // resources: the crash already rolled the zone back and will discard
+  // this page's NAND state, so mutating zone accounting here would
+  // resurrect rolled-back bytes.
   ZSTOR_CHECK(z.inflight_programs > 0);
   z.inflight_programs--;
   program_wg_[zone]->Done();
   all_programs_.Done();
+}
+
+void ZnsDevice::NoteProgramSettled(std::uint32_t zone,
+                                   std::uint64_t page_idx) {
+  std::uint64_t& prefix = settled_prefix_pages_[zone];
+  std::set<std::uint64_t>& oo = settled_oo_pages_[zone];
+  if (page_idx == prefix) {
+    ++prefix;
+    // Drain any out-of-order completions the new prefix now reaches.
+    while (!oo.empty() && *oo.begin() == prefix) {
+      oo.erase(oo.begin());
+      ++prefix;
+    }
+  } else if (page_idx > prefix) {
+    oo.insert(page_idx);
+  }
+  // page_idx < prefix is impossible: pages are admitted once, in order.
 }
 
 void ZnsDevice::HandleProgramFailure(std::uint32_t zone,
@@ -441,16 +484,24 @@ void ZnsDevice::HandleProgramFailure(std::uint32_t zone,
 }
 
 sim::Task<> ZnsDevice::AdmitPrograms(std::uint32_t zone,
-                                     std::uint64_t end_off_bytes) {
+                                     std::uint64_t end_off_bytes,
+                                     std::uint64_t epoch) {
   const std::uint64_t target =
       end_off_bytes / profile_.nand_geometry.page_bytes;
-  while (next_program_page_[zone] < target) {
+  while (epoch == power_epoch_ && next_program_page_[zone] < target) {
     co_await buffer_slots_.Acquire();  // backpressure when the buffer fills
+    if (epoch != power_epoch_) {
+      // Power was lost while we waited for a slot: the crash rolled
+      // next_program_page_ back, the buffered data is gone, and the slot
+      // we just got must go straight back.
+      buffer_slots_.Release();
+      break;
+    }
     std::uint64_t p = next_program_page_[zone]++;
     zones_[zone].inflight_programs++;
     program_wg_[zone]->Add();
     all_programs_.Add();
-    sim::Spawn(ProgramZonePage(zone, p));
+    sim::Spawn(ProgramZonePage(zone, p, epoch));
   }
 }
 
@@ -489,6 +540,14 @@ nvme::Status ZnsDevice::ValidateIoRange(const Command& cmd,
 
 sim::Task<Completion> ZnsDevice::Execute(const Command& cmd) {
   Completion c;
+  if (crashed_) {
+    // Power is out (or recovery is still running): fail fast. The host
+    // sees the controller disappear and — via ResilientStack — re-drives
+    // once it answers again.
+    counters_.reset_drops++;
+    c.status = Status::kDeviceReset;
+    co_return c;
+  }
   switch (cmd.opcode) {
     case Opcode::kRead:
       c = co_await DoRead(cmd);
@@ -513,7 +572,9 @@ sim::Task<Completion> ZnsDevice::Execute(const Command& cmd) {
       break;
   }
   if (!c.ok()) {
-    if (nvme::IsMediaError(c.status)) {
+    if (c.status == Status::kDeviceReset) {
+      counters_.reset_drops++;  // lost to a power cut mid-flight
+    } else if (nvme::IsMediaError(c.status)) {
       counters_.media_errors++;
     } else {
       counters_.host_rejects++;
@@ -535,6 +596,7 @@ sim::Task<Completion> ZnsDevice::DoRead(Command cmd) {
     co_return Completion{.status = Status::kZoneIsOffline};
   }
   InflightGuard io_guard(*this);
+  const std::uint64_t epoch0 = power_epoch_;
   telemetry::Tracer* tr = trace();
   sim::Time t0 = sim_.now();
   {
@@ -551,6 +613,9 @@ sim::Task<Completion> ZnsDevice::DoRead(Command cmd) {
                static_cast<std::int64_t>(zone),
                static_cast<std::int64_t>(bytes));
     }
+  }
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
   }
   sim::Time nand_begin = sim_.now();
   // NAND phase: fetch the pages that have actually been programmed; the
@@ -582,6 +647,9 @@ sim::Task<Completion> ZnsDevice::DoRead(Command cmd) {
       }
     }
   }
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
+  }
   sim::Time post_begin = sim_.now();
   if (tr != nullptr && flash_) {
     // Zero-length when everything was served from the write-back buffer.
@@ -601,9 +669,20 @@ sim::Task<Completion> ZnsDevice::DoRead(Command cmd) {
     tr->Span(post_begin, sim_.now(), cmd.trace_id, Layer::kPost, "post",
              static_cast<std::int64_t>(bytes));
   }
+  if (power_epoch_ != epoch0) {
+    // Power cut during the host DMA: the transfer is torn; fail the read.
+    co_return Completion{.status = Status::kDeviceReset};
+  }
   counters_.reads++;
   counters_.bytes_read += bytes;
-  co_return Completion{.status = Status::kSuccess};
+  Completion c{.status = Status::kSuccess};
+  if (cmd.payload_tag != 0) {
+    // Integrity-check readback: report what the medium actually holds at
+    // completion time (LBAs never written — or rolled back by a crash —
+    // read as tag 0).
+    LoadTags(zone, ZoneDataOffsetBytes(cmd.slba), cmd.nlb, c.payload_tags);
+  }
+  co_return c;
 }
 
 sim::Task<Completion> ZnsDevice::DoWrite(Command cmd) {
@@ -615,6 +694,7 @@ sim::Task<Completion> ZnsDevice::DoWrite(Command cmd) {
       static_cast<std::uint64_t>(cmd.nlb) * lba_bytes_;
   const std::uint32_t zone = ZoneOfLba(cmd.slba);
   InflightGuard io_guard(*this);
+  const std::uint64_t epoch0 = power_epoch_;
   telemetry::Tracer* tr = trace();
   bool first_io = false;
   std::uint64_t end_off;
@@ -633,6 +713,11 @@ sim::Task<Completion> ZnsDevice::DoWrite(Command cmd) {
                static_cast<std::int64_t>(zone),
                static_cast<std::int64_t>(bytes));
     }
+    if (power_epoch_ != epoch0) {
+      // Power cut before the command reached the zone state machine:
+      // nothing of it survives, not even buffered bytes.
+      co_return Completion{.status = Status::kDeviceReset};
+    }
     Zone& z = zones_[zone];
     if (z.write_fault_pending) {
       // Report the earlier program failure once; subsequent writes see
@@ -648,8 +733,10 @@ sim::Task<Completion> ZnsDevice::DoWrite(Command cmd) {
         st != Status::kSuccess) {
       co_return Completion{.status = st};
     }
+    std::uint64_t off = z.wp_bytes;
     z.wp_bytes += bytes;
     end_off = z.wp_bytes;
+    if (cmd.payload_tag != 0) StoreTags(zone, off, cmd.nlb, cmd.payload_tag);
     if (z.wp_bytes == profile_.zone_cap_bytes) {
       TransitionToFullLocked(zone, /*via_finish=*/false);
     }
@@ -665,8 +752,13 @@ sim::Task<Completion> ZnsDevice::DoWrite(Command cmd) {
     tr->Span(post_begin, admit_begin, cmd.trace_id, Layer::kPost, "post",
              static_cast<std::int64_t>(bytes), first_io ? 1 : 0);
   }
+  if (power_epoch_ != epoch0) {
+    // Power cut after the wp advanced but before the ack: the crash
+    // rolled the zone back; the host must treat the write as not-done.
+    co_return Completion{.status = Status::kDeviceReset};
+  }
   if (flash_) {
-    co_await AdmitPrograms(zone, end_off);
+    co_await AdmitPrograms(zone, end_off, epoch0);
   } else {
     zones_[zone].programmed_bytes = end_off;
   }
@@ -675,6 +767,9 @@ sim::Task<Completion> ZnsDevice::DoWrite(Command cmd) {
     // to wait for the NAND drain (the Obs. 9 throttling mechanism).
     tr->Span(admit_begin, sim_.now(), cmd.trace_id, Layer::kBuffer,
              "buffer.admit", static_cast<std::int64_t>(zone));
+  }
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
   }
   counters_.writes++;
   counters_.bytes_written += bytes;
@@ -693,6 +788,7 @@ sim::Task<Completion> ZnsDevice::DoAppend(Command cmd) {
       static_cast<std::uint64_t>(cmd.nlb) * lba_bytes_;
   const std::uint32_t zone = ZoneOfLba(cmd.slba);
   InflightGuard io_guard(*this);
+  const std::uint64_t epoch0 = power_epoch_;
   telemetry::Tracer* tr = trace();
   bool first_io = false;
   std::uint64_t assigned_off;
@@ -712,6 +808,9 @@ sim::Task<Completion> ZnsDevice::DoAppend(Command cmd) {
                static_cast<std::int64_t>(zone),
                static_cast<std::int64_t>(bytes));
     }
+    if (power_epoch_ != epoch0) {
+      co_return Completion{.status = Status::kDeviceReset};
+    }
     Zone& z = zones_[zone];
     if (z.write_fault_pending) {
       z.write_fault_pending = false;
@@ -728,6 +827,9 @@ sim::Task<Completion> ZnsDevice::DoAppend(Command cmd) {
     assigned_off = z.wp_bytes;
     z.wp_bytes += bytes;
     end_off = z.wp_bytes;
+    if (cmd.payload_tag != 0) {
+      StoreTags(zone, assigned_off, cmd.nlb, cmd.payload_tag);
+    }
     if (z.wp_bytes == profile_.zone_cap_bytes) {
       TransitionToFullLocked(zone, /*via_finish=*/false);
     }
@@ -746,8 +848,11 @@ sim::Task<Completion> ZnsDevice::DoAppend(Command cmd) {
     tr->Span(post_begin, admit_begin, cmd.trace_id, Layer::kPost, "post",
              static_cast<std::int64_t>(bytes), first_io ? 1 : 0);
   }
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
+  }
   if (flash_) {
-    co_await AdmitPrograms(zone, end_off);
+    co_await AdmitPrograms(zone, end_off, epoch0);
   } else {
     zones_[zone].programmed_bytes =
         std::max(zones_[zone].programmed_bytes, end_off);
@@ -755,6 +860,9 @@ sim::Task<Completion> ZnsDevice::DoAppend(Command cmd) {
   if (tr != nullptr) {
     tr->Span(admit_begin, sim_.now(), cmd.trace_id, Layer::kBuffer,
              "buffer.admit", static_cast<std::int64_t>(zone));
+  }
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
   }
   counters_.appends++;
   counters_.bytes_written += bytes;
@@ -786,10 +894,14 @@ sim::Task<Completion> ZnsDevice::DoZoneMgmt(Command cmd) {
 
 sim::Task<Completion> ZnsDevice::DoOpen(std::uint32_t zone,
                                         std::uint64_t tid) {
+  const std::uint64_t epoch0 = power_epoch_;
   sim::Time t0 = sim_.now();
   auto g = co_await fcp_.Acquire(kPrioIo);
   sim::Time t1 = sim_.now();
   co_await sim_.Delay(Noise(profile_.open_close.explicit_open));
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
+  }
   if (telemetry::Tracer* tr = trace(); tr != nullptr) {
     tr->Span(t0, t1, tid, Layer::kFcp, "fcp.wait",
              static_cast<std::int64_t>(zone));
@@ -828,10 +940,14 @@ sim::Task<Completion> ZnsDevice::DoOpen(std::uint32_t zone,
 
 sim::Task<Completion> ZnsDevice::DoClose(std::uint32_t zone,
                                          std::uint64_t tid) {
+  const std::uint64_t epoch0 = power_epoch_;
   sim::Time t0 = sim_.now();
   auto g = co_await fcp_.Acquire(kPrioIo);
   sim::Time t1 = sim_.now();
   co_await sim_.Delay(Noise(profile_.open_close.close));
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
+  }
   if (telemetry::Tracer* tr = trace(); tr != nullptr) {
     tr->Span(t0, t1, tid, Layer::kFcp, "fcp.wait",
              static_cast<std::int64_t>(zone));
@@ -857,6 +973,7 @@ sim::Task<Completion> ZnsDevice::DoClose(std::uint32_t zone,
 
 sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone,
                                           std::uint64_t tid) {
+  const std::uint64_t epoch0 = power_epoch_;
   telemetry::Tracer* tr = trace();
   Zone& z = zones_[zone];
   {
@@ -868,6 +985,9 @@ sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone,
                static_cast<std::int64_t>(zone));
     }
     co_await sim_.Delay(Noise(profile_.fcp.write));  // command admission
+    if (power_epoch_ != epoch0) {
+      co_return Completion{.status = Status::kDeviceReset};
+    }
     switch (z.state) {
       case ZoneState::kEmpty:
         co_return Completion{.status = Status::kZoneIsEmpty};
@@ -888,6 +1008,9 @@ sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone,
   if (tr != nullptr) {
     tr->Span(quiesce_begin, sim_.now(), tid, Layer::kZone, "zone.quiesce",
              static_cast<std::int64_t>(zone));
+  }
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
   }
   if (z.state == ZoneState::kReadOnly || z.state == ZoneState::kOffline) {
     // An in-flight program failed while finish quiesced: the zone
@@ -913,6 +1036,11 @@ sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone,
                static_cast<std::int64_t>(zone),
                static_cast<std::int64_t>(remaining));
     }
+    if (power_epoch_ != epoch0) {
+      // Power cut mid-pad: nothing was marked programmed yet, so the
+      // crash rollback saw the zone as it stood; just fail the command.
+      co_return Completion{.status = Status::kDeviceReset};
+    }
   }
   if (flash_) {
     // Mark the padded region programmed (the pad time above charged the
@@ -932,6 +1060,8 @@ sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone,
       }
     }
     next_program_page_[zone] = total_pages;
+    settled_prefix_pages_[zone] = total_pages;
+    settled_oo_pages_[zone].clear();
   }
   z.programmed_bytes = profile_.zone_cap_bytes;
   TransitionToFullLocked(zone, /*via_finish=*/true);
@@ -941,6 +1071,7 @@ sim::Task<Completion> ZnsDevice::DoFinish(std::uint32_t zone,
 
 sim::Task<Completion> ZnsDevice::DoReset(std::uint32_t zone,
                                          std::uint64_t tid) {
+  const std::uint64_t epoch0 = power_epoch_;
   telemetry::Tracer* tr = trace();
   Zone& z = zones_[zone];
   if (z.state == ZoneState::kReadOnly || z.state == ZoneState::kOffline) {
@@ -952,6 +1083,9 @@ sim::Task<Completion> ZnsDevice::DoReset(std::uint32_t zone,
   if (tr != nullptr) {
     tr->Span(quiesce_begin, sim_.now(), tid, Layer::kZone, "zone.quiesce",
              static_cast<std::int64_t>(zone));
+  }
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
   }
   if (z.state == ZoneState::kReadOnly || z.state == ZoneState::kOffline) {
     // The zone degraded while the reset quiesced (an in-flight program
@@ -1003,6 +1137,11 @@ sim::Task<Completion> ZnsDevice::DoReset(std::uint32_t zone,
       work -= this_slice;
     }
   }
+  if (power_epoch_ != epoch0) {
+    // Power cut mid-unmap: the metadata wipe never committed — the crash
+    // rollback left the zone's pre-reset state in place.
+    co_return Completion{.status = Status::kDeviceReset};
+  }
   // Metadata wiped; physical erases happen off the critical path.
   if (flash_) {
     std::uint32_t bpz = profile_.blocks_per_zone_per_die();
@@ -1018,6 +1157,9 @@ sim::Task<Completion> ZnsDevice::DoReset(std::uint32_t zone,
   z.finished = false;
   z.data_bytes_at_finish = 0;
   next_program_page_[zone] = 0;
+  settled_prefix_pages_[zone] = 0;
+  settled_oo_pages_[zone].clear();
+  zone_tags_[zone].clear();
   if (ZoneWornOut(zone)) {
     // Endurance exhausted: the zone leaves service instead of returning
     // to Empty (flash P/E limits, §II-A).
@@ -1074,6 +1216,7 @@ sim::Task<Completion> ZnsDevice::DoReportZones(Command cmd) {
   if (cmd.report_max != 0) {
     count = std::min(count, cmd.report_max);
   }
+  const std::uint64_t epoch0 = power_epoch_;
   {
     sim::Time t0 = sim_.now();
     auto g = co_await fcp_.Acquire(kPrioIo);
@@ -1085,6 +1228,9 @@ sim::Task<Completion> ZnsDevice::DoReportZones(Command cmd) {
       tr->Span(t1, sim_.now(), cmd.trace_id, Layer::kFcp, "fcp.service",
                static_cast<std::int64_t>(count));
     }
+  }
+  if (power_epoch_ != epoch0) {
+    co_return Completion{.status = Status::kDeviceReset};
   }
   Completion c;
   c.report.reserve(count);
@@ -1100,6 +1246,7 @@ sim::Task<Completion> ZnsDevice::DoReportZones(Command cmd) {
 }
 
 sim::Task<Completion> ZnsDevice::DoFlush(std::uint64_t tid) {
+  const std::uint64_t epoch0 = power_epoch_;
   telemetry::Tracer* tr = trace();
   {
     sim::Time t0 = sim_.now();
@@ -1118,6 +1265,11 @@ sim::Task<Completion> ZnsDevice::DoFlush(std::uint64_t tid) {
   if (tr != nullptr) {
     tr->Span(drain_begin, sim_.now(), tid, Layer::kBuffer, "buffer.drain");
   }
+  if (power_epoch_ != epoch0) {
+    // Power cut before the drain finished: the barrier cannot certify
+    // durability for anything — the host must not trust this flush.
+    co_return Completion{.status = Status::kDeviceReset};
+  }
   counters_.flushes++;
   if (flush_fault_pending_) {
     // Some buffered data never reached NAND since the last flush: the
@@ -1126,6 +1278,189 @@ sim::Task<Completion> ZnsDevice::DoFlush(std::uint64_t tid) {
     co_return Completion{.status = Status::kWriteFault};
   }
   co_return Completion{.status = Status::kSuccess};
+}
+
+// ------------------------------------------------- crash/recovery (§11)
+
+void ZnsDevice::StoreTags(std::uint32_t zone, std::uint64_t off_bytes,
+                          std::uint32_t nlb, std::uint64_t first_tag) {
+  ZSTOR_CHECK(off_bytes % lba_bytes_ == 0);
+  std::vector<std::uint64_t>& tags = zone_tags_[zone];
+  if (tags.empty()) tags.assign(zone_cap_lbas_, 0);
+  const std::uint64_t first = off_bytes / lba_bytes_;
+  ZSTOR_CHECK(first + nlb <= zone_cap_lbas_);
+  for (std::uint32_t i = 0; i < nlb; ++i) tags[first + i] = first_tag + i;
+}
+
+void ZnsDevice::LoadTags(std::uint32_t zone, std::uint64_t off_bytes,
+                         std::uint32_t nlb,
+                         std::vector<std::uint64_t>& out) const {
+  out.assign(nlb, 0);
+  const std::vector<std::uint64_t>& tags = zone_tags_[zone];
+  if (tags.empty()) return;
+  const std::uint64_t first = off_bytes / lba_bytes_;
+  for (std::uint32_t i = 0; i < nlb; ++i) {
+    if (first + i < tags.size()) out[i] = tags[first + i];
+  }
+}
+
+sim::Task<> ZnsDevice::CrashDriver(std::vector<sim::Time> at) {
+  for (sim::Time t : at) {
+    if (t > sim_.now()) co_await sim_.Delay(t - sim_.now());
+    if (crashed_) continue;  // landed inside the previous outage: coalesce
+    co_await CrashNow();
+  }
+}
+
+std::uint64_t ZnsDevice::CrashRollbackZone(std::uint32_t zone) {
+  Zone& z = zones_[zone];
+  ZSTOR_CHECK(z.inflight_programs == 0);  // caller quiesced the drain
+  if (z.state == ZoneState::kOffline) return 0;  // nothing left to lose
+  const std::uint64_t pb = profile_.nand_geometry.page_bytes;
+  if (!flash_) {
+    // Profiles without a NAND backend (FEMU-like) model instant
+    // durability: acked bytes survive, only the outage itself costs time.
+    return 0;
+  }
+  // Everything settled out of order beyond the contiguous prefix is torn:
+  // the recovery scan cannot distinguish it from the in-flight programs
+  // power interrupted, so the controller discards the lot.
+  const std::uint64_t prefix = settled_prefix_pages_[zone];
+  counters_.torn_pages += settled_oo_pages_[zone].size();
+  settled_oo_pages_[zone].clear();
+  const std::uint64_t durable = prefix * pb;
+  const std::uint64_t lost = z.wp_bytes > durable ? z.wp_bytes - durable : 0;
+  // Discard the NAND tail of every zone block down to the durable prefix
+  // (prefix pages stripe round-robin across the dies).
+  const nand::Geometry& geo = profile_.nand_geometry;
+  const std::uint32_t dies = geo.total_dies();
+  const std::uint32_t bpz = profile_.blocks_per_zone_per_die();
+  for (std::uint32_t die = 0; die < dies; ++die) {
+    std::uint64_t on_die = prefix / dies + (die < prefix % dies ? 1 : 0);
+    for (std::uint32_t b = 0; b < bpz; ++b) {
+      const std::uint64_t block_lo =
+          static_cast<std::uint64_t>(b) * geo.pages_per_block;
+      const std::uint32_t keep = static_cast<std::uint32_t>(
+          on_die > block_lo
+              ? std::min<std::uint64_t>(on_die - block_lo,
+                                        geo.pages_per_block)
+              : 0);
+      flash_->CrashDiscardTail(die, zone * bpz + b, keep);
+    }
+  }
+  z.wp_bytes = durable;
+  z.programmed_bytes = durable;
+  next_program_page_[zone] = prefix;
+  z.write_fault_pending = false;
+  if (!zone_tags_[zone].empty()) {
+    std::vector<std::uint64_t>& tags = zone_tags_[zone];
+    for (std::uint64_t i = durable / lba_bytes_; i < tags.size(); ++i) {
+      tags[i] = 0;
+    }
+  }
+  // Recompute the zone state purely from the recovered write pointer —
+  // the open/active sets were volatile controller state. Degraded zones
+  // keep their sticky state.
+  if (z.state != ZoneState::kReadOnly) {
+    if (z.wp_bytes == 0) {
+      z.finished = false;
+      z.data_bytes_at_finish = 0;
+      SetZoneState(zone, ZoneState::kEmpty);
+    } else if (z.wp_bytes == profile_.zone_cap_bytes) {
+      SetZoneState(zone, ZoneState::kFull);
+    } else {
+      z.finished = false;
+      z.data_bytes_at_finish = 0;
+      SetZoneState(zone, ZoneState::kClosed);
+    }
+  }
+  return lost;
+}
+
+sim::Task<std::uint64_t> ZnsDevice::ScanZoneWritePointer(
+    std::uint32_t zone) {
+  // After the tail discard, programmed pages form a contiguous prefix in
+  // zone-page order (the round-robin stripe preserves monotonicity), so a
+  // binary search of ProbePage senses finds the write pointer in
+  // O(log cap) die reads — the dominant per-zone recovery cost.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = profile_.zone_cap_pages();
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    const bool programmed =
+        co_await flash_->ProbePage(AddrOfZonePage(zone, mid));
+    if (programmed) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  co_return lo;
+}
+
+sim::Task<> ZnsDevice::CrashNow() {
+  ZSTOR_CHECK_MSG(!crashed_, "power loss during recovery");
+  const sim::Time crash_time = sim_.now();
+  crashed_ = true;
+  ++power_epoch_;
+  counters_.crashes++;
+  flush_fault_pending_ = false;  // pre-crash flush state is moot now
+  telemetry::Tracer* tr = trace();
+  if (tr != nullptr) {
+    tr->Instant(crash_time, /*cmd=*/0, Layer::kZone, "crash.power_loss",
+                static_cast<std::int64_t>(power_epoch_));
+  }
+  // Let the in-flight program population drain in simulated time: the
+  // stale power epoch stops each one from touching zone state, and the
+  // drain interval is folded into the outage window (a real controller
+  // loses those programs instantly; draining keeps the buffer-slot and
+  // wait-group accounting exact).
+  co_await all_programs_.Wait();
+  std::uint64_t lost = 0;
+  for (std::uint32_t z = 0; z < profile_.num_zones; ++z) {
+    lost += CrashRollbackZone(z);
+  }
+  counters_.crash_lost_bytes += lost;
+  // Recovery: controller boot, then a per-zone metadata walk. Zones whose
+  // durable metadata pins the write pointer (Empty, Full, Offline — and
+  // degraded zones, whose state is checkpointed when they degrade) cost
+  // only the walk; every other zone pays a write-pointer rediscovery
+  // scan on the NAND array.
+  co_await sim_.Delay(profile_.recovery_boot_cost);
+  std::uint64_t scanned = 0;
+  for (std::uint32_t z = 0; z < profile_.num_zones; ++z) {
+    if (profile_.recovery_per_zone > 0) {
+      co_await sim_.Delay(profile_.recovery_per_zone);
+    }
+    const Zone& zz = zones_[z];
+    if (flash_ && zz.state == ZoneState::kClosed && zz.wp_bytes > 0) {
+      const std::uint64_t found = co_await ScanZoneWritePointer(z);
+      ZSTOR_CHECK_MSG(found == settled_prefix_pages_[z],
+                      "recovery scan disagrees with the durable prefix");
+      ++scanned;
+    }
+  }
+  counters_.recovery_zone_scans += scanned;
+  counters_.recoveries++;
+  last_recovery_ns_ = sim_.now() - crash_time;
+  counters_.recovery_ns_total += static_cast<std::uint64_t>(last_recovery_ns_);
+  crashed_ = false;
+  if (tr != nullptr) {
+    tr->Instant(sim_.now(), /*cmd=*/0, Layer::kZone, "recovery.done",
+                static_cast<std::int64_t>(scanned),
+                static_cast<std::int64_t>(lost));
+  }
+  if (telemetry::TimelineWriter* tl = timeline(); tl != nullptr) {
+    // Zero-length marker at the cut plus the full outage window — zmon
+    // attributes the throughput dip to the latter.
+    tl->Window(crash_time, 0, telem_->timeline_label(), lane_,
+               "crash.power_loss",
+               static_cast<std::int64_t>(power_epoch_));
+    tl->Window(crash_time, sim_.now() - crash_time,
+               telem_->timeline_label(), lane_, "recovery.scan",
+               static_cast<std::int64_t>(scanned),
+               static_cast<std::int64_t>(lost));
+  }
 }
 
 // --------------------------------------------------------------- debug
@@ -1143,6 +1478,7 @@ void ZnsDevice::DebugFillZone(std::uint32_t zone, std::uint64_t bytes) {
   const std::uint64_t pb = profile_.nand_geometry.page_bytes;
   std::uint64_t pages = (bytes + pb - 1) / pb;
   next_program_page_[zone] = bytes / pb;
+  settled_prefix_pages_[zone] = bytes / pb;
   if (flash_) {
     const nand::Geometry& geo = profile_.nand_geometry;
     std::uint32_t dies = geo.total_dies();

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "nand/flash_array.h"
@@ -70,6 +71,15 @@ struct ZnsCounters {
   std::uint64_t zones_failed_offline = 0;  // via spare exhaustion
   std::uint64_t spare_blocks_used = 0;
   std::uint64_t zone_transitions = 0;  // zone state-machine edges taken
+  // Power-loss crash/recovery (DESIGN.md §11; zero without injected
+  // crashes).
+  std::uint64_t crashes = 0;           // power losses endured
+  std::uint64_t recoveries = 0;        // recoveries completed
+  std::uint64_t torn_pages = 0;        // out-of-order settled pages dropped
+  std::uint64_t crash_lost_bytes = 0;  // acked-but-volatile bytes dropped
+  std::uint64_t recovery_zone_scans = 0;  // zones probed for their wp
+  std::uint64_t recovery_ns_total = 0;    // summed power-loss->ready spans
+  std::uint64_t reset_drops = 0;  // commands failed with kDeviceReset
 
   /// Exports every counter into the registry under the "zns." prefix
   /// (the shared Describe protocol; see telemetry/metrics.h).
@@ -92,8 +102,19 @@ class ZnsDevice : public nvme::Controller {
   void AttachTelemetry(telemetry::Telemetry* t, std::uint32_t lane = 0);
 
   /// Injects media faults into the NAND backend (non-owning; null
-  /// disables). No-op for profiles without a NAND backend.
+  /// disables — no-op for profiles without a NAND backend) and arms any
+  /// scheduled power losses (`crash=US` in the fault grammar); those fire
+  /// even on an otherwise idle device.
   void AttachFaultPlan(fault::FaultPlan* p);
+
+  /// Injects a power loss right now, then runs the modeled recovery
+  /// (controller boot + per-zone write-pointer rediscovery). Loss
+  /// semantics (DESIGN.md §11): every write-buffer byte not yet settled
+  /// on NAND is gone, out-of-order settled pages beyond the contiguous
+  /// durable prefix are torn (discarded), and every in-flight command
+  /// completes with kDeviceReset. Completes when the device accepts
+  /// commands again; scheduled crashes funnel through here.
+  sim::Task<> CrashNow();
 
   // ---- introspection --------------------------------------------------
   const ZnsProfile& profile() const { return profile_; }
@@ -105,6 +126,11 @@ class ZnsDevice : public nvme::Controller {
   std::uint64_t ZoneWrittenBytes(std::uint32_t zone) const;
   std::uint32_t open_zone_count() const { return open_count_; }
   std::uint32_t active_zone_count() const { return active_count_; }
+  /// Bumped by every power loss; commands in flight across a bump complete
+  /// with kDeviceReset (their pre-crash progress was rolled back).
+  std::uint64_t power_epoch() const { return power_epoch_; }
+  /// Elapsed virtual time of the most recent power-loss -> ready span.
+  sim::Time last_recovery_ns() const { return last_recovery_ns_; }
   nvme::Lba ZoneStartLba(std::uint32_t zone) const;
   std::uint32_t ZoneOfLba(nvme::Lba lba) const;
   /// Null when the profile bypasses the NAND backend (FEMU-like).
@@ -170,10 +196,13 @@ class ZnsDevice : public nvme::Controller {
   sim::Time ResetCost(const Zone& z, sim::Rng& rng) const;
   sim::Time Noise(sim::Time t);
 
-  // NAND path.
+  // NAND path. `epoch` is the power epoch the program was admitted under;
+  // a program completing after a crash (stale epoch) releases its
+  // resources but must not touch zone state — the crash rolled it back.
   nand::PageAddr AddrOfZonePage(std::uint32_t zone,
                                 std::uint64_t page_idx) const;
-  sim::Task<> ProgramZonePage(std::uint32_t zone, std::uint64_t page_idx);
+  sim::Task<> ProgramZonePage(std::uint32_t zone, std::uint64_t page_idx,
+                              std::uint64_t epoch);
   /// `failed` (nullable) is set to the page's MediaStatus when not kOk —
   /// a fan-out read reports the command-level worst case through it.
   sim::Task<> ReadOneZonePage(std::uint32_t zone, std::uint64_t page_idx,
@@ -184,7 +213,37 @@ class ZnsDevice : public nvme::Controller {
   void HandleProgramFailure(std::uint32_t zone, nand::PageAddr addr);
   /// Dispatches NAND programs for all fully-covered pages up to
   /// `end_off_bytes`, waiting on buffer-slot admission (backpressure).
-  sim::Task<> AdmitPrograms(std::uint32_t zone, std::uint64_t end_off_bytes);
+  /// Stops early (without dispatching) if a power loss lands while it
+  /// waits for a slot — the crash already rolled the zone back.
+  sim::Task<> AdmitPrograms(std::uint32_t zone, std::uint64_t end_off_bytes,
+                            std::uint64_t epoch);
+
+  // Crash/recovery path (DESIGN.md §11).
+  /// Waits out the fault plan's scheduled crash times in order, firing
+  /// CrashNow() at each. Spawned once by AttachFaultPlan.
+  sim::Task<> CrashDriver(std::vector<sim::Time> at);
+  /// Marks a settled (completed, pass or fail) program for durable-prefix
+  /// tracking: extends the contiguous prefix or records an out-of-order
+  /// page that a crash would tear.
+  void NoteProgramSettled(std::uint32_t zone, std::uint64_t page_idx);
+  /// Applies power-loss semantics to one zone: rolls wp/programmed bytes
+  /// back to the durable prefix, discards the NAND tail, truncates payload
+  /// tags, and recomputes the zone state from the recovered wp. Returns
+  /// bytes of acked-but-volatile data lost.
+  std::uint64_t CrashRollbackZone(std::uint32_t zone);
+  /// Post-boot write-pointer rediscovery for one active zone: binary-
+  /// search ProbePage scan over the zone's page span (costs real die
+  /// time). Returns the discovered page count; CHECKed against the
+  /// tracked durable prefix.
+  sim::Task<std::uint64_t> ScanZoneWritePointer(std::uint32_t zone);
+
+  // Payload-tag store (self-describing data-integrity model; nvme/types.h
+  // Command::payload_tag). Tag vectors are allocated lazily per zone —
+  // only workloads that tag their writes pay the memory.
+  void StoreTags(std::uint32_t zone, std::uint64_t off_bytes,
+                 std::uint32_t nlb, std::uint64_t first_tag);
+  void LoadTags(std::uint32_t zone, std::uint64_t off_bytes,
+                std::uint32_t nlb, std::vector<std::uint64_t>& out) const;
 
   // Validation.
   nvme::Status ValidateIoRange(const nvme::Command& cmd, bool is_write) const;
@@ -205,6 +264,16 @@ class ZnsDevice : public nvme::Controller {
   std::vector<Zone> zones_;
   /// Next zone data page (stripe unit) to hand to the NAND drain.
   std::vector<std::uint64_t> next_program_page_;
+  /// Durable-prefix tracking per zone: the contiguous count of settled
+  /// NAND programs from page 0 (what a power loss preserves), plus the
+  /// set of pages settled out of order beyond it (torn on a crash —
+  /// multi-die striping completes programs in die-queue order, not page
+  /// order).
+  std::vector<std::uint64_t> settled_prefix_pages_;
+  std::vector<std::set<std::uint64_t>> settled_oo_pages_;
+  /// Per-zone payload tags, indexed by in-zone LBA; empty until the first
+  /// tagged write touches the zone.
+  std::vector<std::vector<std::uint64_t>> zone_tags_;
   /// Joins in-flight NAND programs per zone (reset/finish quiesce on it).
   std::vector<std::unique_ptr<sim::WaitGroup>> program_wg_;
   /// Joins ALL in-flight NAND programs (flush quiesces on it).
@@ -240,6 +309,13 @@ class ZnsDevice : public nvme::Controller {
 
   telemetry::Telemetry* telem_ = nullptr;
   std::uint32_t lane_ = 0;
+  fault::FaultPlan* faults_ = nullptr;
+  bool crash_driver_armed_ = false;
+  /// True from power loss until recovery completes; Execute fast-fails
+  /// new commands with kDeviceReset meanwhile.
+  bool crashed_ = false;
+  std::uint64_t power_epoch_ = 0;
+  sim::Time last_recovery_ns_ = 0;
   /// Set by any program failure, cleared by the next flush: flush reports
   /// buffered-data loss even when the host never rewrites the zone.
   bool flush_fault_pending_ = false;

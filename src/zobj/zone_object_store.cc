@@ -150,7 +150,8 @@ sim::Task<> ZoneObjectStore::CompactOne() {
       // extent is still re-homed (the simulator carries no data, only
       // placement) so the index stays consistent; the loss is recorded.
       ZSTOR_CHECK_MSG(rd.completion.status == Status::kMediaReadError ||
-                          rd.completion.status == Status::kHostTimeout,
+                          rd.completion.status == Status::kHostTimeout ||
+                          rd.completion.status == Status::kDeviceReset,
                       "compaction read failed with a host-side status");
       stats_.lost_extents++;
     }
@@ -176,6 +177,11 @@ sim::Task<> ZoneObjectStore::CompactOne() {
     zones_[ZoneIndex(victim)] = ZoneInfo{};
     free_zones_.push_back(victim);
     stats_.zone_resets++;
+  } else if (rst.completion.status == Status::kDeviceReset) {
+    // Power loss swallowed the reset (budget exhausted mid-outage). The
+    // zone keeps its (already relocated, now all-garbage) contents and
+    // stays sealed — a later compaction pass will reset it again.
+    vz.compacting = false;
   } else {
     // The device degraded the zone while we were compacting it (a reset
     // on a ReadOnly/Offline zone reports the deferred write fault). Its
@@ -215,17 +221,29 @@ sim::Task<Extent> ZoneObjectStore::AppendBlocks(std::uint32_t lbas) {
                        .lba = tc.completion.result_lba,
                        .lbas = lbas};
     }
-    // Anything other than a zone-level write failure means the
-    // reservation logic is broken — that stays fatal.
-    ZSTOR_CHECK_MSG(IsZoneWriteFailure(tc.completion.status),
+    // Anything other than a zone-level write failure, a power-loss
+    // outage, or a crash-induced fill mismatch means the reservation
+    // logic is broken — that stays fatal.
+    const Status st = tc.completion.status;
+    ZSTOR_CHECK_MSG(IsZoneWriteFailure(st) || st == Status::kDeviceReset ||
+                        st == Status::kZoneIsFull,
                     "append failed despite reservation");
-    // The device degraded the zone under us: un-reserve, take the zone
-    // out of the write path, and re-drive the append into whichever zone
-    // is active by the time we get the allocator back.
     {
       auto g = co_await alloc_lock_.Acquire();
       zones_[ZoneIndex(zone)].writen_bytes -= bytes;
-      DegradeZone(zone);
+      if (IsZoneWriteFailure(st)) {
+        // The device degraded the zone under us: take it out of the
+        // write path and re-drive into whichever zone is active next.
+        DegradeZone(zone);
+      } else if (st == Status::kZoneIsFull) {
+        // Host fill estimate drifted below the device's (an append the
+        // crash made durable after its completion was lost): seal and
+        // rotate; RecoverAfterCrash resyncs the accounting.
+        zones_[ZoneIndex(zone)].writen_bytes = zone_cap_bytes();
+        zones_[ZoneIndex(zone)].sealed = true;
+      }
+      // kDeviceReset: the retry budget died inside an outage — just
+      // un-reserve and re-drive against the recovered device.
       stats_.write_reroutes++;
     }
   }
@@ -260,10 +278,17 @@ sim::Task<Extent> ZoneObjectStore::AppendRelocated(std::uint32_t lbas) {
                        .lba = tc.completion.result_lba,
                        .lbas = lbas};
     }
-    ZSTOR_CHECK_MSG(IsZoneWriteFailure(tc.completion.status),
+    const Status st = tc.completion.status;
+    ZSTOR_CHECK_MSG(IsZoneWriteFailure(st) || st == Status::kDeviceReset ||
+                        st == Status::kZoneIsFull,
                     "relocation append failed with a host-side status");
     zones_[ZoneIndex(zone)].writen_bytes -= bytes;
-    DegradeZone(zone);
+    if (IsZoneWriteFailure(st)) {
+      DegradeZone(zone);
+    } else if (st == Status::kZoneIsFull) {
+      zones_[ZoneIndex(zone)].writen_bytes = zone_cap_bytes();
+      zones_[ZoneIndex(zone)].sealed = true;
+    }
     stats_.write_reroutes++;
   }
 }
@@ -307,6 +332,71 @@ sim::Task<Status> ZoneObjectStore::Get(std::uint64_t key) {
   }
   stats_.gets++;
   co_return Status::kSuccess;
+}
+
+sim::Task<> ZoneObjectStore::RecoverAfterCrash() {
+  stats_.crash_recoveries++;
+  // 1. The recovered write pointers are the ground truth for what the
+  //    device still holds.
+  std::vector<std::uint64_t> wp_off(opt_.zone_count, 0);  // bytes into zone
+  for (std::uint32_t z = opt_.first_zone;
+       z < opt_.first_zone + opt_.zone_count; ++z) {
+    auto tc = co_await stack_.Submit({.opcode = Opcode::kZoneMgmtRecv,
+                                      .slba = ZoneStartLba(z),
+                                      .report_max = 1});
+    ZSTOR_CHECK_MSG(tc.completion.ok() && !tc.completion.report.empty(),
+                    "zone report failed during crash recovery");
+    wp_off[ZoneIndex(z)] =
+        (tc.completion.report[0].write_pointer - ZoneStartLba(z)) *
+        lba_bytes_;
+  }
+
+  // 2. Drop extents the device no longer holds and tally per-zone live
+  //    bytes from what survives.
+  std::vector<std::uint64_t> live_in_zone(opt_.zone_count, 0);
+  std::vector<std::uint64_t> empty_keys;
+  for (auto& [key, extents] : index_) {
+    std::vector<Extent> kept;
+    kept.reserve(extents.size());
+    for (const Extent& e : extents) {
+      const std::uint64_t bytes =
+          static_cast<std::uint64_t>(e.lbas) * lba_bytes_;
+      const std::uint64_t end_off =
+          (e.lba + e.lbas - ZoneStartLba(e.zone)) * lba_bytes_;
+      if (end_off <= wp_off[ZoneIndex(e.zone)]) {
+        kept.push_back(e);
+        live_in_zone[ZoneIndex(e.zone)] += bytes;
+        continue;
+      }
+      const std::uint64_t start_off =
+          (e.lba - ZoneStartLba(e.zone)) * lba_bytes_;
+      if (start_off < wp_off[ZoneIndex(e.zone)]) {
+        stats_.torn_extents++;  // partially durable: the tail tore off
+      } else {
+        stats_.truncated_extents++;  // never became durable at all
+      }
+      stats_.crash_lost_bytes += bytes;
+      live_bytes_ -= bytes;
+    }
+    if (kept.size() != extents.size()) extents = std::move(kept);
+    if (extents.empty()) empty_keys.push_back(key);
+  }
+  for (std::uint64_t key : empty_keys) {
+    index_.erase(key);
+    stats_.crash_lost_objects++;
+  }
+
+  // 3. Resync zone accounting: fill comes from the device, garbage is
+  //    whatever the device holds that no live extent references.
+  for (std::uint32_t z = opt_.first_zone;
+       z < opt_.first_zone + opt_.zone_count; ++z) {
+    ZoneInfo& zi = zones_[ZoneIndex(z)];
+    if (zi.degraded) continue;  // frozen; accounting no longer matters
+    zi.writen_bytes = wp_off[ZoneIndex(z)];
+    ZSTOR_CHECK(live_in_zone[ZoneIndex(z)] <= zi.writen_bytes);
+    zi.garbage_bytes = zi.writen_bytes - live_in_zone[ZoneIndex(z)];
+    if (zi.writen_bytes >= zone_cap_bytes()) zi.sealed = true;
+  }
 }
 
 sim::Task<Status> ZoneObjectStore::Delete(std::uint64_t key) {

@@ -49,6 +49,12 @@ struct StoreStats {
   std::uint64_t write_reroutes = 0;    // appends re-driven to another zone
   std::uint64_t zones_degraded = 0;    // zones dropped from the write path
   std::uint64_t lost_extents = 0;      // extents whose data was unreadable
+  // Crash recovery (DESIGN.md §11; all zero without power-loss faults).
+  std::uint64_t crash_recoveries = 0;  // RecoverAfterCrash() passes
+  std::uint64_t truncated_extents = 0;  // wholly beyond the recovered wp
+  std::uint64_t torn_extents = 0;      // straddled the recovered wp
+  std::uint64_t crash_lost_bytes = 0;  // bytes dropped by recovery
+  std::uint64_t crash_lost_objects = 0;  // objects left with no extents
 
   /// Total device writes per byte of user data — the store's own write
   /// amplification (the device adds none: ZNS, Obs. 11).
@@ -84,6 +90,14 @@ class ZoneObjectStore {
 
   /// Removes the object (its extents become garbage for compaction).
   sim::Task<nvme::Status> Delete(std::uint64_t key);
+
+  /// Reconciles the index with a device that just recovered from a power
+  /// loss: re-reads every managed zone's write pointer and drops extents
+  /// the device no longer holds — wholly-beyond-wp extents were truncated
+  /// (their appends never became durable), extents straddling the wp are
+  /// torn. Per-zone fill/garbage accounting is resynced to the recovered
+  /// write pointers. Call with no store I/O in flight.
+  sim::Task<> RecoverAfterCrash();
 
   bool Contains(std::uint64_t key) const {
     return index_.find(key) != index_.end();

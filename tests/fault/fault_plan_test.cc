@@ -49,6 +49,39 @@ TEST(ParseFaultSpec, FullGrammarRoundTrips) {
   EXPECT_EQ(reparsed.scheduled.size(), spec.scheduled.size());
 }
 
+TEST(ParseFaultSpec, CrashTimesParseFormatAndRoundTrip) {
+  FaultSpec spec;
+  std::string error;
+  // crash=US is repeatable; times are microseconds of virtual time.
+  ASSERT_TRUE(ParseFaultSpec("crash=1500,crash=9000.5", &spec, &error))
+      << error;
+  EXPECT_TRUE(spec.enabled);
+  ASSERT_EQ(spec.crashes.size(), 2u);
+  EXPECT_EQ(spec.crashes[0], sim::Microseconds(1500));
+  EXPECT_EQ(spec.crashes[1], sim::Microseconds(9000.5));
+
+  const std::string canon = FormatFaultSpec(spec);
+  FaultSpec reparsed;
+  ASSERT_TRUE(ParseFaultSpec(canon, &reparsed, &error)) << error;
+  EXPECT_EQ(reparsed.crashes, spec.crashes);
+  EXPECT_EQ(FormatFaultSpec(reparsed), canon);
+}
+
+TEST(ParseFaultSpec, RejectsMalformedCrashTimes) {
+  const char* bad[] = {
+      "crash=",        // missing value
+      "crash=banana",  // not a number
+      "crash=-5",      // a crash cannot predate the run
+  };
+  for (const char* text : bad) {
+    FaultSpec spec;
+    std::string error;
+    EXPECT_FALSE(ParseFaultSpec(text, &spec, &error))
+        << "accepted malformed spec: " << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
 TEST(ParseFaultSpec, AnySpecEnablesFaults) {
   FaultSpec spec;
   std::string error;

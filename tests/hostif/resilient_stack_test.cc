@@ -71,6 +71,8 @@ TEST(Classify, TriageMatchesThePolicyTable) {
   EXPECT_EQ(Classify(nvme::Status::kMediaReadError), ErrorClass::kRetryable);
   EXPECT_EQ(Classify(nvme::Status::kInternalError), ErrorClass::kRetryable);
   EXPECT_EQ(Classify(nvme::Status::kHostTimeout), ErrorClass::kRetryable);
+  // A power-loss outage ends: the recovered device can take the command.
+  EXPECT_EQ(Classify(nvme::Status::kDeviceReset), ErrorClass::kRetryable);
   // Terminal: validation/state rejections — re-issuing cannot help.
   EXPECT_EQ(Classify(nvme::Status::kInvalidOpcode), ErrorClass::kTerminal);
   EXPECT_EQ(Classify(nvme::Status::kLbaOutOfRange), ErrorClass::kTerminal);
@@ -193,6 +195,182 @@ TEST(ResilientStack, FastAttemptBeatsTheTimeout) {
   EXPECT_TRUE(tc.completion.ok());
   EXPECT_EQ(stack.stats().timeouts, 0u);
   EXPECT_EQ(tc.latency(), Microseconds(10));
+}
+
+TEST(ResilientStack, DeviceResetIsAbsorbedByRetry) {
+  sim::Simulator s;
+  ScriptedStack inner(s);
+  inner.script = {nvme::Status::kDeviceReset, nvme::Status::kDeviceReset,
+                  nvme::Status::kSuccess};
+  ResilientStack stack(s, inner,
+                       {.max_attempts = 4, .backoff = Microseconds(50)});
+  nvme::TimedCompletion tc = RunOne(s, stack);
+  EXPECT_TRUE(tc.completion.ok());
+  EXPECT_EQ(stack.stats().device_resets_seen, 2u);
+  EXPECT_EQ(stack.stats().recovered, 1u);
+  // A read carries no dedupe hazard: no replay settles, plain re-drives.
+  EXPECT_EQ(stack.stats().replayed_dupes, 0u);
+}
+
+/// Zoned fake for the append-replay path: appends follow the script (a
+/// successful append lands at the tracked wp), and ZoneMgmtRecv reports
+/// `recovered_wp` — the write pointer the device rediscovered after the
+/// power loss.
+class ZonedScriptedStack : public Stack {
+ public:
+  explicit ZonedScriptedStack(sim::Simulator& s) : sim_(s) {
+    info_.capacity_lbas = 1 << 20;
+    info_.zoned = true;
+    info_.zone_size_lbas = 1024;
+    info_.zone_cap_lbas = 1024;
+    info_.num_zones = 1024;
+  }
+
+  sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
+    nvme::TimedCompletion tc;
+    tc.submitted = sim_.now();
+    tc.trace_id = cmd.trace_id;
+    co_await sim_.Delay(Microseconds(10));
+    tc.completed = sim_.now();
+    if (cmd.opcode == nvme::Opcode::kZoneMgmtRecv) {
+      reports_++;
+      tc.completion.status = nvme::Status::kSuccess;
+      tc.completion.report.push_back(
+          {.zslba = cmd.slba, .write_pointer = recovered_wp});
+      co_return tc;
+    }
+    if (cmd.opcode == nvme::Opcode::kZoneMgmtSend) {
+      tc.completion.status = nvme::Status::kSuccess;
+      co_return tc;
+    }
+    appends_++;
+    tc.completion.status = NextStatus();
+    if (tc.completion.ok()) {
+      tc.completion.result_lba = wp;
+      wp += cmd.nlb;
+    }
+    co_return tc;
+  }
+
+  const nvme::NamespaceInfo& info() const override { return info_; }
+
+  /// Per-append statuses. The cursor survives reassignment, so a script
+  /// set mid-test lists the FULL append history from the start.
+  std::vector<nvme::Status> script{nvme::Status::kSuccess};
+  nvme::Lba wp = 0;            // where the next successful append lands
+  nvme::Lba recovered_wp = 0;  // what a zone report claims after recovery
+  std::uint64_t appends() const { return appends_; }
+  std::uint64_t reports() const { return reports_; }
+
+ private:
+  nvme::Status NextStatus() {
+    if (next_ < script.size()) return script[next_++];
+    return script.back();
+  }
+
+  sim::Simulator& sim_;
+  nvme::NamespaceInfo info_;
+  std::size_t next_ = 0;
+  std::uint64_t appends_ = 0;
+  std::uint64_t reports_ = 0;
+};
+
+nvme::TimedCompletion RunAppend(sim::Simulator& s, ResilientStack& stack,
+                                std::uint32_t nlb = 4) {
+  nvme::TimedCompletion out;
+  auto body = [&]() -> sim::Task<> {
+    out = co_await stack.Submit(
+        {.opcode = nvme::Opcode::kAppend, .slba = 0, .nlb = nlb});
+  };
+  auto t = body();
+  s.Run();
+  return out;
+}
+
+TEST(ResilientStack, DurableAppendLostToACrashIsSettledNotReDriven) {
+  sim::Simulator s;
+  ZonedScriptedStack inner(s);
+  ResilientStack stack(s, inner, {.max_attempts = 4});
+
+  // Append 1 succeeds: the stack learns the zone's expected wp (4).
+  ASSERT_TRUE(RunAppend(s, stack).completion.ok());
+  // Append 2's completion is swallowed by a power loss — but the data
+  // landed before the cut: the recovered wp already covers it.
+  inner.script = {nvme::Status::kSuccess, nvme::Status::kDeviceReset};
+  inner.wp = 8;  // the device durably holds both appends
+  inner.recovered_wp = 8;
+  nvme::TimedCompletion tc = RunAppend(s, stack);
+
+  EXPECT_TRUE(tc.completion.ok());
+  EXPECT_EQ(tc.completion.result_lba, 4u);  // settled at the expected LBA
+  EXPECT_EQ(stack.stats().replayed_dupes, 1u);
+  EXPECT_EQ(stack.stats().recovered, 1u);
+  EXPECT_EQ(inner.appends(), 2u);  // never re-driven: no duplicate
+  EXPECT_EQ(inner.reports(), 1u);  // one wp re-validation query
+}
+
+TEST(ResilientStack, VolatileAppendLostToACrashIsReDriven) {
+  sim::Simulator s;
+  ZonedScriptedStack inner(s);
+  ResilientStack stack(s, inner,
+                       {.max_attempts = 4, .backoff = Microseconds(10)});
+
+  ASSERT_TRUE(RunAppend(s, stack).completion.ok());  // expected wp: 4
+  // Append 2 dies in the outage AND its buffered data was rolled back:
+  // the recovered wp is still 4, so the retry must re-drive it.
+  inner.script = {nvme::Status::kSuccess, nvme::Status::kDeviceReset,
+                  nvme::Status::kSuccess};
+  inner.wp = 4;
+  inner.recovered_wp = 4;
+  nvme::TimedCompletion tc = RunAppend(s, stack);
+
+  EXPECT_TRUE(tc.completion.ok());
+  EXPECT_EQ(tc.completion.result_lba, 4u);  // the re-drive landed there
+  EXPECT_EQ(stack.stats().replayed_dupes, 0u);
+  EXPECT_EQ(stack.stats().retries, 1u);
+  EXPECT_EQ(inner.appends(), 3u);  // initial + failed + re-drive
+  EXPECT_EQ(inner.reports(), 1u);
+}
+
+TEST(ResilientStack, AppendReplayWithoutACachedWpFallsBackToRetry) {
+  sim::Simulator s;
+  ZonedScriptedStack inner(s);
+  ResilientStack stack(s, inner,
+                       {.max_attempts = 4, .backoff = Microseconds(10)});
+  // No prior successful append: the wp cache is cold, so the stack
+  // cannot prove durability and must re-drive.
+  inner.script = {nvme::Status::kDeviceReset, nvme::Status::kSuccess};
+  nvme::TimedCompletion tc = RunAppend(s, stack);
+
+  EXPECT_TRUE(tc.completion.ok());
+  EXPECT_EQ(stack.stats().replayed_dupes, 0u);
+  EXPECT_EQ(inner.reports(), 0u);  // nothing to validate against
+  EXPECT_EQ(inner.appends(), 2u);
+}
+
+TEST(ResilientStack, ZoneResetReseedsTheWpCache) {
+  sim::Simulator s;
+  ZonedScriptedStack inner(s);
+  ResilientStack stack(s, inner, {.max_attempts = 4});
+  ASSERT_TRUE(RunAppend(s, stack).completion.ok());  // expected wp: 4
+
+  // A zone reset moves the expectation back to the zone start.
+  auto body = [&]() -> sim::Task<> {
+    co_await stack.Submit({.opcode = nvme::Opcode::kZoneMgmtSend,
+                           .slba = 0,
+                           .zone_action = nvme::ZoneAction::kReset});
+  };
+  auto t = body();
+  s.Run();
+
+  // Post-reset append dies in a crash; the device holds it (wp 0 -> 4).
+  inner.script = {nvme::Status::kDeviceReset};
+  inner.wp = 4;
+  inner.recovered_wp = 4;
+  nvme::TimedCompletion tc = RunAppend(s, stack);
+  EXPECT_TRUE(tc.completion.ok());
+  EXPECT_EQ(tc.completion.result_lba, 0u);  // settled at the reseeded wp
+  EXPECT_EQ(stack.stats().replayed_dupes, 1u);
 }
 
 TEST(ResilientStack, CountsAccumulateAcrossCommands) {

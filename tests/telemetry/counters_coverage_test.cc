@@ -22,19 +22,19 @@ namespace zstor {
 namespace {
 
 // Field-count drift guards: uint64 counters only, so sizeof is exact.
-static_assert(sizeof(zns::ZnsCounters) == 23 * sizeof(std::uint64_t),
+static_assert(sizeof(zns::ZnsCounters) == 30 * sizeof(std::uint64_t),
               "ZnsCounters changed: update Describe(), GetSmartLog() and "
               "this test");
-static_assert(sizeof(ftl::ConvCounters) == 16 * sizeof(std::uint64_t),
+static_assert(sizeof(ftl::ConvCounters) == 27 * sizeof(std::uint64_t),
               "ConvCounters changed: update Describe(), GetSmartLog() and "
               "this test");
-static_assert(sizeof(nand::FlashCounters) == 9 * sizeof(std::uint64_t),
+static_assert(sizeof(nand::FlashCounters) == 11 * sizeof(std::uint64_t),
               "FlashCounters changed: update Describe() and this test");
 static_assert(sizeof(hostif::SchedulerStats) == 3 * sizeof(std::uint64_t),
               "SchedulerStats changed: update Describe() and this test");
 static_assert(sizeof(fault::FaultCounters) == 6 * sizeof(std::uint64_t),
               "FaultCounters changed: update Describe() and this test");
-static_assert(sizeof(hostif::ResilienceStats) == 7 * sizeof(std::uint64_t),
+static_assert(sizeof(hostif::ResilienceStats) == 9 * sizeof(std::uint64_t),
               "ResilienceStats changed: update Describe() and this test");
 
 std::vector<std::string> SnapshotNames(
@@ -56,7 +56,7 @@ TEST(CountersCoverage, ZnsDescribeExportsEveryField) {
   telemetry::MetricsRegistry reg;
   zns::ZnsCounters{}.Describe(reg);
   std::vector<std::string> names = SnapshotNames(reg);
-  EXPECT_EQ(names.size(), 23u);
+  EXPECT_EQ(names.size(), 30u);
   ExpectAll(names,
             {"zns.reads", "zns.writes", "zns.appends", "zns.flushes",
              "zns.zone_reports", "zns.zones_worn_offline",
@@ -66,15 +66,18 @@ TEST(CountersCoverage, ZnsDescribeExportsEveryField) {
              "zns.host_rejects", "zns.media_errors", "zns.read_faults",
              "zns.write_faults", "zns.retired_blocks",
              "zns.zones_degraded_readonly", "zns.zones_failed_offline",
-             "zns.spare_blocks_used", "zns.zone_transitions"});
+             "zns.spare_blocks_used", "zns.zone_transitions",
+             "zns.crashes", "zns.recoveries", "zns.torn_pages",
+             "zns.crash_lost_bytes", "zns.recovery_zone_scans",
+             "zns.recovery_ns_total", "zns.reset_drops"});
 }
 
 TEST(CountersCoverage, ConvDescribeExportsEveryFieldPlusWa) {
   telemetry::MetricsRegistry reg;
   ftl::ConvCounters{}.Describe(reg);
   std::vector<std::string> names = SnapshotNames(reg);
-  // 16 counters + the derived write_amplification gauge.
-  EXPECT_EQ(names.size(), 17u);
+  // 27 counters + the derived write_amplification gauge.
+  EXPECT_EQ(names.size(), 28u);
   ExpectAll(names,
             {"conv.reads", "conv.writes", "conv.deallocates",
              "conv.units_trimmed", "conv.bytes_read", "conv.bytes_written",
@@ -82,19 +85,25 @@ TEST(CountersCoverage, ConvDescribeExportsEveryFieldPlusWa) {
              "conv.gc_units_migrated", "conv.gc_blocks_erased",
              "conv.host_rejects", "conv.media_errors", "conv.read_faults",
              "conv.write_faults", "conv.retired_blocks",
-             "conv.program_retries", "conv.write_amplification"});
+             "conv.program_retries", "conv.flushes", "conv.journal_syncs",
+             "conv.checkpoints", "conv.journal_units_written",
+             "conv.crashes", "conv.recoveries", "conv.crash_lost_units",
+             "conv.journal_reverted_entries",
+             "conv.recovery_replay_entries", "conv.recovery_ns_total",
+             "conv.reset_drops", "conv.write_amplification"});
 }
 
 TEST(CountersCoverage, FlashDescribeExportsEveryField) {
   telemetry::MetricsRegistry reg;
   nand::FlashCounters{}.Describe(reg);
   std::vector<std::string> names = SnapshotNames(reg);
-  EXPECT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.size(), 11u);
   ExpectAll(names, {"nand.page_reads", "nand.page_programs",
                     "nand.block_erases", "nand.bytes_read",
                     "nand.bytes_programmed", "nand.read_retries",
                     "nand.read_errors", "nand.program_failures",
-                    "nand.blocks_retired"});
+                    "nand.blocks_retired", "nand.recovery_probes",
+                    "nand.crash_discarded_pages"});
 }
 
 TEST(CountersCoverage, FaultDescribeExportsEveryField) {
@@ -113,11 +122,12 @@ TEST(CountersCoverage, ResilienceDescribeExportsEveryField) {
   telemetry::MetricsRegistry reg;
   hostif::ResilienceStats{}.Describe(reg);
   std::vector<std::string> names = SnapshotNames(reg);
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 9u);
   ExpectAll(names,
             {"hostif.commands", "hostif.attempts", "hostif.retries",
              "hostif.timeouts", "hostif.recovered",
-             "hostif.terminal_errors", "hostif.retries_exhausted"});
+             "hostif.terminal_errors", "hostif.retries_exhausted",
+             "hostif.device_resets_seen", "hostif.replayed_dupes"});
 }
 
 TEST(CountersCoverage, SchedulerDescribeExportsEveryFieldPlusFraction) {

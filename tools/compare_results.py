@@ -22,10 +22,34 @@ relative change, and DIRECTION which way counts as a regression:
 Series not matched by any rule are reported but never gate. A baseline
 point missing from the current document always fails (a silently dropped
 series is itself a regression). Exit 0 = within tolerance, 1 = regression
-or malformed input, 2 = usage error."""
+or malformed input, 2 = usage error.
+
+--preset NAME prepends a named built-in rule set (combinable with
+explicit --tol rules, which take precedence by order):
+
+    crash   bench_crash gates: silent corruption stays zero, recovery
+            latency and journal replay/WA stay within drift bounds."""
 import fnmatch
 import json
 import sys
+
+# Built-in tolerance rule sets (--preset). Order matters: earlier rules
+# win, and explicit --tol rules are prepended ahead of any preset.
+PRESETS = {
+    "crash": (
+        # Any silent corruption is a hard failure (baseline is zero, so
+        # any positive current value is an infinite relative increase).
+        "*silent_corruptions*=0.01:up",
+        # Recovery outages are latency promises in both directions: a
+        # longer outage regresses the host, a shorter one means the
+        # recovery model stopped charging its work.
+        "*recovery_ms*=0.25:both",
+        # The journal-interval tradeoff must keep its shape.
+        "conv_wa_vs_journal_interval=0.15:up",
+        "conv_replay_entries_vs_journal_interval=0.5:both",
+        "zns_verified_mib_*=0.25:down",
+    ),
+}
 
 
 def load(path):
@@ -77,6 +101,7 @@ def rule_for(name, rules):
 def main(argv):
     paths = []
     rules = []
+    preset_rules = []
     it = iter(argv[1:])
     for arg in it:
         if arg == "--tol":
@@ -94,6 +119,21 @@ def main(argv):
             except ValueError as e:
                 print(e, file=sys.stderr)
                 return 2
+        elif arg == "--preset" or arg.startswith("--preset="):
+            if arg == "--preset":
+                try:
+                    name = next(it)
+                except StopIteration:
+                    print("--preset needs an argument", file=sys.stderr)
+                    return 2
+            else:
+                name = arg[len("--preset="):]
+            if name not in PRESETS:
+                print(f"unknown preset '{name}' "
+                      f"(have: {', '.join(sorted(PRESETS))})",
+                      file=sys.stderr)
+                return 2
+            preset_rules.extend(parse_tol(spec) for spec in PRESETS[name])
         elif arg.startswith("-"):
             print(f"unrecognized flag {arg}", file=sys.stderr)
             print(__doc__, file=sys.stderr)
@@ -103,6 +143,7 @@ def main(argv):
     if len(paths) != 2:
         print(__doc__, file=sys.stderr)
         return 2
+    rules.extend(preset_rules)  # explicit --tol rules take precedence
     try:
         base_doc, cur_doc = load(paths[0]), load(paths[1])
     except (OSError, ValueError, json.JSONDecodeError) as e:

@@ -53,6 +53,29 @@ MULTIDEV_REQUIRED_CONFIG = ("profile", "stack", "request_bytes",
 # device count -> minimum append scaling ratio vs one device.
 MULTIDEV_MIN_APPEND_SCALING = {2: 1.8, 4: 3.2}
 
+# bench_crash's --json is the crash/recovery acceptance document
+# (DESIGN.md §11): every sweep must be present, no point may report a
+# silent corruption, and recovery time must be real (strictly positive)
+# exactly when crashes were injected.
+CRASH_REQUIRED_SERIES = (
+    "zns_recovery_ms_vs_crashes",
+    "zns_torn_pages_vs_crashes",
+    "zns_crash_lost_mib_vs_crashes",
+    "zns_verified_mib_vs_crashes",
+    "zns_silent_corruptions_vs_crashes",
+    "zns_replayed_dupes_vs_crashes",
+    "zns_verified_mib_vs_util",
+    "zns_crash_lost_mib_vs_util",
+    "zns_torn_pages_vs_util",
+    "zns_silent_corruptions_vs_util",
+    "conv_recovery_ms_vs_journal_interval",
+    "conv_replay_entries_vs_journal_interval",
+    "conv_wa_vs_journal_interval",
+    "conv_crash_lost_units_vs_journal_interval",
+    "conv_silent_corruptions_vs_journal_interval",
+)
+CRASH_REQUIRED_CONFIG = ("retry_policy", "zns_zones_filled")
+
 # Required SMART counters (nvme::SmartLog): activity, the host_rejects /
 # media_errors split, and the fault-model health fields.
 SMART_REQUIRED_FIELDS = (
@@ -156,6 +179,8 @@ def validate_document(path, doc, errors):
         validate_simcore(path, doc, errors)
     if doc.get("bench") == "bench_multidev":
         validate_multidev(path, doc, errors)
+    if doc.get("bench") == "bench_crash":
+        validate_crash(path, doc, errors)
 
 
 def validate_simcore(path, doc, errors):
@@ -227,6 +252,59 @@ def validate_multidev(path, doc, errors):
             elif isinstance(v, (int, float)) and v < minimum:
                 fail(path, f"multidev: append scaling at {ndev} devices is "
                            f"{v} (< {minimum})", errors)
+
+
+def validate_crash(path, doc, errors):
+    """bench_crash documents carry the crash/recovery acceptance numbers."""
+    config = doc.get("config")
+    if isinstance(config, dict):
+        for key in CRASH_REQUIRED_CONFIG:
+            if key not in config:
+                fail(path, f"crash: missing config['{key}']", errors)
+    by_name = {s.get("name"): s for s in doc.get("series", [])
+               if isinstance(s, dict)}
+    for name in CRASH_REQUIRED_SERIES:
+        if name not in by_name:
+            fail(path, f"crash: missing series '{name}'", errors)
+
+    def points(name):
+        s = by_name.get(name)
+        if s is None:
+            return []
+        return [p for p in s.get("points", []) if isinstance(p, dict)]
+
+    # The whole point of the bench: flushed data survives byte-exact.
+    for name in CRASH_REQUIRED_SERIES:
+        if "silent_corruptions" not in name:
+            continue
+        for p in points(name):
+            v = p.get("value")
+            if isinstance(v, (int, float)) and v != 0:
+                fail(path, f"crash: {name} x={p.get('x')!r} reports "
+                           f"{v!r} silent corruption(s)", errors)
+    # Recovery time is real exactly when crashes were injected: zero at
+    # the crash-free baseline, strictly positive everywhere else.
+    for p in points("zns_recovery_ms_vs_crashes"):
+        x, v = p.get("x"), p.get("value")
+        if not isinstance(x, (int, float)) or \
+                not isinstance(v, (int, float)):
+            continue
+        if x == 0 and v != 0:
+            fail(path, f"crash: recovery time {v!r} ms without a crash",
+                 errors)
+        elif x > 0 and v <= 0:
+            fail(path, f"crash: {x:.0f} crash(es) but non-positive "
+                       f"recovery time {v!r} ms", errors)
+    for p in points("conv_recovery_ms_vs_journal_interval"):
+        v = p.get("value")
+        if isinstance(v, (int, float)) and v <= 0:
+            fail(path, f"crash: conv recovery time must be > 0, got {v!r}",
+                 errors)
+    # Journal/checkpoint programs only ever add write amplification.
+    for p in points("conv_wa_vs_journal_interval"):
+        v = p.get("value")
+        if isinstance(v, (int, float)) and v < 1.0:
+            fail(path, f"crash: conv write amplification {v!r} < 1", errors)
 
 
 def _counter(where, obj, key, errors):

@@ -6,6 +6,9 @@
 //   zmon run.jsonl --chrome=out.json  # Perfetto counter-track export
 //   zmon run.jsonl --require-dip      # exit 1 unless a dip is attributed
 //                                     # to a background window (CI gate)
+//   zmon run.jsonl --require-window=recovery
+//                                     # exit 1 unless a window of that
+//                                     # kind-prefix exists (crash CI gate)
 //
 // Produce a timeline with any bench binary:
 //   ./bench/bench_fig6_gc_interference --timeline=run.jsonl
@@ -38,7 +41,7 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: zmon TIMELINE.jsonl [--tb=LABEL] [--threshold=FRAC]\n"
-      "            [--chrome=FILE] [--require-dip]\n"
+      "            [--chrome=FILE] [--require-dip] [--require-window=PFX]\n"
       "\n"
       "Analyzes a JSONL telemetry timeline produced with --timeline=FILE\n"
       "on any bench binary (schema: DESIGN.md section 10).\n"
@@ -49,7 +52,10 @@ void PrintUsage() {
       "  --chrome=FILE    write a Chrome trace-event export (counter\n"
       "                   tracks + background-window spans)\n"
       "  --require-dip    exit 1 unless at least one dip is attributed\n"
-      "                   to an overlapping background window\n");
+      "                   to an overlapping background window\n"
+      "  --require-window=PFX\n"
+      "                   exit 1 unless a background window whose kind\n"
+      "                   starts with PFX (e.g. 'recovery') was recorded\n");
 }
 
 double Ms(double ns) { return ns / 1e6; }
@@ -60,22 +66,28 @@ void PrintIntervals(const TbTimeline& tl,
               "window(s), %zu background window(s)\n",
               tl.tb.c_str(), tl.samples.size(), tl.zone_events.size(),
               tl.die_busy.size(), tl.windows.size());
-  std::printf("  %-18s %10s %10s %10s %6s %6s %6s %10s %10s\n",
+  std::printf("  %-18s %10s %10s %10s %6s %6s %6s %10s %10s %10s\n",
               "interval_ms", "W_MiBps", "R_MiBps", "IOPS", "QD", "util%",
-              "zones", "gc_ms", "reset_ms");
+              "zones", "gc_ms", "reset_ms", "recov_ms");
   for (const IntervalRow& r : rows) {
     double gc_ms =
         Ms(static_cast<double>(r.overlap("gc.migrate") +
                                r.overlap("gc.erase")));
     double reset_ms = Ms(static_cast<double>(r.overlap("zone.reset")));
+    // Power-loss recovery outages: zone scan (ZNS) + journal replay
+    // (conv). The crash instant itself is a zero-duration marker.
+    double recov_ms =
+        Ms(static_cast<double>(r.overlap("recovery.scan") +
+                               r.overlap("recovery.replay")));
     char span[32];
     std::snprintf(span, sizeof span, "[%.0f,%.0f)",
                   Ms(static_cast<double>(r.begin)),
                   Ms(static_cast<double>(r.end)));
     std::printf("  %-18s %10.1f %10.1f %10.0f %6.0f %5.1f%% %6u %10.2f "
-                "%10.2f\n",
+                "%10.2f %10.2f\n",
                 span, r.write_mibps, r.read_mibps, r.iops, r.qd,
-                100.0 * r.die_util, r.zone_transitions, gc_ms, reset_ms);
+                100.0 * r.die_util, r.zone_transitions, gc_ms, reset_ms,
+                recov_ms);
   }
 }
 
@@ -113,6 +125,7 @@ int main(int argc, char** argv) {
   std::string timeline_path;
   std::string tb_filter;
   std::string chrome_path;
+  std::string require_window;
   double threshold = 0.7;
   bool require_dip = false;
   for (int i = 1; i < argc; ++i) {
@@ -120,6 +133,8 @@ int main(int argc, char** argv) {
       tb_filter = v;
     } else if (const char* c = MatchFlag(argv[i], "--chrome")) {
       chrome_path = c;
+    } else if (const char* w = MatchFlag(argv[i], "--require-window")) {
+      require_window = w;
     } else if (const char* t = MatchFlag(argv[i], "--threshold")) {
       threshold = std::atof(t);
       if (threshold <= 0 || threshold >= 1) {
@@ -163,11 +178,19 @@ int main(int argc, char** argv) {
   }
 
   std::size_t attributed = 0;
+  std::size_t matched_windows = 0;
   bool tb_seen = false;
   bool first = true;
   for (const TbTimeline& tl : loaded.tbs) {
     if (!tb_filter.empty() && tl.tb != tb_filter) continue;
     tb_seen = true;
+    if (!require_window.empty()) {
+      for (const auto& w : tl.windows) {
+        if (w.kind.compare(0, require_window.size(), require_window) == 0) {
+          ++matched_windows;
+        }
+      }
+    }
     if (!first) std::printf("\n");
     first = false;
     std::vector<IntervalRow> rows = BuildIntervals(tl);
@@ -202,6 +225,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "zmon: no testbed labeled '%s' in %s\n",
                  tb_filter.c_str(), timeline_path.c_str());
     return 1;
+  }
+  if (!require_window.empty()) {
+    if (matched_windows == 0) {
+      std::fprintf(stderr,
+                   "zmon: --require-window: no '%s*' window recorded\n",
+                   require_window.c_str());
+      return 1;
+    }
+    std::printf("%zu window(s) matching '%s*'\n", matched_windows,
+                require_window.c_str());
   }
   if (require_dip && attributed == 0) {
     std::fprintf(stderr,

@@ -126,6 +126,15 @@ std::vector<CommandTrace> GroupByCommand(
       ct.errored = true;
       continue;
     }
+    // Crash instants: counted, never timed (zero-duration markers).
+    if (r.name == "host.reset") {
+      ct.device_resets++;
+      continue;
+    }
+    if (r.name == "host.replay_dupe") {
+      ct.replay_dupes++;
+      continue;
+    }
     ct.total_ns += r.dur;
     ct.stage_ns[r.name] += r.dur;
     if (r.name == "host.submit" ||
@@ -155,6 +164,8 @@ std::vector<TailAttribution> AttributeTails(
       sum += static_cast<double>(c->total_ns);
       t.retries += c->retries;
       t.timeouts += c->timeouts;
+      t.device_resets += c->device_resets;
+      t.replay_dupes += c->replay_dupes;
       if (c->retries > 0) t.retried_commands++;
       if (c->errored) t.errored_commands++;
     }
@@ -194,6 +205,15 @@ std::vector<TailAttribution> AttributeTails(
               return x.commands > y.commands;
             });
   return out;
+}
+
+CrashSummary SummarizeCrashes(const std::vector<TraceRecord>& recs) {
+  CrashSummary s;
+  for (const TraceRecord& r : recs) {
+    if (r.name == "crash.power_loss") s.power_losses++;
+    if (r.name == "recovery.done") s.recoveries++;
+  }
+  return s;
 }
 
 QdTimeline ComputeQueueDepth(const std::vector<CommandTrace>& cmds) {

@@ -95,6 +95,10 @@ struct CommandTrace {
   std::uint32_t retries = 0;   // "host.retry" spans
   std::uint32_t timeouts = 0;  // "host.timeout" instants
   bool errored = false;        // "host.error" instant present
+  /// Power-loss crash events (DESIGN.md §11): attempts that completed
+  /// kDeviceReset and appends settled by write-pointer replay dedupe.
+  std::uint32_t device_resets = 0;  // "host.reset" instants
+  std::uint32_t replay_dupes = 0;   // "host.replay_dupe" instants
 };
 
 /// Groups command-scoped records (cmd != 0) into per-command traces,
@@ -123,6 +127,8 @@ struct TailAttribution {
   std::uint64_t timeouts = 0;
   std::size_t retried_commands = 0;
   std::size_t errored_commands = 0;
+  std::uint64_t device_resets = 0;  // kDeviceReset completions absorbed
+  std::uint64_t replay_dupes = 0;   // appends settled by wp-replay dedupe
 
   /// Caller-visible error fraction of this op class (0 when clean).
   double error_rate() const {
@@ -136,6 +142,21 @@ struct TailAttribution {
 /// command count descending.
 std::vector<TailAttribution> AttributeTails(
     const std::vector<CommandTrace>& cmds);
+
+// ---- crash/recovery summary --------------------------------------------
+
+/// Device power-loss activity in the trace (DESIGN.md §11). The
+/// "crash.power_loss" / "recovery.done" instants the devices emit are
+/// not command-scoped (cmd = 0), so GroupByCommand never sees them;
+/// they are summarized here instead.
+struct CrashSummary {
+  std::uint64_t power_losses = 0;  // "crash.power_loss" instants
+  std::uint64_t recoveries = 0;    // "recovery.done" instants
+
+  bool any() const { return power_losses + recoveries > 0; }
+};
+
+CrashSummary SummarizeCrashes(const std::vector<TraceRecord>& recs);
 
 // ---- queue-depth timeline ----------------------------------------------
 

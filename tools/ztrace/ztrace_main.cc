@@ -17,6 +17,7 @@ namespace {
 
 using zstor::ztrace::AttributeTails;
 using zstor::ztrace::CommandTrace;
+using zstor::ztrace::CrashSummary;
 using zstor::ztrace::ComputeQueueDepth;
 using zstor::ztrace::GroupByCommand;
 using zstor::ztrace::LoadJsonlFile;
@@ -101,6 +102,18 @@ void PrintTails(const std::vector<TailAttribution>& tails) {
                 static_cast<unsigned long long>(retries),
                 static_cast<unsigned long long>(timeouts), errored);
   }
+  // Crash rollup line: only when the run saw a device reset.
+  std::uint64_t resets = 0, dupes = 0;
+  for (const TailAttribution& t : tails) {
+    resets += t.device_resets;
+    dupes += t.replay_dupes;
+  }
+  if (resets + dupes > 0) {
+    std::printf("  crash resilience: %llu attempt(s) absorbed a device "
+                "reset, %llu append(s) settled by wp-replay dedupe\n",
+                static_cast<unsigned long long>(resets),
+                static_cast<unsigned long long>(dupes));
+  }
 }
 
 void PrintQdSummary(const QdTimeline& qd, bool dump_points) {
@@ -172,6 +185,13 @@ int main(int argc, char** argv) {
               static_cast<double>(t_max - t_min) / 1e6, trace_path.c_str());
 
   PrintBreakdown(StageBreakdown(loaded.records));
+
+  CrashSummary crashes = zstor::ztrace::SummarizeCrashes(loaded.records);
+  if (crashes.any()) {
+    std::printf("\nPower-loss events: %llu crash(es), %llu recovery(ies)\n",
+                static_cast<unsigned long long>(crashes.power_losses),
+                static_cast<unsigned long long>(crashes.recoveries));
+  }
 
   QdTimeline qd;
   if (!cmds.empty()) {
