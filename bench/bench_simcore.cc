@@ -3,8 +3,9 @@
 // how much virtual time per wall second the experiment harness can cover.
 //
 // Besides the google-benchmark reporters, a self-timed counter section
-// measures events/sec and heap allocations/event for the two hot loops
-// (event scheduling, coroutine ping-pong) and records them into the
+// measures events/sec and heap allocations/event for the hot loops
+// (event scheduling, coroutine ping-pong, cross-lane handoff) and
+// records them into the
 // shared --json output, so `--json=BENCH_simcore.json` yields a
 // machine-readable regression baseline (see tools/validate_results.py).
 #include <benchmark/benchmark.h>
@@ -19,6 +20,7 @@
 #include "harness/bench_flags.h"
 #include "harness/table.h"
 #include "nand/flash_array.h"
+#include "sim/parallel_sim.h"
 #include "sim/resource.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -113,6 +115,36 @@ void BM_FifoResourceContention(benchmark::State& state) {
 }
 BENCHMARK(BM_FifoResourceContention);
 
+// A request/reply ping-pong between two lanes of the parallel engine:
+// every round trip crosses the mailbox twice and closes two
+// conservative-sync windows, so items/sec here is the ceiling on
+// cross-lane command throughput (DESIGN.md §12). Arg = worker threads;
+// Arg(1) isolates the window machinery, Arg(2) adds the barrier cost.
+void BM_LaneHandoff(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    sim::ParallelSimulator ps(2, 250);
+    ps.SetSpontaneous(0, true);
+    struct PingPong {
+      sim::ParallelSimulator* ps;
+      int remaining;
+      void Send() {
+        if (remaining-- == 0) return;
+        ps->Post(0, 1, ps->lane(0).now() + 250, sim::MsgKind::kRequest,
+                 sim::EventFn([this] {
+                   ps->Post(1, 0, ps->lane(1).now() + 250,
+                            sim::MsgKind::kReply,
+                            sim::EventFn([this] { Send(); }));
+                 }));
+      }
+    } pp{&ps, 256};
+    ps.lane(0).ScheduleIn(1, [&pp] { pp.Send(); });
+    ps.Run(threads);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);  // messages
+}
+BENCHMARK(BM_LaneHandoff)->Arg(1)->Arg(2);
+
 void BM_LatencyHistogramRecord(benchmark::State& state) {
   sim::LatencyHistogram h;
   sim::Rng rng(1);
@@ -158,10 +190,11 @@ BENCHMARK(BM_ZnsWritePath);
 
 // ---- self-timed counter section ------------------------------------
 //
-// Complements the google-benchmark numbers above with the two figures
-// the engine's performance model cares about (DESIGN.md §1): events per
-// wall second and heap allocations per event, on the pure-scheduling
-// loop and the coroutine resume loop. Recorded into the shared --json
+// Complements the google-benchmark numbers above with the figures the
+// engine's performance model cares about (DESIGN.md §1, §12): events
+// per wall second and heap allocations per event, on the
+// pure-scheduling loop, the coroutine resume loop and the cross-lane
+// handoff loop. Recorded into the shared --json
 // results document as `simcore_events_per_sec` /
 // `simcore_allocs_per_event`.
 
@@ -221,9 +254,47 @@ CounterResult MeasureCoroutinePingPong(double min_seconds) {
   return out;
 }
 
+// Serial-windowed lane handoff: cross-lane messages per wall second
+// through the parallel engine's mailbox + window machinery (threads=1,
+// so no barrier noise — this is the engine overhead itself).
+CounterResult MeasureLaneHandoff(double min_seconds) {
+  CounterResult out;
+  std::uint64_t allocs0 = g_alloc_count.load(std::memory_order_relaxed);
+  auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0;
+  do {
+    sim::ParallelSimulator ps(2, 250);
+    ps.SetSpontaneous(0, true);
+    struct PingPong {
+      sim::ParallelSimulator* ps;
+      int remaining;
+      void Send() {
+        if (remaining-- == 0) return;
+        ps->Post(0, 1, ps->lane(0).now() + 250, sim::MsgKind::kRequest,
+                 sim::EventFn([this] {
+                   ps->Post(1, 0, ps->lane(1).now() + 250,
+                            sim::MsgKind::kReply,
+                            sim::EventFn([this] { Send(); }));
+                 }));
+      }
+    } pp{&ps, 500};
+    ps.lane(0).ScheduleIn(1, [&pp] { pp.Send(); });
+    ps.Run(1);
+    out.events += 1000;  // two messages per round trip
+    elapsed = SecondsSince(t0);
+  } while (elapsed < min_seconds);
+  std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  out.events_per_sec = static_cast<double>(out.events) / elapsed;
+  out.allocs_per_event =
+      static_cast<double>(allocs) / static_cast<double>(out.events);
+  return out;
+}
+
 void RunCounterSection(double min_seconds) {
   CounterResult sched = MeasureEventScheduling(min_seconds);
   CounterResult ping = MeasureCoroutinePingPong(min_seconds);
+  CounterResult handoff = MeasureLaneHandoff(min_seconds);
 
   auto& results = zstor::harness::Results();
   results.Config("counter_min_time_s", min_seconds);
@@ -231,12 +302,15 @@ void RunCounterSection(double min_seconds) {
   // regression context (events/sec in millions).
   results.Config("seed_event_scheduling_meps", 12.2);
   results.Config("seed_coroutine_pingpong_meps", 36.7);
+  results.Config("seed_lane_handoff_meps", 19.4);
   results.Series("simcore_events_per_sec", "events/s")
       .AddLabeled("event_scheduling", 0, sched.events_per_sec)
-      .AddLabeled("coroutine_pingpong", 1, ping.events_per_sec);
+      .AddLabeled("coroutine_pingpong", 1, ping.events_per_sec)
+      .AddLabeled("lane_handoff", 2, handoff.events_per_sec);
   results.Series("simcore_allocs_per_event", "allocs/event")
       .AddLabeled("event_scheduling", 0, sched.allocs_per_event)
-      .AddLabeled("coroutine_pingpong", 1, ping.allocs_per_event);
+      .AddLabeled("coroutine_pingpong", 1, ping.allocs_per_event)
+      .AddLabeled("lane_handoff", 2, handoff.allocs_per_event);
 
   zstor::harness::Banner("Simulator counters (self-timed)");
   zstor::harness::Table t(
@@ -249,6 +323,10 @@ void RunCounterSection(double min_seconds) {
             zstor::harness::Fmt(ping.events_per_sec / 1e6, 2) + "M",
             zstor::harness::Fmt(ping.allocs_per_event, 4),
             std::to_string(ping.events)});
+  t.AddRow({"lane handoff",
+            zstor::harness::Fmt(handoff.events_per_sec / 1e6, 2) + "M",
+            zstor::harness::Fmt(handoff.allocs_per_event, 4),
+            std::to_string(handoff.events)});
   t.Print();
 }
 

@@ -97,6 +97,14 @@ std::string BenchEnv::UniqueTimelineLabel(const std::string& base) {
 void BenchEnv::Finish() {
   if (finished_) return;
   finished_ = true;
+  if (wall_start_set_) {
+    // Self-timed real elapsed ms since InitBench: the raw material for
+    // the multi-device speedup gate (tools/compare_results.py indexes
+    // "meta.wall_ms"). Identity checks normalize this field away.
+    std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - wall_start_;
+    results_.SetMeta("wall_ms", wall.count());
+  }
   if (!metrics_path_.empty()) {
     std::FILE* f = std::fopen(metrics_path_.c_str(), "w");
     if (f == nullptr) {
@@ -153,6 +161,10 @@ void InitBench(int& argc, char** argv) {
     registered = true;
     std::atexit(FinishBench);
   }
+  if (!env.wall_start_set_) {
+    env.wall_start_ = std::chrono::steady_clock::now();
+    env.wall_start_set_ = true;
+  }
   if (env.results_.bench().empty() && argc > 0) {
     env.results_.set_bench(Basename(argv[0]));
   }
@@ -188,6 +200,14 @@ void InitBench(int& argc, char** argv) {
         std::exit(2);
       }
       env.jobs_ = static_cast<int>(n);
+    } else if (const char* st = MatchFlag(argv[i], "--sim-threads")) {
+      char* end = nullptr;
+      long n = std::strtol(st, &end, 10);
+      if (end == st || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "error: bad --sim-threads value: %s\n", st);
+        std::exit(2);
+      }
+      env.sim_threads_ = static_cast<int>(n);
     } else {
       argv[out++] = argv[i];
     }

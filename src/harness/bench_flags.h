@@ -29,6 +29,14 @@
 //                    Ignored (forced to 1, with a warning) when a
 //                    telemetry flag is active, because testbeds then
 //                    funnel snapshots into this process-wide singleton.
+//   --sim-threads=N  run each multi-device ZNS testbed's simulation on
+//                    the parallel per-device-lane engine with N worker
+//                    threads (sim/parallel_sim.h; default 0 = classic
+//                    serial engine). Output is byte-identical for every
+//                    N >= 1 because N=1 executes the same bounded-window
+//                    schedule serially. Composes with --jobs: sweep
+//                    points fan out across jobs, devices across sim
+//                    threads within each point.
 //
 // and leaves the rest of argv untouched for the bench's own parsing.
 // Testbeds built without an explicit TelemetryConfig pick these up
@@ -36,6 +44,7 @@
 // traces every experiment the bench runs with zero per-bench code.
 #pragma once
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
@@ -87,6 +96,13 @@ class BenchEnv {
   /// The raw --jobs value (0 = auto-detect). Use harness::SweepJobs()
   /// (parallel.h), which resolves auto-detect and the telemetry clamp.
   int jobs_requested() const { return jobs_; }
+  /// The --sim-threads value: worker threads for the parallel
+  /// discrete-event engine inside each multi-device testbed (testbed.h).
+  /// 0 (default) = classic single-simulator engine; N >= 1 = parallel
+  /// engine with N workers (N=1 runs the same window schedule serially,
+  /// so output is byte-identical for every N >= 1). Orthogonal to
+  /// --jobs, which parallelizes across independent sweep points.
+  int sim_threads_requested() const { return sim_threads_; }
   /// The shared JSONL sink (opened lazily); null when --trace is absent.
   telemetry::TraceSink* shared_sink();
   const std::string& metrics_path() const { return metrics_path_; }
@@ -123,6 +139,9 @@ class BenchEnv {
   sim::Time sample_interval_ = sim::Milliseconds(100);
   fault::FaultSpec fault_spec_;  // enabled=false until --faults parses
   int jobs_ = 1;
+  int sim_threads_ = 0;
+  std::chrono::steady_clock::time_point wall_start_{};
+  bool wall_start_set_ = false;
   std::unique_ptr<telemetry::JsonlFileSink> sink_;
   std::unique_ptr<telemetry::TimelineWriter> timeline_;
   std::vector<std::pair<std::string, telemetry::Snapshot>> snapshots_;

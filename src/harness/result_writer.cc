@@ -82,6 +82,16 @@ void ResultWriter::Config(const std::string& key, double value) {
   config_.emplace_back(key, std::move(rendered));
 }
 
+void ResultWriter::SetMeta(const std::string& key, double value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  meta_.emplace_back(key, value);
+}
+
 ResultSeries& ResultWriter::Series(const std::string& name,
                                    const std::string& unit) {
   for (auto& s : series_) {
@@ -103,7 +113,18 @@ std::string ResultWriter::ToJson() const {
     out += ":";
     out += config_[i].second;
   }
-  out += "},\"series\":[";
+  out += "}";
+  if (!meta_.empty()) {
+    out += ",\"meta\":{";
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      if (i > 0) out += ",";
+      AppendJsonString(out, meta_[i].first);
+      out += ":";
+      AppendJsonNumber(out, meta_[i].second);
+    }
+    out += "}";
+  }
+  out += ",\"series\":[";
   for (std::size_t i = 0; i < series_.size(); ++i) {
     const ResultSeries& s = series_[i];
     if (i > 0) out += ",";

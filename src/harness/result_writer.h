@@ -87,6 +87,12 @@ class ResultWriter {
   void Config(const std::string& key, const std::string& value);
   void Config(const std::string& key, double value);
 
+  /// Records a run-environment measurement (last write wins) — emitted as
+  /// a top-level "meta" object, separate from "config" so identity checks
+  /// can normalize it away. The canonical key is "wall_ms", the bench's
+  /// real elapsed time, stamped by BenchEnv::Finish for the speedup gate.
+  void SetMeta(const std::string& key, double value);
+
   /// Gets or creates the series with this name. The unit is set on
   /// creation; later calls may pass "" to mean "whatever it already is".
   ResultSeries& Series(const std::string& name, const std::string& unit = "");
@@ -102,6 +108,7 @@ class ResultWriter {
   std::string bench_;
   // key -> pre-rendered JSON value (escaped string or number literal).
   std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<std::pair<std::string, double>> meta_;
   std::vector<ResultSeries> series_;
 };
 

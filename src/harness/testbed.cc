@@ -1,7 +1,10 @@
 #include "harness/testbed.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "harness/bench_flags.h"
@@ -151,6 +154,74 @@ void DescribeLayers(const LayerPtrs& l, telemetry::MetricsRegistry& m,
   if (l.resilient != nullptr) l.resilient->stats().Describe(m);
 }
 
+/// Field-wise sum of the parallel engine's per-device fault plans, for
+/// the aggregated "fault." export (classic mode shares one plan instead).
+fault::FaultCounters SumFaultCounters(
+    const std::vector<std::unique_ptr<fault::FaultPlan>>& plans) {
+  fault::FaultCounters t;
+  for (const auto& p : plans) {
+    const fault::FaultCounters& c = p->counters();
+    t.correctable_read_errors += c.correctable_read_errors;
+    t.uncorrectable_read_errors += c.uncorrectable_read_errors;
+    t.program_failures += c.program_failures;
+    t.read_retry_steps += c.read_retry_steps;
+    t.scheduled_fired += c.scheduled_fired;
+    t.wear_boosted_ops += c.wear_boosted_ops;
+  }
+  return t;
+}
+
+/// Decides which lane each worker of `spec` runs in under the parallel
+/// engine: index 0 = coordinator, 1 + d = device d's lane. A worker is
+/// sharded to a device lane only when every zone it can touch lives on
+/// that one device; whole-job properties that need shared host-side
+/// state — a rate limiter, the retry layer, an explicit worker_ids list,
+/// or an opcode that broadcasts/gathers — pin the entire job to the
+/// coordinator. The decision depends only on the spec and the stripe
+/// map, never on the thread count, so every lane's event schedule is
+/// identical for any --sim-threads value.
+std::vector<std::vector<std::uint32_t>> PlanShards(
+    const workload::JobSpec& spec, const nvme::NamespaceInfo& info,
+    const hostif::StripeMap& map, bool has_resilient) {
+  std::vector<std::vector<std::uint32_t>> plan(1 + map.num_devices);
+  const bool pinned =
+      has_resilient || spec.rate_bytes_per_sec > 0 ||
+      !spec.worker_ids.empty() ||
+      (spec.op != nvme::Opcode::kRead && spec.op != nvme::Opcode::kWrite &&
+       spec.op != nvme::Opcode::kAppend &&
+       spec.op != nvme::Opcode::kZoneMgmtSend);
+  // Resolve the zone list the way Job's constructor does, so per-worker
+  // slices match the slices the sharded Jobs will compute.
+  std::vector<std::uint32_t> zones = spec.zones;
+  if (zones.empty()) {
+    zones.reserve(info.num_zones);
+    for (std::uint32_t z = 0; z < info.num_zones; ++z) zones.push_back(z);
+  }
+  for (std::uint32_t w = 0; w < spec.workers; ++w) {
+    std::uint32_t lane = 0;
+    if (!pinned) {
+      const std::vector<std::uint32_t> mine =
+          spec.partition_zones ? workload::ZoneSlice(zones, spec.workers, w)
+                               : zones;
+      if (!mine.empty()) {
+        const std::uint32_t d = map.DeviceOf(mine.front());
+        bool one_device = true;
+        for (std::uint32_t z : mine) {
+          one_device = one_device && map.DeviceOf(z) == d;
+        }
+        if (one_device) lane = 1 + d;
+      }
+    }
+    plan[lane].push_back(w);
+  }
+  return plan;
+}
+
+std::uint64_t NextParallelEpoch() {
+  static std::atomic<std::uint64_t> epoch{0};
+  return epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace
 
 Testbed::~Testbed() { Finish(); }
@@ -178,25 +249,123 @@ std::vector<std::uint32_t> Testbed::ZoneList(std::uint32_t first,
   return out;
 }
 
-workload::JobResult Testbed::RunJob(const workload::JobSpec& spec) {
+void Testbed::EnsureSamplersRunning() {
+  // Lane samplers are (re)scheduled from the driving thread before the
+  // engine runs — legal per ParallelSimulator's threading contract.
   if (sampler_ != nullptr) sampler_->EnsureRunning();
-  workload::JobResult r = workload::RunJob(*sim_, *stack_, spec);
+  for (auto& s : lane_samplers_) {
+    if (s != nullptr) s->EnsureRunning();
+  }
+}
+
+workload::JobResult Testbed::RunJob(const workload::JobSpec& spec) {
+  EnsureSamplersRunning();
+  workload::JobResult r = psim_ != nullptr
+                              ? RunSharded(spec)
+                              : workload::RunJob(*sim_, *stack_, spec);
   if (telem_ != nullptr) r.Describe(telem_->metrics());
   return r;
 }
 
 std::vector<workload::JobResult> Testbed::RunJobs(
     const std::vector<workload::JobSpec>& specs) {
-  if (sampler_ != nullptr) sampler_->EnsureRunning();
-  std::vector<std::pair<hostif::Stack*, workload::JobSpec>> jobs;
-  jobs.reserve(specs.size());
-  for (const auto& spec : specs) jobs.emplace_back(stack_.get(), spec);
-  std::vector<workload::JobResult> results =
-      workload::RunJobs(*sim_, jobs);
+  EnsureSamplersRunning();
+  std::vector<workload::JobResult> results;
+  if (psim_ != nullptr) {
+    // Start every spec's shards up front so concurrent jobs overlap in
+    // virtual time exactly as workload::RunJobs makes them overlap.
+    std::vector<std::vector<std::unique_ptr<workload::Job>>> all;
+    all.reserve(specs.size());
+    for (const auto& spec : specs) all.push_back(StartSharded(spec));
+    psim_->Run(static_cast<unsigned>(sim_threads_));
+    results.reserve(all.size());
+    for (auto& parts : all) results.push_back(JoinSharded(parts));
+  } else {
+    std::vector<std::pair<hostif::Stack*, workload::JobSpec>> jobs;
+    jobs.reserve(specs.size());
+    for (const auto& spec : specs) jobs.emplace_back(stack_.get(), spec);
+    results = workload::RunJobs(*sim_, jobs);
+  }
   if (telem_ != nullptr) {
     for (const auto& r : results) r.Describe(telem_->metrics());
   }
   return results;
+}
+
+workload::JobResult Testbed::RunSharded(const workload::JobSpec& spec) {
+  std::vector<std::unique_ptr<workload::Job>> parts = StartSharded(spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  psim_->Run(static_cast<unsigned>(sim_threads_));
+  if (std::getenv("ZSTOR_PSIM_DEBUG") != nullptr) {
+    std::chrono::duration<double, std::milli> ms =
+        std::chrono::steady_clock::now() - t0;
+    std::fprintf(stderr,
+                 "psim: parts=%zu windows=%llu messages=%llu run_ms=%.1f\n",
+                 parts.size(),
+                 static_cast<unsigned long long>(psim_->windows()),
+                 static_cast<unsigned long long>(psim_->messages()),
+                 ms.count());
+  }
+  return JoinSharded(parts);
+}
+
+std::vector<std::unique_ptr<workload::Job>> Testbed::StartSharded(
+    const workload::JobSpec& spec) {
+  ZSTOR_CHECK(psim_ != nullptr && striped_ != nullptr);
+  const std::vector<std::vector<std::uint32_t>> plan = PlanShards(
+      spec, stack_->info(), striped_->map(), resilient_ != nullptr);
+  std::vector<std::unique_ptr<workload::Job>> parts;
+  // Coordinator part first, then device lanes in index order; JoinSharded
+  // merges in this fixed order so results are layout-deterministic.
+  if (!plan[0].empty()) {
+    workload::JobSpec s = spec;
+    s.worker_ids = plan[0];
+    parts.push_back(
+        std::make_unique<workload::Job>(psim_->lane(0), *stack_, s));
+  }
+  for (std::uint32_t d = 0; d < lane_views_.size(); ++d) {
+    if (plan[1 + d].empty()) continue;
+    workload::JobSpec s = spec;
+    s.worker_ids = plan[1 + d];
+    parts.push_back(std::make_unique<workload::Job>(
+        psim_->lane(1 + d), *lane_views_[d], s));
+  }
+  // All lanes share one clock at Run boundaries (the engine realigns
+  // them at quiescence), so every part computes identical start/end
+  // times — a worker's event schedule does not depend on its lane.
+  for (auto& p : parts) p->Start();
+  return parts;
+}
+
+workload::JobResult Testbed::JoinSharded(
+    std::vector<std::unique_ptr<workload::Job>>& parts) {
+  ZSTOR_CHECK_MSG(!parts.empty(), "job sharded to zero lanes");
+  ZSTOR_CHECK_MSG(parts.front()->Done(),
+                  "parallel run ended with an unfinished job shard");
+  workload::JobResult r = parts.front()->result();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    ZSTOR_CHECK_MSG(parts[i]->Done(),
+                    "parallel run ended with an unfinished job shard");
+    r.Merge(parts[i]->result());
+  }
+  return r;
+}
+
+hostif::StripeStats Testbed::CombinedStripeStats() const {
+  hostif::StripeStats s = striped_->stats();
+  for (std::size_t d = 0; d < lane_views_.size(); ++d) {
+    const hostif::LaneStats& v = lane_views_[d]->stats();
+    hostif::LaneStats& l = s.lanes[d];
+    l.issued += v.issued;
+    l.completed += v.completed;
+    l.errors += v.errors;
+    l.in_flight += v.in_flight;
+    // An upper bound, not the true joint high-water mark: proxied and
+    // sharded traffic peak independently per lane.
+    l.max_in_flight += v.max_in_flight;
+    s.boundary_rejects += lane_views_[d]->boundary_rejects();
+  }
+  return s;
 }
 
 telemetry::Snapshot Testbed::TakeSnapshot() {
@@ -216,6 +385,14 @@ telemetry::Snapshot Testbed::TakeSnapshot() {
   // introduced them (the sampler's refresh uses per-lane mode, and mixing
   // per-lane presence across snapshots of one run would be confusing).
   DescribeLayers(layers, m, /*per_lane=*/sampler_ != nullptr);
+  if (psim_ != nullptr) {
+    // The describes above covered the coordinator's layers; fold in the
+    // device-lane halves that Set-overwrite cleanly (stripe totals and
+    // the fault sum). Lane registries themselves merge only at Finish —
+    // merging here would double-count when Finish later re-merges.
+    CombinedStripeStats().Describe(m);
+    if (!lane_faults_.empty()) SumFaultCounters(lane_faults_).Describe(m);
+  }
   return m.TakeSnapshot();
 }
 
@@ -304,10 +481,32 @@ bool Testbed::WriteLogPages(const std::string& path) const {
   return true;
 }
 
+void Testbed::MergeLaneTelemetry() {
+  if (lanes_merged_ || telem_ == nullptr || psim_ == nullptr) return;
+  lanes_merged_ = true;
+  for (std::size_t d = 0; d < lane_telems_.size(); ++d) {
+    if (lane_telems_[d] == nullptr) continue;
+    telemetry::MetricsRegistry& lm = lane_telems_[d]->metrics();
+    // Final batch export so each lane registry holds end-of-run values
+    // even when no timeline sampler ever refreshed it.
+    zns_devs_[d]->counters().Describe(lm);
+    if (zns_devs_[d]->flash() != nullptr) {
+      zns_devs_[d]->flash()->counters().Describe(lm);
+    }
+    if (d < lane_faults_.size() && lane_faults_[d] != nullptr) {
+      lane_faults_[d]->counters().Describe(lm);
+    }
+    // Counters Add (then TakeSnapshot's Set-based describes overwrite
+    // the sums with the authoritative totals); histograms merge — the
+    // whole point, since per-command latencies live lane-side.
+    telem_->metrics().MergeFrom(lm);
+  }
+}
+
 void Testbed::Finish() {
   if (finished_ || telem_ == nullptr) return;
   finished_ = true;
-  if (sampler_ != nullptr) {
+  if (sampler_ != nullptr || !lane_samplers_.empty()) {
     // Close out the timeline: emit die-busy windows still open at end of
     // run, then a final partial-interval sample so no activity after the
     // last tick is lost.
@@ -315,8 +514,12 @@ void Testbed::Finish() {
       if (dev->flash() != nullptr) dev->flash()->FlushDieWindows();
     }
     if (conv_ != nullptr) conv_->flash().FlushDieWindows();
-    sampler_->SampleFinal();
+    for (auto& s : lane_samplers_) {
+      if (s != nullptr) s->SampleFinal();
+    }
+    if (sampler_ != nullptr) sampler_->SampleFinal();
   }
+  MergeLaneTelemetry();
   if (logpages_to_env_ && (!zns_devs_.empty() || conv_ != nullptr)) {
     harness::BenchEnv::Get().AddLogPages(label_, LogPagesJson());
   }
@@ -333,6 +536,27 @@ void Testbed::Finish() {
   }
   if (report_to_env_) {
     harness::BenchEnv::Get().AddSnapshot(label_, std::move(snap));
+  }
+  if (psim_ != nullptr) {
+    // Replay buffered lane telemetry into the real sinks in fixed lane
+    // order (coordinator, then devices) — byte-identical output for any
+    // worker-thread count.
+    if (final_sink_ != nullptr) {
+      if (coord_shard_ != nullptr) coord_shard_->ReplayInto(*final_sink_);
+      for (telemetry::ShardSink* sh : lane_shards_) {
+        if (sh != nullptr) sh->ReplayInto(*final_sink_);
+      }
+      final_sink_->Flush();
+    }
+    if (final_timeline_ != nullptr) {
+      for (auto& cap : lane_tl_captures_) {
+        if (cap != nullptr) {
+          final_timeline_->AppendRaw(*cap);
+          cap->clear();
+        }
+      }
+      final_timeline_->Flush();
+    }
   }
   telem_->Flush();
 }
@@ -396,12 +620,46 @@ TestbedBuilder& TestbedBuilder::WithRetryPolicy(
   return *this;
 }
 
+TestbedBuilder& TestbedBuilder::WithSimThreads(int n) {
+  // n = 0 explicitly forces the classic engine even when --sim-threads
+  // is set; n >= 1 selects the parallel engine with n workers.
+  ZSTOR_CHECK_MSG(n >= 0, "WithSimThreads needs n >= 0");
+  sim_threads_ = n;
+  return *this;
+}
+
+TestbedBuilder& TestbedBuilder::WithLookahead(sim::Time hop) {
+  ZSTOR_CHECK_MSG(hop > 0, "interconnect lookahead must be positive");
+  lookahead_ = hop;
+  return *this;
+}
+
 Testbed TestbedBuilder::Build() {
   ZSTOR_CHECK_MSG(num_devices_ >= 1, "WithDevices needs n >= 1");
   ZSTOR_CHECK_MSG(num_devices_ == 1 || !conv_profile_.has_value(),
                   "multi-device testbeds stripe ZNS devices only");
+  harness::BenchEnv& env = harness::BenchEnv::Get();
+  // Engine selection: the builder override wins over --sim-threads; the
+  // parallel engine needs >= 2 devices to have lanes worth splitting
+  // (single-device and conventional testbeds keep the classic engine).
+  const int sim_threads = sim_threads_.value_or(env.sim_threads_requested());
+  const bool parallel =
+      sim_threads >= 1 && num_devices_ >= 2 && !conv_profile_.has_value();
   Testbed tb;
-  tb.sim_ = std::make_unique<sim::Simulator>();
+  if (parallel) {
+    tb.psim_ = std::make_unique<sim::ParallelSimulator>(num_devices_ + 1,
+                                                        lookahead_);
+    // Only the coordinator originates work between messages (workload
+    // workers, rate limiters, retry timers); device lanes react.
+    tb.psim_->SetSpontaneous(0, true);
+    tb.sim_threads_ = sim_threads;
+  } else {
+    tb.sim_ = std::make_unique<sim::Simulator>();
+  }
+  auto host_sim = [&tb]() -> sim::Simulator& { return tb.sim(); };
+  auto dev_sim = [&tb, parallel](std::uint32_t d) -> sim::Simulator& {
+    return parallel ? tb.psim_->lane(1 + d) : *tb.sim_;
+  };
 
   // Devices.
   if (conv_profile_.has_value()) {
@@ -413,26 +671,62 @@ Testbed TestbedBuilder::Build() {
       // Distinct per-device noise streams; devices are otherwise twins.
       p.seed = base.seed + 0x9E3779B97F4A7C15ull * d;
       tb.zns_devs_.push_back(
-          std::make_unique<zns::ZnsDevice>(*tb.sim_, p, lba_bytes_));
+          std::make_unique<zns::ZnsDevice>(dev_sim(d), p, lba_bytes_));
     }
   }
 
   // Faults: explicit builder spec wins; otherwise the --faults flag
-  // applies to every testbed the bench builds. One plan covers the whole
-  // device set (its counters then report set-wide fault activity).
-  harness::BenchEnv& envf = harness::BenchEnv::Get();
+  // applies to every testbed the bench builds. Classic mode shares one
+  // plan across the device set (its counters then report set-wide fault
+  // activity); the parallel engine gives each device a private plan —
+  // same spec, per-device-decorrelated seed — because a shared plan's
+  // RNG would be pulled from several lanes at once, making fault
+  // placement depend on thread interleaving.
   fault::FaultSpec fspec =
-      fault_spec_.value_or(envf.faults_requested() ? envf.fault_spec()
-                                                   : fault::FaultSpec{});
+      fault_spec_.value_or(env.faults_requested() ? env.fault_spec()
+                                                  : fault::FaultSpec{});
   if (fspec.enabled) {
-    tb.faults_ = std::make_unique<fault::FaultPlan>(fspec);
-    for (auto& dev : tb.zns_devs_) dev->AttachFaultPlan(tb.faults_.get());
-    if (tb.conv_ != nullptr) tb.conv_->AttachFaultPlan(tb.faults_.get());
+    if (parallel) {
+      for (std::uint32_t d = 0; d < num_devices_; ++d) {
+        fault::FaultSpec per_dev = fspec;
+        per_dev.seed = fspec.seed + 0x9E3779B97F4A7C15ull * d;
+        tb.lane_faults_.push_back(
+            std::make_unique<fault::FaultPlan>(per_dev));
+        tb.zns_devs_[d]->AttachFaultPlan(tb.lane_faults_.back().get());
+      }
+    } else {
+      tb.faults_ = std::make_unique<fault::FaultPlan>(fspec);
+      for (auto& dev : tb.zns_devs_) dev->AttachFaultPlan(tb.faults_.get());
+      if (tb.conv_ != nullptr) tb.conv_->AttachFaultPlan(tb.faults_.get());
+    }
   }
 
   // Host stack(s): one lane per device via the shared factory; the lanes
-  // of a multi-device set are striped into one logical namespace.
-  if (tb.zns_devs_.size() > 1) {
+  // of a multi-device set are striped into one logical namespace. Under
+  // the parallel engine each device's real stack lives in that device's
+  // lane and the coordinator's StripedStack routes through MailboxStack
+  // proxies; a StripeLaneView per device serves sharded workers locally.
+  if (parallel) {
+    std::vector<std::unique_ptr<hostif::Stack>> proxies;
+    proxies.reserve(num_devices_);
+    for (std::uint32_t d = 0; d < num_devices_; ++d) {
+      tb.lane_stacks_.push_back(
+          hostif::MakeStack(stack_, dev_sim(d), *tb.zns_devs_[d], stack_opts_)
+              .stack);
+      proxies.push_back(std::make_unique<hostif::MailboxStack>(
+          *tb.psim_, /*host_lane=*/0, /*dev_lane=*/1 + d,
+          *tb.lane_stacks_.back()));
+    }
+    auto striped = std::make_unique<hostif::StripedStack>(
+        tb.psim_->lane(0), std::move(proxies));
+    tb.striped_ = striped.get();
+    tb.stack_ = std::move(striped);
+    for (std::uint32_t d = 0; d < num_devices_; ++d) {
+      tb.lane_views_.push_back(std::make_unique<hostif::StripeLaneView>(
+          dev_sim(d), *tb.lane_stacks_[d], tb.striped_->map(), d,
+          tb.striped_->info()));
+    }
+  } else if (tb.zns_devs_.size() > 1) {
     std::vector<std::unique_ptr<hostif::Stack>> lanes;
     lanes.reserve(tb.zns_devs_.size());
     for (auto& dev : tb.zns_devs_) {
@@ -457,14 +751,13 @@ Testbed TestbedBuilder::Build() {
   if (retry_policy_.has_value() || fspec.enabled) {
     tb.inner_stack_ = std::move(tb.stack_);
     auto resilient = std::make_unique<hostif::ResilientStack>(
-        *tb.sim_, *tb.inner_stack_,
+        host_sim(), *tb.inner_stack_,
         retry_policy_.value_or(hostif::RetryPolicy{}));
     tb.resilient_ = resilient.get();
     tb.stack_ = std::move(resilient);
   }
 
   // Telemetry: explicit config wins; otherwise the bench flags decide.
-  harness::BenchEnv& env = harness::BenchEnv::Get();
   sim::Time sample_interval = sim::Milliseconds(100);
   if (telem_cfg_.has_value()) {
     tb.telem_ = std::make_unique<telemetry::Telemetry>();
@@ -511,31 +804,105 @@ Testbed TestbedBuilder::Build() {
     tb.telem_->set_timeline_label(
         telem_cfg_.has_value() ? tb.label_
                                : env.UniqueTimelineLabel(tb.label_));
-    for (std::size_t d = 0; d < tb.zns_devs_.size(); ++d) {
-      tb.zns_devs_[d]->AttachTelemetry(tb.telem_.get(),
-                                       static_cast<std::uint32_t>(d));
+    if (parallel) {
+      // Each lane buffers its telemetry privately during the run (a
+      // shared sink or writer would interleave nondeterministically and
+      // race); Finish replays the buffers into the real outputs in lane
+      // order. Trace ids get per-lane namespaces so ids allocated
+      // concurrently never collide — and never depend on interleaving.
+      const std::uint64_t ns_base = (NextParallelEpoch() & 0xFFFFull) << 48;
+      tb.telem_->tracer().SetIdNamespace(ns_base | (1ull << 40));
+      if (tb.telem_->tracer().sink() != nullptr) {
+        tb.final_sink_ = tb.telem_->tracer().sink();
+        tb.final_sink_owned_ = tb.telem_->TakeOwnedSink();
+        auto shard = std::make_unique<telemetry::ShardSink>();
+        tb.coord_shard_ = shard.get();
+        tb.telem_->SetSink(std::move(shard));
+      }
+      if (tb.telem_->timeline() != nullptr) {
+        tb.final_timeline_ = tb.telem_->timeline();
+        tb.final_timeline_owned_ = tb.telem_->TakeOwnedTimeline();
+        tb.lane_tl_captures_.push_back(std::make_unique<std::string>());
+        auto w = std::make_unique<telemetry::TimelineWriter>(
+            tb.lane_tl_captures_.back().get());
+        w->set_die_merge_gap_ns(tb.final_timeline_->die_merge_gap_ns());
+        tb.telem_->SetTimeline(std::move(w));
+      }
+      for (std::uint32_t d = 0; d < num_devices_; ++d) {
+        auto lt = std::make_unique<telemetry::Telemetry>();
+        lt->tracer().SetIdNamespace(ns_base | ((2ull + d) << 40));
+        lt->set_timeline_label(tb.telem_->timeline_label() + "/lane" +
+                               std::to_string(d));
+        if (tb.final_sink_ != nullptr) {
+          auto shard = std::make_unique<telemetry::ShardSink>();
+          tb.lane_shards_.push_back(shard.get());
+          lt->SetSink(std::move(shard));
+        }
+        if (tb.final_timeline_ != nullptr) {
+          tb.lane_tl_captures_.push_back(std::make_unique<std::string>());
+          auto w = std::make_unique<telemetry::TimelineWriter>(
+              tb.lane_tl_captures_.back().get());
+          w->set_die_merge_gap_ns(tb.final_timeline_->die_merge_gap_ns());
+          lt->SetTimeline(std::move(w));
+        }
+        tb.lane_telems_.push_back(std::move(lt));
+      }
+      for (std::uint32_t d = 0; d < num_devices_; ++d) {
+        tb.zns_devs_[d]->AttachTelemetry(tb.lane_telems_[d].get(), d);
+        tb.lane_stacks_[d]->AttachTelemetry(tb.lane_telems_[d].get());
+        tb.lane_views_[d]->AttachTelemetry(tb.lane_telems_[d].get());
+      }
+    } else {
+      for (std::size_t d = 0; d < tb.zns_devs_.size(); ++d) {
+        tb.zns_devs_[d]->AttachTelemetry(tb.telem_.get(),
+                                         static_cast<std::uint32_t>(d));
+      }
+      if (tb.conv_ != nullptr) tb.conv_->AttachTelemetry(tb.telem_.get());
     }
-    if (tb.conv_ != nullptr) tb.conv_->AttachTelemetry(tb.telem_.get());
     tb.stack_->AttachTelemetry(tb.telem_.get());
     if (tb.telem_->timeline() != nullptr) {
       tb.sampler_ = std::make_unique<telemetry::MetricSampler>(
-          *tb.sim_, tb.telem_->metrics(), *tb.telem_->timeline(),
+          host_sim(), tb.telem_->metrics(), *tb.telem_->timeline(),
           sample_interval, tb.telem_->timeline_label());
       // The refresh hook re-exports batch counters before each sample so
       // deltas reflect live device state, not the last TakeSnapshot().
       // Captures raw layer pointers (stable), never &tb (Testbed moves).
+      // Under the parallel engine the coordinator's hook reads ONLY
+      // coordinator-lane state (stripe proxies, retry layer): device and
+      // fault counters mutate concurrently in other lanes and are
+      // sampled by the per-lane hooks below instead.
       LayerPtrs layers;
-      layers.zns.reserve(tb.zns_devs_.size());
-      for (const auto& dev : tb.zns_devs_) layers.zns.push_back(dev.get());
-      layers.conv = tb.conv_.get();
+      if (!parallel) {
+        layers.zns.reserve(tb.zns_devs_.size());
+        for (const auto& dev : tb.zns_devs_) layers.zns.push_back(dev.get());
+        layers.conv = tb.conv_.get();
+        layers.faults = tb.faults_.get();
+      }
       layers.kernel = tb.kernel_;
       layers.striped = tb.striped_;
-      layers.faults = tb.faults_.get();
       layers.resilient = tb.resilient_;
       telemetry::MetricsRegistry* m = &tb.telem_->metrics();
       tb.sampler_->SetRefresh([layers, m] {
         DescribeLayers(layers, *m, /*per_lane=*/true);
       });
+      if (parallel) {
+        for (std::uint32_t d = 0; d < num_devices_; ++d) {
+          telemetry::Telemetry& lt = *tb.lane_telems_[d];
+          auto s = std::make_unique<telemetry::MetricSampler>(
+              dev_sim(d), lt.metrics(), *lt.timeline(), sample_interval,
+              lt.timeline_label());
+          zns::ZnsDevice* dev = tb.zns_devs_[d].get();
+          fault::FaultPlan* fp =
+              d < tb.lane_faults_.size() ? tb.lane_faults_[d].get() : nullptr;
+          telemetry::MetricsRegistry* lm = &lt.metrics();
+          s->SetRefresh([dev, fp, lm] {
+            dev->counters().Describe(*lm);
+            if (dev->flash() != nullptr) dev->flash()->counters().Describe(*lm);
+            if (fp != nullptr) fp->counters().Describe(*lm);
+          });
+          tb.lane_samplers_.push_back(std::move(s));
+        }
+      }
     }
   }
   return tb;

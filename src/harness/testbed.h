@@ -21,6 +21,15 @@
 // --trace=FILE / --metrics=FILE gets tracing on every testbed it builds,
 // all sharing one JSONL sink, with per-testbed metrics snapshots written
 // at exit.
+//
+// Parallel engine: .WithSimThreads(n) (or the --sim-threads=N flag) runs
+// a multi-device ZNS testbed on sim::ParallelSimulator — lane 0 hosts
+// the coordinator (StripedStack over MailboxStack proxies, ResilientStack,
+// rate-limited/broadcast workload workers), lanes 1..n each own one
+// device plus its host-stack slice, and workload workers whose zones all
+// live on one device run inside that device's lane against a
+// StripeLaneView (hostif/lane_stacks.h). Output — results, trace,
+// timeline, metrics — is byte-identical for every n >= 1 (DESIGN.md §12).
 #pragma once
 
 #include <cstdint>
@@ -32,15 +41,18 @@
 #include "fault/fault_plan.h"
 #include "ftl/conv_device.h"
 #include "hostif/kernel_stack.h"
+#include "hostif/lane_stacks.h"
 #include "hostif/resilient_stack.h"
 #include "hostif/stack.h"
 #include "hostif/stack_factory.h"
 #include "hostif/striped_stack.h"
 #include "nvme/log_page.h"
+#include "sim/parallel_sim.h"
 #include "sim/simulator.h"
 #include "telemetry/sampler.h"
 #include "telemetry/telemetry.h"
 #include "workload/job.h"
+#include "workload/runner.h"
 #include "zns/profile.h"
 #include "zns/zns_device.h"
 
@@ -83,8 +95,15 @@ class Testbed {
   Testbed& operator=(Testbed&&) = default;
   ~Testbed();
 
-  sim::Simulator& sim() { return *sim_; }
+  /// The host-side simulator: the only one in classic mode, the
+  /// coordinator lane under the parallel engine.
+  sim::Simulator& sim() { return psim_ != nullptr ? psim_->lane(0) : *sim_; }
   hostif::Stack& stack() { return *stack_; }
+  /// The parallel engine; null in classic (single-simulator) mode.
+  sim::ParallelSimulator* parallel_sim() { return psim_.get(); }
+  /// Resolved worker-thread count for the parallel engine (>= 1), or 0
+  /// in classic mode.
+  int sim_threads() const { return sim_threads_; }
   /// Device 0 as its generic NVMe face (the only device unless
   /// WithDevices(n > 1) was used).
   nvme::Controller& controller();
@@ -106,8 +125,25 @@ class Testbed {
   /// The periodic timeline sampler; null unless a timeline is configured
   /// (TelemetryConfig::timeline_* or the --timeline flag).
   telemetry::MetricSampler* sampler() { return sampler_.get(); }
-  /// The injected fault plan; null when faults are disabled.
+  /// The injected fault plan; null when faults are disabled. Under the
+  /// parallel engine faults are per-device plans instead (a shared plan's
+  /// RNG would race across lanes) — this stays null; see lane_faults().
   fault::FaultPlan* faults() { return faults_.get(); }
+  /// Device d's private fault plan (parallel mode with faults enabled;
+  /// null otherwise).
+  fault::FaultPlan* lane_faults(std::size_t d) {
+    return d < lane_faults_.size() ? lane_faults_[d].get() : nullptr;
+  }
+  /// Device d's lane-side view of the logical namespace (parallel mode
+  /// only; null otherwise). Sharded workload workers submit here.
+  hostif::StripeLaneView* lane_view(std::size_t d) {
+    return d < lane_views_.size() ? lane_views_[d].get() : nullptr;
+  }
+  /// Device d's lane-local telemetry bundle (parallel mode with
+  /// telemetry; null otherwise).
+  telemetry::Telemetry* lane_telemetry(std::size_t d) {
+    return d < lane_telems_.size() ? lane_telems_[d].get() : nullptr;
+  }
   /// The host retry layer; null unless faults or WithRetryPolicy enabled
   /// it. When non-null, stack() IS this wrapper.
   hostif::ResilientStack* resilient() { return resilient_; }
@@ -159,10 +195,29 @@ class Testbed {
   friend class TestbedBuilder;
   Testbed() = default;
 
-  std::unique_ptr<sim::Simulator> sim_;
+  // Member order is destruction order in reverse: simulators outlive
+  // telemetry, telemetry outlives devices, devices outlive the stacks
+  // built over them, stacks outlive the views built over *them*.
+  std::unique_ptr<sim::Simulator> sim_;  // null under the parallel engine
+  std::unique_ptr<sim::ParallelSimulator> psim_;  // null in classic mode
+  /// In parallel mode, the real (file/ring/shared) sink and timeline
+  /// that lane shards replay into at Finish; the bundles themselves hold
+  /// per-lane ShardSinks / capture writers during the run.
+  std::unique_ptr<telemetry::TraceSink> final_sink_owned_;
+  std::unique_ptr<telemetry::TimelineWriter> final_timeline_owned_;
+  telemetry::TraceSink* final_sink_ = nullptr;
+  telemetry::TimelineWriter* final_timeline_ = nullptr;
+  /// Capture targets for the per-lane timeline writers (heap-allocated so
+  /// the writers' pointers survive Testbed moves). [0] = coordinator.
+  std::vector<std::unique_ptr<std::string>> lane_tl_captures_;
   std::unique_ptr<telemetry::Telemetry> telem_;
+  /// Per-device-lane telemetry bundles (parallel mode with telemetry).
+  std::vector<std::unique_ptr<telemetry::Telemetry>> lane_telems_;
   std::unique_ptr<telemetry::MetricSampler> sampler_;
+  std::vector<std::unique_ptr<telemetry::MetricSampler>> lane_samplers_;
   std::unique_ptr<fault::FaultPlan> faults_;
+  /// Per-device fault plans (parallel mode; faults_ stays null there).
+  std::vector<std::unique_ptr<fault::FaultPlan>> lane_faults_;
   /// The ZNS device set: exactly one unless built WithDevices(n > 1);
   /// empty for conventional testbeds.
   std::vector<std::unique_ptr<zns::ZnsDevice>> zns_devs_;
@@ -171,15 +226,34 @@ class Testbed {
   /// then); empty otherwise.
   std::unique_ptr<hostif::Stack> inner_stack_;
   std::unique_ptr<hostif::Stack> stack_;
+  /// Parallel mode: device d's real host stack (lives in lane d+1; the
+  /// coordinator's StripedStack holds MailboxStack proxies to these) and
+  /// the lane-side logical view sharded workers submit to.
+  std::vector<std::unique_ptr<hostif::Stack>> lane_stacks_;
+  std::vector<std::unique_ptr<hostif::StripeLaneView>> lane_views_;
   hostif::ResilientStack* resilient_ = nullptr;
   hostif::KernelStack* kernel_ = nullptr;
   hostif::StripedStack* striped_ = nullptr;  // owned via stack_/inner_stack_
-  telemetry::RingBufferSink* ring_ = nullptr;  // owned by telem_
+  telemetry::RingBufferSink* ring_ = nullptr;  // owned by telem_ (classic)
+                                               // or final_sink_owned_
+  telemetry::ShardSink* coord_shard_ = nullptr;      // owned by telem_
+  std::vector<telemetry::ShardSink*> lane_shards_;   // owned by lane_telems_
   std::string label_;
   std::string metrics_path_;
+  int sim_threads_ = 0;
+  bool lanes_merged_ = false;
   bool report_to_env_ = false;
   bool logpages_to_env_ = false;
   bool finished_ = false;
+
+  workload::JobResult RunSharded(const workload::JobSpec& spec);
+  std::vector<std::unique_ptr<workload::Job>> StartSharded(
+      const workload::JobSpec& spec);
+  workload::JobResult JoinSharded(
+      std::vector<std::unique_ptr<workload::Job>>& parts);
+  hostif::StripeStats CombinedStripeStats() const;
+  void MergeLaneTelemetry();
+  void EnsureSamplersRunning();
 };
 
 class TestbedBuilder {
@@ -215,6 +289,17 @@ class TestbedBuilder {
   /// Wraps the host stack in a hostif::ResilientStack with this policy
   /// (retries, backoff, per-attempt timeout).
   TestbedBuilder& WithRetryPolicy(const hostif::RetryPolicy& policy);
+  /// Runs the simulation on the parallel per-device-lane engine with n
+  /// worker threads (n >= 1; n = 1 executes the identical window
+  /// schedule serially, so output is byte-identical for every n).
+  /// Overrides the --sim-threads flag, which otherwise applies. Only
+  /// effective on multi-device ZNS testbeds; single-device and
+  /// conventional testbeds always use the classic engine.
+  TestbedBuilder& WithSimThreads(int n);
+  /// The virtual-time host<->device interconnect hop charged to each
+  /// cross-lane message under the parallel engine — also the engine's
+  /// conservative-synchronization lookahead. Default 250 ns.
+  TestbedBuilder& WithLookahead(sim::Time hop);
 
   Testbed Build();
 
@@ -228,6 +313,8 @@ class TestbedBuilder {
   std::optional<TelemetryConfig> telem_cfg_;
   std::optional<fault::FaultSpec> fault_spec_;
   std::optional<hostif::RetryPolicy> retry_policy_;
+  std::optional<int> sim_threads_;
+  sim::Time lookahead_ = 250;  // ns
   std::string label_;
 };
 

@@ -75,7 +75,7 @@ class KernelStack : public Stack {
   sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
     telemetry::Tracer* tr = trace();
     if (tr != nullptr && cmd.trace_id == 0) {
-      cmd.trace_id = telemetry::Tracer::NextCmdId();
+      cmd.trace_id = tr->NextId();
     }
     sim::Time start = sim_.now();
     sim::Time overhead =
@@ -193,7 +193,7 @@ class KernelStack : public Stack {
     if (telemetry::Tracer* tr = trace(); tr != nullptr) {
       // The merged request is a new device-visible command; give it its
       // own id so device spans aren't misattributed to the head write.
-      merged.trace_id = telemetry::Tracer::NextCmdId();
+      merged.trace_id = tr->NextId();
       tr->Instant(sim_.now(), merged.trace_id, telemetry::Layer::kHost,
                   "sched.dispatch", static_cast<std::int64_t>(zid),
                   static_cast<std::int64_t>(batch.size()));

@@ -32,7 +32,7 @@ class PsyncStack : public Stack {
   sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
     telemetry::Tracer* tr = trace();
     if (tr != nullptr && cmd.trace_id == 0) {
-      cmd.trace_id = telemetry::Tracer::NextCmdId();
+      cmd.trace_id = tr->NextId();
     }
     sim::Time start = sim_.now();
     // Syscall entry + kernel block layer on the way down...

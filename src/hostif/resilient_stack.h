@@ -172,7 +172,7 @@ class ResilientStack : public Stack {
     if (tr != nullptr && cmd.trace_id == 0) {
       // One id for the whole command: every attempt's device spans and the
       // retry spans below correlate under it.
-      cmd.trace_id = telemetry::Tracer::NextCmdId();
+      cmd.trace_id = tr->NextId();
     }
     const sim::Time start = sim_.now();
     stats_.commands++;

@@ -31,7 +31,7 @@ class SpdkStack : public Stack {
   sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
     telemetry::Tracer* tr = trace();
     if (tr != nullptr && cmd.trace_id == 0) {
-      cmd.trace_id = telemetry::Tracer::NextCmdId();
+      cmd.trace_id = tr->NextId();
     }
     sim::Time start = sim_.now();
     co_await sim_.Delay(costs_.submit);

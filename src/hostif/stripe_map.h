@@ -1,0 +1,47 @@
+// The zone-granular RAID-0 address map shared by every striping layer.
+//
+// StripedStack (the classic single-simulator scale-out), MailboxStack
+// and StripeLaneView (the parallel-engine split of the same namespace)
+// must all agree on how logical zones land on devices — extracting the
+// arithmetic into one value type keeps them provably consistent:
+//
+//   logical zone z  ->  device z % N, device zone z / N
+#pragma once
+
+#include <cstdint>
+
+#include "nvme/types.h"
+
+namespace zstor::hostif {
+
+struct StripeMap {
+  std::uint64_t zone_size_lbas = 0;
+  std::uint32_t num_devices = 1;
+
+  std::uint32_t LogicalZoneOf(nvme::Lba lba) const {
+    return static_cast<std::uint32_t>(lba / zone_size_lbas);
+  }
+  /// Device index serving logical zone `lz`.
+  std::uint32_t DeviceOf(std::uint32_t lz) const { return lz % num_devices; }
+  /// The zone index `lz` maps to on its device.
+  std::uint32_t DeviceZoneOf(std::uint32_t lz) const {
+    return lz / num_devices;
+  }
+  /// Logical LBA -> LBA in DeviceOf(zone)'s address space.
+  nvme::Lba ToDeviceLba(nvme::Lba logical) const {
+    const std::uint32_t lz = LogicalZoneOf(logical);
+    const nvme::Lba offset = logical - nvme::Lba{lz} * zone_size_lbas;
+    return nvme::Lba{DeviceZoneOf(lz)} * zone_size_lbas + offset;
+  }
+  /// Device-space LBA on device `d` -> logical LBA (inverse of the
+  /// above; used to translate append result LBAs and report entries).
+  nvme::Lba ToLogicalLba(std::uint32_t d, nvme::Lba device_lba) const {
+    const std::uint32_t dz =
+        static_cast<std::uint32_t>(device_lba / zone_size_lbas);
+    const nvme::Lba offset = device_lba - nvme::Lba{dz} * zone_size_lbas;
+    const std::uint32_t lz = dz * num_devices + d;
+    return nvme::Lba{lz} * zone_size_lbas + offset;
+  }
+};
+
+}  // namespace zstor::hostif

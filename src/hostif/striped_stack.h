@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "hostif/stack.h"
+#include "hostif/stripe_map.h"
 #include "nvme/types.h"
 #include "sim/check.h"
 #include "sim/simulator.h"
@@ -116,13 +117,15 @@ class StripedStack : public Stack {
       info_.max_open_zones += ni.max_open_zones;
       info_.max_active_zones += ni.max_active_zones;
     }
+    map_ = StripeMap{first.zone_size_lbas,
+                     static_cast<std::uint32_t>(lanes_.size())};
     stats_.lanes.resize(lanes_.size());
   }
 
   sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
     telemetry::Tracer* tr = trace();
     if (tr != nullptr && cmd.trace_id == 0) {
-      cmd.trace_id = telemetry::Tracer::NextCmdId();
+      cmd.trace_id = tr->NextId();
     }
     switch (cmd.opcode) {
       case nvme::Opcode::kFlush:
@@ -149,34 +152,27 @@ class StripedStack : public Stack {
   const Stack& lane(std::size_t d) const { return *lanes_[d]; }
   const StripeStats& stats() const { return stats_; }
 
-  // --- the address map, exposed for tests and the Testbed ---
+  // --- the address map (stripe_map.h), exposed for tests and the
+  // Testbed; the parallel engine's StripeLaneView shares the same math.
 
+  const StripeMap& map() const { return map_; }
   std::uint32_t LogicalZoneOf(nvme::Lba lba) const {
-    return static_cast<std::uint32_t>(lba / info_.zone_size_lbas);
+    return map_.LogicalZoneOf(lba);
   }
   /// Device index serving logical zone `lz`.
-  std::uint32_t DeviceOf(std::uint32_t lz) const {
-    return lz % static_cast<std::uint32_t>(lanes_.size());
-  }
+  std::uint32_t DeviceOf(std::uint32_t lz) const { return map_.DeviceOf(lz); }
   /// The zone index `lz` maps to on its device.
   std::uint32_t DeviceZoneOf(std::uint32_t lz) const {
-    return lz / static_cast<std::uint32_t>(lanes_.size());
+    return map_.DeviceZoneOf(lz);
   }
   /// Logical LBA -> LBA in DeviceOf(zone)'s address space.
   nvme::Lba ToDeviceLba(nvme::Lba logical) const {
-    const std::uint32_t lz = LogicalZoneOf(logical);
-    const nvme::Lba offset = logical - nvme::Lba{lz} * info_.zone_size_lbas;
-    return nvme::Lba{DeviceZoneOf(lz)} * info_.zone_size_lbas + offset;
+    return map_.ToDeviceLba(logical);
   }
   /// Device-space LBA on device `d` -> logical LBA (inverse of the above;
   /// used to translate append result LBAs and report entries back).
   nvme::Lba ToLogicalLba(std::uint32_t d, nvme::Lba device_lba) const {
-    const std::uint32_t dz =
-        static_cast<std::uint32_t>(device_lba / info_.zone_size_lbas);
-    const nvme::Lba offset = device_lba - nvme::Lba{dz} * info_.zone_size_lbas;
-    const std::uint32_t lz =
-        dz * static_cast<std::uint32_t>(lanes_.size()) + d;
-    return nvme::Lba{lz} * info_.zone_size_lbas + offset;
+    return map_.ToLogicalLba(d, device_lba);
   }
 
  private:
@@ -303,6 +299,7 @@ class StripedStack : public Stack {
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<Stack>> lanes_;
   nvme::NamespaceInfo info_;
+  StripeMap map_;
   StripeStats stats_;
 };
 

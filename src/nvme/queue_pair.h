@@ -46,7 +46,7 @@ class QueuePair {
     telemetry::Tracer* tr =
         telem_ != nullptr ? &telem_->tracer() : nullptr;
     if (tr != nullptr && cmd.trace_id == 0) {
-      cmd.trace_id = telemetry::Tracer::NextCmdId();
+      cmd.trace_id = tr->NextId();
     }
     sim::Time enqueued = sim_.now();
     co_await slots_.Acquire();

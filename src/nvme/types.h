@@ -138,7 +138,7 @@ struct Command {
   std::uint32_t report_max = 0;
   /// Telemetry correlation id threading the command through every layer's
   /// trace spans. 0 = unassigned; the queue pair assigns one on issue if
-  /// the host stack hasn't already (telemetry::Tracer::NextCmdId()).
+  /// the host stack hasn't already (telemetry::Tracer::NextId()).
   std::uint64_t trace_id = 0;
   /// End-to-end data-integrity tag (0 = untagged, the default: zero
   /// overhead). On writes/appends, LBA i of the command stores tag

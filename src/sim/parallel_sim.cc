@@ -1,0 +1,160 @@
+#include "sim/parallel_sim.h"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+
+#include "sim/check.h"
+
+namespace zstor::sim {
+
+ParallelSimulator::ParallelSimulator(std::uint32_t num_lanes, Time lookahead)
+    : lookahead_(lookahead),
+      channels_(static_cast<std::size_t>(num_lanes) * num_lanes),
+      scratch_(num_lanes),
+      spontaneous_(num_lanes, false),
+      owed_(new std::atomic<std::int64_t>[num_lanes]) {
+  ZSTOR_CHECK_MSG(num_lanes >= 1, "need at least one lane");
+  ZSTOR_CHECK_MSG(lookahead >= 1, "zero lookahead admits no parallelism");
+  lanes_.reserve(num_lanes);
+  for (std::uint32_t i = 0; i < num_lanes; ++i) {
+    lanes_.push_back(std::make_unique<Simulator>());
+    owed_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void ParallelSimulator::Post(std::uint32_t src, std::uint32_t dst,
+                             Time deliver_at, MsgKind kind, EventFn fn) {
+  ZSTOR_CHECK(src < num_lanes() && dst < num_lanes() && src != dst);
+  ZSTOR_CHECK_MSG(deliver_at >= lanes_[src]->now() + lookahead_,
+                  "cross-lane message under the interconnect lookahead");
+  ZSTOR_CHECK_MSG(!unbounded_window_.load(std::memory_order_relaxed),
+                  "cross-lane Post during an unbounded window — the sender "
+                  "must be spontaneous or owe a reply");
+  Channel& c = chan(src, dst);
+  c.msgs.push_back(Msg{deliver_at, src, c.next_seq++, std::move(fn)});
+  if (kind == MsgKind::kRequest) {
+    owed_[dst].fetch_add(1, std::memory_order_relaxed);
+  } else if (kind == MsgKind::kReply) {
+    std::int64_t prev = owed_[src].fetch_sub(1, std::memory_order_relaxed);
+    ZSTOR_CHECK_MSG(prev > 0, "kReply without a matching kRequest");
+  }
+  messages_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ParallelSimulator::DrainInto(std::uint32_t dst) {
+  std::vector<Msg>& staged = scratch_[dst];
+  staged.clear();
+  for (std::uint32_t src = 0; src < num_lanes(); ++src) {
+    Channel& c = chan(src, dst);
+    for (Msg& m : c.msgs) staged.push_back(std::move(m));
+    c.msgs.clear();
+  }
+  if (staged.empty()) return;
+  // Total order on same-destination messages: (time, lane, seq). The
+  // receiving simulator assigns monotonically increasing event seqs in
+  // this order, so same-time deliveries fire exactly in it.
+  std::sort(staged.begin(), staged.end(), [](const Msg& a, const Msg& b) {
+    if (a.deliver_at != b.deliver_at) return a.deliver_at < b.deliver_at;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  Simulator& s = *lanes_[dst];
+  for (Msg& m : staged) {
+    ZSTOR_CHECK_MSG(m.deliver_at >= s.now(),
+                    "message delivery behind the destination lane's clock");
+    s.ScheduleAt(m.deliver_at, std::move(m.fn));
+  }
+  staged.clear();
+}
+
+ParallelSimulator::Plan ParallelSimulator::MakePlan() {
+  bool all_idle = true;
+  Time horizon = kNever;
+  for (std::uint32_t l = 0; l < num_lanes(); ++l) {
+    Simulator& s = *lanes_[l];
+    bool owes = owed_[l].load(std::memory_order_relaxed) > 0;
+    if (s.idle()) {
+      ZSTOR_CHECK_MSG(!owes,
+                      "lane owes a cross-lane reply but has no events "
+                      "(protocol deadlock)");
+      continue;
+    }
+    all_idle = false;
+    if (owes || spontaneous_[l]) {
+      Time h = s.next_event_time() + lookahead_;
+      horizon = std::min(horizon, h);
+    }
+  }
+  if (all_idle) return Plan{true, kNever};
+  ++windows_;
+  unbounded_window_.store(horizon == kNever, std::memory_order_relaxed);
+  return Plan{false, horizon};
+}
+
+std::uint64_t ParallelSimulator::RunSerial() {
+  std::uint64_t total = 0;
+  for (;;) {
+    for (std::uint32_t l = 0; l < num_lanes(); ++l) DrainInto(l);
+    Plan p = MakePlan();
+    if (p.done) break;
+    for (std::uint32_t l = 0; l < num_lanes(); ++l) {
+      total += p.horizon == kNever ? lanes_[l]->Run()
+                                   : lanes_[l]->RunUntil(p.horizon);
+    }
+  }
+  return total;
+}
+
+std::uint64_t ParallelSimulator::RunThreaded(unsigned threads) {
+  const unsigned T = threads;
+  Plan plan{false, 0};
+  // Drained channels and lane heaps are read by the planner at this
+  // barrier; the barrier's arrive/wait edges provide the only
+  // synchronization the plain-vector mailboxes need.
+  std::barrier plan_barrier(T, [this, &plan]() noexcept { plan = MakePlan(); });
+  std::barrier window_barrier(static_cast<std::ptrdiff_t>(T));
+  std::atomic<std::uint64_t> total{0};
+
+  auto worker = [&](unsigned w) {
+    std::uint64_t local = 0;
+    for (;;) {
+      for (std::uint32_t l = w; l < num_lanes(); l += T) DrainInto(l);
+      plan_barrier.arrive_and_wait();
+      if (plan.done) break;
+      for (std::uint32_t l = w; l < num_lanes(); l += T) {
+        local += plan.horizon == kNever ? lanes_[l]->Run()
+                                        : lanes_[l]->RunUntil(plan.horizon);
+      }
+      window_barrier.arrive_and_wait();
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(T - 1);
+  for (unsigned w = 1; w < T; ++w) pool.emplace_back(worker, w);
+  worker(0);
+  for (std::thread& t : pool) t.join();
+  return total.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ParallelSimulator::Run(unsigned threads) {
+  unsigned T = std::clamp(threads, 1u, num_lanes());
+  std::uint64_t n = T == 1 ? RunSerial() : RunThreaded(T);
+  unbounded_window_.store(false, std::memory_order_relaxed);
+  // Realign lane clocks at quiescence: an unbounded window lets lanes
+  // finish at different virtual times, and a later Run posting across
+  // lanes must never deliver behind a receiver's clock. The maximum is
+  // thread-count independent, so this keeps runs deterministic too.
+  Time latest = 0;
+  for (std::uint32_t l = 0; l < num_lanes(); ++l) {
+    ZSTOR_CHECK(owed_[l].load(std::memory_order_relaxed) == 0);
+    ZSTOR_CHECK(lanes_[l]->idle());
+    latest = std::max(latest, lanes_[l]->now());
+  }
+  for (std::uint32_t l = 0; l < num_lanes(); ++l) lanes_[l]->RunUntil(latest);
+  return n;
+}
+
+}  // namespace zstor::sim

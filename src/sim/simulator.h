@@ -143,6 +143,15 @@ class Simulator {
   bool idle() const { return ready_count_ == 0 && heap_size_ == 0; }
   std::size_t pending_events() const { return ready_count_ + heap_size_; }
 
+  /// Timestamp of the earliest pending event: now() when a same-time
+  /// ready event exists, the heap minimum otherwise. The conservative
+  /// window planner (parallel_sim.h) uses this as each lane's earliest
+  /// possible send time. Callers must check idle() first.
+  Time next_event_time() const {
+    ZSTOR_CHECK(!idle());
+    return ready_count_ != 0 ? now_ : KeyTime(keys_[0]);
+  }
+
  private:
   // Heap ordering key: virtual time in the high 64 bits, the global
   // sequence number in the low 64. One unsigned 128-bit compare is

@@ -168,6 +168,14 @@ void TimeSeries::Record(Time when, double amount) {
   bins_[bin] += amount;
 }
 
+void TimeSeries::Merge(const TimeSeries& other) {
+  ZSTOR_CHECK(bin_width_ == other.bin_width_);
+  if (other.bins_.size() > bins_.size()) bins_.resize(other.bins_.size(), 0.0);
+  for (std::size_t i = 0; i < other.bins_.size(); ++i) {
+    bins_[i] += other.bins_[i];
+  }
+}
+
 double TimeSeries::BinRate(std::size_t i) const {
   return bins_[i] / ToSeconds(bin_width_);
 }

@@ -126,6 +126,11 @@ class TimeSeries {
   /// Per-second rates for all complete-or-not bins.
   std::vector<double> Rates() const;
 
+  /// Adds another series bin-wise (bin widths must match). Bins are an
+  /// order-insensitive sum, so merging per-shard series reproduces the
+  /// single-collector series exactly.
+  void Merge(const TimeSeries& other);
+
   /// Moments over the per-bin rates, optionally skipping warmup bins.
   Welford RateMoments(std::size_t skip_bins = 0) const;
 

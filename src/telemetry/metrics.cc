@@ -37,6 +37,22 @@ sim::LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
   return *Lookup(name, Kind::kHistogram).histogram;
 }
 
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, e] : other.entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        GetCounter(name).Add(e.counter->value());
+        break;
+      case Kind::kGauge:
+        GetGauge(name).Set(e.gauge->value());
+        break;
+      case Kind::kHistogram:
+        GetHistogram(name).Merge(*e.histogram);
+        break;
+    }
+  }
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   Snapshot snap;
   snap.metrics.reserve(entries_.size());

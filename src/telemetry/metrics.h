@@ -49,6 +49,13 @@ class MetricsRegistry {
   Gauge& GetGauge(const std::string& name);
   sim::LatencyHistogram& GetHistogram(const std::string& name);
 
+  /// Folds another registry into this one: counters add, gauges take the
+  /// other's value (last-writer-wins, matching Describe semantics),
+  /// histograms merge. The parallel Testbed gives each device lane its
+  /// own registry and folds them into the coordinator's at Finish, in
+  /// lane order, so the merged snapshot is thread-count independent.
+  void MergeFrom(const MetricsRegistry& other);
+
   struct Snapshot;
   Snapshot TakeSnapshot() const;
   /// Like TakeSnapshot(), but histogram entries carry *interval* stats —

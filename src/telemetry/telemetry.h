@@ -35,6 +35,11 @@ class Telemetry {
     owned_sink_.reset();
     tracer_.SetSink(sink);
   }
+  /// Detaches and returns the owned sink (null when the sink is external
+  /// or absent). The tracer keeps pointing at the detached object, so the
+  /// caller must install a replacement next. The parallel Testbed uses
+  /// this to interpose a per-lane ShardSink in front of the real sink.
+  std::unique_ptr<TraceSink> TakeOwnedSink() { return std::move(owned_sink_); }
 
   /// The timeline stream for state-change records (zone lifecycle, die
   /// busy windows, GC/reset/fault windows); null means "no timeline" and
@@ -54,6 +59,12 @@ class Telemetry {
   void SetExternalTimeline(TimelineWriter* writer) {
     owned_timeline_.reset();
     timeline_ = writer;
+  }
+  /// Detaches and returns the owned timeline writer (null when external
+  /// or absent); timeline() keeps pointing at the detached object until
+  /// the caller installs a replacement (same contract as TakeOwnedSink).
+  std::unique_ptr<TimelineWriter> TakeOwnedTimeline() {
+    return std::move(owned_timeline_);
   }
 
   void Flush() {

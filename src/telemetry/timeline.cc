@@ -29,6 +29,19 @@ sim::Time TimelineWriter::DefaultMergeGap(sim::Time sample_interval) {
                                sim::Milliseconds(5));
 }
 
+void TimelineWriter::AppendRaw(const std::string& chunk) {
+  if (chunk.empty()) return;
+  if (capture_ != nullptr) {
+    *capture_ += chunk;
+  } else if (file_ != nullptr) {
+    std::fwrite(chunk.data(), 1, chunk.size(), file_);
+  } else {
+    return;
+  }
+  written_ += static_cast<std::uint64_t>(
+      std::count(chunk.begin(), chunk.end(), '\n'));
+}
+
 void TimelineWriter::WriteLine(const std::string& line) {
   if (capture_ != nullptr) {
     *capture_ += line;

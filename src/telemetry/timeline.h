@@ -86,6 +86,13 @@ class TimelineWriter {
               std::uint32_t lane, const char* kind, std::int64_t a = 0,
               std::int64_t b = 0);
 
+  /// Appends pre-rendered record lines verbatim (a chunk of whole
+  /// "...\n"-terminated lines). The parallel engine points each lane's
+  /// telemetry at a capture-mode writer and concatenates the captures
+  /// into the real writer in lane order at flush, which keeps the merged
+  /// stream deterministic for any thread count.
+  void AppendRaw(const std::string& chunk);
+
  private:
   void WriteLine(const std::string& line);
 

@@ -125,8 +125,51 @@ class Tracer {
   /// from concurrent testbeds never collide in a shared sink). Never 0.
   static std::uint64_t NextCmdId();
 
+  /// Allocates a command trace id from this tracer. By default delegates
+  /// to the process-wide NextCmdId(); after SetIdNamespace the tracer
+  /// hands out `base + n` from a private counter instead. Never 0.
+  std::uint64_t NextId() {
+    if (id_base_ == 0) return NextCmdId();
+    return id_base_ + ++id_next_;
+  }
+
+  /// Puts this tracer in namespaced-id mode. The parallel engine gives
+  /// every lane's tracer a disjoint `base` so ids stay unique without a
+  /// shared atomic — the per-lane counters make id assignment (and thus
+  /// trace bytes) deterministic for any thread count, which the global
+  /// atomic could not be.
+  void SetIdNamespace(std::uint64_t base) {
+    id_base_ = base;
+    id_next_ = 0;
+  }
+
  private:
   TraceSink* sink_ = nullptr;
+  std::uint64_t id_base_ = 0;
+  std::uint64_t id_next_ = 0;
+};
+
+/// Buffers every event in arrival order for later replay into another
+/// sink. The parallel engine gives each lane's tracer a ShardSink so no
+/// two threads ever touch the real (file/ring) sink concurrently; at
+/// flush the shards are replayed in lane order, making the merged byte
+/// stream deterministic for any thread count.
+class ShardSink : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& e) override { events_.push_back(e); }
+
+  /// Replays all buffered events into `out` (in arrival order) and
+  /// clears the shard.
+  void ReplayInto(TraceSink& out) {
+    for (const TraceEvent& e : events_) out.OnEvent(e);
+    events_.clear();
+  }
+
+  std::size_t size() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
 };
 
 }  // namespace zstor::telemetry

@@ -38,6 +38,14 @@ struct JobSpec {
 
   /// Target zones. Empty = all zones of the namespace.
   std::vector<std::uint32_t> zones;
+  /// Which of the `workers` worker ids this Job instance actually
+  /// spawns; empty = all of them. Worker identity (RNG stream, zone
+  /// slice, fill state) is always derived from the worker id and the
+  /// full `workers` count, so a job split into shards — the parallel
+  /// engine runs each device's workers inside that device's lane —
+  /// issues exactly the same per-worker request streams as the
+  /// unsharded job.
+  std::vector<std::uint32_t> worker_ids;
   /// Split `zones` across workers (the paper's one-thread-per-zone setup
   /// for inter-zone scalability). Otherwise all workers share all zones.
   bool partition_zones = false;
@@ -84,6 +92,22 @@ struct JobResult {
   }
   double MibPerSec() const { return BytesPerSec() / (1024.0 * 1024.0); }
   double Kiops() const { return Iops() / 1000.0; }
+
+  /// Folds another shard of the same job into this result (histograms
+  /// and series are order-insensitive accumulators, so merging shards
+  /// in any order reproduces the unsharded totals). Spans are aligned
+  /// by construction — every shard measures the same window.
+  void Merge(const JobResult& o) {
+    latency.Merge(o.latency);
+    read_latency.Merge(o.read_latency);
+    write_latency.Merge(o.write_latency);
+    reset_latency.Merge(o.reset_latency);
+    ops += o.ops;
+    bytes += o.bytes;
+    errors += o.errors;
+    series.Merge(o.series);
+    if (o.measured_span > measured_span) measured_span = o.measured_span;
+  }
 
   /// Exports counters, rates and latency histograms into the registry
   /// under the "job." prefix (the shared Describe protocol; see

@@ -50,19 +50,25 @@ Job::Job(sim::Simulator& s, hostif::Stack& stack, JobSpec spec)
   result_.measured_span = spec_.duration - spec_.warmup;
 }
 
-std::vector<std::uint32_t> Job::ZonesForWorker(std::uint32_t wid) const {
-  if (!spec_.partition_zones) return spec_.zones;
+std::vector<std::uint32_t> ZoneSlice(const std::vector<std::uint32_t>& zones,
+                                     std::uint32_t workers,
+                                     std::uint32_t wid) {
   // Contiguous even split; earlier workers take the remainder.
   std::vector<std::uint32_t> out;
-  std::size_t n = spec_.zones.size();
-  std::size_t base = n / spec_.workers;
-  std::size_t extra = n % spec_.workers;
+  std::size_t n = zones.size();
+  std::size_t base = n / workers;
+  std::size_t extra = n % workers;
   std::size_t begin = wid * base + std::min<std::size_t>(wid, extra);
   std::size_t len = base + (wid < extra ? 1 : 0);
   for (std::size_t i = begin; i < begin + len; ++i) {
-    out.push_back(spec_.zones[i]);
+    out.push_back(zones[i]);
   }
   return out;
+}
+
+std::vector<std::uint32_t> Job::ZonesForWorker(std::uint32_t wid) const {
+  if (!spec_.partition_zones) return spec_.zones;
+  return ZoneSlice(spec_.zones, spec_.workers, wid);
 }
 
 void Job::Start() {
@@ -70,13 +76,22 @@ void Job::Start() {
   started_ = true;
   start_time_ = sim_.now();
   end_time_ = start_time_ + spec_.duration;
-  for (std::uint32_t w = 0; w < spec_.workers; ++w) {
+  auto spawn = [this](std::uint32_t w) {
+    ZSTOR_CHECK(w < spec_.workers);
     join_.Add();
     if (spec_.op == Opcode::kZoneMgmtSend) {
       sim::Spawn(MgmtWorker(w));
     } else {
       sim::Spawn(IoWorker(w));
     }
+  };
+  if (spec_.worker_ids.empty()) {
+    for (std::uint32_t w = 0; w < spec_.workers; ++w) spawn(w);
+  } else {
+    // A shard of the job: only these worker ids run here, but each
+    // behaves exactly as it would in the full job (same RNG stream,
+    // same zone slice — both keyed on the id and the full count).
+    for (std::uint32_t w : spec_.worker_ids) spawn(w);
   }
 }
 

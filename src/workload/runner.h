@@ -21,6 +21,13 @@
 
 namespace zstor::workload {
 
+/// The contiguous even zone split Job gives worker `wid` under
+/// partition_zones (earlier workers take the remainder). Exposed so the
+/// parallel Testbed's shard planner uses identical arithmetic when
+/// deciding which device lane can host a worker.
+std::vector<std::uint32_t> ZoneSlice(const std::vector<std::uint32_t>& zones,
+                                     std::uint32_t workers, std::uint32_t wid);
+
 class Job {
  public:
   Job(sim::Simulator& s, hostif::Stack& stack, JobSpec spec);

@@ -1,0 +1,255 @@
+// Parallel-engine Testbed tests (DESIGN.md §12): WithSimThreads wiring,
+// workload sharding across device lanes, and the determinism contract —
+// results, device counters and timeline bytes must be identical for
+// every worker-thread count, including under fault and power-loss
+// injection, because N=1 executes the same bounded-window schedule
+// serially.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "harness/testbed.h"
+#include "workload/job.h"
+#include "zns/zns_device.h"
+
+namespace zstor {
+namespace {
+
+zns::ZnsProfile QuietTiny() {
+  zns::ZnsProfile p = zns::TinyProfile();
+  p.io_sigma = 0;
+  p.reset.sigma = 0;
+  p.finish.sigma = 0;
+  return p;
+}
+
+workload::JobSpec ShardableAppendSpec(Testbed& tb, std::uint32_t ndev) {
+  workload::JobSpec spec;
+  spec.op = nvme::Opcode::kAppend;
+  spec.request_bytes = 4096;
+  spec.queue_depth = 2;
+  spec.workers = ndev;
+  spec.zones = tb.ZoneList(0, ndev);  // one zone -> one device per worker
+  spec.partition_zones = true;
+  spec.duration = sim::Milliseconds(10);
+  spec.seed = 42;
+  return spec;
+}
+
+struct RunOutcome {
+  workload::JobResult result;
+  std::vector<zns::ZnsCounters> counters;
+  std::string timeline;
+};
+
+/// One complete experiment at a given thread count: build, run, finish,
+/// harvest everything the determinism contract covers.
+template <typename SpecFn>
+RunOutcome RunAt(int sim_threads, std::uint32_t ndev, SpecFn make_spec,
+                 const fault::FaultSpec* faults = nullptr) {
+  RunOutcome out;
+  TestbedBuilder b;
+  TelemetryConfig cfg;
+  cfg.timeline_capture = &out.timeline;
+  cfg.sample_interval = sim::Milliseconds(2);
+  b.WithZnsProfile(QuietTiny())
+      .WithDevices(ndev)
+      .WithStack(StackChoice::kSpdk)
+      .WithTelemetry(cfg)
+      .WithLabel("par")
+      .WithSimThreads(sim_threads);
+  if (faults != nullptr) b.WithFaults(*faults);
+  Testbed tb = b.Build();
+  out.result = tb.RunJob(make_spec(tb, ndev));
+  for (std::uint32_t d = 0; d < ndev; ++d) {
+    out.counters.push_back(tb.zns(d)->counters());
+  }
+  tb.Finish();
+  return out;
+}
+
+void ExpectSameOutcome(const RunOutcome& a, const RunOutcome& b,
+                       const char* what) {
+  EXPECT_EQ(a.result.ops, b.result.ops) << what;
+  EXPECT_EQ(a.result.bytes, b.result.bytes) << what;
+  EXPECT_EQ(a.result.errors, b.result.errors) << what;
+  EXPECT_EQ(a.result.measured_span, b.result.measured_span) << what;
+  EXPECT_EQ(a.result.latency.count(), b.result.latency.count()) << what;
+  EXPECT_DOUBLE_EQ(a.result.latency.mean_ns(), b.result.latency.mean_ns())
+      << what;
+  EXPECT_DOUBLE_EQ(a.result.latency.max_ns(), b.result.latency.max_ns())
+      << what;
+  ASSERT_EQ(a.counters.size(), b.counters.size()) << what;
+  for (std::size_t d = 0; d < a.counters.size(); ++d) {
+    EXPECT_EQ(a.counters[d].appends, b.counters[d].appends)
+        << what << " d=" << d;
+    EXPECT_EQ(a.counters[d].reads, b.counters[d].reads) << what << " d=" << d;
+    EXPECT_EQ(a.counters[d].bytes_written, b.counters[d].bytes_written)
+        << what << " d=" << d;
+    EXPECT_EQ(a.counters[d].media_errors, b.counters[d].media_errors)
+        << what << " d=" << d;
+    EXPECT_EQ(a.counters[d].crashes, b.counters[d].crashes)
+        << what << " d=" << d;
+    EXPECT_EQ(a.counters[d].recoveries, b.counters[d].recoveries)
+        << what << " d=" << d;
+  }
+  EXPECT_EQ(a.timeline, b.timeline) << what;  // byte-for-byte
+}
+
+TEST(TestbedParallel, WithSimThreadsBuildsParallelWiring) {
+  Testbed tb = TestbedBuilder()
+                   .WithZnsProfile(QuietTiny())
+                   .WithDevices(3)
+                   .WithSimThreads(2)
+                   .Build();
+  ASSERT_NE(tb.parallel_sim(), nullptr);
+  EXPECT_EQ(tb.parallel_sim()->num_lanes(), 4u);  // coordinator + 3 devices
+  EXPECT_EQ(tb.sim_threads(), 2);
+  EXPECT_EQ(&tb.sim(), &tb.parallel_sim()->lane(0));
+  ASSERT_NE(tb.striped(), nullptr);
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_NE(tb.lane_view(d), nullptr) << "d=" << d;
+  }
+}
+
+TEST(TestbedParallel, SimThreadsZeroAndSingleDeviceStayClassic) {
+  Testbed forced_off = TestbedBuilder()
+                           .WithZnsProfile(QuietTiny())
+                           .WithDevices(2)
+                           .WithSimThreads(0)
+                           .Build();
+  EXPECT_EQ(forced_off.parallel_sim(), nullptr);
+  Testbed single = TestbedBuilder()
+                       .WithZnsProfile(QuietTiny())
+                       .WithSimThreads(4)
+                       .Build();
+  EXPECT_EQ(single.parallel_sim(), nullptr);
+  EXPECT_EQ(single.sim_threads(), 0);
+}
+
+TEST(TestbedParallel, ShardedAppendIsThreadCountInvariant) {
+  RunOutcome ref = RunAt(1, 4, ShardableAppendSpec);
+  EXPECT_GT(ref.result.ops, 0u);
+  EXPECT_EQ(ref.result.errors, 0u);
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_GT(ref.counters[d].appends, 0u) << "d=" << d;
+  }
+  ExpectSameOutcome(ref, RunAt(2, 4, ShardableAppendSpec), "threads=2");
+  ExpectSameOutcome(ref, RunAt(4, 4, ShardableAppendSpec), "threads=4");
+}
+
+/// Random reads across every zone from every worker cannot shard (each
+/// worker touches all devices), so the job runs on the coordinator and
+/// every command crosses lanes through the MailboxStack proxies.
+workload::JobSpec ProxiedReadSpec(Testbed& tb, std::uint32_t ndev) {
+  workload::JobSpec spec;
+  spec.op = nvme::Opcode::kRead;
+  spec.random = true;
+  spec.request_bytes = 4096;
+  spec.queue_depth = 4;
+  spec.workers = 2;
+  spec.zones = tb.ZoneList(0, 2 * ndev);
+  spec.duration = sim::Milliseconds(5);
+  spec.seed = 7;
+  return spec;
+}
+
+template <typename SpecFn>
+RunOutcome RunFilledAt(int sim_threads, std::uint32_t ndev,
+                       SpecFn make_spec) {
+  RunOutcome out;
+  TestbedBuilder b;
+  TelemetryConfig cfg;
+  cfg.timeline_capture = &out.timeline;
+  cfg.sample_interval = sim::Milliseconds(2);
+  Testbed tb = b.WithZnsProfile(QuietTiny())
+                   .WithDevices(ndev)
+                   .WithTelemetry(cfg)
+                   .WithLabel("par")
+                   .WithSimThreads(sim_threads)
+                   .Build();
+  tb.FillZones(0, 2 * ndev);
+  out.result = tb.RunJob(make_spec(tb, ndev));
+  for (std::uint32_t d = 0; d < ndev; ++d) {
+    out.counters.push_back(tb.zns(d)->counters());
+  }
+  tb.Finish();
+  return out;
+}
+
+TEST(TestbedParallel, ProxiedReadsCrossLanesAndStayInvariant) {
+  RunOutcome ref = RunFilledAt(1, 2, ProxiedReadSpec);
+  EXPECT_GT(ref.result.ops, 0u);
+  EXPECT_EQ(ref.result.errors, 0u);
+  ExpectSameOutcome(ref, RunFilledAt(2, 2, ProxiedReadSpec), "threads=2");
+  ExpectSameOutcome(ref, RunFilledAt(3, 2, ProxiedReadSpec), "threads=3");
+}
+
+TEST(TestbedParallel, ProxiedReadsActuallyUseTheMailboxes) {
+  TestbedBuilder b;
+  Testbed tb = b.WithZnsProfile(QuietTiny())
+                   .WithDevices(2)
+                   .WithSimThreads(2)
+                   .Build();
+  tb.FillZones(0, 4);
+  workload::JobSpec spec = ProxiedReadSpec(tb, 2);
+  workload::JobResult r = tb.RunJob(spec);
+  EXPECT_GT(r.ops, 0u);
+  // Every proxied command is one kRequest plus one kReply.
+  EXPECT_GE(tb.parallel_sim()->messages(), 2 * r.ops);
+  EXPECT_GT(tb.parallel_sim()->windows(), 1u);
+}
+
+TEST(TestbedParallel, CrashInjectionMatchesSingleThreadedReference) {
+  // Power losses mid-append plus uncorrectable read noise: the retry
+  // layer pins jobs to the coordinator, the per-device crash drivers
+  // fire lane-locally, and the whole run must still be thread-count
+  // invariant.
+  fault::FaultSpec fs;
+  fs.enabled = true;
+  fs.seed = 99;
+  fs.crashes = {sim::Milliseconds(3), sim::Milliseconds(7)};
+  RunOutcome ref = RunAt(1, 3, ShardableAppendSpec, &fs);
+  EXPECT_GT(ref.result.ops, 0u);
+  std::uint64_t crashes = 0;
+  for (const auto& c : ref.counters) crashes += c.crashes;
+  EXPECT_GT(crashes, 0u);
+  ExpectSameOutcome(ref, RunAt(2, 3, ShardableAppendSpec, &fs), "threads=2");
+  ExpectSameOutcome(ref, RunAt(4, 3, ShardableAppendSpec, &fs), "threads=4");
+}
+
+TEST(TestbedParallel, LaneTelemetryMergesIntoFinalSnapshot) {
+  std::string timeline;
+  TelemetryConfig cfg;
+  cfg.timeline_capture = &timeline;
+  cfg.sample_interval = sim::Milliseconds(2);
+  Testbed tb = TestbedBuilder()
+                   .WithZnsProfile(QuietTiny())
+                   .WithDevices(2)
+                   .WithTelemetry(cfg)
+                   .WithLabel("merge")
+                   .WithSimThreads(2)
+                   .Build();
+  workload::JobSpec spec = ShardableAppendSpec(tb, 2);
+  workload::JobResult r = tb.RunJob(spec);
+  telemetry::Snapshot snap = tb.TakeSnapshot();
+  // The aggregate "zns." counters must cover BOTH device lanes even
+  // though the devices live outside the coordinator's registry.
+  std::uint64_t appends = 0;
+  for (std::uint32_t d = 0; d < 2; ++d) appends += tb.zns(d)->counters().appends;
+  const auto* m = snap.Find("zns.appends");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->value, static_cast<double>(appends));
+  EXPECT_GE(appends, static_cast<std::uint64_t>(r.ops));
+  tb.Finish();
+  // Lane timelines were concatenated in lane order; every lane's label
+  // must appear in the merged capture.
+  EXPECT_NE(timeline.find("\"merge\""), std::string::npos);
+  EXPECT_NE(timeline.find("merge/lane0"), std::string::npos);
+  EXPECT_NE(timeline.find("merge/lane1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zstor

@@ -1,0 +1,137 @@
+#include "hostif/lane_stacks.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nvme/types.h"
+#include "sim/parallel_sim.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace zstor::hostif {
+namespace {
+
+// A device-lane stack that charges a fixed service time and records
+// every slba it saw. Appends return the received slba as result_lba so
+// translation round-trips are observable.
+class FakeDeviceStack : public Stack {
+ public:
+  FakeDeviceStack(sim::Simulator& s, sim::Time service) : sim_(s) {
+    service_ = service;
+    info_.zoned = true;
+    info_.format.lba_bytes = 4096;
+    info_.zone_size_lbas = 100;
+    info_.zone_cap_lbas = 100;
+    info_.num_zones = 8;
+    info_.capacity_lbas = 800;
+    info_.max_open_zones = 8;
+    info_.max_active_zones = 8;
+  }
+
+  sim::Task<nvme::TimedCompletion> Submit(nvme::Command cmd) override {
+    seen_slbas.push_back(cmd.slba);
+    const sim::Time start = sim_.now();
+    co_await sim_.Delay(service_);
+    nvme::TimedCompletion tc;
+    tc.trace_id = cmd.trace_id;
+    tc.submitted = start;
+    tc.completed = sim_.now();
+    if (cmd.opcode == nvme::Opcode::kAppend) {
+      tc.completion.result_lba = cmd.slba;
+    }
+    co_return tc;
+  }
+
+  const nvme::NamespaceInfo& info() const override { return info_; }
+
+  std::vector<nvme::Lba> seen_slbas;
+
+ private:
+  sim::Simulator& sim_;
+  sim::Time service_;
+  nvme::NamespaceInfo info_;
+};
+
+sim::Task<> DriveSubmit(Stack* s, nvme::Command cmd,
+                        nvme::TimedCompletion* out, bool* done) {
+  *out = co_await s->Submit(cmd);
+  *done = true;
+}
+
+TEST(MailboxStack, RoundTripChargesTwoHopsPlusService) {
+  for (unsigned threads : {1u, 2u}) {
+    sim::ParallelSimulator ps(2, 250);
+    FakeDeviceStack dev(ps.lane(1), 500);
+    MailboxStack proxy(ps, 0, 1, dev);
+    EXPECT_TRUE(proxy.info().zoned);
+    EXPECT_EQ(proxy.info().num_zones, 8u);
+
+    nvme::Command cmd;
+    cmd.opcode = nvme::Opcode::kWrite;
+    cmd.slba = 42;
+    cmd.nlb = 1;
+    nvme::TimedCompletion tc;
+    bool done = false;
+    sim::Spawn(DriveSubmit(&proxy, cmd, &tc, &done));
+    ps.Run(threads);
+    ASSERT_TRUE(done) << "threads=" << threads;
+    EXPECT_TRUE(tc.completion.ok());
+    EXPECT_EQ(tc.submitted, 0u);
+    // hop (250) + service (500) + hop (250).
+    EXPECT_EQ(tc.completed, 1000u) << "threads=" << threads;
+    ASSERT_EQ(dev.seen_slbas.size(), 1u);
+    EXPECT_EQ(dev.seen_slbas[0], 42u);
+  }
+}
+
+TEST(StripeLaneView, TranslatesLogicalToDeviceAndBack) {
+  sim::ParallelSimulator ps(2, 250);
+  FakeDeviceStack dev(ps.lane(1), 100);
+  StripeMap map{100, 2};  // zone_size_lbas=100, two devices
+  nvme::NamespaceInfo logical = dev.info();
+  logical.num_zones = 16;
+  logical.capacity_lbas = 1600;
+  StripeLaneView view(ps.lane(1), dev, map, 1, logical);
+  EXPECT_EQ(view.info().num_zones, 16u);
+
+  // Logical zone 3 lives on device 1 (3 % 2), device zone 1 (3 / 2).
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kAppend;
+  cmd.slba = 3 * 100;
+  cmd.nlb = 4;
+  nvme::TimedCompletion tc;
+  bool done = false;
+  sim::Spawn(DriveSubmit(&view, cmd, &tc, &done));
+  ps.Run(1);
+  ASSERT_TRUE(done);
+  ASSERT_EQ(dev.seen_slbas.size(), 1u);
+  EXPECT_EQ(dev.seen_slbas[0], 100u);  // device zone 1
+  // The append result comes back in logical coordinates.
+  EXPECT_EQ(tc.completion.result_lba, 300u);
+  EXPECT_EQ(view.stats().issued, 1u);
+  EXPECT_EQ(view.stats().completed, 1u);
+}
+
+TEST(StripeLaneView, RejectsZoneBoundaryCrossings) {
+  sim::ParallelSimulator ps(2, 250);
+  FakeDeviceStack dev(ps.lane(1), 100);
+  StripeMap map{100, 2};
+  StripeLaneView view(ps.lane(1), dev, map, 1, dev.info());
+
+  nvme::Command cmd;
+  cmd.opcode = nvme::Opcode::kWrite;
+  cmd.slba = 100 + 98;  // logical zone 1 (device 1), 2 LBAs before the end
+  cmd.nlb = 4;          // ...crossing into logical zone 2
+  nvme::TimedCompletion tc;
+  bool done = false;
+  sim::Spawn(DriveSubmit(&view, cmd, &tc, &done));
+  ps.Run(1);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(tc.completion.status, nvme::Status::kZoneBoundaryError);
+  EXPECT_EQ(view.boundary_rejects(), 1u);
+  EXPECT_TRUE(dev.seen_slbas.empty());  // never reached the device
+}
+
+}  // namespace
+}  // namespace zstor::hostif

@@ -8,7 +8,9 @@ Stdlib only; backs the CI perf-regression gate and works by hand:
         --tol 'simcore_allocs_per_event=0.25:up'
 
 Points are matched across documents by (series name, point label) —
-falling back to the x value for unlabeled points. Each --tol rule is
+falling back to the x value for unlabeled points. Numeric `meta` values
+(environment facts such as wall_ms) are indexed as pseudo-series
+"meta.<key>", so tolerance globs can gate them too. Each --tol rule is
 
     PATTERN=FRAC:DIRECTION
 
@@ -19,6 +21,12 @@ relative change, and DIRECTION which way counts as a regression:
     up    value rising above baseline*(1+FRAC) fails (latency, allocs)
     both  either direction beyond FRAC fails
 
+A negative FRAC turns the rule into a required improvement: with `up`,
+the current value must come in at least |FRAC| BELOW baseline (e.g.
+'meta.wall_ms=-0.6:up' demands a >= 60% wall-clock drop — the parallel
+speedup gate); with `down`, it must come in at least |FRAC| above.
+`both` rejects negative FRAC.
+
 Series not matched by any rule are reported but never gate. A baseline
 point missing from the current document always fails (a silently dropped
 series is itself a regression). Exit 0 = within tolerance, 1 = regression
@@ -28,7 +36,11 @@ or malformed input, 2 = usage error.
 explicit --tol rules, which take precedence by order):
 
     crash   bench_crash gates: silent corruption stays zero, recovery
-            latency and journal replay/WA stay within drift bounds."""
+            latency and journal replay/WA stay within drift bounds.
+    multidev-speedup
+            compares a --sim-threads=N run against a --sim-threads=1
+            baseline of the same bench: wall time must drop >= 60%
+            (the >= 2.5x acceptance speedup, DESIGN.md §12)."""
 import fnmatch
 import json
 import sys
@@ -49,6 +61,14 @@ PRESETS = {
         "conv_replay_entries_vs_journal_interval=0.5:both",
         "zns_verified_mib_*=0.25:down",
     ),
+    # Parallel-engine acceptance (DESIGN.md §12): the same bench run with
+    # --sim-threads=N on >= 4 cores must finish in at most 40% of the
+    # --sim-threads=1 wall time. Virtual-time series are byte-identical
+    # across thread counts (check_jobs_identity.sh), so only the
+    # wall-clock meta fact is gated here.
+    "multidev-speedup": (
+        "meta.wall_ms=-0.6:up",
+    ),
 }
 
 
@@ -61,8 +81,16 @@ def load(path):
 
 
 def index_points(doc):
-    """(series, point-key) -> value. Key is the label when present, else x."""
+    """(series, point-key) -> value. Key is the label when present, else x.
+
+    Numeric meta values join the index as ("meta.<key>", "meta") so
+    tolerance rules can gate environment facts like wall_ms."""
     out = {}
+    meta = doc.get("meta")
+    if isinstance(meta, dict):
+        for k, v in meta.items():
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                out[(f"meta.{k}", "meta")] = v
     for s in doc["series"]:
         if not isinstance(s, dict):
             continue
@@ -85,9 +113,12 @@ def parse_tol(spec):
     except ValueError:
         raise ValueError(f"bad --tol spec '{spec}' "
                          "(want PATTERN=FRAC:down|up|both)")
-    if frac <= 0 or direction not in ("down", "up", "both"):
+    if frac == 0 or direction not in ("down", "up", "both"):
         raise ValueError(f"bad --tol spec '{spec}' "
                          "(want PATTERN=FRAC:down|up|both)")
+    if frac < 0 and direction == "both":
+        raise ValueError(f"bad --tol spec '{spec}' "
+                         "(negative FRAC needs a single direction)")
     return pattern, frac, direction
 
 

@@ -28,13 +28,16 @@ POINT_NULLABLE_FIELDS = ("mean_ns", "p50_ns", "p95_ns", "p99_ns")
 # baseline (EXPERIMENTS.md): these series/labels and config keys must be
 # present, with strictly positive events/sec.
 SIMCORE_REQUIRED_SERIES = {
-    "simcore_events_per_sec": ("event_scheduling", "coroutine_pingpong"),
-    "simcore_allocs_per_event": ("event_scheduling", "coroutine_pingpong"),
+    "simcore_events_per_sec":
+        ("event_scheduling", "coroutine_pingpong", "lane_handoff"),
+    "simcore_allocs_per_event":
+        ("event_scheduling", "coroutine_pingpong", "lane_handoff"),
 }
 SIMCORE_REQUIRED_CONFIG = (
     "counter_min_time_s",
     "seed_event_scheduling_meps",
     "seed_coroutine_pingpong_meps",
+    "seed_lane_handoff_meps",
 )
 
 # bench_multidev's --json carries the multi-device scaling acceptance
@@ -152,6 +155,18 @@ def validate_document(path, doc, errors):
         for k, v in config.items():
             if not isinstance(v, (str, int, float)) or isinstance(v, bool):
                 fail(path, f"config['{k}'] must be a string or number", errors)
+    meta = doc.get("meta")
+    if meta is not None:
+        # Environment facts (wall_ms etc.), never experiment data: numbers
+        # and strings only. compare_results.py indexes these as
+        # "meta.<key>" points.
+        if not isinstance(meta, dict):
+            fail(path, "'meta' must be an object", errors)
+        else:
+            for k, v in meta.items():
+                if not isinstance(v, (str, int, float)) or isinstance(v, bool):
+                    fail(path, f"meta['{k}'] must be a string or number",
+                         errors)
     series = doc.get("series")
     if not isinstance(series, list):
         return fail(path, "'series' must be an array", errors)
