@@ -14,7 +14,7 @@ constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
 }  // namespace
 
 ResultPoint::ResultPoint()
-    : mean_ns(kNan), p50_ns(kNan), p95_ns(kNan), p99_ns(kNan) {}
+    : mean_ns(kNan), p50_ns(kNan), p95_ns(kNan), p99_ns(kNan), wa(kNan) {}
 
 ResultSeries& ResultSeries::Add(double x, double value) {
   ResultPoint p;
@@ -56,6 +56,12 @@ ResultSeries& ResultSeries::AddLabeled(std::string label, double x,
 ResultSeries& ResultSeries::WithParts(std::vector<double> parts) {
   ZSTOR_CHECK_MSG(!points_.empty(), "WithParts needs a point to attach to");
   points_.back().parts = std::move(parts);
+  return *this;
+}
+
+ResultSeries& ResultSeries::WithWa(double wa) {
+  ZSTOR_CHECK_MSG(!points_.empty(), "WithWa needs a point to attach to");
+  points_.back().wa = wa;
   return *this;
 }
 
@@ -106,7 +112,7 @@ std::string ResultWriter::ToJson() const {
   using telemetry::AppendJsonString;
   std::string out = "{\"bench\":";
   AppendJsonString(out, bench_);
-  out += ",\"schema_version\":2,\"config\":{";
+  out += ",\"schema_version\":3,\"config\":{";
   for (std::size_t i = 0; i < config_.size(); ++i) {
     if (i > 0) out += ",";
     AppendJsonString(out, config_[i].first);
@@ -155,6 +161,10 @@ std::string ResultWriter::ToJson() const {
       AppendJsonNumber(out, p.p95_ns);
       out += ",\"p99_ns\":";
       AppendJsonNumber(out, p.p99_ns);
+      if (p.wa == p.wa) {  // NaN = absent: "wa" is only emitted when set
+        out += ",\"wa\":";
+        AppendJsonNumber(out, p.wa);
+      }
       if (!p.parts.empty()) {
         out += ",\"parts\":[";
         for (std::size_t k = 0; k < p.parts.size(); ++k) {

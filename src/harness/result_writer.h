@@ -6,7 +6,7 @@
 //
 //   {
 //     "bench": "bench_fig2_latency",
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "config": {"device": "zn540", "runtime_s": 2},
 //     "series": [
 //       {"name": "randread-qd1", "unit": "us",
@@ -14,6 +14,8 @@
 //          {"x": 4096, "label": "4KiB", "value": 13.2,
 //           "samples": 50000, "mean_ns": 13200.0, "p50_ns": ...,
 //           "p95_ns": ..., "p99_ns": ...,
+//           "wa": 3.4,                    // optional (v3): the point's
+//                                         // write amplification
 //           "parts": [6.6, 6.6]}]}       // optional (v2): per-component
 //     ]                                   // breakdown of `value`, e.g.
 //   }                                     // per-device throughput
@@ -40,6 +42,10 @@ struct ResultPoint {
   double value = 0.0;
   std::uint64_t samples = 0;
   double mean_ns, p50_ns, p95_ns, p99_ns;  // NaN when no histogram
+  /// Optional write amplification at this point (schema v3) — total
+  /// device write traffic per byte of user data. NaN = absent (never
+  /// emitted); KV/GC benches attach it via WithWa().
+  double wa;
   /// Optional per-component breakdown of `value` (schema v2) — e.g. one
   /// entry per striped device. Emitted only when non-empty.
   std::vector<double> parts;
@@ -64,6 +70,9 @@ class ResultSeries {
   /// Attaches a per-component breakdown to the most recently added point
   /// (requires one; checked).
   ResultSeries& WithParts(std::vector<double> parts);
+  /// Attaches a write-amplification figure to the most recently added
+  /// point (requires one; checked).
+  ResultSeries& WithWa(double wa);
 
   const std::string& name() const { return name_; }
   const std::string& unit() const { return unit_; }

@@ -162,6 +162,11 @@ class Testbed {
   workload::JobResult RunJob(const workload::JobSpec& spec);
   std::vector<workload::JobResult> RunJobs(
       const std::vector<workload::JobSpec>& specs);
+  /// Starts the periodic timeline sampler(s) if configured. RunJob does
+  /// this implicitly; benches that Spawn their own flows and drive
+  /// sim().Run() directly must call it first or the timeline degenerates
+  /// to a single final sample.
+  void EnsureSamplersRunning();
 
   /// Batch-exports every layer's counters (device, NAND, scheduler,
   /// stripe) into the registry and freezes it. Multi-device testbeds
@@ -253,7 +258,6 @@ class Testbed {
       std::vector<std::unique_ptr<workload::Job>>& parts);
   hostif::StripeStats CombinedStripeStats() const;
   void MergeLaneTelemetry();
-  void EnsureSamplersRunning();
 };
 
 class TestbedBuilder {

@@ -1,0 +1,415 @@
+// zkv: a zone-aware LSM key-value engine on the hostif::Stack API
+// (DESIGN.md §13).
+//
+// The paper motivates ZNS as a substrate for log-structured application
+// stacks (§II-C: ZenFS, LSM key-value stores); zkv is that stack, built
+// the way the paper's recommendations say it should be:
+//
+//   R1  data moves as large zone appends (Options::max_append_lbas per
+//       command; SSTables and WAL records are append-only),
+//   R2  appends to one zone stay concurrent — capacity is reserved under
+//       a short allocator lock but the appends themselves overlap, the
+//       device assigns the LBAs,
+//   R3  zones are sealed by appending to capacity, never by Zone Finish
+//       (a full zone costs nothing to seal; finishing an almost-empty
+//       zone costs ~900 ms, Fig. 5b),
+//   R4  lifetime-based placement: low levels (memtable flushes, L0/L1
+//       compaction output) are short-lived and go to the "hot" open
+//       zone; high levels are long-lived and go to the "cold" open zone,
+//       so zones die wholesale and reset without relocation,
+//   R5  compaction overlaps foreground I/O: a background coroutine with
+//       its own (low) I/O depth, never stopping the world — foreground
+//       pays only the write stalls the LSM shape itself imposes.
+//
+// Structure: puts append a WAL record to one of two dedicated log zones
+// (segment per memtable generation; the segment is reset once its
+// memtable's SSTable is durable — a WAL "checkpoint"), then land in the
+// in-memory memtable. Full memtables rotate to an immutable twin that a
+// background coroutine flushes as one sorted SSTable written in large
+// appends and made durable by an NVMe Flush. Leveled, zone-garbage-aware
+// compaction merges overlapping tables downward, preferring victims
+// whose zones hold the most garbage so zone reclamation is cheap; a
+// separate reclaim pass resets fully-dead zones and relocates the
+// remnants of mostly-dead ones when free zones run low.
+//
+// Integrity rides the payload-tag channel (nvme::Command::payload_tag):
+// every WAL and SSTable LBA carries a unique tag, reads request tag
+// readback, and RecoverAfterCrash() re-reads the durable state after a
+// power loss, replays the WAL, and classifies every ledgered LBA into
+// the workload::IntegrityVerifier taxonomy (exact / lost-unflushed /
+// silent corruption).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hostif/stack.h"
+#include "nvme/types.h"
+#include "sim/resource.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "telemetry/telemetry.h"
+#include "workload/verifier.h"
+#include "workload/ycsb.h"
+
+namespace zstor::zkv {
+
+/// Everything the engine counts, exported via Describe() as kv.* metrics.
+/// All fields are uint64 so the sizeof drift guard in the coverage test
+/// can prove Describe() never silently drops one.
+struct KvStats {
+  // Foreground operations.
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t deletes = 0;
+  std::uint64_t found = 0;          // gets that hit a live value
+  std::uint64_t missing = 0;        // gets that found nothing (or tombstone)
+  std::uint64_t user_bytes = 0;     // value bytes accepted from callers
+  // Write-ahead log.
+  std::uint64_t wal_appends = 0;
+  std::uint64_t wal_bytes = 0;      // bytes appended to log zones (padded)
+  std::uint64_t wal_resets = 0;     // checkpoints: log segment resets
+  // Memtable / flush pipeline.
+  std::uint64_t memtable_rotations = 0;
+  std::uint64_t flushes = 0;        // SSTable builds from immutable memtables
+  std::uint64_t flush_bytes = 0;    // bytes appended by flushes
+  std::uint64_t tables_written = 0;
+  std::uint64_t tables_deleted = 0;
+  // Compaction.
+  std::uint64_t compactions = 0;
+  std::uint64_t compact_bytes_read = 0;
+  std::uint64_t compact_bytes_written = 0;
+  // Zone reclamation.
+  std::uint64_t gc_passes = 0;
+  std::uint64_t gc_relocated_bytes = 0;  // live bytes moved off victims
+  std::uint64_t zone_resets = 0;
+  // Stalls and reads.
+  std::uint64_t write_stall_ns = 0;  // foreground time parked on the LSM
+  std::uint64_t read_ios = 0;        // device reads issued by gets
+  std::uint64_t read_tag_mismatches = 0;  // integrity check on every get
+  // Crash recovery.
+  std::uint64_t crash_recoveries = 0;
+  std::uint64_t wal_replayed = 0;    // records re-inserted by replay
+  std::uint64_t wal_lost = 0;        // unflushed records the crash dropped
+  std::uint64_t tables_dropped = 0;  // non-durable tables discarded
+
+  /// Total device write traffic per byte of user data: WAL + flush +
+  /// compaction + relocation over user_bytes. The device itself adds no
+  /// amplification (ZNS, Obs. 11) — this is the whole stack's WA.
+  double WriteAmplification() const {
+    if (user_bytes == 0) return 1.0;
+    return static_cast<double>(wal_bytes + flush_bytes +
+                               compact_bytes_written + gc_relocated_bytes) /
+           static_cast<double>(user_bytes);
+  }
+
+  void Describe(telemetry::MetricsRegistry& m) const;
+};
+
+/// Per-level shape and write-amplification accounting.
+struct LevelStats {
+  std::uint64_t tables = 0;         // current table count
+  std::uint64_t bytes = 0;          // current user bytes resident
+  std::uint64_t bytes_in = 0;       // cumulative bytes installed here
+  std::uint64_t bytes_compacted = 0;  // cumulative bytes written by
+                                      // compactions INTO this level
+  std::uint64_t compactions = 0;    // compactions that output here
+};
+
+class KvStore : public workload::KvBackend {
+ public:
+  struct Options {
+    /// Logical zone range owned by the store. Zones [first_zone,
+    /// first_zone+2) are the two WAL segments; the rest hold SSTables.
+    std::uint32_t first_zone = 0;
+    std::uint32_t zone_count = 12;
+    /// Memtable rotation threshold (value bytes). Must fit a WAL
+    /// segment: checked against zone capacity at construction.
+    std::uint64_t memtable_bytes = 256 * 1024;
+    /// L0 table count that triggers compaction / stalls writers.
+    std::uint32_t l0_compact_trigger = 4;
+    std::uint32_t l0_stall_limit = 8;
+    /// Leveled shape: level L >= 1 targets level1_bytes * mult^(L-1).
+    std::uint32_t max_levels = 4;
+    std::uint64_t level1_bytes = 1 << 20;
+    double level_mult = 4.0;
+    /// Largest SSTable a compaction emits before cutting a new one.
+    std::uint64_t max_table_bytes = 1 << 20;
+    /// Blocks per append command (R1: keep this large).
+    std::uint32_t max_append_lbas = 64;
+    /// Blocks per compaction read (table iteration granularity; small,
+    /// like an un-readahead LSM iterator).
+    std::uint32_t compact_read_lbas = 4;
+    /// Background compaction+GC rate limit in MiB/s (0 = unthrottled).
+    /// Real LSMs throttle background I/O to protect foreground tails;
+    /// the interference bench uses it to stretch `kv.compact` windows.
+    double compact_rate_mibps = 0.0;
+    /// Lifetime-based placement (R4): route L0/L1 output and flushes to
+    /// the hot open zone, deeper levels to the cold one. Off = one
+    /// shared open zone for everything (the placement-off baseline).
+    bool lifetime_placement = true;
+    /// Reclaim when free zones drop below this; victims need at least
+    /// this garbage fraction before relocation is worth it.
+    std::uint32_t free_zone_low = 2;
+    double gc_garbage_min = 0.05;
+    /// Returns the device's power epoch (fault::FaultPlan crashes bump
+    /// it). Sampled at flush acknowledgment: a flush only certifies
+    /// durability when the epoch did not change. Unset = no crashes.
+    std::function<std::uint64_t()> crash_epoch;
+  };
+
+  KvStore(sim::Simulator& s, hostif::Stack& stack, Options opt);
+  ~KvStore() override;
+
+  /// Enables kv.* trace spans and `kv.compact`/`kv.flush`/`kv.gc`
+  /// timeline windows (non-owning; null disables).
+  void AttachTelemetry(telemetry::Telemetry* t) { telem_ = t; }
+
+  // ---- workload::KvBackend -------------------------------------------
+  /// Appends a WAL record, inserts into the memtable, and applies the
+  /// LSM's write-stall discipline. Returns the WAL append status.
+  sim::Task<nvme::Status> Put(std::uint64_t key,
+                              std::uint64_t value_bytes) override;
+  /// Looks up newest-version-first (memtable, immutable, L0 newest to
+  /// oldest, then one candidate table per deeper level), charging one
+  /// ranged device read for the entry it lands on. *found (optional)
+  /// reports whether a live value existed.
+  sim::Task<nvme::Status> Get(std::uint64_t key, bool* found) override;
+  sim::Task<nvme::Status> Delete(std::uint64_t key);
+
+  /// Suspends until no flush, compaction, or reclaim work remains. Call
+  /// before reading final stats or tearing down the simulation.
+  sim::Task<> Drain();
+
+  /// Post-crash pass: zone-report the store's range, discard what the
+  /// power loss legitimately dropped, replay the WAL, re-read and
+  /// tag-verify every surviving ledgered LBA, and classify the lot into
+  /// the IntegrityVerifier taxonomy. The store is usable again after.
+  sim::Task<workload::IntegrityVerifier::Report> RecoverAfterCrash();
+
+  const KvStats& stats() const { return stats_; }
+  const std::vector<LevelStats>& level_stats() const { return levels_stats_; }
+  /// Live key count across memtables and tables (upper bound: shadowed
+  /// versions counted once per table).
+  std::uint64_t ApproxKeys() const;
+  std::uint32_t free_zones() const {
+    return static_cast<std::uint32_t>(free_zones_.size());
+  }
+
+ private:
+  // ---- on-device layout ----------------------------------------------
+  /// One contiguous appended run of an SSTable. `tag_base` tags the
+  /// extent's first LBA; LBA i holds tag_base + i.
+  struct Extent {
+    std::uint32_t zone = 0;
+    nvme::Lba lba = 0;
+    std::uint32_t lbas = 0;
+    std::uint64_t tag_base = 0;
+  };
+
+  struct TableEntry {
+    std::uint64_t key = 0;
+    std::uint64_t bytes = 0;     // value size (0 allowed)
+    std::uint64_t seq = 0;       // newer wins
+    bool tombstone = false;
+  };
+
+  struct SsTable {
+    std::uint64_t id = 0;
+    std::uint32_t level = 0;
+    std::vector<TableEntry> entries;      // sorted by key
+    std::vector<std::uint32_t> lba_off;   // entry i starts at LBA offset
+    std::uint32_t data_lbas = 0;          // total LBAs incl. padding
+    std::uint64_t data_bytes = 0;         // sum of value bytes
+    std::vector<Extent> extents;
+    bool durable = false;                 // certified by a same-epoch flush
+    bool compacting = false;              // claimed by compaction or GC
+    bool installed = false;               // counted in a level's shape
+    bool dropped = false;                 // removed (extents are garbage)
+    bool write_failed = false;            // an append outran its retries
+    std::uint64_t write_epoch = 0;        // power epoch when written
+    std::uint64_t min_key = 0, max_key = 0;
+  };
+  using TablePtr = std::shared_ptr<SsTable>;
+
+  struct MemValue {
+    std::uint64_t bytes = 0;
+    std::uint64_t seq = 0;
+    bool tombstone = false;
+  };
+  using Memtable = std::map<std::uint64_t, MemValue>;
+
+  /// Host-side ledger of one WAL record (one put/delete).
+  struct WalRecord {
+    std::uint64_t key = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t seq = 0;
+    bool tombstone = false;
+    std::uint8_t segment = 0;    // which WAL zone
+    nvme::Lba lba = 0;           // from the append completion
+    std::uint32_t lbas = 0;
+    std::uint64_t tag_base = 0;
+    bool acked = false;          // append completed successfully
+    std::uint64_t epoch = 0;     // power epoch at acknowledgment
+    bool durable = false;        // covering SSTable flush certified
+  };
+
+  enum class ZoneClass : std::uint8_t { kHot = 0, kCold = 1 };
+  struct ZoneInfo {
+    std::uint32_t zone = 0;       // logical zone number
+    std::uint64_t written_lbas = 0;
+    std::uint64_t live_lbas = 0;
+    bool open = false;            // currently an allocation target
+  };
+
+  /// Re-armable broadcast signal (sim::OneShotEvent is one-shot; stalls
+  /// need notify-all-then-rearm).
+  struct Signal {
+    explicit Signal(sim::Simulator& s) : sim(s) {}
+    sim::Simulator& sim;
+    std::deque<std::coroutine_handle<>> waiters;
+    struct Awaiter {
+      Signal& sig;
+      bool await_ready() const { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sig.waiters.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    Awaiter Wait() { return Awaiter{*this}; }
+    void NotifyAll() {
+      for (auto h : waiters) sim.ResumeSoon(h);
+      waiters.clear();
+    }
+  };
+
+  // ---- helpers ---------------------------------------------------------
+  static bool IsZoneWriteFailure(nvme::Status s);
+  nvme::Lba ZoneStartLba(std::uint32_t zone) const;
+  /// Index of a DATA zone in zones_ (zones_[0] is the first zone after
+  /// the two WAL segments).
+  std::uint32_t ZoneIndex(std::uint32_t zone) const {
+    return zone - opt_.first_zone - 2;
+  }
+  std::uint64_t zone_cap_lbas() const;
+  std::uint64_t Epoch() const {
+    return opt_.crash_epoch ? opt_.crash_epoch() : 0;
+  }
+  std::uint64_t TakeTags(std::uint64_t n) {
+    std::uint64_t t = next_tag_;
+    next_tag_ += n;
+    return t;
+  }
+  std::uint32_t EntryLbas(std::uint64_t bytes) const;
+  ZoneClass ClassForLevel(std::uint32_t level) const;
+  std::uint64_t LevelTargetBytes(std::uint32_t level) const;
+  double ZoneGarbage(const ZoneInfo& zi) const;
+  /// Background-rate pacing (compact_rate_mibps) for `bytes` of I/O.
+  sim::Task<> Pace(std::uint64_t bytes);
+
+  // ---- write path ------------------------------------------------------
+  sim::Task<nvme::Status> PutInternal(std::uint64_t key, std::uint64_t bytes,
+                                      bool tombstone);
+  sim::Task<nvme::Status> WalAppend(WalRecord& rec);
+  sim::Task<> StallForRoom();        // L0 / imm backpressure, counts stall ns
+  void MaybeRotateMemtable();        // rotate when the memtable is full
+  void DoRotate();                   // mem_ -> imm_, switch WAL segment
+  sim::Task<> FlushJob();            // background: imm_ -> L0 SSTable
+  sim::Task<> BuildTable(std::vector<TableEntry> entries, std::uint32_t level,
+                         bool paced, TablePtr* out);
+  /// Reserves room in the class's open zone (rotating or reclaiming if
+  /// needed) and appends one chunk. Returns the extent actually written
+  /// (lbas == 0 reports failure).
+  sim::Task<Extent> AppendChunk(ZoneClass cls, std::uint32_t lbas,
+                                std::uint64_t tag_base);
+  sim::Task<std::uint32_t> TakeOpenZone(ZoneClass cls);  // under alloc lock
+  sim::Task<> ResetZone(std::uint32_t zone);
+  void MaybeScheduleReclaim();
+  sim::Task<> ReclaimJob(bool need_free);
+  sim::Task<> ReclaimZones(bool need_free);   // GC pass (serialized)
+  sim::Task<> RelocateTablePart(TablePtr t, std::uint32_t victim);
+  sim::Task<Extent> RelocAppend(std::uint32_t lbas, std::uint64_t tag_base);
+
+  // ---- compaction ------------------------------------------------------
+  struct CompactionJob {
+    std::uint32_t from_level = 0;
+    std::vector<TablePtr> inputs;     // from `from_level` and from_level+1
+  };
+  void MaybeScheduleCompaction();
+  sim::Task<> CompactJob();
+  bool PickCompaction(CompactionJob* job);
+  sim::Task<> RunCompaction(CompactionJob job);
+  void InstallTable(TablePtr t, std::uint32_t level);
+  void DropTable(const TablePtr& t);  // extents -> garbage, stats
+  /// One ranged read inside an extent. With verify_tags, tags feed `rep`
+  /// when given (recovery classification) or the mismatch counter
+  /// otherwise (foreground integrity checking).
+  sim::Task<nvme::Status> ReadExtentRange(
+      const Extent& e, std::uint32_t lba_off, std::uint32_t lbas,
+      bool verify_tags, workload::IntegrityVerifier::Report* rep);
+
+  // ---- read path -------------------------------------------------------
+  sim::Task<nvme::Status> ReadEntry(const TablePtr& t, std::size_t idx);
+  const TableEntry* FindInTable(const TablePtr& t, std::uint64_t key) const;
+
+  // ---- recovery --------------------------------------------------------
+  sim::Task<std::vector<nvme::ZoneDescriptor>> ReportZones();
+
+  sim::Simulator& sim_;
+  hostif::Stack& stack_;
+  Options opt_;
+  std::uint32_t lba_bytes_;
+  telemetry::Telemetry* telem_ = nullptr;
+
+  // LSM state.
+  Memtable mem_;
+  std::uint64_t mem_bytes_ = 0;
+  std::unique_ptr<Memtable> imm_;    // at most one immutable memtable
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_table_id_ = 1;
+  std::uint64_t next_tag_ = 1;       // 0 = untagged on the wire
+  /// levels_[0] newest-first, overlapping; levels_[1..] sorted by
+  /// min_key, disjoint.
+  std::vector<std::vector<TablePtr>> levels_;
+  std::vector<LevelStats> levels_stats_;
+
+  // WAL state.
+  std::uint8_t wal_segment_ = 0;           // active segment (0/1)
+  std::uint64_t wal_used_lbas_[2] = {0, 0};
+  std::uint64_t wal_pending_[2] = {0, 0};  // appends in flight per segment
+  std::deque<WalRecord> wal_;              // ledger, seq order
+  std::uint64_t mem_first_seq_ = 1;        // lowest seq still in mem_
+  std::uint64_t imm_first_seq_ = 0;        // lowest seq in imm_ (0 = none)
+  std::uint64_t imm_last_seq_ = 0;         // one past imm_'s highest seq
+  std::uint8_t imm_segment_ = 0;           // segment covering imm_
+
+  // Zone state.
+  std::vector<ZoneInfo> zones_;            // data zones, by index
+  std::deque<std::uint32_t> free_zones_;   // logical zone numbers
+  std::int64_t open_zone_[2] = {-1, -1};   // per class; -1 = none
+  std::int64_t reloc_zone_ = -1;           // GC's private output zone
+  sim::FifoResource alloc_lock_;           // capacity reservation + rotation
+  sim::FifoResource gc_lock_;              // one reclaim pass at a time
+  sim::FifoResource compact_io_;           // background I/O depth = 1
+
+  // Background workers.
+  bool stopping_ = false;
+  bool flush_busy_ = false;
+  bool compact_busy_ = false;
+  bool gc_busy_ = false;
+  Signal flush_done_;         // wakes memtable-rotation stalls
+  Signal compact_done_;       // wakes L0 stalls
+  Signal wal_quiet_;          // per-segment appends drained
+  Signal idle_;               // wakes Drain()
+  sim::WaitGroup workers_;
+
+  KvStats stats_;
+};
+
+}  // namespace zstor::zkv

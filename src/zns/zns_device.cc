@@ -497,6 +497,14 @@ sim::Task<> ZnsDevice::AdmitPrograms(std::uint32_t zone,
       buffer_slots_.Release();
       break;
     }
+    if (next_program_page_[zone] >= target) {
+      // While this admitter waited for a slot, a concurrent admitter for
+      // the same zone (a later append's admission loop) drove the shared
+      // page cursor past our target: our pages are already admitted, and
+      // taking one more would program past the zone's write pointer.
+      buffer_slots_.Release();
+      break;
+    }
     std::uint64_t p = next_program_page_[zone]++;
     zones_[zone].inflight_programs++;
     program_wg_[zone]->Add();

@@ -11,6 +11,25 @@ using nvme::Opcode;
 using nvme::Status;
 using nvme::ZoneAction;
 
+void StoreStats::Describe(telemetry::MetricsRegistry& m) const {
+  m.GetCounter("zobj.puts").Set(puts);
+  m.GetCounter("zobj.gets").Set(gets);
+  m.GetCounter("zobj.deletes").Set(deletes);
+  m.GetCounter("zobj.compactions").Set(compactions);
+  m.GetCounter("zobj.bytes_written").Set(bytes_written);
+  m.GetCounter("zobj.bytes_relocated").Set(bytes_relocated);
+  m.GetCounter("zobj.zone_resets").Set(zone_resets);
+  m.GetCounter("zobj.write_reroutes").Set(write_reroutes);
+  m.GetCounter("zobj.zones_degraded").Set(zones_degraded);
+  m.GetCounter("zobj.lost_extents").Set(lost_extents);
+  m.GetCounter("zobj.crash_recoveries").Set(crash_recoveries);
+  m.GetCounter("zobj.truncated_extents").Set(truncated_extents);
+  m.GetCounter("zobj.torn_extents").Set(torn_extents);
+  m.GetCounter("zobj.crash_lost_bytes").Set(crash_lost_bytes);
+  m.GetCounter("zobj.crash_lost_objects").Set(crash_lost_objects);
+  m.GetGauge("zobj.write_amplification").Set(WriteAmplification());
+}
+
 ZoneObjectStore::ZoneObjectStore(sim::Simulator& s, hostif::Stack& stack,
                                  Options opt)
     : sim_(s),

@@ -27,6 +27,7 @@
 #include "sim/resource.h"
 #include "sim/simulator.h"
 #include "sim/task.h"
+#include "telemetry/metrics.h"
 
 namespace zstor::zobj {
 
@@ -64,6 +65,11 @@ struct StoreStats {
                : 1.0 + static_cast<double>(bytes_relocated) /
                            static_cast<double>(bytes_written);
   }
+
+  /// Exports every counter into the registry under the "zobj." prefix
+  /// (the shared Describe protocol; see telemetry/metrics.h) plus the
+  /// derived write_amplification gauge.
+  void Describe(telemetry::MetricsRegistry& m) const;
 };
 
 class ZoneObjectStore {

@@ -26,7 +26,7 @@ TEST(ResultWriter, EmitsTheDocumentedSchema) {
   auto v = JsonValue::Parse(w.ToJson());
   ASSERT_TRUE(v.has_value()) << w.ToJson();
   EXPECT_EQ(v->StringOr("bench", ""), "my_bench");
-  EXPECT_DOUBLE_EQ(v->NumberOr("schema_version", 0), 2.0);
+  EXPECT_DOUBLE_EQ(v->NumberOr("schema_version", 0), 3.0);
 
   const JsonValue* config = v->Find("config");
   ASSERT_NE(config, nullptr);
@@ -100,6 +100,20 @@ TEST(ResultWriter, PartsAreEmittedOnlyWhenAttached) {
   ASSERT_EQ(parts->array().size(), 2u);
   EXPECT_DOUBLE_EQ(parts->array()[0].number(), 130.0);
   EXPECT_DOUBLE_EQ(parts->array()[1].number(), 130.0);
+}
+
+TEST(ResultWriter, WaIsEmittedOnlyWhenAttached) {
+  ResultWriter w;
+  w.Series("wa", "x").Add(1, 3.0).Add(2, 4.0).WithWa(3.4);
+  auto v = JsonValue::Parse(w.ToJson());
+  ASSERT_TRUE(v.has_value()) << w.ToJson();
+  const auto& pts = v->Find("series")->array()[0].Find("points")->array();
+  ASSERT_EQ(pts.size(), 2u);
+  // The plain point has no "wa" key at all (v2 consumers unaffected).
+  EXPECT_EQ(pts[0].Find("wa"), nullptr);
+  const JsonValue* wa = pts[1].Find("wa");
+  ASSERT_NE(wa, nullptr);
+  EXPECT_DOUBLE_EQ(wa->number(), 3.4);
 }
 
 TEST(ResultWriter, SeriesIsGetOrCreateAndConfigLastWriteWins) {

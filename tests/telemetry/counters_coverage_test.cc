@@ -16,7 +16,9 @@
 #include "hostif/resilient_stack.h"
 #include "nand/flash_array.h"
 #include "telemetry/metrics.h"
+#include "zkv/kv_store.h"
 #include "zns/zns_device.h"
+#include "zobj/zone_object_store.h"
 
 namespace zstor {
 namespace {
@@ -36,6 +38,10 @@ static_assert(sizeof(fault::FaultCounters) == 6 * sizeof(std::uint64_t),
               "FaultCounters changed: update Describe() and this test");
 static_assert(sizeof(hostif::ResilienceStats) == 9 * sizeof(std::uint64_t),
               "ResilienceStats changed: update Describe() and this test");
+static_assert(sizeof(zobj::StoreStats) == 15 * sizeof(std::uint64_t),
+              "StoreStats changed: update Describe() and this test");
+static_assert(sizeof(zkv::KvStats) == 27 * sizeof(std::uint64_t),
+              "KvStats changed: update Describe() and this test");
 
 std::vector<std::string> SnapshotNames(
     const telemetry::MetricsRegistry& reg) {
@@ -128,6 +134,41 @@ TEST(CountersCoverage, ResilienceDescribeExportsEveryField) {
              "hostif.timeouts", "hostif.recovered",
              "hostif.terminal_errors", "hostif.retries_exhausted",
              "hostif.device_resets_seen", "hostif.replayed_dupes"});
+}
+
+TEST(CountersCoverage, ZobjDescribeExportsEveryFieldPlusWa) {
+  telemetry::MetricsRegistry reg;
+  zobj::StoreStats{}.Describe(reg);
+  std::vector<std::string> names = SnapshotNames(reg);
+  // 15 counters + the derived write_amplification gauge.
+  EXPECT_EQ(names.size(), 16u);
+  ExpectAll(names,
+            {"zobj.puts", "zobj.gets", "zobj.deletes", "zobj.compactions",
+             "zobj.bytes_written", "zobj.bytes_relocated",
+             "zobj.zone_resets", "zobj.write_reroutes",
+             "zobj.zones_degraded", "zobj.lost_extents",
+             "zobj.crash_recoveries", "zobj.truncated_extents",
+             "zobj.torn_extents", "zobj.crash_lost_bytes",
+             "zobj.crash_lost_objects", "zobj.write_amplification"});
+}
+
+TEST(CountersCoverage, KvDescribeExportsEveryFieldPlusWa) {
+  telemetry::MetricsRegistry reg;
+  zkv::KvStats{}.Describe(reg);
+  std::vector<std::string> names = SnapshotNames(reg);
+  // 27 counters + the derived write_amplification gauge.
+  EXPECT_EQ(names.size(), 28u);
+  ExpectAll(names,
+            {"kv.puts", "kv.gets", "kv.deletes", "kv.found", "kv.missing",
+             "kv.user_bytes", "kv.wal_appends", "kv.wal_bytes",
+             "kv.wal_resets", "kv.memtable_rotations", "kv.flushes",
+             "kv.flush_bytes", "kv.tables_written", "kv.tables_deleted",
+             "kv.compactions", "kv.compact_bytes_read",
+             "kv.compact_bytes_written", "kv.gc_passes",
+             "kv.gc_relocated_bytes", "kv.zone_resets", "kv.write_stall_ns",
+             "kv.read_ios", "kv.read_tag_mismatches", "kv.crash_recoveries",
+             "kv.wal_replayed", "kv.wal_lost", "kv.tables_dropped",
+             "kv.write_amplification"});
 }
 
 TEST(CountersCoverage, SchedulerDescribeExportsEveryFieldPlusFraction) {

@@ -1,0 +1,137 @@
+// YcsbRunner tests against a mock backend: mix fractions, determinism,
+// load coverage, and worker partitioning.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/task.h"
+#include "workload/ycsb.h"
+
+namespace zstor::workload {
+namespace {
+
+/// Counts operations and answers everything instantly and successfully.
+struct MockKv : KvBackend {
+  explicit MockKv(sim::Simulator& s) : sim(s) {}
+  sim::Task<nvme::Status> Put(std::uint64_t key,
+                              std::uint64_t value_bytes) override {
+    puts++;
+    put_bytes += value_bytes;
+    keys.insert(key);
+    co_await sim.Delay(sim::Microseconds(5));
+    co_return nvme::Status::kSuccess;
+  }
+  sim::Task<nvme::Status> Get(std::uint64_t key, bool* found) override {
+    gets++;
+    if (found) *found = keys.count(key) > 0;
+    co_await sim.Delay(sim::Microseconds(2));
+    co_return nvme::Status::kSuccess;
+  }
+  sim::Simulator& sim;
+  std::uint64_t puts = 0, gets = 0, put_bytes = 0;
+  std::set<std::uint64_t> keys;
+};
+
+YcsbResult RunSpec(const YcsbSpec& spec) {
+  sim::Simulator sim;
+  MockKv kv(sim);
+  YcsbRunner runner(sim, kv, spec);
+  YcsbResult result;
+  auto body = [&]() -> sim::Task<> {
+    co_await runner.Load();
+    result = co_await runner.Run();
+  };
+  auto t = body();
+  sim.Run();
+  return result;
+}
+
+TEST(Ycsb, LoadCoversTheWholeKeySpace) {
+  sim::Simulator sim;
+  MockKv kv(sim);
+  YcsbSpec spec;
+  spec.record_count = 100;
+  spec.workers = 7;  // uneven split
+  YcsbRunner runner(sim, kv, spec);
+  auto body = [&]() -> sim::Task<> { co_await runner.Load(); };
+  auto t = body();
+  sim.Run();
+  EXPECT_EQ(kv.puts, 100u);
+  EXPECT_EQ(kv.keys.size(), 100u);  // keys 0..99, each exactly once
+}
+
+TEST(Ycsb, MixCIsReadOnly) {
+  YcsbSpec spec;
+  spec.mix = YcsbMix::kC;
+  spec.operations = 1000;
+  YcsbResult r = RunSpec(spec);
+  EXPECT_EQ(r.ops, 1000u);
+  EXPECT_EQ(r.reads, 1000u);
+  EXPECT_EQ(r.updates, 0u);
+  EXPECT_EQ(r.not_found, 0u);  // loaded records are all present
+}
+
+TEST(Ycsb, MixFractionsApproximatelyHold) {
+  YcsbSpec spec;
+  spec.operations = 8000;
+  spec.mix = YcsbMix::kB;  // 95% read / 5% update
+  YcsbResult r = RunSpec(spec);
+  EXPECT_EQ(r.reads + r.updates, r.ops);
+  const double read_frac = static_cast<double>(r.reads) / r.ops;
+  EXPECT_NEAR(read_frac, 0.95, 0.02);
+
+  spec.mix = YcsbMix::kA;  // 50/50
+  r = RunSpec(spec);
+  EXPECT_NEAR(static_cast<double>(r.reads) / r.ops, 0.5, 0.03);
+}
+
+TEST(Ycsb, MixFDoesReadModifyWrite) {
+  YcsbSpec spec;
+  spec.mix = YcsbMix::kF;
+  spec.operations = 2000;
+  YcsbResult r = RunSpec(spec);
+  EXPECT_GT(r.rmws, 0u);
+  EXPECT_EQ(r.rmws, r.updates);  // every write in F is an RMW
+  // The RMW's read half is extra device traffic on top of r.reads.
+}
+
+TEST(Ycsb, SameSpecIsDeterministic) {
+  YcsbSpec spec;
+  spec.mix = YcsbMix::kA;
+  spec.operations = 4000;
+  spec.zipf_theta = 0.99;
+  YcsbResult a = RunSpec(spec);
+  YcsbResult b = RunSpec(spec);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.not_found, b.not_found);
+  EXPECT_EQ(a.span, b.span);
+  EXPECT_EQ(a.read_latency.p99_ns(), b.read_latency.p99_ns());
+}
+
+TEST(Ycsb, DifferentSeedsChangeTheStream) {
+  YcsbSpec spec;
+  spec.operations = 4000;
+  YcsbResult a = RunSpec(spec);
+  spec.seed = 2;
+  YcsbResult b = RunSpec(spec);
+  // Same op count, different read/update interleavings.
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_NE(a.reads, b.reads);
+}
+
+TEST(Ycsb, UniformThetaZeroWorks) {
+  YcsbSpec spec;
+  spec.zipf_theta = 0.0;
+  spec.operations = 1000;
+  YcsbResult r = RunSpec(spec);
+  EXPECT_EQ(r.ops, 1000u);
+  EXPECT_EQ(r.errors, 0u);
+}
+
+}  // namespace
+}  // namespace zstor::workload

@@ -79,6 +79,27 @@ CRASH_REQUIRED_SERIES = (
 )
 CRASH_REQUIRED_CONFIG = ("retry_policy", "zns_zones_filled")
 
+# bench_kv's --json is the zkv acceptance document (DESIGN.md §13): the
+# YCSB mixes, the placement A/B and its ratio, the compaction-
+# interference point, and the mid-compaction crash must all be present;
+# no point may report a silent corruption, and lifetime placement must
+# not make write amplification worse than placement-off.
+KV_REQUIRED_SERIES = (
+    "kv_ycsb_kiops",
+    "kv_value_size_kiops",
+    "kv_skew_kiops",
+    "kv_wa_placement",
+    "kv_wa_placement_ratio",
+    "kv_interference_read_p99_us",
+    "kv_crash_silent_corruptions",
+    "kv_crash_recovery_ms",
+    "kv_crash_wal_replayed",
+)
+KV_REQUIRED_CONFIG = ("profile", "records", "value_bytes", "theta")
+# wa_off / wa_on: >= 1 means hot/cold placement reduced (or matched)
+# write amplification; below this floor the tentpole claim is broken.
+KV_MIN_PLACEMENT_RATIO = 1.0
+
 # Required SMART counters (nvme::SmartLog): activity, the host_rejects /
 # media_errors split, and the fault-model health fields.
 SMART_REQUIRED_FIELDS = (
@@ -101,6 +122,14 @@ def validate_point(path, i, j, point, errors, schema_version=1):
     where = f"{path}: series[{i}].points[{j}]"
     if not isinstance(point, dict):
         return fail(where, "not an object", errors)
+    if "wa" in point:
+        if schema_version < 3:
+            fail(where, "'wa' requires schema_version >= 3", errors)
+        wa = point["wa"]
+        if not isinstance(wa, (int, float)) or isinstance(wa, bool) \
+                or not math.isfinite(wa) or wa < 1.0:
+            fail(where, f"'wa' must be a finite number >= 1.0, got {wa!r}",
+                 errors)
     if "parts" in point:
         if schema_version < 2:
             fail(where, "'parts' requires schema_version >= 2", errors)
@@ -144,8 +173,8 @@ def validate_document(path, doc, errors):
     if not isinstance(doc.get("bench"), str) or not doc["bench"]:
         fail(path, "'bench' must be a non-empty string", errors)
     schema_version = doc.get("schema_version")
-    if schema_version not in (1, 2):
-        fail(path, f"'schema_version' must be 1 or 2, got "
+    if schema_version not in (1, 2, 3):
+        fail(path, f"'schema_version' must be 1, 2 or 3, got "
                    f"{schema_version!r}", errors)
         schema_version = 1
     config = doc.get("config")
@@ -196,6 +225,8 @@ def validate_document(path, doc, errors):
         validate_multidev(path, doc, errors)
     if doc.get("bench") == "bench_crash":
         validate_crash(path, doc, errors)
+    if doc.get("bench") == "bench_kv":
+        validate_kv(path, doc, errors)
 
 
 def validate_simcore(path, doc, errors):
@@ -320,6 +351,61 @@ def validate_crash(path, doc, errors):
         v = p.get("value")
         if isinstance(v, (int, float)) and v < 1.0:
             fail(path, f"crash: conv write amplification {v!r} < 1", errors)
+
+
+def validate_kv(path, doc, errors):
+    """bench_kv documents carry the zkv LSM acceptance numbers."""
+    config = doc.get("config")
+    if isinstance(config, dict):
+        for key in KV_REQUIRED_CONFIG:
+            if key not in config:
+                fail(path, f"kv: missing config['{key}']", errors)
+    by_name = {s.get("name"): s for s in doc.get("series", [])
+               if isinstance(s, dict)}
+    for name in KV_REQUIRED_SERIES:
+        if name not in by_name:
+            fail(path, f"kv: missing series '{name}'", errors)
+
+    def points(name):
+        s = by_name.get(name)
+        if s is None:
+            return []
+        return [p for p in s.get("points", []) if isinstance(p, dict)]
+
+    # WAL replay must reconstruct the store byte-exact: any silent
+    # corruption classification is a hard failure.
+    for p in points("kv_crash_silent_corruptions"):
+        v = p.get("value")
+        if isinstance(v, (int, float)) and v != 0:
+            fail(path, f"kv: crash point '{p.get('label')}' reports "
+                       f"{v!r} silent corruption(s)", errors)
+    for p in points("kv_crash_recovery_ms"):
+        v = p.get("value")
+        if isinstance(v, (int, float)) and v <= 0:
+            fail(path, f"kv: crash recovery time must be > 0, got {v!r}",
+                 errors)
+    # Placement A/B: both arms must attach a per-point wa, and the ratio
+    # (wa_off / wa_on) must clear the floor — the tentpole claim.
+    placement = {p.get("label"): p for p in points("kv_wa_placement")}
+    for label in ("on", "off"):
+        p = placement.get(label)
+        if p is None:
+            fail(path, f"kv: kv_wa_placement missing point '{label}'",
+                 errors)
+        elif "wa" not in p:
+            fail(path, f"kv: kv_wa_placement '{label}' missing 'wa'", errors)
+    for p in points("kv_wa_placement_ratio"):
+        v = p.get("value")
+        if isinstance(v, (int, float)) and v < KV_MIN_PLACEMENT_RATIO:
+            fail(path, f"kv: placement WA ratio {v!r} is below the "
+                       f"{KV_MIN_PLACEMENT_RATIO} floor (placement made "
+                       "write amplification worse)", errors)
+    # Every throughput point carries its cost: wa attached throughout.
+    for name in ("kv_ycsb_kiops", "kv_value_size_kiops", "kv_skew_kiops"):
+        for p in points(name):
+            if "wa" not in p:
+                fail(path, f"kv: {name} '{p.get('label') or p.get('x')}' "
+                           "missing 'wa'", errors)
 
 
 def _counter(where, obj, key, errors):
